@@ -1,0 +1,209 @@
+package hours
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"repro/internal/idspace"
+	"repro/internal/overlay"
+	"repro/internal/xrand"
+)
+
+// One benchmark per paper table/figure. Each regenerates the experiment at
+// a reduced scale per iteration (the full-scale runs live in
+// cmd/experiments) and reports the paper's headline statistic as a custom
+// metric so bench output doubles as a reproduction summary.
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, name string, scale float64) *Table {
+	b.Helper()
+	var tab *Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = ReproduceExperiment(name, ExperimentOptions{Seed: uint64(i + 1), Scale: scale})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tab
+}
+
+// BenchmarkTableDesignComparison regenerates the §4 base-vs-enhanced state
+// comparison table.
+func BenchmarkTableDesignComparison(b *testing.B) {
+	tab := benchExperiment(b, "table-design", 0.02)
+	if tab.NumRows() < 6 {
+		b.Fatalf("design table rows = %d", tab.NumRows())
+	}
+}
+
+// BenchmarkFigure4Resilience regenerates the Figure 4 success-probability
+// curves (analysis + Monte-Carlo simulation).
+func BenchmarkFigure4Resilience(b *testing.B) {
+	tab := benchExperiment(b, "fig4", 0.02)
+	reportColumnMean(b, tab, 4, "P_sim_mean")
+}
+
+// BenchmarkFigure5TableSize regenerates the routing-table size
+// distribution of Figure 5.
+func BenchmarkFigure5TableSize(b *testing.B) {
+	benchExperiment(b, "fig5", 0.05)
+}
+
+// BenchmarkFigure6PathLength regenerates the path-length distribution of
+// Figure 6.
+func BenchmarkFigure6PathLength(b *testing.B) {
+	benchExperiment(b, "fig6", 0.02)
+}
+
+// BenchmarkFigure7Scalability regenerates the size sweep of Figure 7 (the
+// bench caps the sweep; cmd/experiments runs the full 2M-node point).
+func BenchmarkFigure7Scalability(b *testing.B) {
+	benchExperiment(b, "fig7", 0.005)
+}
+
+// BenchmarkFigure8LoadBalance regenerates the workload distribution of
+// Figure 8.
+func BenchmarkFigure8LoadBalance(b *testing.B) {
+	benchExperiment(b, "fig8", 0.02)
+}
+
+// BenchmarkFigure9RandomAttack regenerates the random-attack hop counts of
+// Figure 9.
+func BenchmarkFigure9RandomAttack(b *testing.B) {
+	tab := benchExperiment(b, "fig9", 0.01)
+	reportColumnMean(b, tab, 3, "avg_hops")
+	reportColumnMin(b, tab, 2, "delivery_min")
+}
+
+// BenchmarkFigure10NeighborAttack regenerates the neighbor-attack hop
+// counts of Figure 10.
+func BenchmarkFigure10NeighborAttack(b *testing.B) {
+	tab := benchExperiment(b, "fig10", 0.01)
+	reportColumnMean(b, tab, 3, "avg_hops")
+	reportColumnMin(b, tab, 2, "delivery_min")
+}
+
+// BenchmarkTheorem5Insider regenerates the insider-damage measurement.
+func BenchmarkTheorem5Insider(b *testing.B) {
+	benchExperiment(b, "thm5", 0.02)
+}
+
+// BenchmarkChordContrast regenerates the §5.2 Chord-vs-HOURS comparison.
+func BenchmarkChordContrast(b *testing.B) {
+	tab := benchExperiment(b, "chord", 0.05)
+	rows := tab.Rows()
+	if len(rows) == 2 {
+		if v, err := strconv.ParseFloat(rows[0][2], 64); err == nil {
+			b.ReportMetric(v, "chord_delivery")
+		}
+		if v, err := strconv.ParseFloat(rows[1][2], 64); err == nil {
+			b.ReportMetric(v, "hours_delivery")
+		}
+	}
+}
+
+// BenchmarkTheorem1Scaling measures table size and hop growth across
+// overlay sizes (the Theorem 1 O(log N) claims) as a micro-ablation.
+func BenchmarkTheorem1Scaling(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			ov, err := overlay.New(overlay.Config{N: n, K: 5, Seed: 1, Lazy: n > 20000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := xrand.New(2)
+			totalHops := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := ov.Route(rng.IntN(n), rng.IntN(n), overlay.RouteOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalHops += res.Hops
+			}
+			b.ReportMetric(float64(totalHops)/float64(b.N), "hops/op")
+		})
+	}
+}
+
+// BenchmarkAblationRecoveredVsUnrecovered quantifies what active recovery
+// buys: route success toward a dead target behind a multi-gap failure
+// pattern with and without repair (the DESIGN.md ablation).
+func BenchmarkAblationRecoveredVsUnrecovered(b *testing.B) {
+	const n, k, od = 400, 3, 200
+	for _, repaired := range []bool{false, true} {
+		name := "unrepaired"
+		if repaired {
+			name = "repaired"
+		}
+		b.Run(name, func(b *testing.B) {
+			success := 0
+			for i := 0; i < b.N; i++ {
+				ov, err := overlay.New(overlay.Config{N: n, K: k, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for d := 0; d <= 40; d++ {
+					ov.SetAlive(idspace.IndexAdd(od, -d, n), false)
+				}
+				for j := 100; j <= 140; j++ {
+					ov.SetAlive(j, false)
+				}
+				if repaired {
+					ov.Repair()
+				}
+				res, err := ov.Route(idspace.IndexAdd(od, 30, n), od, overlay.RouteOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Outcome != overlay.Failed {
+					success++
+				}
+			}
+			b.ReportMetric(float64(success)/float64(b.N), "success_ratio")
+		})
+	}
+}
+
+// reportColumnMean reports the mean of a numeric table column as a bench
+// metric.
+func reportColumnMean(b *testing.B, tab *Table, col int, metric string) {
+	b.Helper()
+	var sum float64
+	var cnt int
+	for _, row := range tab.Rows() {
+		if col >= len(row) {
+			continue
+		}
+		if v, err := strconv.ParseFloat(row[col], 64); err == nil {
+			sum += v
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		b.ReportMetric(sum/float64(cnt), metric)
+	}
+}
+
+// reportColumnMin reports the minimum of a numeric table column.
+func reportColumnMin(b *testing.B, tab *Table, col int, metric string) {
+	b.Helper()
+	first := true
+	var minV float64
+	for _, row := range tab.Rows() {
+		if col >= len(row) {
+			continue
+		}
+		if v, err := strconv.ParseFloat(row[col], 64); err == nil {
+			if first || v < minV {
+				minV = v
+				first = false
+			}
+		}
+	}
+	if !first {
+		b.ReportMetric(minV, metric)
+	}
+}

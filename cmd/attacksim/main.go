@@ -1,0 +1,168 @@
+// Command attacksim runs DoS attack scenarios against a simulated
+// HOURS-protected hierarchy and prints the resulting service accessibility
+// and forwarding cost — an interactive companion to the figure harness.
+//
+//	attacksim -fanouts 100,20,3 -scenario neighbor -count 40 -k 5
+//	attacksim -scenario path    -target l3-1.l2-7.l1-42
+//	attacksim -scenario insider -d 3
+//
+// Scenarios:
+//
+//	random   attack the target's level-1 ancestor plus -count random siblings
+//	neighbor attack it plus its -count-1 closest counter-clockwise neighbors
+//	path     attack every ancestor of -target (§5.1 full-path attack)
+//	insider  compromise the sibling at distance -d (query dropping, §5.3)
+//	none     no attack (baseline hops)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/metrics"
+	"repro/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "attacksim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("attacksim", flag.ContinueOnError)
+	var (
+		fanoutsFlag = fs.String("fanouts", "100,20,3", "per-level fanouts of the hierarchy")
+		scenario    = fs.String("scenario", "neighbor", "none|random|neighbor|path|insider")
+		target      = fs.String("target", "", "destination name (default: a generated leaf)")
+		count       = fs.Int("count", 20, "number of DoS victims (random/neighbor)")
+		insiderD    = fs.Int("d", 1, "insider index distance (insider scenario)")
+		k           = fs.Int("k", 5, "redundancy factor")
+		q           = fs.Int("q", 10, "nephew pointers per entry")
+		queries     = fs.Int("queries", 10000, "queries to simulate")
+		seed        = fs.Uint64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fanouts, err := parseFanouts(*fanoutsFlag)
+	if err != nil {
+		return err
+	}
+	specs := make([]hierarchy.LevelSpec, len(fanouts))
+	for i, f := range fanouts {
+		specs[i] = hierarchy.LevelSpec{Prefix: fmt.Sprintf("l%d-", i+1), Fanout: f}
+	}
+	tree, err := hierarchy.Generate(specs)
+	if err != nil {
+		return err
+	}
+	sys, err := core.New(tree, core.Config{K: *k, Q: *q, Seed: *seed})
+	if err != nil {
+		return err
+	}
+
+	dstName := *target
+	if dstName == "" {
+		var sb strings.Builder
+		for i := len(fanouts) - 1; i >= 0; i-- {
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			fmt.Fprintf(&sb, "l%d-%d", i+1, fanouts[i]/2)
+		}
+		dstName = sb.String()
+	}
+	dst, ok := tree.Lookup(dstName)
+	if !ok {
+		return fmt.Errorf("no such destination %q", dstName)
+	}
+
+	camp, err := buildCampaign(*scenario, dst, *count, *insiderD, *seed)
+	if err != nil {
+		return err
+	}
+	if camp != nil {
+		if err := camp.Execute(sys); err != nil {
+			return err
+		}
+		fmt.Printf("scenario %s: %d victims, %d insiders\n", *scenario, camp.Size(), len(camp.Insiders))
+	} else {
+		fmt.Println("scenario none: healthy hierarchy")
+	}
+
+	rng := xrand.New(*seed ^ 0xdead)
+	tracker := metrics.NewDeliveryTracker()
+	hops := metrics.NewHistogram()
+	dropped := 0
+	for i := 0; i < *queries; i++ {
+		res, err := sys.QueryNode(dst, core.QueryOptions{Rng: rng})
+		if err != nil {
+			return err
+		}
+		switch res.Outcome {
+		case core.QueryDelivered:
+			tracker.Record(true)
+			if err := hops.Observe(res.Hops); err != nil {
+				return err
+			}
+		case core.QueryDropped:
+			dropped++
+			tracker.Record(false)
+		default:
+			tracker.Record(false)
+		}
+	}
+	fmt.Printf("destination       %s\n", dstName)
+	fmt.Printf("delivery ratio    %.4f (%d/%d delivered, %d dropped by insiders)\n",
+		tracker.Ratio(), tracker.Delivered(), tracker.Total(), dropped)
+	if hops.Count() > 0 {
+		fmt.Printf("forwarding hops   mean=%.2f p50=%d p90=%d max=%d\n",
+			hops.Mean(), hops.Quantile(0.5), hops.Quantile(0.9), hops.Max())
+		fmt.Println("hop distribution:")
+		fmt.Print(hops.ASCIIPlot(12, 40))
+	}
+	return nil
+}
+
+func buildCampaign(scenario string, dst *hierarchy.Node, count, d int, seed uint64) (*attack.Campaign, error) {
+	path := dst.PathFromRoot()
+	if len(path) < 2 {
+		return nil, fmt.Errorf("destination must not be the root")
+	}
+	anchor := path[1] // the level-1 ancestor, the paper's node T
+	switch scenario {
+	case "none":
+		return nil, nil
+	case "random":
+		return attack.Random(xrand.New(seed), anchor, count)
+	case "neighbor":
+		return attack.Neighbors(anchor, count)
+	case "path":
+		return attack.TopDownPath(dst)
+	case "insider":
+		return attack.Insider(anchor, d)
+	default:
+		return nil, fmt.Errorf("unknown scenario %q", scenario)
+	}
+}
+
+func parseFanouts(spec string) ([]int, error) {
+	parts := strings.Split(spec, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad fanout %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/hierarchy"
+)
+
+func TestParseFanouts(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"3", []int{3}, false},
+		{"100,20,3", []int{100, 20, 3}, false},
+		{" 4 , 2 ", []int{4, 2}, false},
+		{"", nil, true},
+		{"a,2", nil, true},
+		{"0", nil, true},
+		{"-1", nil, true},
+	}
+	for _, tt := range tests {
+		got, err := parseFanouts(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseFanouts(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("parseFanouts(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseFanouts(%q)[%d] = %d, want %d", tt.in, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestBuildCampaign(t *testing.T) {
+	tr, err := hierarchy.Generate([]hierarchy.LevelSpec{
+		{Prefix: "l1-", Fanout: 20},
+		{Prefix: "l2-", Fanout: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, ok := tr.Lookup("l2-1.l1-5")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	for _, tt := range []struct {
+		scenario string
+		wantErr  bool
+		victims  int
+		insiders int
+	}{
+		{"none", false, 0, 0},
+		{"random", false, 4, 0},
+		{"neighbor", false, 4, 0},
+		{"path", false, 2, 0},
+		{"insider", false, 0, 1},
+		{"bogus", true, 0, 0},
+	} {
+		camp, err := buildCampaign(tt.scenario, dst, 4, 2, 1)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("%s: err = %v", tt.scenario, err)
+			continue
+		}
+		if err != nil || camp == nil {
+			continue
+		}
+		if camp.Size() != tt.victims || len(camp.Insiders) != tt.insiders {
+			t.Errorf("%s: victims=%d insiders=%d, want %d/%d",
+				tt.scenario, camp.Size(), len(camp.Insiders), tt.victims, tt.insiders)
+		}
+	}
+	if _, err := buildCampaign("random", tr.Root(), 4, 2, 1); err == nil {
+		t.Error("root destination: want error")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Smoke-test the whole CLI body with a tiny scenario.
+	err := run([]string{
+		"-fanouts", "20,2", "-scenario", "neighbor", "-count", "4",
+		"-queries", "200", "-k", "2", "-q", "3",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-fanouts", "bogus"}); err == nil {
+		t.Error("bad fanouts: want error")
+	}
+	if err := run([]string{"-fanouts", "10", "-target", "missing"}); err == nil {
+		t.Error("missing target: want error")
+	}
+	if err := run([]string{"-fanouts", "10,2", "-scenario", "bogus"}); err == nil {
+		t.Error("bad scenario: want error")
+	}
+}

@@ -1,0 +1,94 @@
+// Command experiments regenerates the tables and figures of the HOURS
+// paper's evaluation.
+//
+// Usage:
+//
+//	experiments -run fig4            # one experiment
+//	experiments -run all -scale 0.1  # everything, at 10% workload scale
+//	experiments -list                # show the registry
+//	experiments -run fig6 -csv       # machine-readable output
+//
+// Scale 1.0 reproduces the paper's published parameters (1M queries,
+// 50,000-node overlays, 2M-node sweeps); smaller scales shrink workloads
+// proportionally for quick looks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		name     = fs.String("run", "", "experiment to run (see -list), or 'all'")
+		list     = fs.Bool("list", false, "list available experiments")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		scale    = fs.Float64("scale", 1.0, "workload scale in (0,1]; 1.0 = paper parameters")
+		parallel = fs.Int("parallel", 0, "max worker goroutines (0 = GOMAXPROCS)")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		outDir   = fs.String("o", "", "also write one CSV file per experiment into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-14s %s\n", r.Name, r.Title)
+		}
+		return nil
+	}
+	if *name == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -run (or -list)")
+	}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Parallelism: *parallel}
+
+	var runners []experiments.Runner
+	if *name == "all" {
+		runners = experiments.All()
+	} else {
+		r, ok := experiments.ByName(*name)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", *name)
+		}
+		runners = []experiments.Runner{r}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fmt.Errorf("create output dir: %w", err)
+		}
+	}
+	for _, r := range runners {
+		start := time.Now()
+		tab, err := r.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.Name, err)
+		}
+		if *csv {
+			fmt.Printf("# %s (%s)\n%s", r.Name, r.Title, tab.CSV())
+		} else {
+			fmt.Print(tab.String())
+			fmt.Printf("(%s in %v, seed=%d scale=%v)\n\n", r.Name, time.Since(start).Round(time.Millisecond), *seed, *scale)
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, r.Name+".csv")
+			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", path, err)
+			}
+		}
+	}
+	return nil
+}

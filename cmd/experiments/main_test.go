@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestRunMissingName(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no -run: want error")
+	}
+	if err := run([]string{"-run", "nope"}); err == nil {
+		t.Error("unknown experiment: want error")
+	}
+}
+
+func TestRunSingleExperimentWithOutput(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-run", "chord", "-scale", "0.1", "-o", dir, "-csv"}); err != nil {
+		t.Fatalf("run chord: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "chord.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty CSV output")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-run", "chord", "-scale", "7"}); err == nil {
+		t.Error("scale out of range: want error")
+	}
+}

@@ -1,0 +1,232 @@
+// Command hoursd runs live HOURS nodes over TCP.
+//
+// Single-node mode joins one server into an existing hierarchy:
+//
+//	hoursd -name "." -addr :7000                       # a root
+//	hoursd -name edu -addr :7001 -parent 127.0.0.1:7000
+//	hoursd -name ucla.edu -addr :7002 -parent 127.0.0.1:7001
+//
+// After every node of a sibling group has joined, send each one SIGHUP-ish
+// "build" via the -build-after flag (seconds) or restart with -build; for
+// quick demos, -demo LEVELS spins an entire hierarchy of local TCP nodes
+// inside one process and serves queries until interrupted:
+//
+//	hoursd -demo 4,3 -addr 127.0.0.1:7000
+//
+// Query any node with cmd/hoursq.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hoursd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hoursd", flag.ContinueOnError)
+	var (
+		name       = fs.String("name", "", "node name ('.' for the root)")
+		addr       = fs.String("addr", "127.0.0.1:7000", "listen address (host:port)")
+		parent     = fs.String("parent", "", "parent address (empty for a root)")
+		k          = fs.Int("k", 3, "redundancy factor k")
+		q          = fs.Int("q", 4, "nephew pointers per entry q")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		probe      = fs.Duration("probe", 2*time.Second, "probing period (0 disables)")
+		buildAfter = fs.Duration("build-after", 5*time.Second, "delay before building the routing table (lets siblings join first)")
+		demo       = fs.String("demo", "", "comma-separated fanouts: run a whole hierarchy in-process")
+		data       = fs.String("data", "", "answer served for this node's own name")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *demo != "" {
+		return runDemo(*demo, *addr, *k, *q, *seed, *probe)
+	}
+	if *name == "" {
+		return fmt.Errorf("missing -name (or use -demo)")
+	}
+	tcp := &transport.TCP{}
+	nd, err := node.New(node.Config{
+		Name: *name, Addr: *addr, ParentAddr: *parent,
+		K: *k, Q: *q, Seed: *seed, ProbePeriod: *probe, Data: *data,
+	}, tcp)
+	if err != nil {
+		return err
+	}
+	if err := nd.Start(); err != nil {
+		return err
+	}
+	defer func() { _ = nd.Stop() }()
+	ctx := context.Background()
+	if *parent != "" {
+		if err := nd.Join(ctx); err != nil {
+			return err
+		}
+		fmt.Printf("joined %s under %s\n", nd.Name(), *parent)
+		time.AfterFunc(*buildAfter, func() {
+			if err := nd.BuildTable(context.Background()); err != nil {
+				fmt.Fprintln(os.Stderr, "hoursd: build table:", err)
+				return
+			}
+			fmt.Printf("routing table built: %d entries, index %d\n", nd.TableSize(), nd.Index())
+		})
+	}
+	fmt.Printf("hoursd %s serving on %s\n", nd.Name(), *addr)
+	return waitForSignal()
+}
+
+// runDemo spins up a whole hierarchy of TCP nodes in one process.
+func runDemo(spec, rootAddr string, k, q int, seed uint64, probe time.Duration) error {
+	fanouts, err := parseFanouts(spec)
+	if err != nil {
+		return err
+	}
+	tcp := &transport.TCP{DialTimeout: time.Second, IOTimeout: 3 * time.Second}
+	ctx := context.Background()
+
+	host := rootAddr[:strings.LastIndexByte(rootAddr, ':')]
+	var nodes []*node.Node
+	mk := func(name, parentAddr, listen string) (*node.Node, string, error) {
+		// A ":0" listen address must be resolved to a concrete port
+		// before the node advertises it to peers.
+		if strings.HasSuffix(listen, ":0") {
+			resolved, err := freePort(host)
+			if err != nil {
+				return nil, "", err
+			}
+			listen = resolved
+		}
+		nd, err := node.New(node.Config{
+			Name: name, Addr: listen, ParentAddr: parentAddr,
+			K: k, Q: q, Seed: seed + uint64(len(nodes)), ProbePeriod: probe,
+		}, tcp)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := nd.Start(); err != nil {
+			return nil, "", err
+		}
+		nodes = append(nodes, nd)
+		return nd, nd.Addr(), nil
+	}
+	defer func() {
+		for i := len(nodes) - 1; i >= 0; i-- {
+			_ = nodes[i].Stop()
+		}
+	}()
+
+	root, rootBound, err := mk(".", "", rootAddr)
+	if err != nil {
+		return err
+	}
+	_ = root
+	fmt.Printf("root on %s\n", rootBound)
+
+	type ent struct {
+		name string
+		addr string
+	}
+	frontier := []ent{{name: "", addr: rootBound}}
+	basePort := portOf(rootAddr)
+	port := basePort + 1
+	var joined []*node.Node
+	for li, fan := range fanouts {
+		var next []ent
+		for _, p := range frontier {
+			for i := 0; i < fan; i++ {
+				label := fmt.Sprintf("n%d-%d", li+1, i)
+				childName := label
+				if p.name != "" {
+					childName = label + "." + p.name
+				}
+				listen := fmt.Sprintf("%s:%d", host, port)
+				if basePort == 0 {
+					listen = host + ":0" // mk resolves a free port
+				}
+				port++
+				nd, bound, err := mk(childName, p.addr, listen)
+				if err != nil {
+					return err
+				}
+				if err := nd.Join(ctx); err != nil {
+					return err
+				}
+				joined = append(joined, nd)
+				next = append(next, ent{name: childName, addr: bound})
+			}
+		}
+		frontier = next
+	}
+	for _, nd := range joined {
+		if err := nd.BuildTable(ctx); err != nil {
+			return fmt.Errorf("build table for %s: %w", nd.Name(), err)
+		}
+	}
+	fmt.Printf("demo hierarchy of %d nodes ready; query any node with hoursq\n", len(nodes))
+	for _, nd := range nodes {
+		fmt.Printf("  %-24s %s\n", nd.Name(), nd.Addr())
+	}
+	return waitForSignal()
+}
+
+func parseFanouts(spec string) ([]int, error) {
+	parts := strings.Split(spec, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad fanout %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// freePort asks the OS for an available TCP port on host.
+func freePort(host string) (string, error) {
+	ln, err := net.Listen("tcp", host+":0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	if err := ln.Close(); err != nil {
+		return "", err
+	}
+	return addr, nil
+}
+
+func portOf(addr string) int {
+	i := strings.LastIndexByte(addr, ':')
+	v, err := strconv.Atoi(addr[i+1:])
+	if err != nil {
+		return 7000
+	}
+	return v
+}
+
+// waitForSignal blocks until interrupt/termination. Tests override it to
+// drive the daemon paths headlessly.
+var waitForSignal = func() error {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

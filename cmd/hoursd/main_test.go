@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFanouts(t *testing.T) {
+	got, err := parseFanouts("4, 3")
+	if err != nil || len(got) != 2 || got[0] != 4 || got[1] != 3 {
+		t.Errorf("parseFanouts = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "x", "0", "2,-1"} {
+		if _, err := parseFanouts(bad); err == nil {
+			t.Errorf("parseFanouts(%q): want error", bad)
+		}
+	}
+}
+
+func TestPortOf(t *testing.T) {
+	if got := portOf("127.0.0.1:7000"); got != 7000 {
+		t.Errorf("portOf = %d", got)
+	}
+	if got := portOf("127.0.0.1:x"); got != 7000 {
+		t.Errorf("portOf fallback = %d", got)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -name: want error")
+	}
+	if err := run([]string{"-demo", "bogus"}); err == nil {
+		t.Error("bad demo spec: want error")
+	}
+}
+
+// TestDemoEndToEnd stands up a whole TCP hierarchy via the demo path,
+// queries it with a real client call, and shuts down.
+func TestDemoEndToEnd(t *testing.T) {
+	old := waitForSignal
+	ready := make(chan struct{})
+	waitForSignal = func() error {
+		close(ready)
+		return nil // return immediately: the demo tears down after this
+	}
+	defer func() { waitForSignal = old }()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-demo", "3,2", "-addr", "127.0.0.1:0", "-probe", "0"})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("demo run: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("demo did not come up")
+	}
+	select {
+	case <-ready:
+	default:
+		t.Fatal("demo exited without reaching the ready state")
+	}
+}

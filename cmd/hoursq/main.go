@@ -1,0 +1,97 @@
+// Command hoursq queries a live HOURS node over TCP.
+//
+//	hoursq -addr 127.0.0.1:7001 -target n2-1.n1-0
+//
+// The entry node can be any node in the hierarchy (§7 bootstrapping): if
+// ancestors of the target are under attack, the query detours across the
+// randomized overlays and still resolves.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hoursq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hoursq", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:7000", "entry node address")
+		target  = fs.String("target", "", "name to resolve")
+		ttl     = fs.Int("ttl", 256, "forwarding TTL")
+		timeout = fs.Duration("timeout", 10*time.Second, "end-to-end timeout")
+		verbose = fs.Bool("v", false, "print the forwarding path")
+		stats   = fs.Bool("stats", false, "fetch the node's operational counters instead of querying")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tcp := &transport.TCP{IOTimeout: *timeout}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if *stats {
+		return fetchStats(ctx, tcp, *addr)
+	}
+	if *target == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -target")
+	}
+	req, err := wire.New(wire.TypeQuery, wire.Query{
+		Target: strings.TrimSuffix(*target, "."),
+		Mode:   wire.ModeHierarchical,
+		TTL:    *ttl,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	resp, err := tcp.Call(ctx, *addr, req)
+	if err != nil {
+		return err
+	}
+	var qr wire.QueryResult
+	if err := resp.Decode(&qr); err != nil {
+		return err
+	}
+	if !qr.Found {
+		return fmt.Errorf("not resolved after %d hops: %s", qr.Hops, qr.Reason)
+	}
+	fmt.Printf("%s = %s (%d hops, %v)\n", *target, qr.Answer, qr.Hops, time.Since(start).Round(time.Millisecond))
+	if *verbose {
+		fmt.Printf("path: %s\n", strings.Join(qr.Path, " -> "))
+	}
+	return nil
+}
+
+// fetchStats prints a node's operational counters.
+func fetchStats(ctx context.Context, tcp *transport.TCP, addr string) error {
+	resp, err := tcp.Call(ctx, addr, wire.Message{Type: wire.TypeStats})
+	if err != nil {
+		return err
+	}
+	var st wire.Stats
+	if err := resp.Decode(&st); err != nil {
+		return err
+	}
+	fmt.Printf("node               %s (ring index %d, epoch %d)\n", st.Name, st.Index, st.Epoch)
+	fmt.Printf("routing entries    %d\n", st.TableEntries)
+	fmt.Printf("queries answered   %d\n", st.QueriesAnswered)
+	fmt.Printf("queries forwarded  %d\n", st.QueriesForwarded)
+	fmt.Printf("probes sent        %d\n", st.ProbesSent)
+	fmt.Printf("repairs originated %d\n", st.RepairsOriginated)
+	fmt.Printf("entries created    %d\n", st.EntriesCreated)
+	return nil
+}

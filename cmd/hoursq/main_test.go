@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -target: want error")
+	}
+	// Unreachable entry node: a dial error, not a panic.
+	err := run([]string{"-addr", "127.0.0.1:1", "-target", "x", "-timeout", "200ms"})
+	if err == nil {
+		t.Error("unreachable entry: want error")
+	}
+}

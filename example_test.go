@@ -1,0 +1,84 @@
+package hours_test
+
+import (
+	"fmt"
+
+	hours "repro"
+	"repro/internal/xrand"
+)
+
+// Example shows the README quickstart: protect a hierarchy, attack every
+// ancestor of a destination, and watch queries keep delivering.
+func Example() {
+	tree, err := hours.GenerateHierarchy([]hours.LevelSpec{
+		{Prefix: "region", Fanout: 8},
+		{Prefix: "site", Fanout: 6},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sys, err := hours.NewSystem(tree, hours.SystemConfig{K: 5, Q: 10, Seed: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	dst, _ := tree.Lookup("site2.region5")
+	camp, err := hours.TopDownPathAttack(dst)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := camp.Execute(sys); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	rng := xrand.New(7)
+	res, err := sys.Query("site2.region5", hours.QueryOptions{Rng: rng})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("outcome:", res.Outcome)
+	fmt.Println("used overlay:", res.UsedOverlay)
+	// Output:
+	// outcome: delivered
+	// used overlay: true
+}
+
+// ExampleNewOverlay routes a query in a single randomized overlay.
+func ExampleNewOverlay() {
+	ov, err := hours.NewOverlay(hours.OverlayConfig{
+		N:      1000,
+		Design: hours.EnhancedDesign,
+		K:      5,
+		Seed:   42,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := ov.Route(10, 700, hours.RouteOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("outcome:", res.Outcome)
+	// Output:
+	// outcome: delivered
+}
+
+// ExampleNeighborAttackSuccess evaluates Equation (2) at the paper's
+// headline point: 90% of a 200-node overlay attacked, k=10.
+func ExampleNeighborAttackSuccess() {
+	p, err := hours.NeighborAttackSuccess(200, 10, 0.9)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("P_i = %.2f\n", p)
+	// Output:
+	// P_i = 0.64
+}

@@ -1,0 +1,120 @@
+// pkihierarchy: a certificate-lookup hierarchy (SPKI-style, one of the
+// paper's motivating systems) under both outsider DoS and insider attacks.
+//
+// The example demonstrates §5.3: a compromised certificate authority
+// sibling cannot poison routing tables, and the damage it can do by
+// silently dropping queries is bounded by Theorem 5's 1/(d+1), falling off
+// quickly with ring distance.
+//
+//	go run ./examples/pkihierarchy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hours "repro"
+	"repro/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A certification hierarchy: one root CA, 120 intermediate CAs, each
+	// vouching for 5 end entities.
+	tree := hours.NewHierarchy()
+	root := tree.Root()
+	for i := 0; i < 120; i++ {
+		ca, err := tree.AddChild(root, fmt.Sprintf("ca%03d", i))
+		if err != nil {
+			return err
+		}
+		for j := 0; j < 5; j++ {
+			if _, err := tree.AddChild(ca, fmt.Sprintf("ee%d", j)); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("PKI hierarchy: %d nodes (120 CAs x 5 end entities)\n\n", tree.Size())
+
+	// The base design is what Theorem 5 analyzes; the root is under DoS
+	// so every certificate lookup crosses the CA overlay.
+	victimCA, _ := tree.Lookup("ca042")
+	const trialsPerInstance = 300
+	const instances = 40
+
+	fmt.Println("insider attack: a compromised CA drops certificate lookups")
+	fmt.Printf("%-12s %-12s %-12s\n", "distance d", "drop rate", "1/(d+1) bound")
+	for _, d := range []int{1, 3, 7, 15} {
+		dropped, total := 0, 0
+		for inst := 0; inst < instances; inst++ {
+			sys, err := hours.NewSystem(tree, hours.SystemConfig{
+				Design: hours.BaseDesign, Seed: uint64(inst*100 + d),
+			})
+			if err != nil {
+				return err
+			}
+			sys.SetAlive(tree.Root(), false)
+			camp, err := hours.InsiderAttack(victimCA, d)
+			if err != nil {
+				return err
+			}
+			if err := camp.Execute(sys); err != nil {
+				return err
+			}
+			rng := xrand.New(uint64(inst))
+			for i := 0; i < trialsPerInstance; i++ {
+				res, err := sys.QueryNode(victimCA, hours.QueryOptions{Rng: rng})
+				if err != nil {
+					return err
+				}
+				total++
+				if res.Outcome == hours.QueryDropped {
+					dropped++
+				}
+			}
+		}
+		bound, err := hours.InsiderDamage(d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12d %-12.4f %-12.4f\n", d, float64(dropped)/float64(total), bound)
+	}
+
+	// Contrast with the enhanced design + outsider DoS: certificate
+	// lookups survive a simultaneous attack on the root AND the victim
+	// CA's neighborhood.
+	fmt.Println("\noutsider DoS: root + 20 CA neighbors attacked (enhanced design, k=5)")
+	sys, err := hours.NewSystem(tree, hours.SystemConfig{K: 5, Q: 10, Seed: 7})
+	if err != nil {
+		return err
+	}
+	sys.SetAlive(tree.Root(), false)
+	camp, err := hours.NeighborAttack(victimCA, 20)
+	if err != nil {
+		return err
+	}
+	if err := camp.Execute(sys); err != nil {
+		return err
+	}
+	rng := xrand.New(11)
+	delivered := 0
+	const trials = 2000
+	target := "ee3.ca042"
+	for i := 0; i < trials; i++ {
+		res, err := sys.Query(target, hours.QueryOptions{Rng: rng})
+		if err != nil {
+			return err
+		}
+		if res.Outcome == hours.QueryDelivered {
+			delivered++
+		}
+	}
+	fmt.Printf("lookup %s: delivered %d/%d (%.1f%%)\n",
+		target, delivered, trials, 100*float64(delivered)/trials)
+	return nil
+}

@@ -1,0 +1,113 @@
+// Quickstart: protect a small service hierarchy with HOURS, shut down an
+// on-path node, and watch queries detour across the randomized overlay.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	hours "repro"
+	"repro/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A three-level hierarchy: 8 level-1 nodes, each with 6 children,
+	// each with 3 leaves (like a small DNS-ish deployment).
+	tree, err := hours.GenerateHierarchy([]hours.LevelSpec{
+		{Prefix: "region", Fanout: 8},
+		{Prefix: "site", Fanout: 6},
+		{Prefix: "srv", Fanout: 3},
+	})
+	if err != nil {
+		return err
+	}
+	sys, err := hours.NewSystem(tree, hours.SystemConfig{K: 3, Q: 5, Seed: 2026})
+	if err != nil {
+		return err
+	}
+	rng := xrand.New(7)
+
+	const target = "srv1.site2.region5"
+	fmt.Printf("hierarchy: %d nodes; target: %s\n\n", tree.Size(), target)
+
+	// 1. Healthy: queries follow the prescribed top-down path.
+	res, err := sys.Query(target, hours.QueryOptions{Rng: rng, TracePath: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("healthy:   %v in %d hops via %s\n", res.Outcome, res.Hops, pathString(res))
+
+	// 2. The Figure 1 scenario: DoS the level-1 ancestor. Without HOURS
+	//    the whole region5 subtree would be unreachable.
+	victim, _ := tree.Lookup("region5")
+	camp, err := hours.WeakestLinkAttack(mustLookup(tree, target), 1)
+	if err != nil {
+		return err
+	}
+	if err := camp.Execute(sys); err != nil {
+		return err
+	}
+	fmt.Printf("\nDoS attack on %s (the weakest link of %s)\n", victim.Name(), target)
+	res, err = sys.Query(target, hours.QueryOptions{Rng: rng, TracePath: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("attacked:  %v in %d hops via %s\n", res.Outcome, res.Hops, pathString(res))
+	fmt.Printf("           (%d overlay hops, %d nephew hops bypassed the dead node)\n",
+		res.OverlayHops, res.NephewHops)
+
+	// 3. Escalate: take down the root and the level-2 ancestor too —
+	//    every intermediate on the path (§5.1). Delivery still holds.
+	full, err := hours.TopDownPathAttack(mustLookup(tree, target))
+	if err != nil {
+		return err
+	}
+	if err := camp.Revert(sys); err != nil {
+		return err
+	}
+	if err := full.Execute(sys); err != nil {
+		return err
+	}
+	fmt.Printf("\nfull-path attack: every ancestor of %s is down\n", target)
+	delivered := 0
+	var totalHops int
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		res, err := sys.Query(target, hours.QueryOptions{Rng: rng})
+		if err != nil {
+			return err
+		}
+		if res.Outcome == hours.QueryDelivered {
+			delivered++
+			totalHops += res.Hops
+		}
+	}
+	fmt.Printf("delivery:  %d/%d (%.0f%%), avg %.1f hops — the paper's 100%% claim\n",
+		delivered, trials, 100*float64(delivered)/trials, float64(totalHops)/float64(delivered))
+	return nil
+}
+
+func pathString(res hours.QueryResult) string {
+	names := make([]string, len(res.Path))
+	for i, n := range res.Path {
+		names[i] = n.Name()
+	}
+	return strings.Join(names, " -> ")
+}
+
+func mustLookup(tree *hours.Hierarchy, name string) *hours.HierarchyNode {
+	n, ok := tree.Lookup(name)
+	if !ok {
+		panic("missing node " + name)
+	}
+	return n
+}

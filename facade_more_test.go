@@ -1,0 +1,114 @@
+package hours
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestFacadeAdmissionPolicy(t *testing.T) {
+	refused := errors.New("no capacity")
+	tree := NewHierarchy(WithAdmission(func(parent *HierarchyNode, label string) error {
+		if parent.NumChildren() >= 2 {
+			return refused
+		}
+		return nil
+	}))
+	root := tree.Root()
+	for _, label := range []string{"a", "b"} {
+		if _, err := tree.AddChild(root, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tree.AddChild(root, "c"); !errors.Is(err, refused) {
+		t.Errorf("third join error = %v, want capacity refusal", err)
+	}
+}
+
+func TestFacadeAttackConstructors(t *testing.T) {
+	tree, err := GenerateHierarchy([]LevelSpec{{Prefix: "n", Fanout: 30}, {Prefix: "m", Fanout: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(tree, SystemConfig{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := tree.Root().Children()[10]
+
+	rc, err := RandomAttack(xrand.New(1), target, 5)
+	if err != nil || rc.Size() != 5 {
+		t.Fatalf("RandomAttack: %v size=%d", err, rc.Size())
+	}
+	nc, err := NeighborAttack(target, 4)
+	if err != nil || nc.Size() != 4 {
+		t.Fatalf("NeighborAttack: %v", err)
+	}
+	leaf, _ := tree.Lookup("m1.n3")
+	wc, err := WeakestLinkAttack(leaf, 1)
+	if err != nil || wc.Size() != 1 {
+		t.Fatalf("WeakestLinkAttack: %v", err)
+	}
+	ic, err := InsiderAttack(target, 2)
+	if err != nil || len(ic.Insiders) != 1 {
+		t.Fatalf("InsiderAttack: %v", err)
+	}
+	// Campaigns execute and revert through the facade types.
+	if err := nc.Execute(sys); err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.Revert(sys); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeAnalysisHelpers(t *testing.T) {
+	e, err := ExpectedTableEntries(50000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < 45 || e > 56 {
+		t.Errorf("ExpectedTableEntries = %v", e)
+	}
+	d, err := InsiderDamage(4)
+	if err != nil || math.Abs(d-0.2) > 1e-12 {
+		t.Errorf("InsiderDamage = %v, %v", d, err)
+	}
+	p, err := RandomAttackSuccess(200, 5, 0.5)
+	if err != nil || p < 0.999 {
+		t.Errorf("RandomAttackSuccess = %v, %v", p, err)
+	}
+}
+
+func TestFacadeOverlayRepairStats(t *testing.T) {
+	ov, err := NewOverlay(OverlayConfig{N: 60, K: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 16; i++ {
+		ov.SetAlive(i, false)
+	}
+	var stats RepairStats = ov.Repair()
+	if stats.RepairMessages == 0 {
+		t.Error("expected repair messages for a 6-node gap with k=2")
+	}
+	// The route should exit when targeting a dead node.
+	res, err := ov.Route(30, 12, RouteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != RouteExited && res.Outcome != RouteFailed {
+		t.Errorf("route to dead node = %v", res.Outcome)
+	}
+}
+
+func TestFacadeDesignConstants(t *testing.T) {
+	if BaseDesign.String() != "base" || EnhancedDesign.String() != "enhanced" {
+		t.Error("design constants mismatched")
+	}
+	if RouteDelivered.String() != "delivered" || QueryDropped.String() != "dropped" {
+		t.Error("outcome constants mismatched")
+	}
+}

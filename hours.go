@@ -1,0 +1,212 @@
+// Package hours is the public facade of this HOURS reproduction — the
+// DSN 2004 system by Yang, Luo, Yang, Lu, and Zhang that achieves DoS
+// resilience in open service hierarchies (DNS-, LDAP-, PKI-like systems)
+// by augmenting the hierarchy with randomized, hierarchical overlay
+// networks.
+//
+// The facade exposes four layers:
+//
+//   - the randomized overlay itself (Overlay): Algorithm 1 table
+//     generation, greedy/backward forwarding, active recovery;
+//   - the simulated end-to-end system (System over a Hierarchy): per
+//     sibling-group overlays, nephew pointers, mixed hierarchical and
+//     overlay query forwarding, attacker models;
+//   - the closed-form analysis of §5 (Equations 1-2, Theorems 1-5);
+//   - the live prototype (Cluster): goroutine-per-node servers speaking a
+//     framed protocol over in-memory or TCP transports, with probing and
+//     live active recovery.
+//
+// The experiment harness (ReproduceExperiment, cmd/experiments) regenerates
+// every table and figure of the paper's evaluation.
+package hours
+
+import (
+	"context"
+
+	"repro/internal/analysis"
+	"repro/internal/attack"
+	"repro/internal/chord"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hierarchy"
+	"repro/internal/metrics"
+	"repro/internal/overlay"
+)
+
+// Overlay layer: one randomized sibling overlay (§3.2, §4).
+type (
+	// Overlay is a randomized sibling overlay.
+	Overlay = overlay.Overlay
+	// OverlayConfig parameterizes NewOverlay.
+	OverlayConfig = overlay.Config
+	// OverlayDesign selects the base or enhanced design.
+	OverlayDesign = overlay.Design
+	// RouteOptions tunes one intra-overlay forwarding attempt.
+	RouteOptions = overlay.RouteOptions
+	// RouteResult reports one intra-overlay forwarding attempt.
+	RouteResult = overlay.Result
+	// RepairStats summarizes an active-recovery run (§4.3).
+	RepairStats = overlay.RepairStats
+)
+
+// Overlay designs.
+const (
+	// BaseDesign is the §3 design (1/d pointers, clockwise-only).
+	BaseDesign = overlay.Base
+	// EnhancedDesign is the §4 design (min(1,k/d) pointers, backward
+	// forwarding, active recovery).
+	EnhancedDesign = overlay.Enhanced
+)
+
+// Intra-overlay forwarding outcomes.
+const (
+	// RouteDelivered: the query reached the overlay-destination node.
+	RouteDelivered = overlay.Delivered
+	// RouteExited: the destination is down and the query stopped at an
+	// exit node holding nephew pointers to its children.
+	RouteExited = overlay.Exited
+	// RouteFailed: no path to the destination or an exit survived.
+	RouteFailed = overlay.Failed
+)
+
+// NewOverlay builds a randomized overlay.
+func NewOverlay(cfg OverlayConfig) (*Overlay, error) { return overlay.New(cfg) }
+
+// Hierarchy layer: the open service hierarchy model (§2).
+type (
+	// Hierarchy is a service hierarchy (tree + naming + delegation).
+	Hierarchy = hierarchy.Tree
+	// HierarchyNode is one server in the hierarchy.
+	HierarchyNode = hierarchy.Node
+	// LevelSpec describes one generated hierarchy level.
+	LevelSpec = hierarchy.LevelSpec
+	// AdmissionPolicy lets parents refuse joining children.
+	AdmissionPolicy = hierarchy.AdmissionPolicy
+)
+
+// NewHierarchy returns a hierarchy containing only the root.
+func NewHierarchy(opts ...hierarchy.Option) *Hierarchy { return hierarchy.New(opts...) }
+
+// WithAdmission installs an admission policy on a new hierarchy.
+func WithAdmission(p AdmissionPolicy) hierarchy.Option { return hierarchy.WithAdmission(p) }
+
+// GenerateHierarchy builds a balanced hierarchy from per-level fanouts.
+func GenerateHierarchy(levels []LevelSpec, opts ...hierarchy.Option) (*Hierarchy, error) {
+	return hierarchy.Generate(levels, opts...)
+}
+
+// System layer: the simulated end-to-end HOURS system (§3-§5).
+type (
+	// System is an HOURS-protected hierarchy.
+	System = core.System
+	// SystemConfig parameterizes NewSystem.
+	SystemConfig = core.Config
+	// QueryOptions tunes one end-to-end query.
+	QueryOptions = core.QueryOptions
+	// QueryResult reports one end-to-end query.
+	QueryResult = core.QueryResult
+	// QueryOutcome classifies an end-to-end query.
+	QueryOutcome = core.QueryOutcome
+)
+
+// End-to-end query outcomes.
+const (
+	// QueryDelivered: the destination received the query.
+	QueryDelivered = core.QueryDelivered
+	// QueryFailed: no surviving forwarding path.
+	QueryFailed = core.QueryFailed
+	// QueryDropped: a compromised insider discarded the query (§5.3).
+	QueryDropped = core.QueryDropped
+)
+
+// NewSystem protects a hierarchy with HOURS overlays.
+func NewSystem(tree *Hierarchy, cfg SystemConfig) (*System, error) { return core.New(tree, cfg) }
+
+// Attack layer: the §5 attacker models.
+type (
+	// Campaign is a reversible set of DoS victims / insiders.
+	Campaign = attack.Campaign
+)
+
+// Attack constructors (see package attack for details).
+var (
+	// RandomAttack attacks the target plus uniformly chosen siblings.
+	RandomAttack = attack.Random
+	// NeighborAttack attacks the target plus its closest
+	// counter-clockwise neighbors — the optimal topology-aware strategy.
+	NeighborAttack = attack.Neighbors
+	// TopDownPathAttack shuts down every ancestor of a destination.
+	TopDownPathAttack = attack.TopDownPath
+	// WeakestLinkAttack shuts down a single ancestor (Figure 1).
+	WeakestLinkAttack = attack.WeakestLink
+	// InsiderAttack compromises a sibling that drops queries (§5.3).
+	InsiderAttack = attack.Insider
+)
+
+// Analysis layer: closed forms from §5.
+var (
+	// RandomAttackSuccess is Equation (1).
+	RandomAttackSuccess = analysis.RandomAttackSuccess
+	// NeighborAttackSuccess is Equation (2).
+	NeighborAttackSuccess = analysis.NeighborAttackSuccess
+	// ExpectedTableEntries is the Theorem 1 mean table size.
+	ExpectedTableEntries = analysis.ExpectedTableEntries
+	// InsiderDamage is the Theorem 5 bound 1/(d+1).
+	InsiderDamage = analysis.InsiderDamage
+)
+
+// Baseline layer: the §5.2 Chord contrast.
+type (
+	// ChordRing is the deterministic finger-table baseline.
+	ChordRing = chord.Ring
+)
+
+// NewChordRing builds the Chord baseline ring.
+func NewChordRing(n int) (*ChordRing, error) { return chord.New(n) }
+
+// Live layer: the goroutine/TCP prototype.
+type (
+	// Cluster is a running live hierarchy in one process.
+	Cluster = cluster.Cluster
+	// ClusterConfig parameterizes NewCluster.
+	ClusterConfig = cluster.Config
+)
+
+// NewCluster builds, starts, and wires up a live hierarchy.
+func NewCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
+	return cluster.New(ctx, cfg)
+}
+
+// Experiments layer: paper reproduction.
+type (
+	// Experiment regenerates one paper table or figure.
+	Experiment = experiments.Runner
+	// ExperimentOptions tunes an experiment run.
+	ExperimentOptions = experiments.Options
+	// Table is a rendered experiment result.
+	Table = metrics.Table
+)
+
+// Experiments lists every reproducible table and figure.
+func Experiments() []Experiment { return experiments.All() }
+
+// ReproduceExperiment runs the named experiment ("fig4" ... "fig10",
+// "table-design", "thm5", "chord").
+func ReproduceExperiment(name string, opts ExperimentOptions) (*Table, error) {
+	r, ok := experiments.ByName(name)
+	if !ok {
+		return nil, &UnknownExperimentError{Name: name}
+	}
+	return r.Run(opts)
+}
+
+// UnknownExperimentError reports a bad experiment name.
+type UnknownExperimentError struct {
+	Name string
+}
+
+// Error implements error.
+func (e *UnknownExperimentError) Error() string {
+	return "hours: unknown experiment " + e.Name
+}

@@ -1,0 +1,341 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := RandomAttackSuccess(1, 1, 0.5); err == nil {
+		t.Error("n=1: want error")
+	}
+	if _, err := RandomAttackSuccess(10, 0, 0.5); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := RandomAttackSuccess(10, 1, -0.1); err == nil {
+		t.Error("alpha<0: want error")
+	}
+	if _, err := NeighborAttackSuccess(10, 1, 1.1); err == nil {
+		t.Error("alpha>1: want error")
+	}
+	if _, err := NeighborAttackSuccess(10, 1, math.NaN()); err == nil {
+		t.Error("alpha NaN: want error")
+	}
+}
+
+func TestNoAttackMeansCertainSuccess(t *testing.T) {
+	for _, k := range []int{1, 5, 10} {
+		p, err := RandomAttackSuccess(200, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p-1) > 1e-9 {
+			t.Errorf("random attack alpha=0 k=%d: P=%v, want 1", k, p)
+		}
+		p, err = NeighborAttackSuccess(200, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p-1) > 1e-9 {
+			t.Errorf("neighbor attack alpha=0 k=%d: P=%v, want 1", k, p)
+		}
+	}
+}
+
+func TestTotalAttackMeansCertainFailure(t *testing.T) {
+	p, err := RandomAttackSuccess(200, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-9 {
+		t.Errorf("random attack alpha=1: P=%v, want 0", p)
+	}
+	p, err = NeighborAttackSuccess(200, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-9 {
+		t.Errorf("neighbor attack alpha=1: P=%v, want 0", p)
+	}
+}
+
+// Figure 4's headline claims for N=200: random attacks barely dent
+// accessibility until ~80% density; at 80% density with k=5 the neighbor
+// attack still leaves roughly half; at 90% density with k=10 delivery is
+// still around 64%.
+func TestFigure4HeadlineNumbers(t *testing.T) {
+	const n = 200
+
+	p, err := RandomAttackSuccess(n, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.99 {
+		t.Errorf("random attack k=5 alpha=0.5: P=%v, want > 0.99", p)
+	}
+
+	p, err = NeighborAttackSuccess(n, 5, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.40 || p > 0.75 {
+		t.Errorf("neighbor attack k=5 alpha=0.8: P=%v, want roughly half", p)
+	}
+
+	p, err = NeighborAttackSuccess(n, 10, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.5 || p > 0.8 {
+		t.Errorf("neighbor attack k=10 alpha=0.9: P=%v, want ≈ 0.64", p)
+	}
+}
+
+func TestNeighborWorseThanRandom(t *testing.T) {
+	// §5.2: the neighbor attack is the optimal strategy, so for equal
+	// density it must cause at least as much damage as the random attack.
+	const n = 200
+	for _, k := range []int{1, 5, 10} {
+		for _, alpha := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			pr, err := RandomAttackSuccess(n, k, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pn, err := NeighborAttackSuccess(n, k, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pn > pr+1e-9 {
+				t.Errorf("k=%d alpha=%v: neighbor attack weaker than random (%.4f > %.4f)",
+					k, alpha, pn, pr)
+			}
+		}
+	}
+}
+
+func TestSuccessMonotoneInK(t *testing.T) {
+	const n = 200
+	for _, alpha := range []float64{0.2, 0.5, 0.8} {
+		prevR, prevN := -1.0, -1.0
+		for _, k := range []int{1, 2, 5, 10, 20} {
+			pr, err := RandomAttackSuccess(n, k, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pn, err := NeighborAttackSuccess(n, k, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pr < prevR-1e-9 || pn < prevN-1e-9 {
+				t.Errorf("alpha=%v k=%d: success decreased with larger k", alpha, k)
+			}
+			prevR, prevN = pr, pn
+		}
+	}
+}
+
+// Property: both success probabilities lie in [0,1] and decrease (weakly)
+// as attack density grows.
+func TestSuccessMonotoneInAlphaProperty(t *testing.T) {
+	f := func(kRaw uint8, a1Raw, a2Raw uint16) bool {
+		const n = 150
+		k := int(kRaw%10) + 1
+		a1 := float64(a1Raw%1001) / 1000
+		a2 := float64(a2Raw%1001) / 1000
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		check := func(f func(int, int, float64) (float64, error)) bool {
+			p1, err := f(n, k, a1)
+			if err != nil {
+				return false
+			}
+			p2, err := f(n, k, a2)
+			if err != nil {
+				return false
+			}
+			return p1 >= -1e-12 && p1 <= 1+1e-12 && p2 <= p1+1e-9
+		}
+		return check(RandomAttackSuccess) && check(NeighborAttackSuccess)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedTableEntries(t *testing.T) {
+	// n=2, k=1: only distance 1 exists and is sure: E=1.
+	e, err := ExpectedTableEntries(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-1) > 1e-12 {
+		t.Errorf("E(2,1) = %v, want 1", e)
+	}
+	// Theorem 1 magnitude check at the paper's N=50,000: base design
+	// ≈ H_{49999} ≈ 11.4, enhanced k=5 about 5x the base.
+	base, err := ExpectedTableEntries(50000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base < 10 || base < math.Log(50000)-1 || base > math.Log(50000)+2 {
+		t.Errorf("E(50000,1) = %v, want ≈ ln 50000 ≈ 10.8", base)
+	}
+	enh, err := ExpectedTableEntries(50000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enh < 4*base || enh > 6*base {
+		t.Errorf("E(50000,5) = %v, want ≈ 5x base %v", enh, base)
+	}
+	if _, err := ExpectedTableEntries(0, 1); err == nil {
+		t.Error("n=0: want error")
+	}
+	if _, err := ExpectedTableEntries(10, 0); err == nil {
+		t.Error("k=0: want error")
+	}
+	if e, err := ExpectedTableEntries(1, 3); err != nil || e != 0 {
+		t.Errorf("E(1,3) = %v,%v, want 0,nil", e, err)
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	if got := Harmonic(0); got != 0 {
+		t.Errorf("H_0 = %v, want 0", got)
+	}
+	if got := Harmonic(1); got != 1 {
+		t.Errorf("H_1 = %v, want 1", got)
+	}
+	if got := Harmonic(4); math.Abs(got-(1+0.5+1.0/3+0.25)) > 1e-12 {
+		t.Errorf("H_4 = %v", got)
+	}
+	// Large-n asymptotic branch must agree with direct summation.
+	var direct float64
+	for i := 1; i <= 5000; i++ {
+		direct += 1 / float64(i)
+	}
+	if got := Harmonic(5000); math.Abs(got-direct) > 1e-6 {
+		t.Errorf("H_5000 = %v, direct %v", got, direct)
+	}
+}
+
+func TestHopOrders(t *testing.T) {
+	// Theorem 3's expression, as printed, equals log N at alpha=0 and
+	// shrinks as the denominator 1 - log(1-alpha) grows.
+	h0, err := RandomAttackHopOrder(1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h0-math.Log(1000)) > 1e-12 {
+		t.Errorf("Theorem 3 order at alpha=0 = %v, want ln 1000", h0)
+	}
+	h1, err := RandomAttackHopOrder(1000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := RandomAttackHopOrder(1000, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(h2 < h1 && h1 < h0) {
+		t.Errorf("Theorem 3 printed expression should decrease in alpha: %v, %v, %v", h0, h1, h2)
+	}
+	// In N it scales logarithmically at fixed alpha.
+	hBig, err := RandomAttackHopOrder(1000000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := hBig / h1; math.Abs(ratio-math.Log(1e6)/math.Log(1000)) > 1e-9 {
+		t.Errorf("Theorem 3 order not log-scaling in N: ratio %v", ratio)
+	}
+	// ...and Theorem 4's is dominated by the attacked count.
+	n1, err := NeighborAttackHopOrder(1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := NeighborAttackHopOrder(1000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2-n1 < 399 || n2-n1 > 401 {
+		t.Errorf("Theorem 4 order should grow linearly in N_a: diff %v", n2-n1)
+	}
+	if _, err := RandomAttackHopOrder(1, 0.5); err == nil {
+		t.Error("n=1: want error")
+	}
+	if _, err := RandomAttackHopOrder(10, 1); err == nil {
+		t.Error("alpha=1: want error")
+	}
+	if _, err := NeighborAttackHopOrder(10, 10); err == nil {
+		t.Error("numAttacked=n: want error")
+	}
+}
+
+func TestInsiderDamage(t *testing.T) {
+	d1, err := InsiderDamage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d1-0.5) > 1e-12 {
+		t.Errorf("InsiderDamage(1) = %v, want 0.5", d1)
+	}
+	d9, err := InsiderDamage(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d9-0.1) > 1e-12 {
+		t.Errorf("InsiderDamage(9) = %v, want 0.1", d9)
+	}
+	if _, err := InsiderDamage(0); err == nil {
+		t.Error("d=0: want error")
+	}
+}
+
+func TestInterOverlayFailure(t *testing.T) {
+	p, err := InterOverlayFailure(10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-math.Pow(0.5, 10)) > 1e-15 {
+		t.Errorf("InterOverlayFailure(10, 0.5) = %v", p)
+	}
+	if _, err := InterOverlayFailure(0, 0.5); err == nil {
+		t.Error("q=0: want error")
+	}
+	if _, err := InterOverlayFailure(5, 2); err == nil {
+		t.Error("alpha>1: want error")
+	}
+}
+
+func TestHierarchyDeliveryRatio(t *testing.T) {
+	p, err := HierarchyDeliveryRatio([]float64{1, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.25) > 1e-12 {
+		t.Errorf("product = %v, want 0.25", p)
+	}
+	if p, err := HierarchyDeliveryRatio(nil); err != nil || p != 1 {
+		t.Errorf("empty product = %v,%v, want 1,nil", p, err)
+	}
+	if _, err := HierarchyDeliveryRatio([]float64{0.5, 1.5}); err == nil {
+		t.Error("probability > 1: want error")
+	}
+}
+
+func BenchmarkNeighborAttackSuccess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NeighborAttackSuccess(200, 5, 0.8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomAttackSuccessLargeN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RandomAttackSuccess(50000, 5, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

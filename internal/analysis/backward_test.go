@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestExpectedBackwardWalkValidation(t *testing.T) {
+	if _, err := ExpectedBackwardWalk(1, 1, 0); err == nil {
+		t.Error("n=1: want error")
+	}
+	if _, err := ExpectedBackwardWalk(100, 0, 10); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := ExpectedBackwardWalk(100, 2, 99); err == nil {
+		t.Error("attacked = n-1: want error")
+	}
+	if _, err := ExpectedBackwardWalk(100, 2, -1); err == nil {
+		t.Error("negative attacked: want error")
+	}
+}
+
+func TestExpectedBackwardWalkNoAttack(t *testing.T) {
+	// With nothing attacked, the first candidate is the target's
+	// immediate CCW neighbor, which holds the pointer surely (distance
+	// 1 <= k): zero backward steps.
+	got, err := ExpectedBackwardWalk(500, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("E[walk] with no attack = %v, want 0", got)
+	}
+}
+
+func TestExpectedBackwardWalkMagnitude(t *testing.T) {
+	// The dominant-term estimate is alpha*N/(k-1): for n=1000, k=5,
+	// attacked=500 → ~125. The exact value lands close by.
+	got, err := ExpectedBackwardWalk(1000, 5, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 80 || got > 140 {
+		t.Errorf("E[walk](1000,5,500) = %v, want ≈ 500/4 = 125", got)
+	}
+	// k=10 shortens the walk by roughly (k-1) scaling.
+	got10, err := ExpectedBackwardWalk(1000, 10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got10 >= got || got10 < 30 || got10 > 70 {
+		t.Errorf("E[walk](1000,10,500) = %v, want ≈ 500/9 = 56 and below k=5's %v", got10, got)
+	}
+}
+
+func TestExpectedBackwardWalkGrowthAndConditioning(t *testing.T) {
+	// While plenty of candidates remain (na well below n), the walk
+	// grows roughly linearly in the attack size (Theorem 4's O(N_a)).
+	prev := -1.0
+	for _, na := range []int{0, 50, 100, 200, 400} {
+		got, err := ExpectedBackwardWalk(1000, 5, na)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev {
+			t.Errorf("E[walk] not growing at na=%d: %v < %v", na, got, prev)
+		}
+		prev = got
+	}
+	// At extreme densities the conditioning on exit existence shortens
+	// the expectation — successful walks must fit in the remnant ring.
+	extreme, err := ExpectedBackwardWalk(1000, 5, 990)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extreme >= prev {
+		t.Errorf("conditioned walk at na=990 (%v) should fall below na=400 (%v)", extreme, prev)
+	}
+	if extreme > 9 {
+		t.Errorf("E[walk](1000,5,990) = %v, must fit within the 9 remaining candidates", extreme)
+	}
+}
+
+// TestExpectedBackwardWalkMatchesMonteCarlo cross-checks the closed form
+// against direct sampling of the pointer-holder process.
+func TestExpectedBackwardWalkMatchesMonteCarlo(t *testing.T) {
+	const (
+		n      = 400
+		k      = 4
+		na     = 150
+		trials = 40000
+	)
+	want, err := ExpectedBackwardWalk(n, k, na)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(77)
+	var sum float64
+	count := 0
+	for trial := 0; trial < trials; trial++ {
+		steps := -1
+		for j := na + 1; j <= n-1; j++ {
+			p := math.Min(1, float64(k)/float64(j))
+			if rng.Float64() < p {
+				steps = j - (na + 1)
+				break
+			}
+		}
+		if steps >= 0 {
+			sum += float64(steps)
+			count++
+		}
+	}
+	got := sum / float64(count)
+	if math.Abs(got-want) > 0.05*want+1 {
+		t.Errorf("Monte-Carlo %v vs closed form %v", got, want)
+	}
+}

@@ -1,0 +1,175 @@
+// Package attack implements the DoS attacker models of the HOURS paper
+// (§5): random attacks, topology-aware neighbor attacks, top-down path
+// attacks, and insider (compromised-node) attacks. An attacker builds a
+// Campaign — a set of victims — and executes it against a core.System,
+// which marks the victims out of service and runs active recovery, exactly
+// the §5 model of an attacker that "can completely shut down a certain
+// number of nodes".
+//
+// The topology-aware attackers exploit only public information, mirroring
+// the threat model: the hierarchy topology, node names, and the well-known
+// hash function determine ring positions, but the random sibling pointers
+// remain hidden.
+package attack
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/idspace"
+)
+
+// Campaign is a reversible set of DoS victims and compromised insiders.
+type Campaign struct {
+	// Victims are shut down completely on Execute.
+	Victims []*hierarchy.Node
+	// Insiders are marked compromised (alive but query-dropping, §5.3).
+	Insiders []*hierarchy.Node
+
+	executed bool
+}
+
+// Execute applies the campaign to sys and runs active recovery.
+func (c *Campaign) Execute(sys *core.System) error {
+	if c.executed {
+		return fmt.Errorf("attack: campaign already executed")
+	}
+	for _, v := range c.Victims {
+		sys.SetAlive(v, false)
+	}
+	for _, in := range c.Insiders {
+		sys.SetCompromised(in, true)
+	}
+	sys.Repair()
+	c.executed = true
+	return nil
+}
+
+// Revert restores every victim and insider (the attack ends and operators
+// bring nodes back).
+func (c *Campaign) Revert(sys *core.System) error {
+	if !c.executed {
+		return fmt.Errorf("attack: campaign not executed")
+	}
+	for _, v := range c.Victims {
+		sys.SetAlive(v, true)
+	}
+	for _, in := range c.Insiders {
+		sys.SetCompromised(in, false)
+	}
+	sys.Repair()
+	c.executed = false
+	return nil
+}
+
+// Size returns the number of DoS victims.
+func (c *Campaign) Size() int { return len(c.Victims) }
+
+// Random builds a §5.2 random attack: count victims drawn uniformly from
+// target's sibling overlay (target itself is always attacked first, as the
+// attacker's primary objective, and excluded from the random draw).
+func Random(rng *rand.Rand, target *hierarchy.Node, count int) (*Campaign, error) {
+	siblings, err := siblingRing(target)
+	if err != nil {
+		return nil, err
+	}
+	n := len(siblings)
+	if count < 0 || count > n {
+		return nil, fmt.Errorf("attack: random count %d outside [0,%d]", count, n)
+	}
+	victims := make([]*hierarchy.Node, 0, count)
+	victims = append(victims, target)
+	picked := map[int]bool{target.RingIndex(): true}
+	for len(victims) < count {
+		i := rng.IntN(n)
+		if picked[i] {
+			continue
+		}
+		picked[i] = true
+		victims = append(victims, siblings[i])
+	}
+	return &Campaign{Victims: victims}, nil
+}
+
+// Neighbors builds the §5.2 neighbor attack, the attacker's optimal
+// strategy: the target plus its count-1 closest counter-clockwise
+// neighbors in its sibling overlay. (Attacking clockwise neighbors does
+// not hurt queries forwarded toward the target — footnote 7.)
+func Neighbors(target *hierarchy.Node, count int) (*Campaign, error) {
+	siblings, err := siblingRing(target)
+	if err != nil {
+		return nil, err
+	}
+	n := len(siblings)
+	if count < 1 || count > n {
+		return nil, fmt.Errorf("attack: neighbor count %d outside [1,%d]", count, n)
+	}
+	victims := make([]*hierarchy.Node, 0, count)
+	victims = append(victims, target)
+	for d := 1; d < count; d++ {
+		victims = append(victims, siblings[idspace.IndexAdd(target.RingIndex(), -d, n)])
+	}
+	return &Campaign{Victims: victims}, nil
+}
+
+// TopDownPath builds the §5.1 attack on hierarchical forwarding: every
+// intermediate node on the prescribed path to dst (the root and all
+// ancestors, excluding dst itself). Without HOURS this is total denial;
+// with HOURS delivery stays at 100%.
+func TopDownPath(dst *hierarchy.Node) (*Campaign, error) {
+	if dst == nil {
+		return nil, fmt.Errorf("attack: nil destination")
+	}
+	path := dst.PathFromRoot()
+	if len(path) < 2 {
+		return nil, fmt.Errorf("attack: destination %s has no intermediates", dst.Name())
+	}
+	victims := make([]*hierarchy.Node, len(path)-1)
+	copy(victims, path[:len(path)-1])
+	return &Campaign{Victims: victims}, nil
+}
+
+// WeakestLink builds the motivating attack of §1 (Figure 1): shut down the
+// single ancestor of dst at the given level. Level must address a proper
+// ancestor (0 = root).
+func WeakestLink(dst *hierarchy.Node, level int) (*Campaign, error) {
+	if dst == nil {
+		return nil, fmt.Errorf("attack: nil destination")
+	}
+	path := dst.PathFromRoot()
+	if level < 0 || level >= len(path)-1 {
+		return nil, fmt.Errorf("attack: level %d is not a proper ancestor of %s", level, dst.Name())
+	}
+	return &Campaign{Victims: []*hierarchy.Node{path[level]}}, nil
+}
+
+// Insider builds the §5.3 insider attack: compromise the sibling at index
+// distance d counter-clockwise from the victim, which then drops every
+// query forwarded through it.
+func Insider(victim *hierarchy.Node, d int) (*Campaign, error) {
+	siblings, err := siblingRing(victim)
+	if err != nil {
+		return nil, err
+	}
+	n := len(siblings)
+	if d < 1 || d >= n {
+		return nil, fmt.Errorf("attack: insider distance %d outside [1,%d)", d, n)
+	}
+	comp := siblings[idspace.IndexAdd(victim.RingIndex(), -d, n)]
+	return &Campaign{Insiders: []*hierarchy.Node{comp}}, nil
+}
+
+// siblingRing returns the target's sibling overlay membership in ring
+// order.
+func siblingRing(target *hierarchy.Node) ([]*hierarchy.Node, error) {
+	if target == nil {
+		return nil, fmt.Errorf("attack: nil target")
+	}
+	parent := target.Parent()
+	if parent == nil {
+		return nil, fmt.Errorf("attack: %s has no sibling overlay (root)", target.Name())
+	}
+	return parent.Children(), nil
+}

@@ -1,0 +1,223 @@
+package attack
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/idspace"
+	"repro/internal/xrand"
+)
+
+func buildFixture(t testing.TB, fanouts ...int) (*hierarchy.Tree, *core.System) {
+	t.Helper()
+	specs := make([]hierarchy.LevelSpec, len(fanouts))
+	for i, f := range fanouts {
+		specs[i] = hierarchy.LevelSpec{Prefix: fmt.Sprintf("l%d-", i+1), Fanout: f}
+	}
+	tr, err := hierarchy.Generate(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(tr, core.Config{K: 3, Q: 5, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, sys
+}
+
+func TestRandomCampaign(t *testing.T) {
+	tr, sys := buildFixture(t, 100, 2)
+	target := tr.Root().Children()[30]
+	c, err := Random(xrand.New(1), target, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 40 {
+		t.Fatalf("Size = %d, want 40", c.Size())
+	}
+	seen := make(map[*hierarchy.Node]bool)
+	for _, v := range c.Victims {
+		if seen[v] {
+			t.Fatalf("duplicate victim %s", v.Name())
+		}
+		seen[v] = true
+		if v != target && v.Parent() != target.Parent() {
+			t.Fatalf("victim %s is not a sibling of the target", v.Name())
+		}
+	}
+	if !seen[target] {
+		t.Fatal("target itself not attacked")
+	}
+	if err := c.Execute(sys); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range c.Victims {
+		if sys.Alive(v) {
+			t.Fatalf("victim %s still alive", v.Name())
+		}
+	}
+	if err := c.Execute(sys); err == nil {
+		t.Error("double execute: want error")
+	}
+	if err := c.Revert(sys); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range c.Victims {
+		if !sys.Alive(v) {
+			t.Fatalf("victim %s not revived", v.Name())
+		}
+	}
+	if err := c.Revert(sys); err == nil {
+		t.Error("double revert: want error")
+	}
+}
+
+func TestRandomValidation(t *testing.T) {
+	tr, _ := buildFixture(t, 10)
+	target := tr.Root().Children()[0]
+	if _, err := Random(xrand.New(1), target, 11); err == nil {
+		t.Error("count > n: want error")
+	}
+	if _, err := Random(xrand.New(1), target, -1); err == nil {
+		t.Error("count < 0: want error")
+	}
+	if _, err := Random(xrand.New(1), tr.Root(), 1); err == nil {
+		t.Error("root target: want error")
+	}
+	if _, err := Random(xrand.New(1), nil, 1); err == nil {
+		t.Error("nil target: want error")
+	}
+}
+
+func TestNeighborsCampaign(t *testing.T) {
+	tr, _ := buildFixture(t, 50)
+	kids := tr.Root().Children()
+	target := kids[20]
+	c, err := Neighbors(target, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Victims[0] != target {
+		t.Error("first victim must be the target")
+	}
+	for d := 1; d < 6; d++ {
+		want := kids[idspace.IndexAdd(target.RingIndex(), -d, 50)]
+		if c.Victims[d] != want {
+			t.Errorf("victim %d = %s, want CCW neighbor %s", d, c.Victims[d].Name(), want.Name())
+		}
+	}
+	if _, err := Neighbors(target, 0); err == nil {
+		t.Error("count 0: want error")
+	}
+	if _, err := Neighbors(target, 51); err == nil {
+		t.Error("count > n: want error")
+	}
+}
+
+func TestTopDownPathCampaign(t *testing.T) {
+	tr, sys := buildFixture(t, 5, 4, 3)
+	dst, ok := tr.Lookup("l3-1.l2-2.l1-3")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	c, err := TopDownPath(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 3 {
+		t.Fatalf("victims = %d, want root + 2 ancestors", c.Size())
+	}
+	if err := c.Execute(sys); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Alive(tr.Root()) {
+		t.Error("root survived a top-down path attack")
+	}
+	if !sys.Alive(dst) {
+		t.Error("destination should survive")
+	}
+	// §5.1: with HOURS the delivery ratio is still 100%.
+	rng := xrand.New(2)
+	for i := 0; i < 50; i++ {
+		res, err := sys.QueryNode(dst, core.QueryOptions{Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != core.QueryDelivered {
+			t.Fatalf("query %d under full-path attack: %v", i, res.Outcome)
+		}
+	}
+	if _, err := TopDownPath(tr.Root()); err == nil {
+		t.Error("root destination: want error")
+	}
+	if _, err := TopDownPath(nil); err == nil {
+		t.Error("nil destination: want error")
+	}
+}
+
+func TestWeakestLinkCampaign(t *testing.T) {
+	tr, sys := buildFixture(t, 5, 4, 3)
+	dst, ok := tr.Lookup("l3-0.l2-0.l1-0")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	c, err := WeakestLink(dst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 1 || c.Victims[0].Name() != "l1-0" {
+		t.Fatalf("weakest link = %v", c.Victims)
+	}
+	if err := c.Execute(sys); err != nil {
+		t.Fatal(err)
+	}
+	// The Figure 1 domino effect is defeated: the subtree stays
+	// accessible.
+	res, err := sys.QueryNode(dst, core.QueryOptions{Rng: xrand.New(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != core.QueryDelivered {
+		t.Errorf("weakest-link attack denied service: %v", res.Outcome)
+	}
+	if _, err := WeakestLink(dst, 3); err == nil {
+		t.Error("level == dst level: want error")
+	}
+	if _, err := WeakestLink(dst, -1); err == nil {
+		t.Error("negative level: want error")
+	}
+}
+
+func TestInsiderCampaign(t *testing.T) {
+	tr, sys := buildFixture(t, 30, 2)
+	kids := tr.Root().Children()
+	victim := kids[10]
+	c, err := Insider(victim, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Insiders) != 1 || c.Size() != 0 {
+		t.Fatalf("insider campaign shape wrong: %+v", c)
+	}
+	comp := c.Insiders[0]
+	if got := idspace.IndexDist(comp.RingIndex(), victim.RingIndex(), 30); got != 2 {
+		t.Errorf("insider at distance %d, want 2", got)
+	}
+	if err := c.Execute(sys); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Alive(comp) {
+		t.Error("insider should remain alive")
+	}
+	if err := c.Revert(sys); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Insider(victim, 0); err == nil {
+		t.Error("d=0: want error")
+	}
+	if _, err := Insider(victim, 30); err == nil {
+		t.Error("d=n: want error")
+	}
+}

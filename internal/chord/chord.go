@@ -1,0 +1,164 @@
+// Package chord implements a minimal Chord ring (Stoica et al., SIGCOMM
+// 2001) as the comparison baseline of HOURS §5.2: in Chord, finger tables
+// are a deterministic function of the membership, so a topology-aware
+// attacker can compute exactly which O(log N) nodes hold pointers to a
+// victim and shut them down, throttling the victim's availability from
+// 100% to zero. HOURS' randomized tables make the same budget far less
+// effective — the contrast experiment in the harness quantifies this.
+//
+// The ring is modeled over a fully populated index space (node i occupies
+// ring position i), so node i's j-th finger targets exactly
+// (i + 2^j) mod N. This is the cleanest instance of the paper's point:
+// connectivity is a public function of membership.
+package chord
+
+import (
+	"fmt"
+
+	"repro/internal/idspace"
+)
+
+// Ring is a Chord overlay over n fully populated ring positions.
+type Ring struct {
+	n          int
+	bits       int
+	successors int
+	alive      []bool
+	fingers    [][]int32 // fingers[i] = distinct targets of node i's finger table
+}
+
+// New builds a ring with n nodes and no successor list (basic Chord, the
+// §5.2 comparison target).
+func New(n int) (*Ring, error) {
+	return NewWithSuccessors(n, 0)
+}
+
+// NewWithSuccessors builds a ring whose nodes additionally keep pointers
+// to their first r clockwise successors — the standard Chord robustness
+// extension. Successor lists are just as predictable as fingers, so a
+// topology-aware attacker still computes the full holder set; the lists
+// only raise the (still deterministic) attack budget.
+func NewWithSuccessors(n, r int) (*Ring, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("chord: ring size %d, want >= 2", n)
+	}
+	if r < 0 || r >= n {
+		return nil, fmt.Errorf("chord: successor list %d outside [0,%d)", r, n)
+	}
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	ring := &Ring{n: n, bits: bits, successors: r, alive: make([]bool, n), fingers: make([][]int32, n)}
+	for i := range ring.alive {
+		ring.alive[i] = true
+	}
+	for i := 0; i < n; i++ {
+		seen := make(map[int32]bool, bits+r)
+		table := make([]int32, 0, bits+r)
+		add := func(d int) {
+			t := int32(idspace.IndexAdd(i, d, n))
+			if !seen[t] {
+				seen[t] = true
+				table = append(table, t)
+			}
+		}
+		for s := 1; s <= r; s++ {
+			add(s)
+		}
+		for j := 0; j < bits; j++ {
+			d := 1 << j
+			if d >= n {
+				break
+			}
+			add(d)
+		}
+		ring.fingers[i] = table
+	}
+	return ring, nil
+}
+
+// Size returns the number of nodes.
+func (r *Ring) Size() int { return r.n }
+
+// Alive reports whether node i is in service.
+func (r *Ring) Alive(i int) bool { return r.alive[i] }
+
+// SetAlive marks node i up or down.
+func (r *Ring) SetAlive(i int, up bool) { r.alive[i] = up }
+
+// Fingers returns node i's finger targets. The slice is internal; callers
+// must not modify it.
+func (r *Ring) Fingers(i int) []int32 { return r.fingers[i] }
+
+// HoldersOf returns every node whose routing state points at v — the set
+// a topology-aware attacker computes and shuts down (§5.2). For the fully
+// populated ring these are exactly {v - 2^j mod N} plus, with successor
+// lists of length r, {v - s mod N : 1 <= s <= r}. The set stays a
+// deterministic function of membership either way — that is the point.
+func (r *Ring) HoldersOf(v int) []int {
+	holders := make([]int, 0, r.bits+r.successors)
+	seen := map[int]bool{v: true}
+	add := func(d int) {
+		h := idspace.IndexAdd(v, -d, r.n)
+		if !seen[h] {
+			seen[h] = true
+			holders = append(holders, h)
+		}
+	}
+	for s := 1; s <= r.successors; s++ {
+		add(s)
+	}
+	for j := 0; j < r.bits; j++ {
+		d := 1 << j
+		if d >= r.n {
+			break
+		}
+		add(d)
+	}
+	return holders
+}
+
+// Result reports a Chord routing attempt.
+type Result struct {
+	Delivered bool
+	Hops      int
+}
+
+// Route forwards a lookup from src to dst using greedy finger routing,
+// skipping dead fingers. It fails when no alive finger makes progress —
+// basic Chord without successor-list repair, matching the §5.2 argument
+// that its connectivity collapses once the predictable pointer holders are
+// gone.
+func (r *Ring) Route(src, dst int) (Result, error) {
+	if src < 0 || src >= r.n || dst < 0 || dst >= r.n {
+		return Result{}, fmt.Errorf("chord: route %d->%d out of range [0,%d)", src, dst, r.n)
+	}
+	if !r.alive[src] {
+		return Result{}, fmt.Errorf("chord: route src %d is not alive", src)
+	}
+	u := src
+	var res Result
+	for u != dst {
+		if res.Hops >= r.n {
+			return res, nil // routing loop guard; unreachable in practice
+		}
+		dist := idspace.IndexDist(u, dst, r.n)
+		next := -1
+		f := r.fingers[u]
+		for j := len(f) - 1; j >= 0; j-- {
+			fd := idspace.IndexDist(u, int(f[j]), r.n)
+			if fd <= dist && r.alive[f[j]] {
+				next = int(f[j])
+				break
+			}
+		}
+		if next == -1 {
+			return res, nil // stuck: no alive finger makes progress
+		}
+		u = next
+		res.Hops++
+	}
+	res.Delivered = true
+	return res, nil
+}

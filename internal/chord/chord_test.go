@@ -1,0 +1,275 @@
+package chord
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/idspace"
+	"repro/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Error("n=1: want error")
+	}
+	if _, err := New(0); err == nil {
+		t.Error("n=0: want error")
+	}
+}
+
+func TestFingersStructure(t *testing.T) {
+	r, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := r.Fingers(10)
+	// Targets must be 10 + 2^j mod 64 for j = 0..5, all distinct.
+	want := []int32{11, 12, 14, 18, 26, 42}
+	if len(f) != len(want) {
+		t.Fatalf("fingers = %v, want %v", f, want)
+	}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Errorf("finger %d = %d, want %d", i, f[i], want[i])
+		}
+	}
+}
+
+func TestFingersNonPowerOfTwo(t *testing.T) {
+	r, err := New(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		f := r.Fingers(i)
+		seen := make(map[int32]bool)
+		for _, tgt := range f {
+			if tgt < 0 || int(tgt) >= 100 || seen[tgt] {
+				t.Fatalf("node %d has bad finger %d in %v", i, tgt, f)
+			}
+			seen[tgt] = true
+		}
+	}
+}
+
+func TestHoldersOf(t *testing.T) {
+	r, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holders := r.HoldersOf(0)
+	want := map[int]bool{63: true, 62: true, 60: true, 56: true, 48: true, 32: true}
+	if len(holders) != len(want) {
+		t.Fatalf("holders = %v", holders)
+	}
+	for _, h := range holders {
+		if !want[h] {
+			t.Errorf("unexpected holder %d", h)
+		}
+		// Cross-check: h really has 0 in its fingers.
+		found := false
+		for _, f := range r.Fingers(h) {
+			if f == 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("holder %d does not actually point at 0", h)
+		}
+	}
+}
+
+func TestRouteHealthy(t *testing.T) {
+	r, err := New(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(1)
+	for trial := 0; trial < 2000; trial++ {
+		src, dst := rng.IntN(256), rng.IntN(256)
+		res, err := r.Route(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Delivered {
+			t.Fatalf("healthy route %d->%d failed", src, dst)
+		}
+		if res.Hops > 8 {
+			t.Fatalf("route %d->%d took %d hops, want <= log2(256)", src, dst, res.Hops)
+		}
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	r, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Route(-1, 3); err == nil {
+		t.Error("bad src: want error")
+	}
+	if _, err := r.Route(0, 16); err == nil {
+		t.Error("bad dst: want error")
+	}
+	r.SetAlive(5, false)
+	if _, err := r.Route(5, 3); err == nil {
+		t.Error("dead src: want error")
+	}
+}
+
+// The §5.2 claim: shutting down the O(log N) computable pointer holders of
+// a victim drops its availability to exactly zero.
+func TestTargetedHolderAttackZeroesDelivery(t *testing.T) {
+	const n = 200
+	r, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victim = 77
+	holders := r.HoldersOf(victim)
+	if len(holders) > 9 {
+		t.Fatalf("attack budget %d exceeds O(log2 200)=8+1", len(holders))
+	}
+	for _, h := range holders {
+		r.SetAlive(h, false)
+	}
+	rng := xrand.New(2)
+	for trial := 0; trial < 1000; trial++ {
+		src := rng.IntN(n)
+		if !r.Alive(src) || src == victim {
+			continue
+		}
+		res, err := r.Route(src, victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered {
+			t.Fatalf("route %d->%d delivered despite all holders dead", src, victim)
+		}
+	}
+}
+
+// Property: routing never visits more hops than nodes and always delivers
+// in a healthy ring.
+func TestRouteProperty(t *testing.T) {
+	f := func(nRaw, srcRaw, dstRaw uint16) bool {
+		n := int(nRaw%500) + 2
+		r, err := New(n)
+		if err != nil {
+			return false
+		}
+		src := int(srcRaw) % n
+		dst := int(dstRaw) % n
+		res, err := r.Route(src, dst)
+		if err != nil {
+			return false
+		}
+		return res.Delivered && res.Hops <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every holder of v is at distance 2^j counter-clockwise.
+func TestHoldersProperty(t *testing.T) {
+	f := func(nRaw, vRaw uint16) bool {
+		n := int(nRaw%500) + 2
+		r, err := New(n)
+		if err != nil {
+			return false
+		}
+		v := int(vRaw) % n
+		for _, h := range r.HoldersOf(v) {
+			d := idspace.IndexDist(h, v, n)
+			pow := false
+			for j := 0; 1<<j < n; j++ {
+				if d == 1<<j {
+					pow = true
+				}
+			}
+			if !pow {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkChordRoute(b *testing.B) {
+	r, err := New(50000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Route(rng.IntN(50000), rng.IntN(50000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSuccessorListValidation(t *testing.T) {
+	if _, err := NewWithSuccessors(10, -1); err == nil {
+		t.Error("negative successors: want error")
+	}
+	if _, err := NewWithSuccessors(10, 10); err == nil {
+		t.Error("successors = n: want error")
+	}
+}
+
+func TestSuccessorListHolders(t *testing.T) {
+	r, err := NewWithSuccessors(64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holders := r.HoldersOf(10)
+	// Successor lists add v-2 and v-3 beyond the power-of-two set (v-1
+	// is already finger 2^0): {9,8,7} ∪ {9,8,6,2,58,42}.
+	want := map[int]bool{9: true, 8: true, 7: true, 6: true, 2: true, 58: true, 42: true}
+	for _, h := range holders {
+		if !want[h] {
+			t.Errorf("unexpected holder %d", h)
+		}
+	}
+	if len(holders) != len(want) {
+		t.Errorf("holders = %v, want %d entries", holders, len(want))
+	}
+}
+
+// Even with successor lists, the holder set stays computable: killing it
+// still zeroes delivery — the §5.2 argument is budget-shifted, not
+// defeated.
+func TestSuccessorListStillPredictable(t *testing.T) {
+	const n = 200
+	r, err := NewWithSuccessors(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victim = 50
+	holders := r.HoldersOf(victim)
+	if len(holders) > 12 {
+		t.Fatalf("holder budget %d unexpectedly large", len(holders))
+	}
+	for _, h := range holders {
+		r.SetAlive(h, false)
+	}
+	rng := xrand.New(5)
+	for trial := 0; trial < 500; trial++ {
+		src := rng.IntN(n)
+		if !r.Alive(src) || src == victim {
+			continue
+		}
+		res, err := r.Route(src, victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered {
+			t.Fatalf("route %d->%d delivered despite all holders dead", src, victim)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package client implements the §7 "Query Bootstrapping and Caching"
+// discussion: a lookup client that caches the nodes its queries visit and
+// uses them both to short-circuit repeated resolutions (a DNS-style answer
+// cache) and to bootstrap queries into the overlays when the root — or any
+// prefix of the top-down path — is under DoS attack.
+package client
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+)
+
+// Config parameterizes a Client.
+type Config struct {
+	// AnswerCacheSize bounds the answer cache (resolved names). Zero
+	// disables answer caching.
+	AnswerCacheSize int
+	// Rng drives the client's random choices. Required.
+	Rng *rand.Rand
+}
+
+// Client is a caching lookup client for an HOURS-protected hierarchy.
+type Client struct {
+	sys *core.System
+	rng *rand.Rand
+
+	answerCap int
+	answers   map[string]*hierarchy.Node
+	order     []string // FIFO eviction; query patterns are Zipf so FIFO ≈ LRU here
+}
+
+// Stats reports the client's cache effectiveness.
+type Stats struct {
+	Queries    int
+	CacheHits  int
+	Delivered  int
+	Failed     int
+	TotalHops  int
+	CachedHops int // hops that the answer cache avoided
+}
+
+// HitRatio returns CacheHits/Queries.
+func (s Stats) HitRatio() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.Queries)
+}
+
+// New returns a client for the given system.
+func New(sys *core.System, cfg Config) (*Client, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("client: nil system")
+	}
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("client: Config.Rng is required")
+	}
+	if cfg.AnswerCacheSize < 0 {
+		return nil, fmt.Errorf("client: negative cache size %d", cfg.AnswerCacheSize)
+	}
+	return &Client{
+		sys:       sys,
+		rng:       cfg.Rng,
+		answerCap: cfg.AnswerCacheSize,
+		answers:   make(map[string]*hierarchy.Node, cfg.AnswerCacheSize),
+	}, nil
+}
+
+// Resolve looks up a name, serving from the answer cache when possible.
+// A cached answer is only served while the answering node is alive — the
+// paper notes caching is opportunistic, and a cached-but-dead server means
+// the query must be re-forwarded.
+func (c *Client) Resolve(name string, stats *Stats) (core.QueryResult, error) {
+	if stats != nil {
+		stats.Queries++
+	}
+	if n, ok := c.answers[name]; ok && c.sys.Alive(n) {
+		if stats != nil {
+			stats.CacheHits++
+			stats.Delivered++
+			// The hops a fresh resolution would have cost are saved;
+			// approximate with the destination's depth (the prescribed
+			// path length).
+			stats.CachedHops += n.Level()
+		}
+		return core.QueryResult{Outcome: core.QueryDelivered, Hops: 0}, nil
+	}
+	res, err := c.sys.Query(name, core.QueryOptions{Rng: c.rng})
+	if err != nil {
+		return core.QueryResult{}, err
+	}
+	if stats != nil {
+		switch res.Outcome {
+		case core.QueryDelivered:
+			stats.Delivered++
+			stats.TotalHops += res.Hops
+		default:
+			stats.Failed++
+		}
+	}
+	if res.Outcome == core.QueryDelivered && c.answerCap > 0 {
+		c.remember(name)
+	}
+	return res, nil
+}
+
+// remember inserts a resolved name into the answer cache with FIFO
+// eviction.
+func (c *Client) remember(name string) {
+	if _, dup := c.answers[name]; dup {
+		return
+	}
+	n, ok := c.sys.Tree().Lookup(name)
+	if !ok {
+		return
+	}
+	if len(c.order) >= c.answerCap {
+		evict := c.order[0]
+		c.order = c.order[1:]
+		delete(c.answers, evict)
+	}
+	c.answers[name] = n
+	c.order = append(c.order, name)
+}
+
+// CacheLen returns the current answer-cache population.
+func (c *Client) CacheLen() int { return len(c.answers) }
+
+// Flush clears the answer cache.
+func (c *Client) Flush() {
+	c.answers = make(map[string]*hierarchy.Node, c.answerCap)
+	c.order = nil
+}

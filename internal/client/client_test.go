@@ -1,0 +1,237 @@
+package client
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func fixture(t testing.TB) (*hierarchy.Tree, *core.System) {
+	t.Helper()
+	tr, err := hierarchy.Generate([]hierarchy.LevelSpec{
+		{Prefix: "a", Fanout: 20},
+		{Prefix: "b", Fanout: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(tr, core.Config{K: 3, Q: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, sys
+}
+
+func TestNewValidation(t *testing.T) {
+	_, sys := fixture(t)
+	if _, err := New(nil, Config{Rng: xrand.New(1)}); err == nil {
+		t.Error("nil system: want error")
+	}
+	if _, err := New(sys, Config{}); err == nil {
+		t.Error("nil rng: want error")
+	}
+	if _, err := New(sys, Config{Rng: xrand.New(1), AnswerCacheSize: -1}); err == nil {
+		t.Error("negative cache: want error")
+	}
+}
+
+func TestResolveAndCacheHit(t *testing.T) {
+	_, sys := fixture(t)
+	c, err := New(sys, Config{Rng: xrand.New(2), AnswerCacheSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	res, err := c.Resolve("b2.a7", &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != core.QueryDelivered || res.Hops != 2 {
+		t.Fatalf("first resolve = %+v", res)
+	}
+	res, err = c.Resolve("b2.a7", &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hops != 0 {
+		t.Errorf("cached resolve took %d hops", res.Hops)
+	}
+	if stats.Queries != 2 || stats.CacheHits != 1 || stats.Delivered != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.CachedHops != 2 {
+		t.Errorf("CachedHops = %d, want depth 2", stats.CachedHops)
+	}
+	if c.CacheLen() != 1 {
+		t.Errorf("cache len = %d", c.CacheLen())
+	}
+}
+
+func TestCacheSkipsDeadAnswers(t *testing.T) {
+	tr, sys := fixture(t)
+	c, err := New(sys, Config{Rng: xrand.New(3), AnswerCacheSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Resolve("b0.a3", nil); err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := tr.Lookup("b0.a3")
+	sys.SetAlive(dst, false)
+	var stats Stats
+	res, err := c.Resolve("b0.a3", &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 0 {
+		t.Error("cache served a dead answer")
+	}
+	if res.Outcome == core.QueryDelivered {
+		t.Error("dead destination resolved")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	_, sys := fixture(t)
+	c, err := New(sys, Config{Rng: xrand.New(4), AnswerCacheSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Resolve(fmt.Sprintf("b0.a%d", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.CacheLen() != 3 {
+		t.Errorf("cache len = %d, want 3", c.CacheLen())
+	}
+	// The two oldest entries were evicted; re-resolving the newest is a
+	// hit, the oldest a miss.
+	var stats Stats
+	if _, err := c.Resolve("b0.a4", &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 1 {
+		t.Error("newest entry was evicted")
+	}
+	if _, err := c.Resolve("b0.a0", &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 1 {
+		t.Error("oldest entry survived eviction")
+	}
+	c.Flush()
+	if c.CacheLen() != 0 {
+		t.Error("flush left entries")
+	}
+}
+
+func TestZeroCacheDisablesCaching(t *testing.T) {
+	_, sys := fixture(t)
+	c, err := New(sys, Config{Rng: xrand.New(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	for i := 0; i < 3; i++ {
+		if _, err := c.Resolve("b1.a1", &stats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stats.CacheHits != 0 || c.CacheLen() != 0 {
+		t.Errorf("caching not disabled: %+v len=%d", stats, c.CacheLen())
+	}
+}
+
+// TestZipfWorkloadHitRatio checks the §7 point that caching effectiveness
+// depends on the query pattern: a Zipf-skewed stream enjoys a much higher
+// hit ratio than a uniform one at equal cache size.
+func TestZipfWorkloadHitRatio(t *testing.T) {
+	tr, sys := fixture(t)
+	var leaves []string
+	tr.Walk(func(n *hierarchy.Node) bool {
+		if n.IsLeaf() {
+			leaves = append(leaves, n.Name())
+		}
+		return true
+	})
+	run := func(zipf bool) float64 {
+		c, err := New(sys, Config{Rng: xrand.New(6), AnswerCacheSize: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := xrand.New(7)
+		z, err := workload.NewZipf(len(leaves), 1.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats Stats
+		for i := 0; i < 4000; i++ {
+			var name string
+			if zipf {
+				name = leaves[z.Sample(rng)]
+			} else {
+				name = leaves[rng.IntN(len(leaves))]
+			}
+			if _, err := c.Resolve(name, &stats); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return stats.HitRatio()
+	}
+	zipfHit := run(true)
+	uniformHit := run(false)
+	if zipfHit <= uniformHit {
+		t.Errorf("zipf hit ratio %.3f not above uniform %.3f", zipfHit, uniformHit)
+	}
+	if zipfHit < 0.3 {
+		t.Errorf("zipf hit ratio %.3f implausibly low", zipfHit)
+	}
+}
+
+// TestCachingUnderAttack shows the §7 interplay: with the root down,
+// resolution still works (bootstrapping), and cached answers keep serving
+// with zero hops.
+func TestCachingUnderAttack(t *testing.T) {
+	tr, sys := fixture(t)
+	c, err := New(sys, Config{Rng: xrand.New(8), AnswerCacheSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Resolve("b3.a12", nil); err != nil {
+		t.Fatal(err)
+	}
+	sys.SetAlive(tr.Root(), false)
+	sys.Repair()
+	var stats Stats
+	// Cached name: zero hops despite the dead root.
+	res, err := c.Resolve("b3.a12", &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != core.QueryDelivered || res.Hops != 0 {
+		t.Errorf("cached resolve under attack = %+v", res)
+	}
+	// Fresh name: bootstraps into the level-1 overlay.
+	res, err = c.Resolve("b4.a9", &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != core.QueryDelivered {
+		t.Errorf("fresh resolve under attack = %+v", res)
+	}
+	if !res.UsedOverlay {
+		t.Error("fresh resolve should have used overlay bootstrapping")
+	}
+}
+
+func TestStatsHitRatioEmpty(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Error("empty stats hit ratio should be 0")
+	}
+}

@@ -1,0 +1,48 @@
+package client_test
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/xrand"
+)
+
+// Example resolves a name twice: the first resolution walks the
+// hierarchy, the second is served from the client's answer cache at zero
+// hops (§7).
+func Example() {
+	tree, err := hierarchy.Generate([]hierarchy.LevelSpec{
+		{Prefix: "zone", Fanout: 10},
+		{Prefix: "host", Fanout: 3},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sys, err := core.New(tree, core.Config{K: 3, Seed: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cl, err := client.New(sys, client.Config{Rng: xrand.New(2), AnswerCacheSize: 16})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var stats client.Stats
+	for i := 0; i < 2; i++ {
+		res, err := cl.Resolve("host1.zone4", &stats)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("resolution %d: %v in %d hops\n", i+1, res.Outcome, res.Hops)
+	}
+	fmt.Printf("cache hits: %d/%d\n", stats.CacheHits, stats.Queries)
+	// Output:
+	// resolution 1: delivered in 2 hops
+	// resolution 2: delivered in 0 hops
+	// cache hits: 1/2
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+)
+
+// TestLateJoinerBecomesRoutable drives the live §7 maintenance story: a
+// node that joins after everyone built their tables is invisible to its
+// siblings' overlays until the periodic regeneration cycle refreshes them.
+func TestLateJoinerBecomesRoutable(t *testing.T) {
+	c := newCluster(t, Config{Fanouts: []int{5}, K: 2, Q: 2, Seed: 31})
+	ctx := context.Background()
+
+	late, err := node.New(node.Config{
+		Name: "latecomer", Addr: "mem://latecomer", ParentAddr: c.Root().Addr(),
+		K: 2, Q: 2, Seed: 99, CallTimeout: time.Second,
+	}, c.Transport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := late.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = late.Stop() })
+	if err := late.Join(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := late.BuildTable(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct resolution through the root works immediately (the parent
+	// admitted it).
+	res, err := c.Query(ctx, ".", "latecomer")
+	if err != nil || !res.Found {
+		t.Fatalf("direct resolution failed: %v %+v", err, res)
+	}
+
+	// Under a root DoS, reaching the latecomer requires a sibling to
+	// hold it in an overlay table. The siblings' tables predate its
+	// join, so first run the §7 regeneration cycle (which needs the
+	// parent, hence before the attack), picking up the new membership.
+	for _, name := range c.Names() {
+		if name == "." {
+			continue
+		}
+		n, _ := c.Node(name)
+		if err := n.RegenerateNow(ctx); err != nil {
+			t.Fatalf("regen %s: %v", name, err)
+		}
+	}
+	if err := late.RegenerateNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Suppress(".", true); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err = c.Query(ctx, "n1-0", "latecomer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("latecomer unreachable after regeneration: %s (path %v)", res.Reason, res.Path)
+	}
+}

@@ -1,0 +1,213 @@
+// Package cluster assembles whole live HOURS hierarchies in one process:
+// it starts a node per tree vertex over a shared transport, drives the
+// join/admission handshake, builds every routing table, and offers
+// query, failure-injection, and maintenance helpers. Integration tests and
+// the runnable examples are its main consumers.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/transport"
+	"repro/internal/wire"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Fanouts gives the per-level child counts: Fanouts[0] children of
+	// the root, each with Fanouts[1] children, and so on.
+	Fanouts []int
+	// K, Q, Seed mirror node.Config.
+	K    int
+	Q    int
+	Seed uint64
+	// ProbePeriod enables each node's background maintenance loop; zero
+	// leaves maintenance to explicit MaintainAll calls.
+	ProbePeriod time.Duration
+}
+
+// Cluster is a running live hierarchy over an in-memory transport.
+// Multi-process TCP deployments wire nodes up individually (see
+// cmd/hoursd).
+type Cluster struct {
+	tr    *transport.Mem
+	root  *node.Node
+	nodes map[string]*node.Node // by display name
+	order []string              // creation order, root first
+}
+
+// New builds, starts, joins, and wires up a full hierarchy.
+func New(ctx context.Context, cfg Config) (*Cluster, error) {
+	if len(cfg.Fanouts) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one level of fanouts")
+	}
+	for i, f := range cfg.Fanouts {
+		if f < 1 {
+			return nil, fmt.Errorf("cluster: level %d fanout %d, want >= 1", i+1, f)
+		}
+	}
+	tr := transport.NewMem()
+	c := &Cluster{tr: tr, nodes: make(map[string]*node.Node)}
+
+	mk := func(name, parentAddr string) (*node.Node, error) {
+		nd, err := node.New(node.Config{
+			Name:        name,
+			Addr:        "mem://" + name,
+			ParentAddr:  parentAddr,
+			K:           cfg.K,
+			Q:           cfg.Q,
+			Seed:        xrand.Derive(cfg.Seed, uint64(len(c.order))).Uint64(),
+			ProbePeriod: cfg.ProbePeriod,
+			CallTimeout: 2 * time.Second,
+		}, tr)
+		if err != nil {
+			return nil, err
+		}
+		if err := nd.Start(); err != nil {
+			return nil, err
+		}
+		c.nodes[nd.Name()] = nd
+		c.order = append(c.order, nd.Name())
+		return nd, nil
+	}
+
+	root, err := mk(".", "")
+	if err != nil {
+		return nil, err
+	}
+	c.root = root
+
+	type level struct {
+		name string
+		nd   *node.Node
+	}
+	frontier := []level{{name: "", nd: root}}
+	for li, fanout := range cfg.Fanouts {
+		var next []level
+		for _, parent := range frontier {
+			for i := 0; i < fanout; i++ {
+				label := fmt.Sprintf("n%d-%d", li+1, i)
+				childName := label
+				if parent.name != "" {
+					childName = label + "." + parent.name
+				}
+				nd, err := mk(childName, parent.nd.Addr())
+				if err != nil {
+					c.Stop()
+					return nil, err
+				}
+				if err := nd.Join(ctx); err != nil {
+					c.Stop()
+					return nil, fmt.Errorf("cluster: %s: %w", childName, err)
+				}
+				next = append(next, level{name: childName, nd: nd})
+			}
+		}
+		frontier = next
+	}
+
+	// Membership is complete: every non-root node builds its table.
+	for _, name := range c.order {
+		if name == "." {
+			continue
+		}
+		if err := c.nodes[name].BuildTable(ctx); err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("cluster: build table for %s: %w", name, err)
+		}
+	}
+	return c, nil
+}
+
+// Root returns the root node.
+func (c *Cluster) Root() *node.Node { return c.root }
+
+// Node finds a node by display name.
+func (c *Cluster) Node(name string) (*node.Node, bool) {
+	n, ok := c.nodes[name]
+	return n, ok
+}
+
+// Names returns all node names in creation order (root first).
+func (c *Cluster) Names() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Transport exposes the underlying transport (e.g. to suppress addresses
+// directly).
+func (c *Cluster) Transport() *transport.Mem { return c.tr }
+
+// Suppress injects or lifts a DoS attack on the named node.
+func (c *Cluster) Suppress(name string, down bool) error {
+	n, ok := c.nodes[name]
+	if !ok {
+		return fmt.Errorf("cluster: no node %q", name)
+	}
+	n.Suppress(down)
+	return nil
+}
+
+// MaintainAll runs one §4.3 probing period on every (unsuppressed) node.
+// Call it a few times after failures to let recovery converge, the live
+// analogue of overlay.Repair.
+func (c *Cluster) MaintainAll(ctx context.Context) {
+	for _, name := range c.order {
+		c.nodes[name].MaintainOnce(ctx)
+	}
+}
+
+// Query issues a lookup for target starting at the named entry node and
+// returns the result.
+func (c *Cluster) Query(ctx context.Context, entry, target string) (wire.QueryResult, error) {
+	n, ok := c.nodes[entry]
+	if !ok {
+		return wire.QueryResult{}, fmt.Errorf("cluster: no entry node %q", entry)
+	}
+	req, err := wire.New(wire.TypeQuery, wire.Query{
+		Target: strings.TrimSuffix(target, "."),
+		Mode:   wire.ModeHierarchical,
+		TTL:    4 * len(c.nodes),
+	})
+	if err != nil {
+		return wire.QueryResult{}, err
+	}
+	resp, err := c.tr.Call(ctx, n.Addr(), req)
+	if err != nil {
+		return wire.QueryResult{}, err
+	}
+	if resp.Type != wire.TypeQueryResult {
+		return wire.QueryResult{}, fmt.Errorf("cluster: unexpected reply %s", resp.Type)
+	}
+	var qr wire.QueryResult
+	if err := resp.Decode(&qr); err != nil {
+		return wire.QueryResult{}, err
+	}
+	return qr, nil
+}
+
+// StatsAll returns each node's operational counters keyed by name.
+func (c *Cluster) StatsAll() map[string]wire.Stats {
+	out := make(map[string]wire.Stats, len(c.nodes))
+	for name, n := range c.nodes {
+		out[name] = n.Stats()
+	}
+	return out
+}
+
+// Stop shuts every node down, children before parents.
+func (c *Cluster) Stop() {
+	for i := len(c.order) - 1; i >= 0; i-- {
+		// Best effort: listeners close idempotently.
+		_ = c.nodes[c.order[i]].Stop()
+	}
+}

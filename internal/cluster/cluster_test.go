@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(context.Background(), Config{}); err == nil {
+		t.Error("no fanouts: want error")
+	}
+	if _, err := New(context.Background(), Config{Fanouts: []int{0}}); err == nil {
+		t.Error("zero fanout: want error")
+	}
+}
+
+func TestClusterAssembly(t *testing.T) {
+	c := newCluster(t, Config{Fanouts: []int{4, 3}, K: 2, Q: 3, Seed: 1})
+	// 1 + 4 + 12 = 17 nodes.
+	if c.Size() != 17 {
+		t.Fatalf("Size = %d, want 17", c.Size())
+	}
+	if c.Root().Name() != "." {
+		t.Error("root name wrong")
+	}
+	leaf, ok := c.Node("n2-1.n1-2")
+	if !ok {
+		t.Fatal("leaf not found")
+	}
+	if leaf.TableSize() == 0 {
+		t.Error("leaf built no routing table")
+	}
+	if leaf.Index() < 0 {
+		t.Error("leaf has no ring index")
+	}
+	if leaf.CCWName() == "" {
+		t.Error("leaf has no counter-clockwise pointer")
+	}
+}
+
+func TestHealthyQueries(t *testing.T) {
+	c := newCluster(t, Config{Fanouts: []int{5, 4}, K: 2, Q: 3, Seed: 2})
+	ctx := context.Background()
+	for _, target := range []string{"n1-3", "n2-2.n1-0", "n2-0.n1-4"} {
+		res, err := c.Query(ctx, ".", target)
+		if err != nil {
+			t.Fatalf("query %s: %v", target, err)
+		}
+		if !res.Found {
+			t.Fatalf("query %s not found: %s", target, res.Reason)
+		}
+		if res.Path[len(res.Path)-1] != target {
+			t.Errorf("query %s path ends at %s", target, res.Path[len(res.Path)-1])
+		}
+	}
+	// Query to the root itself.
+	res, err := c.Query(ctx, ".", ".")
+	if err != nil || !res.Found {
+		t.Errorf("root query: %v %+v", err, res)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	c := newCluster(t, Config{Fanouts: []int{2}, Seed: 3})
+	ctx := context.Background()
+	if _, err := c.Query(ctx, "nope", "n1-0"); err == nil {
+		t.Error("unknown entry: want error")
+	}
+	res, err := c.Query(ctx, ".", "ghost.n1-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Error("ghost target should not be found")
+	}
+}
+
+func TestDoSDetourInLiveCluster(t *testing.T) {
+	// Suppress an on-path intermediate; queries must detour through the
+	// sibling overlay and nephew pointers, exactly as in the simulator.
+	c := newCluster(t, Config{Fanouts: []int{6, 4}, K: 2, Q: 4, Seed: 4})
+	ctx := context.Background()
+	const target = "n2-1.n1-2"
+
+	before, err := c.Query(ctx, ".", target)
+	if err != nil || !before.Found {
+		t.Fatalf("pre-attack query: %v %+v", err, before)
+	}
+
+	if err := c.Suppress("n1-2", true); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Query(ctx, ".", target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Found {
+		t.Fatalf("query under DoS failed: %s (path %v)", after.Reason, after.Path)
+	}
+	for _, hop := range after.Path {
+		if hop == "n1-2" {
+			t.Fatalf("query visited the suppressed node: %v", after.Path)
+		}
+	}
+	if after.Hops <= before.Hops {
+		t.Logf("note: detour hops %d <= direct %d (possible with a lucky nephew)", after.Hops, before.Hops)
+	}
+
+	// Lift the attack: direct forwarding works again.
+	if err := c.Suppress("n1-2", false); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := c.Query(ctx, ".", target)
+	if err != nil || !healed.Found {
+		t.Fatalf("post-attack query: %v %+v", err, healed)
+	}
+}
+
+func TestNeighborAttackWithLiveRecovery(t *testing.T) {
+	// Suppress an OD node and its CCW neighbors beyond k, then run
+	// maintenance rounds: the live active-recovery protocol must bridge
+	// the gap so backward forwarding finds an exit.
+	c := newCluster(t, Config{Fanouts: []int{12, 3}, K: 2, Q: 3, Seed: 5})
+	ctx := context.Background()
+
+	// Pick the level-1 node with ring index 6 as the OD target and find
+	// its CCW neighbors by index.
+	byIndex := make(map[int]string)
+	for _, name := range c.Names() {
+		n, _ := c.Node(name)
+		if strings.Count(name, ".") == 0 && name != "." {
+			byIndex[n.Index()] = name
+		}
+	}
+	if len(byIndex) != 12 {
+		t.Fatalf("level-1 ring has %d indexed nodes", len(byIndex))
+	}
+	odIdx := 6
+	victims := []string{byIndex[odIdx], byIndex[(odIdx+11)%12], byIndex[(odIdx+10)%12], byIndex[(odIdx+9)%12]}
+	for _, v := range victims {
+		if err := c.Suppress(v, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let recovery converge (a few probing periods).
+	for i := 0; i < 4; i++ {
+		c.MaintainAll(ctx)
+	}
+
+	target := victims[0] // query a child of the suppressed OD node
+	child := "n2-0." + target
+	res, err := c.Query(ctx, ".", child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("query %s failed under neighbor attack: %s (path %v)", child, res.Reason, res.Path)
+	}
+	for _, hop := range res.Path {
+		for _, v := range victims {
+			if hop == v {
+				t.Fatalf("query visited suppressed node %s: %v", v, res.Path)
+			}
+		}
+	}
+}
+
+func TestRootDeadBootstrapFromSibling(t *testing.T) {
+	// With the root suppressed, a query can still enter at any level-1
+	// node and be overlay-forwarded.
+	c := newCluster(t, Config{Fanouts: []int{8, 2}, K: 2, Q: 3, Seed: 6})
+	ctx := context.Background()
+	if err := c.Suppress(".", true); err != nil {
+		t.Fatal(err)
+	}
+	// Entry at a level-1 node that is NOT on the target's path: the
+	// query crosses the level-1 overlay.
+	res, err := c.Query(ctx, "n1-0", "n2-1.n1-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("bootstrap query failed: %s (path %v)", res.Reason, res.Path)
+	}
+}
+
+func TestBackgroundMaintenanceLoop(t *testing.T) {
+	// With ProbePeriod set, nodes maintain themselves; suppressing a CCW
+	// neighbor must be repaired without explicit MaintainAll.
+	c := newCluster(t, Config{Fanouts: []int{10}, K: 2, Q: 2, Seed: 7, ProbePeriod: 10 * time.Millisecond})
+	byIndex := make(map[int]string)
+	for _, name := range c.Names() {
+		if name == "." {
+			continue
+		}
+		n, _ := c.Node(name)
+		byIndex[n.Index()] = name
+	}
+	victim := byIndex[3]
+	succ := byIndex[4]
+	if err := c.Suppress(victim, true); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		n, _ := c.Node(succ)
+		if n.CCWName() != victim {
+			return // pointer repaired in the background
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	n, _ := c.Node(succ)
+	t.Fatalf("background maintenance never repaired %s's CCW pointer (still %s)", succ, n.CCWName())
+}
+
+func TestStopIdempotent(t *testing.T) {
+	c, err := New(context.Background(), Config{Fanouts: []int{3}, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	c.Stop() // must not panic or deadlock
+}
+
+func TestStatsAll(t *testing.T) {
+	c := newCluster(t, Config{Fanouts: []int{4}, K: 2, Q: 2, Seed: 9})
+	ctx := context.Background()
+	if _, err := c.Query(ctx, ".", "n1-2"); err != nil {
+		t.Fatal(err)
+	}
+	stats := c.StatsAll()
+	if len(stats) != c.Size() {
+		t.Fatalf("stats for %d nodes, want %d", len(stats), c.Size())
+	}
+	if stats["n1-2"].QueriesAnswered != 1 {
+		t.Errorf("n1-2 answered = %d, want 1", stats["n1-2"].QueriesAnswered)
+	}
+	if stats["."].QueriesForwarded != 1 {
+		t.Errorf("root forwarded = %d, want 1", stats["."].QueriesForwarded)
+	}
+}

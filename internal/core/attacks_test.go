@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analysis"
+	"repro/internal/hierarchy"
+	"repro/internal/idspace"
+	"repro/internal/overlay"
+	"repro/internal/xrand"
+)
+
+// TestNeighborAttackDeliveryMatchesEquation2 cross-validates the end-to-end
+// simulator against the closed-form Eq. (2): neighbor-attack the overlay of
+// a destination's parent and compare the measured delivery ratio with the
+// analytic intra-overlay success probability.
+func TestNeighborAttackDeliveryMatchesEquation2(t *testing.T) {
+	// Pointer randomness is frozen per overlay instance, so whether an
+	// exit node survives a given neighbor attack is (nearly) a 0/1
+	// property of the instance. Average over many independently seeded
+	// systems, a few queries each, to estimate the success probability.
+	const (
+		n         = 200
+		k         = 5
+		alpha     = 0.8
+		instances = 300
+		perInst   = 4
+	)
+	tr := buildTree(t, n, 3)
+	delivered, total := 0, 0
+	for inst := 0; inst < instances; inst++ {
+		s := buildSystem(t, tr, Config{K: k, Q: 10, Seed: uint64(1000 + inst)})
+		kids := tr.Root().Children()
+		od := kids[40]
+		dstName := od.Children()[0].Name()
+		// Neighbor attack: the OD node plus its alpha*n closest
+		// counter-clockwise neighbors.
+		s.SetAlive(od, false)
+		na := int(alpha * n)
+		for d := 1; d <= na; d++ {
+			idx := idspace.IndexAdd(od.RingIndex(), -d, n)
+			s.SetAlive(kids[idx], false)
+		}
+		s.Repair()
+		rng := xrand.New(uint64(inst))
+		for i := 0; i < perInst; i++ {
+			res, err := s.Query(dstName, QueryOptions{Rng: rng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if res.Outcome == QueryDelivered {
+				delivered++
+			}
+		}
+	}
+	got := float64(delivered) / float64(total)
+	want, err := analysis.NeighborAttackSuccess(n, k, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instance-level binomial noise at 300 instances is ~0.027 stderr;
+	// the analytic model also ignores the tiny nephew-failure term.
+	if math.Abs(got-want) > 0.12 {
+		t.Errorf("measured delivery %.3f, Eq.(2) predicts %.3f", got, want)
+	}
+}
+
+// TestRandomAttackDeliveryHigh reproduces the Figure 9 headline: random
+// attacks on the target's sibling overlay leave delivery at 100% (all
+// simulated cases) because survivors always include exit nodes.
+func TestRandomAttackDeliveryHigh(t *testing.T) {
+	const (
+		n     = 200
+		k     = 5
+		alpha = 0.5
+	)
+	tr := buildTree(t, n, 3)
+	s := buildSystem(t, tr, Config{K: k, Q: 10, Seed: 22})
+	kids := tr.Root().Children()
+	od := kids[10]
+	dstName := od.Children()[1].Name()
+	s.SetAlive(od, false)
+	rng := xrand.New(23)
+	// Random victims among od's siblings (excluding od itself).
+	killed := 0
+	for killed < int(alpha*n)-1 {
+		v := kids[rng.IntN(n)]
+		if v == od || !s.Alive(v) {
+			continue
+		}
+		s.SetAlive(v, false)
+		killed++
+	}
+	s.Repair()
+	delivered := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		res, err := s.Query(dstName, QueryOptions{Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome == QueryDelivered {
+			delivered++
+		}
+	}
+	ratio := float64(delivered) / trials
+	if ratio < 0.99 {
+		t.Errorf("delivery under 50%% random attack = %.4f, want ~1.0", ratio)
+	}
+}
+
+// TestInsiderDamageMatchesTheorem5 checks §5.3: with the base design, a
+// compromised node at index distance d counter-clockwise of a victim
+// drops a ~1/(d+1) fraction of the victim's queries (the greedy-path visit
+// probability).
+func TestInsiderDamageMatchesTheorem5(t *testing.T) {
+	const n = 400
+	tr := buildTree(t, n, 1)
+	s := buildSystem(t, tr, Config{Design: overlay.Base, Seed: 24})
+	// Force overlay forwarding by killing the root: queries bootstrap
+	// into the level-1 overlay and are greedily forwarded to the victim.
+	s.SetAlive(tr.Root(), false)
+	kids := tr.Root().Children()
+	victim := kids[123]
+	dstName := victim.Name()
+
+	for _, d := range []int{1, 4, 9} {
+		comp := kids[idspace.IndexAdd(victim.RingIndex(), -d, n)]
+		s.SetCompromised(comp, true)
+		rng := xrand.New(uint64(25 + d))
+		dropped := 0
+		const trials = 6000
+		for i := 0; i < trials; i++ {
+			res, err := s.Query(dstName, QueryOptions{Rng: rng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch res.Outcome {
+			case QueryDropped:
+				dropped++
+			case QueryFailed:
+				t.Fatalf("unexpected failure: %+v", res)
+			}
+		}
+		s.SetCompromised(comp, false)
+		got := float64(dropped) / trials
+		want := 1 / float64(d+1)
+		if math.Abs(got-want) > 0.35*want+0.02 {
+			t.Errorf("d=%d: drop rate %.4f, Theorem 5 predicts %.4f", d, got, want)
+		}
+	}
+}
+
+// Property: under arbitrary failures of intermediates (destination and root
+// always alive here, destination's parent overlay untouched enough), a
+// query never panics and either delivers via alive nodes or fails.
+func TestQueryRobustnessProperty(t *testing.T) {
+	tr := buildTree(t, 12, 6, 3)
+	f := func(seed uint64, killRaw []uint16) bool {
+		s, err := New(tr, Config{K: 2, Q: 4, Seed: seed})
+		if err != nil {
+			return false
+		}
+		dst, ok := tr.Lookup("l3-1.l2-2.l1-5")
+		if !ok {
+			return false
+		}
+		// Kill arbitrary non-destination nodes (up to 30).
+		var candidates []string
+		tr.Walk(func(n *hierarchy.Node) bool {
+			if n != dst {
+				candidates = append(candidates, n.Name())
+			}
+			return true
+		})
+		for i, v := range killRaw {
+			if i >= 30 {
+				break
+			}
+			n, ok := tr.Lookup(candidates[int(v)%len(candidates)])
+			if !ok {
+				return false
+			}
+			s.SetAlive(n, false)
+		}
+		s.Repair()
+		rng := xrand.New(seed ^ 0xabc)
+		for trial := 0; trial < 5; trial++ {
+			res, err := s.QueryNode(dst, QueryOptions{Rng: rng, TracePath: true})
+			if err != nil {
+				return false
+			}
+			switch res.Outcome {
+			case QueryDelivered:
+				if len(res.Path) == 0 || res.Path[len(res.Path)-1] != dst {
+					return false
+				}
+				for _, n := range res.Path {
+					if !s.Alive(n) {
+						return false
+					}
+				}
+			case QueryFailed:
+				// acceptable under heavy attack
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkQueryHealthy(b *testing.B) {
+	tr := buildTree(b, 100, 20, 3)
+	s := buildSystem(b, tr, Config{K: 5, Seed: 30})
+	rng := xrand.New(31)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query("l3-1.l2-7.l1-42", QueryOptions{Rng: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryUnderAttack(b *testing.B) {
+	tr := buildTree(b, 100, 20, 3)
+	s := buildSystem(b, tr, Config{K: 5, Seed: 32})
+	mid, ok := tr.Lookup("l1-42")
+	if !ok {
+		b.Fatal("lookup failed")
+	}
+	s.SetAlive(mid, false)
+	s.Repair()
+	rng := xrand.New(33)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query("l3-1.l2-7.l1-42", QueryOptions{Rng: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

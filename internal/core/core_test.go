@@ -1,0 +1,375 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/overlay"
+	"repro/internal/xrand"
+)
+
+// buildTree returns a hierarchy with the given per-level fanouts.
+func buildTree(t testing.TB, fanouts ...int) *hierarchy.Tree {
+	t.Helper()
+	specs := make([]hierarchy.LevelSpec, len(fanouts))
+	for i, f := range fanouts {
+		specs[i] = hierarchy.LevelSpec{Prefix: fmt.Sprintf("l%d-", i+1), Fanout: f}
+	}
+	tr, err := hierarchy.Generate(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func buildSystem(t testing.TB, tr *hierarchy.Tree, cfg Config) *System {
+	t.Helper()
+	s, err := New(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil tree: want error")
+	}
+	tr := buildTree(t, 2)
+	if _, err := New(tr, Config{K: -1}); err == nil {
+		t.Error("K=-1: want error")
+	}
+	if _, err := New(tr, Config{Q: -2}); err == nil {
+		t.Error("Q=-2: want error")
+	}
+	s := buildSystem(t, tr, Config{})
+	cfg := s.Config()
+	if cfg.Design != overlay.Enhanced || cfg.K != 1 || cfg.Q != 10 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	tr := buildTree(t, 3, 3)
+	s := buildSystem(t, tr, Config{K: 2, Seed: 1})
+	if _, err := s.Query("no.such.node", QueryOptions{Rng: xrand.New(1)}); err == nil {
+		t.Error("unknown name: want error")
+	}
+	if _, err := s.Query("l1-0", QueryOptions{}); err == nil {
+		t.Error("nil rng: want error")
+	}
+	if _, err := s.QueryNode(nil, QueryOptions{Rng: xrand.New(1)}); err == nil {
+		t.Error("nil node: want error")
+	}
+}
+
+func TestHealthyHierarchyPureHierarchicalForwarding(t *testing.T) {
+	tr := buildTree(t, 5, 4, 3)
+	s := buildSystem(t, tr, Config{K: 3, Seed: 2})
+	rng := xrand.New(3)
+	dst := "l3-2.l2-1.l1-3"
+	res, err := s.Query(dst, QueryOptions{Rng: rng, TracePath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != QueryDelivered {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if res.Hops != 3 || res.HierarchicalHops != 3 || res.OverlayHops != 0 || res.NephewHops != 0 {
+		t.Errorf("healthy query hops = %+v, want 3 pure hierarchical", res)
+	}
+	if res.UsedOverlay {
+		t.Error("healthy query should not use overlay forwarding")
+	}
+	wantPath := []string{".", "l1-3", "l2-1.l1-3", "l3-2.l2-1.l1-3"}
+	if len(res.Path) != len(wantPath) {
+		t.Fatalf("path = %v", res.Path)
+	}
+	for i, n := range res.Path {
+		if n.Name() != wantPath[i] {
+			t.Errorf("path[%d] = %q, want %q", i, n.Name(), wantPath[i])
+		}
+	}
+}
+
+func TestQueryToRoot(t *testing.T) {
+	tr := buildTree(t, 2)
+	s := buildSystem(t, tr, Config{Seed: 1})
+	res, err := s.Query(".", QueryOptions{Rng: xrand.New(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != QueryDelivered || res.Hops != 0 {
+		t.Errorf("root query = %+v", res)
+	}
+}
+
+func TestDetourAroundDeadIntermediate(t *testing.T) {
+	tr := buildTree(t, 10, 10, 4)
+	s := buildSystem(t, tr, Config{K: 3, Seed: 4})
+	dstName := "l3-1.l2-4.l1-6"
+	onPath, ok := tr.Lookup("l1-6")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	s.SetAlive(onPath, false)
+	s.Repair()
+	rng := xrand.New(5)
+	delivered := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		res, err := s.Query(dstName, QueryOptions{Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome == QueryDelivered {
+			delivered++
+			if !res.UsedOverlay {
+				t.Fatal("detour did not use overlay forwarding")
+			}
+			if res.NephewHops < 1 {
+				t.Fatalf("detour took no nephew hop: %+v", res)
+			}
+			if res.Hops < 3 {
+				t.Fatalf("detour hops = %d, cannot be below path length 3", res.Hops)
+			}
+		}
+	}
+	if delivered != trials {
+		t.Errorf("delivered %d/%d with a single dead intermediate, want 100%%", delivered, trials)
+	}
+}
+
+func TestAllIntermediatesDeadStillDelivers(t *testing.T) {
+	// §5.1: "even if all intermediate nodes are attacked simultaneously,
+	// the delivery ratio is still 100%".
+	tr := buildTree(t, 8, 8, 8)
+	s := buildSystem(t, tr, Config{K: 3, Seed: 6})
+	dstName := "l3-5.l2-3.l1-2"
+	for _, name := range []string{".", "l1-2", "l2-3.l1-2"} {
+		n, ok := tr.Lookup(name)
+		if !ok {
+			t.Fatalf("lookup %q failed", name)
+		}
+		s.SetAlive(n, false)
+	}
+	s.Repair()
+	rng := xrand.New(7)
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		res, err := s.Query(dstName, QueryOptions{Rng: rng, TracePath: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != QueryDelivered {
+			t.Fatalf("trial %d: %+v", i, res)
+		}
+		if res.Path[len(res.Path)-1].Name() != dstName {
+			t.Fatalf("path does not end at destination: %v", res.Path)
+		}
+		for _, n := range res.Path {
+			if !s.Alive(n) {
+				t.Fatalf("query visited dead node %s", n.Name())
+			}
+		}
+	}
+}
+
+func TestBootstrapWhenRootDead(t *testing.T) {
+	tr := buildTree(t, 6, 4)
+	s := buildSystem(t, tr, Config{K: 2, Seed: 8})
+	s.SetAlive(tr.Root(), false)
+	s.Repair()
+	rng := xrand.New(9)
+	res, err := s.Query("l2-2.l1-3", QueryOptions{Rng: rng, TracePath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != QueryDelivered {
+		t.Fatalf("bootstrap query = %+v", res)
+	}
+	if !res.UsedOverlay {
+		t.Error("bootstrap query must use overlay forwarding")
+	}
+	if res.Path[0] == tr.Root() {
+		t.Error("query visited the dead root")
+	}
+}
+
+func TestInterOverlayFailureWhenAllChildrenDead(t *testing.T) {
+	// Kill an intermediate and every one of its children: no nephew
+	// pointer survives, so queries into that subtree must fail.
+	tr := buildTree(t, 5, 5, 2)
+	s := buildSystem(t, tr, Config{K: 2, Q: 5, Seed: 10})
+	mid, ok := tr.Lookup("l1-1")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	s.SetAlive(mid, false)
+	for _, c := range mid.Children() {
+		s.SetAlive(c, false)
+	}
+	s.Repair()
+	rng := xrand.New(11)
+	res, err := s.Query("l3-0.l2-0.l1-1", QueryOptions{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != QueryFailed {
+		t.Errorf("query into fully dead subtree = %v, want failed", res.Outcome)
+	}
+}
+
+func TestSetAliveBeforeOverlayBuilt(t *testing.T) {
+	// Failures injected before the (lazy) overlay exists must be applied
+	// when it is built.
+	tr := buildTree(t, 6, 3)
+	s := buildSystem(t, tr, Config{K: 2, Seed: 12})
+	n, ok := tr.Lookup("l1-4")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	s.SetAlive(n, false) // overlay for root's children not built yet
+	ov := s.Overlay(tr.Root())
+	if ov == nil {
+		t.Fatal("no overlay for root")
+	}
+	if ov.Alive(n.RingIndex()) {
+		t.Error("pre-injected failure not applied to lazily built overlay")
+	}
+	if got := ov.AliveCount(); got != 5 {
+		t.Errorf("alive count = %d, want 5", got)
+	}
+}
+
+func TestOverlayAccessors(t *testing.T) {
+	tr := buildTree(t, 4, 2)
+	s := buildSystem(t, tr, Config{K: 2, Seed: 13})
+	if ov := s.Overlay(tr.Root()); ov == nil || ov.Size() != 4 {
+		t.Error("root overlay wrong")
+	}
+	leaf, ok := tr.Lookup("l2-0.l1-0")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	if ov := s.Overlay(leaf); ov != nil {
+		t.Error("leaf should have no overlay")
+	}
+	if s.Tree() != tr {
+		t.Error("Tree() accessor wrong")
+	}
+}
+
+func TestNephews(t *testing.T) {
+	tr := buildTree(t, 3, 30)
+	s := buildSystem(t, tr, Config{K: 2, Q: 10, Seed: 14})
+	kids := tr.Root().Children()
+	holder, target := kids[0], kids[1]
+	n1 := s.Nephews(holder, target)
+	if len(n1) != 10 {
+		t.Fatalf("nephews = %d, want q=10", len(n1))
+	}
+	seen := make(map[*hierarchy.Node]bool)
+	for _, n := range n1 {
+		if n.Parent() != target {
+			t.Errorf("nephew %s is not a child of %s", n.Name(), target.Name())
+		}
+		if seen[n] {
+			t.Errorf("duplicate nephew %s", n.Name())
+		}
+		seen[n] = true
+	}
+	// Determinism without storage.
+	n2 := s.Nephews(holder, target)
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Fatal("nephew selection not deterministic")
+		}
+	}
+	// Different holders keep different nephew sets (randomized nephews,
+	// §4.1) — with 30 children and q=10 a full collision is implausible.
+	n3 := s.Nephews(kids[2], target)
+	same := true
+	for i := range n1 {
+		if n1[i] != n3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two holders picked identical nephew sets (randomization suspect)")
+	}
+	// Fewer children than q: keep all.
+	tr2 := buildTree(t, 3, 4)
+	s2 := buildSystem(t, tr2, Config{Q: 10, Seed: 15})
+	kids2 := tr2.Root().Children()
+	if got := s2.Nephews(kids2[0], kids2[1]); len(got) != 4 {
+		t.Errorf("small family nephews = %d, want all 4", len(got))
+	}
+	// Non-siblings yield nothing.
+	if got := s.Nephews(kids[0], kids[1].Children()[0]); got != nil {
+		t.Error("non-sibling nephew request should return nil")
+	}
+	// Leaf target yields nothing.
+	leafTree := buildTree(t, 3)
+	s3 := buildSystem(t, leafTree, Config{Seed: 16})
+	lk := leafTree.Root().Children()
+	if got := s3.Nephews(lk[0], lk[1]); got != nil {
+		t.Error("leaf target nephews should be nil")
+	}
+}
+
+func TestCompromisedNodeDropsQueries(t *testing.T) {
+	tr := buildTree(t, 5, 3)
+	s := buildSystem(t, tr, Config{K: 2, Seed: 17})
+	mid, ok := tr.Lookup("l1-2")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	s.SetCompromised(mid, true)
+	rng := xrand.New(18)
+	res, err := s.Query("l2-1.l1-2", QueryOptions{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != QueryDropped || res.DroppedBy != mid {
+		t.Errorf("query through compromised node = %+v", res)
+	}
+	s.SetCompromised(mid, false)
+	res, err = s.Query("l2-1.l1-2", QueryOptions{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != QueryDelivered {
+		t.Errorf("after un-compromising: %+v", res)
+	}
+}
+
+func TestRepairStatsSurface(t *testing.T) {
+	tr := buildTree(t, 40, 2)
+	s := buildSystem(t, tr, Config{K: 2, Seed: 19})
+	_ = s.Overlay(tr.Root()) // build before injecting failures
+	kids := tr.Root().Children()
+	for i := 5; i < 15; i++ {
+		s.SetAlive(kids[i], false)
+	}
+	stats := s.Repair()
+	if stats.ProbesSent == 0 {
+		t.Error("repair sent no probes")
+	}
+	if stats.RepairMessages == 0 {
+		t.Error("a 10-node gap with k=2 should trigger repair messages")
+	}
+	again := s.Repair()
+	if again.ProbesSent != 0 {
+		t.Error("second Repair without new failures should be a no-op")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if QueryDelivered.String() != "delivered" || QueryFailed.String() != "failed" ||
+		QueryDropped.String() != "dropped" || QueryOutcome(9).String() == "" {
+		t.Error("QueryOutcome.String broken")
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/idspace"
+	"repro/internal/xrand"
+)
+
+// TestQueryDeterminism pins the reproducibility contract: two systems
+// built from the same tree, configuration, and seed, attacked identically
+// and queried with identically seeded generators, must produce exactly the
+// same outcome/hop sequence. Experiment results depend on this.
+func TestQueryDeterminism(t *testing.T) {
+	tr := buildTree(t, 40, 6, 2)
+	mk := func() (*System, func() (QueryResult, error)) {
+		s := buildSystem(t, tr, Config{K: 4, Q: 6, Seed: 777})
+		kids := tr.Root().Children()
+		od := kids[13]
+		s.SetAlive(od, false)
+		for d := 1; d <= 9; d++ {
+			s.SetAlive(kids[idspace.IndexAdd(od.RingIndex(), -d, 40)], false)
+		}
+		s.Repair()
+		rng := xrand.New(888)
+		dst := od.Children()[2].Children()[1]
+		return s, func() (QueryResult, error) {
+			return s.QueryNode(dst, QueryOptions{Rng: rng})
+		}
+	}
+	_, qa := mk()
+	_, qb := mk()
+	for i := 0; i < 300; i++ {
+		ra, err := qa()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := qb()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Outcome != rb.Outcome || ra.Hops != rb.Hops ||
+			ra.OverlayHops != rb.OverlayHops || ra.BackwardHops != rb.BackwardHops ||
+			ra.NephewHops != rb.NephewHops {
+			t.Fatalf("query %d diverged: %+v vs %+v", i, ra, rb)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/idspace"
+	"repro/internal/xrand"
+)
+
+func TestEntrancePolicyValidation(t *testing.T) {
+	tr := buildTree(t, 3)
+	if _, err := New(tr, Config{Entrance: EntrancePolicy(9)}); err == nil {
+		t.Error("bad entrance policy: want error")
+	}
+}
+
+// TestEntranceCCWNeighborShortensDetours compares the two entrance
+// policies under a neighbor attack: entering at the OD's counter-clockwise
+// survivor (footnote 4) skips the greedy phase and needs no more hops than
+// entering at a random child (Algorithm 2 line 6 literal).
+func TestEntranceCCWNeighborShortensDetours(t *testing.T) {
+	const n = 60
+	tr := buildTree(t, n, 3)
+	kids := tr.Root().Children()
+	od := kids[20]
+	dstName := od.Children()[0].Name()
+
+	run := func(policy EntrancePolicy) (float64, float64) {
+		var hopsSum float64
+		delivered := 0
+		const instances, perInst = 20, 40
+		for inst := 0; inst < instances; inst++ {
+			s := buildSystem(t, tr, Config{K: 3, Q: 5, Seed: uint64(900 + inst), Entrance: policy})
+			s.SetAlive(od, false)
+			for d := 1; d <= 8; d++ {
+				s.SetAlive(kids[idspace.IndexAdd(od.RingIndex(), -d, n)], false)
+			}
+			s.Repair()
+			rng := xrand.New(uint64(inst))
+			for i := 0; i < perInst; i++ {
+				res, err := s.Query(dstName, QueryOptions{Rng: rng})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Outcome == QueryDelivered {
+					delivered++
+					hopsSum += float64(res.Hops)
+				}
+			}
+		}
+		return hopsSum / float64(delivered), float64(delivered) / (20 * 40)
+	}
+	randHops, randDelivery := run(EntranceRandomChild)
+	ccwHops, ccwDelivery := run(EntranceCCWNeighbor)
+	if ccwDelivery < randDelivery-0.02 {
+		t.Errorf("CCW entrance lowered delivery: %v vs %v", ccwDelivery, randDelivery)
+	}
+	if ccwHops > randHops+0.5 {
+		t.Errorf("CCW entrance did not shorten detours: %v vs %v hops", ccwHops, randHops)
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/hierarchy"
+	"repro/internal/metrics"
+)
+
+// LoadTracker counts how many queries each hierarchy node carried
+// (received or forwarded) — the hierarchy-level analogue of Figure 8's
+// per-node workload, useful for spotting hotspots created by attacks.
+type LoadTracker struct {
+	counts map[*hierarchy.Node]int64
+}
+
+// NewLoadTracker returns an empty tracker.
+func NewLoadTracker() *LoadTracker {
+	return &LoadTracker{counts: make(map[*hierarchy.Node]int64)}
+}
+
+// visit records one query visiting n.
+func (l *LoadTracker) visit(n *hierarchy.Node) { l.counts[n]++ }
+
+// Of returns the workload recorded for n.
+func (l *LoadTracker) Of(n *hierarchy.Node) int64 { return l.counts[n] }
+
+// Nodes returns the number of distinct nodes that carried traffic.
+func (l *LoadTracker) Nodes() int { return len(l.counts) }
+
+// Total returns the total number of visits recorded.
+func (l *LoadTracker) Total() int64 {
+	var t int64
+	for _, c := range l.counts {
+		t += c
+	}
+	return t
+}
+
+// Hottest returns the top-n nodes by workload, descending.
+func (l *LoadTracker) Hottest(n int) []*hierarchy.Node {
+	nodes := make([]*hierarchy.Node, 0, len(l.counts))
+	for node := range l.counts {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if l.counts[nodes[i]] != l.counts[nodes[j]] {
+			return l.counts[nodes[i]] > l.counts[nodes[j]]
+		}
+		return nodes[i].Name() < nodes[j].Name() // deterministic ties
+	})
+	if n > len(nodes) {
+		n = len(nodes)
+	}
+	return nodes[:n]
+}
+
+// Histogram buckets the workloads like Figure 8: how many nodes carried
+// each amount of traffic.
+func (l *LoadTracker) Histogram() *metrics.Histogram {
+	h := metrics.NewHistogram()
+	for _, c := range l.counts {
+		// Workloads are non-negative by construction.
+		_ = h.Observe(int(c))
+	}
+	return h
+}

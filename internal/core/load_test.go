@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestLoadTrackerBasics(t *testing.T) {
+	tr := buildTree(t, 6, 3)
+	s := buildSystem(t, tr, Config{K: 2, Seed: 41})
+	load := NewLoadTracker()
+	rng := xrand.New(42)
+	const queries = 200
+	for i := 0; i < queries; i++ {
+		res, err := s.Query("l2-1.l1-2", QueryOptions{Rng: rng, Load: load})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != QueryDelivered {
+			t.Fatalf("query %d: %v", i, res.Outcome)
+		}
+	}
+	root := tr.Root()
+	mid, _ := tr.Lookup("l1-2")
+	dst, _ := tr.Lookup("l2-1.l1-2")
+	// Every healthy query visits root, the intermediate, and the
+	// destination exactly once each.
+	for _, n := range []struct {
+		name string
+		node interface{ Name() string }
+	}{{"root", root}, {"mid", mid}, {"dst", dst}} {
+		_ = n
+	}
+	if load.Of(root) != queries || load.Of(mid) != queries || load.Of(dst) != queries {
+		t.Errorf("loads = %d/%d/%d, want %d each",
+			load.Of(root), load.Of(mid), load.Of(dst), queries)
+	}
+	if load.Nodes() != 3 {
+		t.Errorf("Nodes = %d, want 3 (pure hierarchical path)", load.Nodes())
+	}
+	if load.Total() != 3*queries {
+		t.Errorf("Total = %d", load.Total())
+	}
+	hot := load.Hottest(2)
+	if len(hot) != 2 {
+		t.Fatalf("Hottest returned %d", len(hot))
+	}
+	if load.Of(hot[0]) < load.Of(hot[1]) {
+		t.Error("Hottest not sorted")
+	}
+	h := load.Histogram()
+	if h.CountOf(queries) != 3 {
+		t.Errorf("histogram: %v", h)
+	}
+}
+
+func TestLoadTrackerUnderAttackSpreadsWork(t *testing.T) {
+	tr := buildTree(t, 30, 4)
+	s := buildSystem(t, tr, Config{K: 3, Seed: 43})
+	mid, _ := tr.Lookup("l1-7")
+	s.SetAlive(mid, false)
+	s.Repair()
+	load := NewLoadTracker()
+	rng := xrand.New(44)
+	const queries = 300
+	for i := 0; i < queries; i++ {
+		res, err := s.Query("l2-2.l1-7", QueryOptions{Rng: rng, Load: load})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != QueryDelivered {
+			t.Fatalf("query %d: %v", i, res.Outcome)
+		}
+	}
+	// The detour spreads work across many overlay members: far more than
+	// the 3 nodes of the healthy path, and the dead node carries none.
+	if load.Nodes() <= 3 {
+		t.Errorf("detour touched only %d nodes", load.Nodes())
+	}
+	if load.Of(mid) != 0 {
+		t.Errorf("dead node carried %d queries", load.Of(mid))
+	}
+	if load.Hottest(0) != nil && len(load.Hottest(0)) != 0 {
+		t.Error("Hottest(0) should be empty")
+	}
+	if got := load.Hottest(10_000); len(got) != load.Nodes() {
+		t.Errorf("Hottest over-ask = %d, want %d", len(got), load.Nodes())
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/xrand"
+)
+
+// meshSystem builds a hierarchy where one node has a secondary parent and
+// wraps it in an HOURS system.
+func meshSystem(t *testing.T, seed uint64) (*System, *hierarchy.Node, *hierarchy.Node, *hierarchy.Node) {
+	t.Helper()
+	tr := hierarchy.New()
+	a, err := tr.AddChild(tr.Root(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.AddChild(tr.Root(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meshed *hierarchy.Node
+	for i := 0; i < 8; i++ {
+		c, err := tr.AddChild(a, fmt.Sprintf("ca%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 3 {
+			meshed = c
+		}
+		if _, err := tr.AddChild(b, fmt.Sprintf("cb%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.AddSecondaryParent(meshed, b); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(tr, Config{K: 2, Q: 3, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, a, b, meshed
+}
+
+func TestMeshOverlayIncludesAdoptedMember(t *testing.T) {
+	sys, a, b, meshed := meshSystem(t, 1)
+	ovA := sys.Overlay(a)
+	ovB := sys.Overlay(b)
+	if ovA == nil || ovB == nil {
+		t.Fatal("missing overlays")
+	}
+	if ovA.Size() != 8 || ovB.Size() != 9 {
+		t.Fatalf("overlay sizes = %d, %d; want 8 and 9", ovA.Size(), ovB.Size())
+	}
+	_ = meshed
+}
+
+func TestMeshFailurePropagatesToBothOverlays(t *testing.T) {
+	sys, a, b, meshed := meshSystem(t, 2)
+	// Build both overlays, then kill the meshed node: both rings must
+	// see the failure.
+	ovA := sys.Overlay(a)
+	ovB := sys.Overlay(b)
+	sys.SetAlive(meshed, false)
+	idxA, okA := a.IndexOfChild(meshed)
+	idxB, okB := b.IndexOfChild(meshed)
+	if !okA || !okB {
+		t.Fatal("mesh member missing from a ring")
+	}
+	if ovA.Alive(idxA) {
+		t.Error("primary overlay did not see the failure")
+	}
+	if ovB.Alive(idxB) {
+		t.Error("secondary overlay did not see the failure")
+	}
+	sys.SetAlive(meshed, true)
+	if !ovA.Alive(idxA) || !ovB.Alive(idxB) {
+		t.Error("revival did not propagate to both overlays")
+	}
+}
+
+func TestMeshQueriesStillResolve(t *testing.T) {
+	sys, a, _, _ := meshSystem(t, 3)
+	sys.SetAlive(a, false)
+	sys.Repair()
+	rng := xrand.New(4)
+	for i := 0; i < 50; i++ {
+		res, err := sys.Query("ca5.a", QueryOptions{Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != QueryDelivered {
+			t.Fatalf("mesh query %d: %v", i, res.Outcome)
+		}
+	}
+}

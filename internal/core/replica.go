@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hierarchy"
+)
+
+// Server replication (§7 "Server Replication"): a pointer to a replicated
+// node stores the addresses of all its replica servers, and a query
+// forwarded over that pointer reaches any alive replica. In the simulator
+// this folds into node liveness: a replicated node is in service while at
+// least one replica survives, so the attacker must shut down every replica
+// to take the node off the overlay.
+
+// replicaState tracks one node's replica set.
+type replicaState struct {
+	total int
+	down  map[int]bool
+}
+
+// SetReplicas declares that node n is served by count replica servers
+// (count >= 1; 1 is the unreplicated default). Calling it resets any
+// per-replica failures.
+func (s *System) SetReplicas(n *hierarchy.Node, count int) error {
+	if n == nil {
+		return fmt.Errorf("core: SetReplicas on nil node")
+	}
+	if count < 1 {
+		return fmt.Errorf("core: replica count %d, want >= 1", count)
+	}
+	if s.replicas == nil {
+		s.replicas = make(map[*hierarchy.Node]*replicaState)
+	}
+	s.replicas[n] = &replicaState{total: count, down: make(map[int]bool)}
+	s.SetAlive(n, true)
+	return nil
+}
+
+// Replicas returns the node's replica count (1 when never set).
+func (s *System) Replicas(n *hierarchy.Node) int {
+	if st, ok := s.replicas[n]; ok {
+		return st.total
+	}
+	return 1
+}
+
+// AliveReplicas returns how many of the node's replicas are in service.
+func (s *System) AliveReplicas(n *hierarchy.Node) int {
+	st, ok := s.replicas[n]
+	if !ok {
+		if s.Alive(n) {
+			return 1
+		}
+		return 0
+	}
+	return st.total - len(st.down)
+}
+
+// SetReplicaAlive marks one replica of n up or down. The node leaves the
+// overlay only when its last replica falls and rejoins when any replica
+// recovers; SetAlive(n, false) remains the "all replicas down" shorthand.
+func (s *System) SetReplicaAlive(n *hierarchy.Node, replica int, up bool) error {
+	st, ok := s.replicas[n]
+	if !ok {
+		return fmt.Errorf("core: node %s has no declared replicas; call SetReplicas first", n.Name())
+	}
+	if replica < 0 || replica >= st.total {
+		return fmt.Errorf("core: replica %d outside [0,%d)", replica, st.total)
+	}
+	if up {
+		delete(st.down, replica)
+	} else {
+		st.down[replica] = true
+	}
+	s.SetAlive(n, st.total-len(st.down) > 0)
+	return nil
+}

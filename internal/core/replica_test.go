@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestReplicaValidation(t *testing.T) {
+	tr := buildTree(t, 5, 2)
+	s := buildSystem(t, tr, Config{K: 2, Seed: 1})
+	n, _ := tr.Lookup("l1-0")
+	if err := s.SetReplicas(nil, 2); err == nil {
+		t.Error("nil node: want error")
+	}
+	if err := s.SetReplicas(n, 0); err == nil {
+		t.Error("count 0: want error")
+	}
+	if err := s.SetReplicaAlive(n, 0, false); err == nil {
+		t.Error("no declared replicas: want error")
+	}
+	if err := s.SetReplicas(n, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetReplicaAlive(n, 3, false); err == nil {
+		t.Error("replica index out of range: want error")
+	}
+	if err := s.SetReplicaAlive(n, -1, false); err == nil {
+		t.Error("negative replica: want error")
+	}
+}
+
+func TestReplicaLivenessFolding(t *testing.T) {
+	tr := buildTree(t, 5, 2)
+	s := buildSystem(t, tr, Config{K: 2, Seed: 2})
+	n, _ := tr.Lookup("l1-1")
+	if got := s.Replicas(n); got != 1 {
+		t.Errorf("default replicas = %d", got)
+	}
+	if err := s.SetReplicas(n, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Replicas(n); got != 3 {
+		t.Errorf("replicas = %d", got)
+	}
+	if got := s.AliveReplicas(n); got != 3 {
+		t.Errorf("alive replicas = %d", got)
+	}
+	// Killing two of three replicas keeps the node in service.
+	if err := s.SetReplicaAlive(n, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetReplicaAlive(n, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Alive(n) || s.AliveReplicas(n) != 1 {
+		t.Errorf("node down with one replica alive: alive=%v n=%d", s.Alive(n), s.AliveReplicas(n))
+	}
+	// The last replica takes the node off the overlay.
+	if err := s.SetReplicaAlive(n, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if s.Alive(n) || s.AliveReplicas(n) != 0 {
+		t.Error("node still up with zero replicas")
+	}
+	// Any replica recovering brings it back.
+	if err := s.SetReplicaAlive(n, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Alive(n) {
+		t.Error("node did not recover with a replica")
+	}
+}
+
+func TestAliveReplicasUnreplicated(t *testing.T) {
+	tr := buildTree(t, 3, 1)
+	s := buildSystem(t, tr, Config{Seed: 3})
+	n, _ := tr.Lookup("l1-2")
+	if got := s.AliveReplicas(n); got != 1 {
+		t.Errorf("unreplicated alive = %d", got)
+	}
+	s.SetAlive(n, false)
+	if got := s.AliveReplicas(n); got != 0 {
+		t.Errorf("dead unreplicated alive = %d", got)
+	}
+}
+
+// TestReplicationStrengthensResilience reproduces the §7 claim: with the
+// on-path intermediate replicated 3x, an attacker who can down only two
+// servers cannot break hierarchical forwarding at all.
+func TestReplicationStrengthensResilience(t *testing.T) {
+	tr := buildTree(t, 6, 4)
+	s := buildSystem(t, tr, Config{K: 2, Seed: 4})
+	mid, _ := tr.Lookup("l1-3")
+	if err := s.SetReplicas(mid, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetReplicaAlive(mid, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetReplicaAlive(mid, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(5)
+	res, err := s.Query("l2-1.l1-3", QueryOptions{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != QueryDelivered || res.UsedOverlay {
+		t.Errorf("replicated node should keep pure hierarchical forwarding: %+v", res)
+	}
+}

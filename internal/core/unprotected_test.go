@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestUnprotectedBaselineDominoEffect verifies the Figure 1 baseline: with
+// overlays disabled, a single dead ancestor denies the entire subtree,
+// while the HOURS-protected system keeps delivering.
+func TestUnprotectedBaselineDominoEffect(t *testing.T) {
+	tr := buildTree(t, 8, 5, 3)
+	unprotected := buildSystem(t, tr, Config{K: 3, Seed: 61, DisableOverlays: true})
+	protected := buildSystem(t, tr, Config{K: 3, Seed: 61})
+
+	const dstName = "l3-1.l2-2.l1-4"
+	mid, _ := tr.Lookup("l1-4")
+	for _, s := range []*System{unprotected, protected} {
+		s.SetAlive(mid, false)
+		s.Repair()
+	}
+	rng := xrand.New(62)
+	resU, err := unprotected.Query(dstName, QueryOptions{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resU.Outcome != QueryFailed {
+		t.Errorf("unprotected query = %v, want failed (domino effect)", resU.Outcome)
+	}
+	resP, err := protected.Query(dstName, QueryOptions{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resP.Outcome != QueryDelivered {
+		t.Errorf("protected query = %v, want delivered", resP.Outcome)
+	}
+}
+
+func TestUnprotectedHealthyPathIdentical(t *testing.T) {
+	tr := buildTree(t, 5, 4)
+	s := buildSystem(t, tr, Config{Seed: 63, DisableOverlays: true})
+	rng := xrand.New(64)
+	res, err := s.Query("l2-3.l1-2", QueryOptions{Rng: rng, TracePath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != QueryDelivered || res.Hops != 2 || res.UsedOverlay {
+		t.Errorf("healthy unprotected query = %+v", res)
+	}
+	if len(res.Path) != 3 {
+		t.Errorf("path = %v", res.Path)
+	}
+	// Insiders still drop.
+	mid, _ := tr.Lookup("l1-2")
+	s.SetCompromised(mid, true)
+	res, err = s.Query("l2-3.l1-2", QueryOptions{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != QueryDropped {
+		t.Errorf("insider on unprotected path = %v", res.Outcome)
+	}
+}

@@ -1,0 +1,124 @@
+// Package des is a small discrete-event simulation engine used to study
+// the timing behavior of the HOURS maintenance protocols: probe phases,
+// failure-detection latency, and recovery convergence (§4.3 describes the
+// protocol in units of probing periods; the engine lets us measure the
+// distribution of those delays instead of hand-waving them).
+//
+// Time is a float64 in arbitrary units (the recovery experiment uses
+// probing periods). Events scheduled for the same instant fire in
+// scheduling order, which keeps runs deterministic.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Sim is one simulation run. The zero value is ready to use.
+type Sim struct {
+	now    float64
+	nextID uint64
+	queue  eventQueue
+}
+
+// event is one scheduled callback.
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+// eventQueue is a min-heap ordered by (time, scheduling sequence).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		panic("des: push of non-event")
+	}
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Pending returns the number of scheduled events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// At schedules fn at absolute time t, which must not be in the past.
+func (s *Sim) At(t float64, fn func()) error {
+	if t < s.now {
+		return fmt.Errorf("des: schedule at %v before now %v", t, s.now)
+	}
+	if fn == nil {
+		return fmt.Errorf("des: schedule nil callback")
+	}
+	heap.Push(&s.queue, &event{at: t, seq: s.nextID, fn: fn})
+	s.nextID++
+	return nil
+}
+
+// After schedules fn d time units from now (d >= 0).
+func (s *Sim) After(d float64, fn func()) error {
+	return s.At(s.now+d, fn)
+}
+
+// Step fires the next event. It reports false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	ev, ok := heap.Pop(&s.queue).(*event)
+	if !ok {
+		panic("des: queue held non-event")
+	}
+	s.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains or the next event lies beyond
+// until. It returns the number of events fired. Callbacks may schedule
+// further events.
+func (s *Sim) Run(until float64) int {
+	fired := 0
+	for len(s.queue) > 0 && s.queue[0].at <= until {
+		s.Step()
+		fired++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return fired
+}
+
+// RunAll fires every event (including newly scheduled ones) until the
+// queue drains, with a safety cap to catch runaway self-scheduling loops.
+// It returns the number fired and whether the cap was hit.
+func (s *Sim) RunAll(capEvents int) (int, bool) {
+	fired := 0
+	for len(s.queue) > 0 {
+		if fired >= capEvents {
+			return fired, true
+		}
+		s.Step()
+		fired++
+	}
+	return fired, false
+}

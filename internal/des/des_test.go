@@ -1,0 +1,150 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleValidation(t *testing.T) {
+	var s Sim
+	if err := s.At(-1, func() {}); err == nil {
+		t.Error("past event: want error")
+	}
+	if err := s.At(1, nil); err == nil {
+		t.Error("nil callback: want error")
+	}
+	if err := s.After(-0.5, func() {}); err == nil {
+		t.Error("negative delay: want error")
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	var s Sim
+	var order []int
+	add := func(at float64, id int) {
+		if err := s.At(at, func() { order = append(order, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(3, 3)
+	add(1, 1)
+	add(2, 2)
+	add(1, 10) // same time as id 1: fires after it (scheduling order)
+	fired := s.Run(10)
+	if fired != 4 {
+		t.Fatalf("fired %d events", fired)
+	}
+	want := []int{1, 10, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 10 {
+		t.Errorf("Now = %v, want advanced to until", s.Now())
+	}
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	var s Sim
+	hits := 0
+	for _, at := range []float64{1, 2, 3, 4} {
+		if err := s.At(at, func() { hits++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fired := s.Run(2.5); fired != 2 || hits != 2 {
+		t.Errorf("fired=%d hits=%d, want 2", fired, hits)
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	if fired := s.Run(100); fired != 2 || hits != 4 {
+		t.Errorf("second run fired=%d hits=%d", fired, hits)
+	}
+}
+
+func TestCallbacksScheduleMore(t *testing.T) {
+	var s Sim
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			if err := s.After(1, tick); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := s.At(0, tick); err != nil {
+		t.Fatal(err)
+	}
+	fired, capped := s.RunAll(100)
+	if capped || fired != 5 || count != 5 {
+		t.Errorf("fired=%d capped=%v count=%d", fired, capped, count)
+	}
+	if s.Now() != 4 {
+		t.Errorf("Now = %v, want 4", s.Now())
+	}
+}
+
+func TestRunAllCap(t *testing.T) {
+	var s Sim
+	var loop func()
+	loop = func() {
+		if err := s.After(1, loop); err != nil {
+			t.Error(err)
+		}
+	}
+	if err := s.At(0, loop); err != nil {
+		t.Fatal(err)
+	}
+	fired, capped := s.RunAll(50)
+	if !capped || fired != 50 {
+		t.Errorf("fired=%d capped=%v, want cap at 50", fired, capped)
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	var s Sim
+	if s.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// scheduling order.
+func TestMonotoneTimeProperty(t *testing.T) {
+	f := func(timesRaw []uint16) bool {
+		var s Sim
+		var fired []float64
+		for _, tr := range timesRaw {
+			at := float64(tr % 1000)
+			if err := s.At(at, func() { fired = append(fired, s.Now()) }); err != nil {
+				return false
+			}
+		}
+		s.Run(1e9)
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(timesRaw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var s Sim
+		for j := 0; j < 1000; j++ {
+			if err := s.At(float64(j%97), func() {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Run(100)
+	}
+}

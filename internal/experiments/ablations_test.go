@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblationQ(t *testing.T) {
+	tab, err := AblationQ(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tab.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Failure rate must (weakly) decrease with q and roughly track
+	// alpha^q.
+	var prev float64 = 2
+	for _, row := range rows {
+		var rate, bound float64
+		if _, err := parseFloat(row[1], &rate); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parseFloat(row[2], &bound); err != nil {
+			t.Fatal(err)
+		}
+		if rate > prev+0.1 {
+			t.Errorf("failure rate not decreasing in q: %v", rows)
+		}
+		prev = rate
+	}
+	// With q=8 at alpha=0.5, failures should be negligible.
+	var last float64
+	if _, err := parseFloat(rows[len(rows)-1][1], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last > 0.05 {
+		t.Errorf("q=8 failure rate = %v, want ~alpha^8", last)
+	}
+}
+
+func TestAblationK(t *testing.T) {
+	tab, err := AblationK(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tab.Rows()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Entries grow with k; simulated success tracks analytic within MC
+	// noise and grows with k.
+	var prevEntries, prevP float64 = -1, -1
+	for _, row := range rows {
+		var entries, sim, ana float64
+		if _, err := parseFloat(row[1], &entries); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parseFloat(row[2], &sim); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parseFloat(row[3], &ana); err != nil {
+			t.Fatal(err)
+		}
+		if entries <= prevEntries {
+			t.Errorf("entries not increasing in k: %v", rows)
+		}
+		if sim < prevP-0.12 {
+			t.Errorf("success decreasing in k: %v", rows)
+		}
+		if d := sim - ana; d > 0.2 || d < -0.2 {
+			t.Errorf("k row %v: sim %v vs analytic %v", row[0], sim, ana)
+		}
+		prevEntries, prevP = entries, sim
+	}
+}
+
+func TestAblationChurn(t *testing.T) {
+	tab, err := AblationChurn(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tab.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var repairOnly, withRegen float64
+	if _, err := parseFloat(rows[0][1], &repairOnly); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseFloat(rows[1][1], &withRegen); err != nil {
+		t.Fatal(err)
+	}
+	if repairOnly < 0.5 || withRegen < 0.5 {
+		t.Errorf("churn delivery implausibly low: %v / %v", repairOnly, withRegen)
+	}
+	if withRegen < repairOnly-0.05 {
+		t.Errorf("regeneration hurt delivery: %v vs %v", withRegen, repairOnly)
+	}
+}
+
+func TestAblationCaching(t *testing.T) {
+	tab, err := AblationCaching(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tab.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	hit := map[string]float64{}
+	for _, row := range rows {
+		var h float64
+		if _, err := parseFloat(row[2], &h); err != nil {
+			t.Fatal(err)
+		}
+		hit[row[0]+"/"+row[1]] = h
+		var delivery float64
+		if _, err := parseFloat(row[3], &delivery); err != nil {
+			t.Fatal(err)
+		}
+		if delivery < 0.999 {
+			t.Errorf("caching ablation delivery %v < 1 (row %v)", delivery, row)
+		}
+	}
+	if hit["zipf/alive"] <= hit["uniform/alive"] {
+		t.Errorf("zipf hit ratio %v not above uniform %v", hit["zipf/alive"], hit["uniform/alive"])
+	}
+}

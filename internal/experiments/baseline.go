@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/metrics"
+	"repro/internal/xrand"
+)
+
+// Baseline quantifies the paper's motivating Figure 1: the same hierarchy
+// and the same single-ancestor ("weakest link") attack, with and without
+// HOURS. Without overlays, one dead level-1 node denies its entire
+// subtree; with HOURS, delivery stays complete at a small hop premium.
+func Baseline(opts Options) (*metrics.Table, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	queries := opts.scaled(20_000, 1_000)
+
+	tr, err := hierarchy.Generate([]hierarchy.LevelSpec{
+		{Prefix: "l1-", Fanout: 50},
+		{Prefix: "l2-", Fanout: 10},
+		{Prefix: "l3-", Fanout: 3},
+	})
+	if err != nil {
+		return nil, err
+	}
+	dst, ok := tr.Lookup("l3-1.l2-4.l1-20")
+	if !ok {
+		return nil, errMissingFixture("l3-1.l2-4.l1-20")
+	}
+
+	tab := metrics.NewTable(
+		"Figure 1 baseline: weakest-link attack with and without HOURS",
+		"system", "attack", "delivery", "avg_hops",
+	)
+	for _, cfg := range []struct {
+		name     string
+		disabled bool
+	}{
+		{"unprotected hierarchy", true},
+		{"hours (enhanced k=5)", false},
+	} {
+		for _, attacked := range []bool{false, true} {
+			sys, err := core.New(tr, core.Config{
+				K: 5, Q: 10, Seed: opts.Seed, DisableOverlays: cfg.disabled,
+			})
+			if err != nil {
+				return nil, err
+			}
+			label := "none"
+			if attacked {
+				label = "level-1 ancestor"
+				camp, err := attack.WeakestLink(dst, 1)
+				if err != nil {
+					return nil, err
+				}
+				if err := camp.Execute(sys); err != nil {
+					return nil, err
+				}
+			}
+			rng := xrand.Derive(opts.Seed, 0xb5)
+			tracker := metrics.NewDeliveryTracker()
+			hops := metrics.NewSummary()
+			for i := 0; i < queries; i++ {
+				res, err := sys.QueryNode(dst, core.QueryOptions{Rng: rng})
+				if err != nil {
+					return nil, err
+				}
+				ok := res.Outcome == core.QueryDelivered
+				tracker.Record(ok)
+				if ok {
+					hops.Observe(float64(res.Hops))
+				}
+			}
+			tab.AddRow(cfg.name, label, tracker.Ratio(), hops.Mean())
+		}
+	}
+	tab.AddNote("the §1 domino effect: one dead ancestor zeroes the unprotected subtree; HOURS pays a few extra hops instead")
+	return tab, nil
+}
+
+// errMissingFixture reports a broken experiment fixture.
+type fixtureError struct{ name string }
+
+func (e *fixtureError) Error() string { return "experiments: missing fixture node " + e.name }
+
+func errMissingFixture(name string) error { return &fixtureError{name: name} }

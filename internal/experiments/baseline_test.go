@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+func TestBaseline(t *testing.T) {
+	tab, err := Baseline(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tab.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(system, attacked string) float64 {
+		for _, row := range rows {
+			if row[0] == system && row[1] == attacked {
+				var v float64
+				if _, err := parseFloat(row[2], &v); err != nil {
+					t.Fatal(err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("row %s/%s missing", system, attacked)
+		return 0
+	}
+	if d := get("unprotected hierarchy", "none"); d != 1 {
+		t.Errorf("unprotected healthy delivery = %v", d)
+	}
+	if d := get("unprotected hierarchy", "level-1 ancestor"); d != 0 {
+		t.Errorf("unprotected attacked delivery = %v, want 0 (domino effect)", d)
+	}
+	if d := get("hours (enhanced k=5)", "level-1 ancestor"); d < 0.999 {
+		t.Errorf("protected attacked delivery = %v, want 1", d)
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+func TestAblationEntrance(t *testing.T) {
+	opts := quickOpts()
+	opts.Scale = 0.1
+	tab, err := AblationEntrance(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tab.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		var delivery float64
+		if _, err := parseFloat(row[2], &delivery); err != nil {
+			t.Fatal(err)
+		}
+		if delivery < 0.99 {
+			t.Errorf("delivery %v < 1 under either policy (row %v)", delivery, row)
+		}
+	}
+	// The two policies must both produce finite detours; the measured
+	// finding (random-child <= CCW-survivor on average) is allowed to
+	// fluctuate at tiny scales, so assert only sanity bounds here.
+	for _, row := range rows {
+		var hops float64
+		if _, err := parseFloat(row[3], &hops); err != nil {
+			t.Fatal(err)
+		}
+		if hops <= 0 || hops > 1000 {
+			t.Errorf("implausible hop count %v (row %v)", hops, row)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/overlay"
+)
+
+// errUndelivered reports a query that failed in a configuration where
+// delivery is guaranteed — always an implementation bug, surfaced loudly.
+func errUndelivered(src, dst int, outcome overlay.Outcome) error {
+	return fmt.Errorf("experiments: query %d->%d ended %v in a healthy overlay", src, dst, outcome)
+}

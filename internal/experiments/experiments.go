@@ -1,0 +1,146 @@
+// Package experiments regenerates every table and figure of the HOURS
+// paper's evaluation (§5 Figure 4; §6 Figures 5-10; the §4 design
+// comparison table) plus the Theorem 5 insider experiment and the Chord
+// contrast of §5.2. Each experiment returns a metrics.Table whose rows are
+// the series the paper plots, annotated with the paper's reported values
+// where it states them, so EXPERIMENTS.md can record paper-vs-measured
+// side by side.
+//
+// All experiments are deterministic given Options.Seed and scale with
+// Options.Scale so the same code serves full paper-fidelity runs, CI
+// tests, and benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Seed drives every random choice. Equal options give equal tables.
+	Seed uint64
+	// Scale in (0, 1] shrinks workload sizes (query counts, Monte-Carlo
+	// instances, sweep ceilings) proportionally. 1.0 reproduces the
+	// paper's published parameters. Zero defaults to 1.0.
+	Scale float64
+	// Parallelism caps worker goroutines for Monte-Carlo sweeps. Zero
+	// defaults to GOMAXPROCS.
+	Parallelism int
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Scale < 0 || o.Scale > 1 {
+		return o, fmt.Errorf("experiments: scale %v outside (0, 1]", o.Scale)
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism < 1 {
+		return o, fmt.Errorf("experiments: parallelism %d, want >= 1", o.Parallelism)
+	}
+	return o, nil
+}
+
+// scaled returns max(lo, round(v*scale)).
+func (o Options) scaled(v int, lo int) int {
+	s := int(float64(v) * o.Scale)
+	if s < lo {
+		return lo
+	}
+	return s
+}
+
+// Runner regenerates one experiment.
+type Runner struct {
+	// Name is the CLI identifier (e.g. "fig4").
+	Name string
+	// Title describes the experiment.
+	Title string
+	// Run produces the experiment's table.
+	Run func(Options) (*metrics.Table, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Runner {
+	return []Runner{
+		{"baseline", "Figure 1 baseline: weakest-link attack with and without HOURS", Baseline},
+		{"table-design", "§4 base vs enhanced design state comparison", DesignTable},
+		{"fig4", "Figure 4: intra-overlay success vs attack density (analysis + simulation)", Figure4},
+		{"fig5", "Figure 5: routing table size distribution (N=50,000)", Figure5},
+		{"fig6", "Figure 6: forwarding path length distribution (N=50,000, 1M queries)", Figure6},
+		{"fig7", "Figure 7: average path length vs overlay size (500..2,000,000)", Figure7},
+		{"fig8", "Figure 8: load balancing across nodes (N=50,000)", Figure8},
+		{"fig9", "Figure 9: forwarding hops under random attacks (4-level hierarchy)", Figure9},
+		{"fig10", "Figure 10: forwarding hops under neighbor attacks (4-level hierarchy)", Figure10},
+		{"thm5", "Theorem 5: insider query-dropping damage vs index distance", Theorem5Insider},
+		{"chord", "§5.2 contrast: targeted pointer attack on Chord vs HOURS", ChordContrast},
+		{"ablation-q", "Ablation: nephew fan-out q vs inter-overlay failure (alpha^q)", AblationQ},
+		{"ablation-k", "Ablation: redundancy k vs state and resilience", AblationK},
+		{"ablation-churn", "Ablation: churn with/without periodic table regeneration (§7)", AblationChurn},
+		{"ablation-caching", "Ablation: client caching under Zipf vs uniform queries (§7)", AblationCaching},
+		{"ablation-recovery", "Ablation: active-recovery latency vs gap size (discrete-event sim)", AblationRecoveryLatency},
+		{"ablation-replication", "Ablation: server replication x HOURS under a fixed attack budget (§7)", AblationReplication},
+		{"ablation-entrance", "Ablation: overlay entrance policy (Alg. 2 line 6 vs footnote 4)", AblationEntrance},
+	}
+}
+
+// ByName returns the runner with the given name.
+func ByName(name string) (Runner, bool) {
+	for _, r := range All() {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// forEachParallel runs fn(i) for i in [0, n) on up to parallelism workers
+// and returns the first error.
+func forEachParallel(n, parallelism int, fn func(i int) error) error {
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		err  error
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			if err != nil || next >= n {
+				mu.Unlock()
+				return
+			}
+			i := next
+			next++
+			mu.Unlock()
+			if e := fn(i); e != nil {
+				mu.Lock()
+				if err == nil {
+					err = e
+				}
+				mu.Unlock()
+				return
+			}
+		}
+	}
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go worker()
+	}
+	wg.Wait()
+	return err
+}

@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickOpts shrinks every experiment enough for CI while keeping the
+// statistical claims checkable.
+func quickOpts() Options {
+	return Options{Seed: 7, Scale: 0.01}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := Figure5(Options{Scale: -1}); err == nil {
+		t.Error("negative scale: want error")
+	}
+	if _, err := Figure5(Options{Scale: 2}); err == nil {
+		t.Error("scale > 1: want error")
+	}
+	if _, err := Figure5(Options{Parallelism: -3, Scale: 0.01}); err == nil {
+		t.Error("negative parallelism: want error")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 18 {
+		t.Fatalf("registry has %d runners, want 18", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, r := range all {
+		if r.Name == "" || r.Title == "" || r.Run == nil {
+			t.Errorf("incomplete runner %+v", r)
+		}
+		if seen[r.Name] {
+			t.Errorf("duplicate runner name %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	if _, ok := ByName("fig4"); !ok {
+		t.Error("ByName(fig4) not found")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) should not resolve")
+	}
+}
+
+func TestDesignTable(t *testing.T) {
+	tab, err := DesignTable(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{"sibling pointers", "nephew pointers", "active recovery"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("design table missing %q:\n%s", want, out)
+		}
+	}
+	// The enhanced sibling-pointer mean must be roughly k=5 times the
+	// base mean.
+	rows := tab.Rows()
+	var baseMean, enhMean float64
+	if _, err := parseFloat(rows[0][1], &baseMean); err != nil {
+		t.Fatalf("parse base mean %q: %v", rows[0][1], err)
+	}
+	if _, err := parseFloat(rows[0][2], &enhMean); err != nil {
+		t.Fatalf("parse enhanced mean %q: %v", rows[0][2], err)
+	}
+	if ratio := enhMean / baseMean; ratio < 3.5 || ratio > 6.5 {
+		t.Errorf("enhanced/base sibling ratio = %.2f, want ≈ 5", ratio)
+	}
+}
+
+func TestFigure4ShapeClaims(t *testing.T) {
+	opts := quickOpts()
+	opts.Scale = 0.15 // enough Monte-Carlo instances to resolve the shape
+	tab, err := Figure4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index rows by (attack, k, alpha).
+	type key struct {
+		attack string
+		k      string
+		alpha  string
+	}
+	sim := make(map[key]float64)
+	ana := make(map[key]float64)
+	for _, row := range tab.Rows() {
+		k := key{row[0], row[1], row[2]}
+		var a, s float64
+		if _, err := parseFloat(row[3], &a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parseFloat(row[4], &s); err != nil {
+			t.Fatal(err)
+		}
+		ana[k], sim[k] = a, s
+	}
+	// Claim 1: random attack at 50% density, k=5 — near-perfect.
+	if got := sim[key{"random", "5", "0.5"}]; got < 0.95 {
+		t.Errorf("random k=5 alpha=0.5 simulated P = %v, want > 0.95", got)
+	}
+	// Claim 2: neighbor attack does at least as much damage as random.
+	if n, r := sim[key{"neighbor", "5", "0.8"}], sim[key{"random", "5", "0.8"}]; n > r+0.1 {
+		t.Errorf("neighbor attack weaker than random at alpha=0.8: %v vs %v", n, r)
+	}
+	// Claim 3: k=10 beats k=5 under neighbor attack at 90%.
+	if k10, k5 := sim[key{"neighbor", "10", "0.9"}], sim[key{"neighbor", "5", "0.9"}]; k10 < k5-0.05 {
+		t.Errorf("k=10 (%v) not better than k=5 (%v) at alpha=0.9", k10, k5)
+	}
+	// Claim 4: simulation tracks analysis within Monte-Carlo noise.
+	for k, a := range ana {
+		if d := a - sim[k]; d > 0.18 || d < -0.18 {
+			t.Errorf("%v: analysis %v vs simulation %v", k, a, sim[k])
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	tab, err := Figure5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() == 0 {
+		t.Fatal("empty table")
+	}
+	out := tab.String()
+	if !strings.Contains(out, "base") || !strings.Contains(out, "enhanced k=5") {
+		t.Errorf("figure 5 missing designs:\n%s", out)
+	}
+}
+
+func TestFigure6MeansOrdering(t *testing.T) {
+	tab, err := Figure6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := meansFromSeries(t, tab, 0, 1, 2)
+	if means["enhanced k=5"] >= means["base"] {
+		t.Errorf("enhanced mean hops %.2f not below base %.2f", means["enhanced k=5"], means["base"])
+	}
+}
+
+func TestFigure7GrowthShape(t *testing.T) {
+	opts := quickOpts()
+	opts.Scale = 0.005 // sizes up to 10,000 at minimum floor
+	tab, err := Figure7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base-design means must increase with N; enhanced must stay below
+	// base at the same N.
+	base := map[string]float64{}
+	enh := map[string]float64{}
+	for _, row := range tab.Rows() {
+		var v float64
+		if _, err := parseFloat(row[2], &v); err != nil {
+			t.Fatal(err)
+		}
+		switch row[0] {
+		case "base":
+			base[row[1]] = v
+		case "enhanced k=5":
+			enh[row[1]] = v
+		}
+	}
+	if len(base) < 2 {
+		t.Fatalf("too few base sizes: %v", base)
+	}
+	if base["10000"] <= base["500"] {
+		t.Errorf("base mean hops not growing: %v", base)
+	}
+	for n, b := range base {
+		if e, ok := enh[n]; ok && e >= b {
+			t.Errorf("N=%s: enhanced %.2f >= base %.2f", n, e, b)
+		}
+	}
+}
+
+func TestFigure8Balance(t *testing.T) {
+	tab, err := Figure8(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "max/mean load") {
+		t.Errorf("figure 8 missing balance note:\n%s", out)
+	}
+}
+
+func TestFigure9DeliveryAndOrdering(t *testing.T) {
+	tab, err := Figure9(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows() {
+		var delivery float64
+		if _, err := parseFloat(row[2], &delivery); err != nil {
+			t.Fatal(err)
+		}
+		if delivery < 0.999 {
+			t.Errorf("random attack delivery %v < 100%% (row %v)", delivery, row)
+		}
+	}
+}
+
+func TestFigure10DeliveryAndGrowth(t *testing.T) {
+	tab, err := Figure10(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delivery stays 100%; hops grow with the attack size for fixed k.
+	hopsByK := map[string][]float64{}
+	for _, row := range tab.Rows() {
+		var delivery, hops float64
+		if _, err := parseFloat(row[2], &delivery); err != nil {
+			t.Fatal(err)
+		}
+		if delivery < 0.999 {
+			t.Errorf("neighbor attack delivery %v < 100%% (row %v)", delivery, row)
+		}
+		if _, err := parseFloat(row[3], &hops); err != nil {
+			t.Fatal(err)
+		}
+		hopsByK[row[0]] = append(hopsByK[row[0]], hops)
+	}
+	for k, hs := range hopsByK {
+		if len(hs) < 2 {
+			continue
+		}
+		if hs[len(hs)-1] <= hs[0] {
+			t.Errorf("k=%s: hops did not grow with attack size: %v", k, hs)
+		}
+	}
+	// k=10 should need no more hops than k=5 at the largest attack.
+	if h5, h10 := hopsByK["5"], hopsByK["10"]; len(h5) > 0 && len(h10) > 0 {
+		if h10[len(h10)-1] > h5[len(h5)-1]*1.15 {
+			t.Errorf("k=10 hops %v exceed k=5 hops %v at max attack", h10[len(h10)-1], h5[len(h5)-1])
+		}
+	}
+}
+
+func TestTheorem5Insider(t *testing.T) {
+	tab, err := Theorem5Insider(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = 2
+	for _, row := range tab.Rows() {
+		var rate, bound float64
+		if _, err := parseFloat(row[1], &rate); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parseFloat(row[2], &bound); err != nil {
+			t.Fatal(err)
+		}
+		if rate > prev+0.12 {
+			t.Errorf("drop rate not (weakly) decreasing in d: %v", tab.Rows())
+		}
+		if rate > bound*2.2+0.05 {
+			t.Errorf("drop rate %v far above Theorem 5 bound %v", rate, bound)
+		}
+		prev = rate
+	}
+}
+
+func TestChordContrast(t *testing.T) {
+	tab, err := ChordContrast(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tab.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	var chordDelivery, chordSuccDelivery, hoursDelivery float64
+	if _, err := parseFloat(rows[0][2], &chordDelivery); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseFloat(rows[1][2], &chordSuccDelivery); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseFloat(rows[2][2], &hoursDelivery); err != nil {
+		t.Fatal(err)
+	}
+	if chordDelivery != 0 {
+		t.Errorf("chord delivery under holder attack = %v, want 0", chordDelivery)
+	}
+	if chordSuccDelivery != 0 {
+		t.Errorf("successor-list chord delivery = %v, want 0 (holders still computable)", chordSuccDelivery)
+	}
+	if hoursDelivery < 0.95 {
+		t.Errorf("hours delivery with the same budget = %v, want ~1", hoursDelivery)
+	}
+}
+
+// parseFloat wraps strconv for the %.4g-formatted table cells.
+func parseFloat(s string, out *float64) (bool, error) {
+	var v float64
+	_, err := fmtSscan(s, &v)
+	if err != nil {
+		return false, err
+	}
+	*out = v
+	return true, nil
+}
+
+// meansFromSeries recomputes per-design means from (design, value, count)
+// series rows.
+func meansFromSeries(t *testing.T, tab interface{ Rows() [][]string }, designCol, valCol, cntCol int) map[string]float64 {
+	t.Helper()
+	sums := map[string]float64{}
+	counts := map[string]float64{}
+	for _, row := range tab.Rows() {
+		var v, c float64
+		if _, err := parseFloat(row[valCol], &v); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parseFloat(row[cntCol], &c); err != nil {
+			t.Fatal(err)
+		}
+		sums[row[designCol]] += v * c
+		counts[row[designCol]] += c
+	}
+	out := map[string]float64{}
+	for k := range sums {
+		out[k] = sums[k] / counts[k]
+	}
+	return out
+}

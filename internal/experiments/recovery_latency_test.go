@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+func TestAblationRecoveryLatency(t *testing.T) {
+	opts := quickOpts()
+	opts.Scale = 0.15
+	tab, err := AblationRecoveryLatency(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tab.Rows()
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 5 gaps x 2 loss rates", len(rows))
+	}
+	type rec struct {
+		mean, repairFrac float64
+	}
+	byGapLoss := map[string]rec{}
+	for _, row := range rows {
+		var mean, frac float64
+		if _, err := parseFloat(row[2], &mean); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parseFloat(row[4], &frac); err != nil {
+			t.Fatal(err)
+		}
+		byGapLoss[row[0]+"/"+row[1]] = rec{mean: mean, repairFrac: frac}
+	}
+	// Gaps below k=5 heal by conventional contact in under one period
+	// and essentially never need a Repair message.
+	small := byGapLoss["1/0"]
+	if small.mean >= 1 {
+		t.Errorf("gap=1 mean latency %v periods, want < 1", small.mean)
+	}
+	if small.repairFrac > 0.05 {
+		t.Errorf("gap=1 repair fraction %v, want ~0", small.repairFrac)
+	}
+	// Gaps at or above k always require the Repair message and land in
+	// the 1-3 period band.
+	big := byGapLoss["20/0"]
+	if big.repairFrac < 0.95 {
+		t.Errorf("gap=20 repair fraction %v, want ~1", big.repairFrac)
+	}
+	if big.mean < 1 || big.mean > 3 {
+		t.Errorf("gap=20 mean latency %v periods, want in [1,3]", big.mean)
+	}
+	// Probe loss can only slow small-gap recovery down.
+	lossy := byGapLoss["1/0.2"]
+	if lossy.mean+0.05 < small.mean {
+		t.Errorf("lossy recovery %v faster than lossless %v", lossy.mean, small.mean)
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+func TestAblationReplication(t *testing.T) {
+	opts := quickOpts()
+	opts.Scale = 0.15
+	tab, err := AblationReplication(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tab.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var prev float64 = -1
+	for _, row := range rows {
+		var delivery float64
+		if _, err := parseFloat(row[1], &delivery); err != nil {
+			t.Fatal(err)
+		}
+		if delivery < prev-0.05 {
+			t.Errorf("delivery not improving with replication: %v", rows)
+		}
+		prev = delivery
+	}
+	// The attacker's budget annihilates an unreplicated overlay (the
+	// whole sibling group fits in the budget) but not a 3x-replicated
+	// one.
+	var r1, r3 float64
+	if _, err := parseFloat(rows[0][1], &r1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseFloat(rows[2][1], &r3); err != nil {
+		t.Fatal(err)
+	}
+	if r1 > 0.1 {
+		t.Errorf("r=1 delivery %v, want ~0 (budget covers the whole overlay)", r1)
+	}
+	if r3 < 0.8 {
+		t.Errorf("r=3 delivery %v, want high", r3)
+	}
+}

@@ -1,0 +1,346 @@
+// Package hierarchy models the open service hierarchy of the HOURS paper
+// (§2): a large set of nodes organized as a tree, a unified naming space in
+// which each node manages a unique portion and delegates subsets to its
+// children, and parent-enforced admission control.
+//
+// Naming follows the DNS convention the paper draws on: a child's name is
+// its label prefixed to the parent's name ("ucla.edu" is a child of "edu"),
+// and the root's name is the empty string (displayed as "."). The name of a
+// node determines its overlay identifier via SHA-1 (idspace.FromName), so
+// topology-aware attackers can compute ring positions from public names —
+// exactly the §5 threat model.
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/idspace"
+)
+
+// AdmissionPolicy lets a parent accept or reject a joining child (§3.1:
+// "HOURS preserves the delegated management and allows for each parent to
+// enforce proper admission control"). Returning a non-nil error rejects
+// the join.
+type AdmissionPolicy func(parent *Node, label string) error
+
+// Node is one server in the service hierarchy.
+type Node struct {
+	name   string
+	label  string
+	id     idspace.ID
+	level  int
+	parent *Node
+
+	children []*Node
+	// adopted holds secondary children: nodes whose primary parent is
+	// elsewhere but that also join this node's overlay (§7 "Hierarchy
+	// with Mesh Topology").
+	adopted []*Node
+	// secondaries lists this node's secondary parents.
+	secondaries []*Node
+	// sorted caches the overlay membership (children + adopted) ordered
+	// clockwise by identifier with ring indices assigned; nil means
+	// stale.
+	sorted []*Node
+	// ringIndex is the node's index in its primary parent's overlay,
+	// valid only while that parent's sorted cache is fresh.
+	ringIndex int
+}
+
+// Name returns the node's full name ("." for the root).
+func (n *Node) Name() string {
+	if n.name == "" {
+		return "."
+	}
+	return n.name
+}
+
+// Label returns the node's own label within its parent's namespace portion.
+func (n *Node) Label() string { return n.label }
+
+// ID returns the node's position on the circular identifier space.
+func (n *Node) ID() idspace.ID { return n.id }
+
+// Level returns the node's depth; the root is level 0.
+func (n *Node) Level() int { return n.level }
+
+// Parent returns the node's parent, or nil for the root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.children) == 0 }
+
+// NumChildren returns the node's child count.
+func (n *Node) NumChildren() int { return len(n.children) }
+
+// String implements fmt.Stringer.
+func (n *Node) String() string { return n.Name() }
+
+// Children returns the node's overlay membership — its children plus any
+// adopted secondary children — sorted clockwise by identifier, the order
+// in which the parent assigns ring indices (§3.2). The returned slice is
+// shared; callers must not modify it.
+func (n *Node) Children() []*Node {
+	if n.sorted == nil {
+		n.sorted = make([]*Node, 0, len(n.children)+len(n.adopted))
+		n.sorted = append(n.sorted, n.children...)
+		n.sorted = append(n.sorted, n.adopted...)
+		sort.Slice(n.sorted, func(i, j int) bool {
+			return n.sorted[i].id.Less(n.sorted[j].id)
+		})
+		for i, c := range n.sorted {
+			// A node's cached ringIndex tracks its primary overlay
+			// only; adopted members keep theirs (use IndexOfChild for
+			// secondary rings).
+			if c.parent == n {
+				c.ringIndex = i
+			}
+		}
+	}
+	return n.sorted
+}
+
+// IndexOfChild returns c's ring index in n's overlay, whether c is a
+// primary or adopted member.
+func (n *Node) IndexOfChild(c *Node) (int, bool) {
+	kids := n.Children()
+	lo, hi := 0, len(kids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if kids[mid].id.Less(c.id) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(kids) && kids[lo] == c {
+		return lo, true
+	}
+	return 0, false
+}
+
+// SecondaryParents returns the node's secondary parents (mesh topology).
+// The returned slice is shared; callers must not modify it.
+func (n *Node) SecondaryParents() []*Node { return n.secondaries }
+
+// RingIndex returns the node's index in its parent's overlay. The root has
+// no overlay and returns 0. The parent assigns indices by sorting child
+// identifiers; HOURS' probability calculations run on these indices.
+func (n *Node) RingIndex() int {
+	if n.parent == nil {
+		return 0
+	}
+	n.parent.Children() // refresh indices if stale
+	return n.ringIndex
+}
+
+// PathFromRoot returns the top-down tree path [v_0, v_1, ..., v_l] ending
+// at n, the prescribed hierarchical forwarding path of §3.3.
+func (n *Node) PathFromRoot() []*Node {
+	depth := n.level + 1
+	path := make([]*Node, depth)
+	cur := n
+	for i := depth - 1; i >= 0; i-- {
+		path[i] = cur
+		cur = cur.parent
+	}
+	return path
+}
+
+// Tree is a service hierarchy.
+type Tree struct {
+	root      *Node
+	byName    map[string]*Node
+	admission AdmissionPolicy
+	size      int
+}
+
+// Option configures a Tree.
+type Option func(*Tree)
+
+// WithAdmission installs an admission policy consulted on every AddChild.
+func WithAdmission(p AdmissionPolicy) Option {
+	return func(t *Tree) { t.admission = p }
+}
+
+// New returns a hierarchy containing only the root node.
+func New(opts ...Option) *Tree {
+	root := &Node{name: "", label: "", id: idspace.FromName(""), level: 0}
+	t := &Tree{
+		root:   root,
+		byName: map[string]*Node{"": root},
+		size:   1,
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.root }
+
+// Size returns the total number of nodes including the root.
+func (t *Tree) Size() int { return t.size }
+
+// Lookup finds a node by full name. "." and "" both address the root.
+func (t *Tree) Lookup(name string) (*Node, bool) {
+	if name == "." {
+		name = ""
+	}
+	n, ok := t.byName[name]
+	return n, ok
+}
+
+// AddChild admits a new node with the given label under parent, enforcing
+// label validity, uniqueness within the parent, and the tree's admission
+// policy. The new node's name is label + "." + parent name (or just the
+// label under the root), and its identifier is the SHA-1 of that name.
+func (t *Tree) AddChild(parent *Node, label string) (*Node, error) {
+	if parent == nil {
+		return nil, fmt.Errorf("hierarchy: add child %q: nil parent", label)
+	}
+	if label == "" || strings.Contains(label, ".") {
+		return nil, fmt.Errorf("hierarchy: invalid label %q: must be non-empty and dot-free", label)
+	}
+	name := label
+	if parent.name != "" {
+		name = label + "." + parent.name
+	}
+	if _, exists := t.byName[name]; exists {
+		return nil, fmt.Errorf("hierarchy: node %q already exists", name)
+	}
+	if t.admission != nil {
+		if err := t.admission(parent, label); err != nil {
+			return nil, fmt.Errorf("hierarchy: admission of %q refused: %w", name, err)
+		}
+	}
+	child := &Node{
+		name:   name,
+		label:  label,
+		id:     idspace.FromName(name),
+		level:  parent.level + 1,
+		parent: parent,
+	}
+	parent.children = append(parent.children, child)
+	parent.sorted = nil // ring indices are stale
+	t.byName[name] = child
+	t.size++
+	return child, nil
+}
+
+// AddSecondaryParent adopts n into parent's overlay in addition to its
+// primary one, modeling the §7 mesh topology where a node with multiple
+// parents joins multiple overlays. The adoption adds connectivity only;
+// naming and the prescribed top-down path still follow the primary parent.
+func (t *Tree) AddSecondaryParent(n, parent *Node) error {
+	if n == nil || parent == nil {
+		return fmt.Errorf("hierarchy: mesh adoption needs both nodes")
+	}
+	if n == t.root {
+		return fmt.Errorf("hierarchy: the root cannot have parents")
+	}
+	if parent == n.parent || parent == n {
+		return fmt.Errorf("hierarchy: %q already relates to %q", n.Name(), parent.Name())
+	}
+	for _, s := range n.secondaries {
+		if s == parent {
+			return fmt.Errorf("hierarchy: %q already adopted by %q", n.Name(), parent.Name())
+		}
+	}
+	// Refuse cycles: the adopting parent must not be a descendant of n.
+	for a := parent; a != nil; a = a.parent {
+		if a == n {
+			return fmt.Errorf("hierarchy: adopting %q under its descendant %q", n.Name(), parent.Name())
+		}
+	}
+	parent.adopted = append(parent.adopted, n)
+	parent.sorted = nil
+	n.secondaries = append(n.secondaries, parent)
+	return nil
+}
+
+// Remove deletes a leaf node from the hierarchy (a departing member, §2).
+// Removing an internal node would orphan a delegated namespace portion and
+// is rejected. Secondary adoptions are detached as well.
+func (t *Tree) Remove(n *Node) error {
+	if n == nil || n == t.root {
+		return fmt.Errorf("hierarchy: cannot remove the root")
+	}
+	if !n.IsLeaf() || len(n.adopted) > 0 {
+		return fmt.Errorf("hierarchy: cannot remove internal node %q with %d children", n.Name(), len(n.children)+len(n.adopted))
+	}
+	p := n.parent
+	for i, c := range p.children {
+		if c == n {
+			p.children = append(p.children[:i], p.children[i+1:]...)
+			break
+		}
+	}
+	p.sorted = nil
+	for _, sp := range n.secondaries {
+		for i, c := range sp.adopted {
+			if c == n {
+				sp.adopted = append(sp.adopted[:i], sp.adopted[i+1:]...)
+				break
+			}
+		}
+		sp.sorted = nil
+	}
+	n.secondaries = nil
+	delete(t.byName, n.name)
+	t.size--
+	return nil
+}
+
+// Walk visits every node top-down (parents before children) and stops early
+// if fn returns false.
+func (t *Tree) Walk(fn func(*Node) bool) {
+	var rec func(*Node) bool
+	rec = func(n *Node) bool {
+		if !fn(n) {
+			return false
+		}
+		for _, c := range n.children {
+			if !rec(c) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(t.root)
+}
+
+// LevelSpec describes one level of a generated hierarchy: every node at the
+// previous level receives Fanout children labeled Prefix0..PrefixN-1.
+type LevelSpec struct {
+	Prefix string
+	Fanout int
+}
+
+// Generate builds a balanced hierarchy from per-level fanouts. It is the
+// workhorse for tests and examples; the §6.2 experiment topology (which is
+// deliberately unbalanced) is assembled by the experiments package.
+func Generate(levels []LevelSpec, opts ...Option) (*Tree, error) {
+	t := New(opts...)
+	frontier := []*Node{t.root}
+	for li, spec := range levels {
+		if spec.Fanout < 0 {
+			return nil, fmt.Errorf("hierarchy: level %d fanout %d < 0", li, spec.Fanout)
+		}
+		next := make([]*Node, 0, len(frontier)*spec.Fanout)
+		for _, parent := range frontier {
+			for c := 0; c < spec.Fanout; c++ {
+				child, err := t.AddChild(parent, fmt.Sprintf("%s%d", spec.Prefix, c))
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, child)
+			}
+		}
+		frontier = next
+	}
+	return t, nil
+}

@@ -1,0 +1,316 @@
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/idspace"
+)
+
+func TestRootProperties(t *testing.T) {
+	tr := New()
+	root := tr.Root()
+	if root.Name() != "." {
+		t.Errorf("root name = %q, want .", root.Name())
+	}
+	if root.Level() != 0 || root.Parent() != nil {
+		t.Error("root level/parent wrong")
+	}
+	if tr.Size() != 1 {
+		t.Errorf("Size = %d, want 1", tr.Size())
+	}
+	if n, ok := tr.Lookup("."); !ok || n != root {
+		t.Error("Lookup(\".\") failed")
+	}
+	if n, ok := tr.Lookup(""); !ok || n != root {
+		t.Error("Lookup(\"\") failed")
+	}
+}
+
+func TestAddChildNaming(t *testing.T) {
+	tr := New()
+	edu, err := tr.AddChild(tr.Root(), "edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edu.Name() != "edu" || edu.Level() != 1 || edu.Label() != "edu" {
+		t.Errorf("edu node = %q level %d", edu.Name(), edu.Level())
+	}
+	ucla, err := tr.AddChild(edu, "ucla")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ucla.Name() != "ucla.edu" || ucla.Level() != 2 {
+		t.Errorf("ucla node = %q level %d", ucla.Name(), ucla.Level())
+	}
+	if ucla.ID() != idspace.FromName("ucla.edu") {
+		t.Error("node ID is not SHA-1 of its full name")
+	}
+	if got, ok := tr.Lookup("ucla.edu"); !ok || got != ucla {
+		t.Error("Lookup(ucla.edu) failed")
+	}
+	if tr.Size() != 3 {
+		t.Errorf("Size = %d, want 3", tr.Size())
+	}
+	if s := fmt.Sprint(ucla); s != "ucla.edu" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestAddChildValidation(t *testing.T) {
+	tr := New()
+	if _, err := tr.AddChild(nil, "x"); err == nil {
+		t.Error("nil parent: want error")
+	}
+	if _, err := tr.AddChild(tr.Root(), ""); err == nil {
+		t.Error("empty label: want error")
+	}
+	if _, err := tr.AddChild(tr.Root(), "a.b"); err == nil {
+		t.Error("dotted label: want error")
+	}
+	if _, err := tr.AddChild(tr.Root(), "dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.AddChild(tr.Root(), "dup"); err == nil {
+		t.Error("duplicate label: want error")
+	}
+}
+
+func TestAdmissionPolicy(t *testing.T) {
+	errRefused := errors.New("refused")
+	tr := New(WithAdmission(func(parent *Node, label string) error {
+		if label == "evil" {
+			return errRefused
+		}
+		return nil
+	}))
+	if _, err := tr.AddChild(tr.Root(), "good"); err != nil {
+		t.Fatalf("good join rejected: %v", err)
+	}
+	_, err := tr.AddChild(tr.Root(), "evil")
+	if !errors.Is(err, errRefused) {
+		t.Errorf("evil join error = %v, want wrapped errRefused", err)
+	}
+	if tr.Size() != 2 {
+		t.Errorf("Size = %d, want 2 (rejected join must not mutate)", tr.Size())
+	}
+}
+
+func TestChildrenSortedByID(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		if _, err := tr.AddChild(tr.Root(), fmt.Sprintf("n%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kids := tr.Root().Children()
+	if len(kids) != 50 {
+		t.Fatalf("children = %d, want 50", len(kids))
+	}
+	for i := 1; i < len(kids); i++ {
+		if !kids[i-1].ID().Less(kids[i].ID()) {
+			t.Fatalf("children not sorted by ID at %d", i)
+		}
+	}
+	for i, c := range kids {
+		if c.RingIndex() != i {
+			t.Errorf("child %d RingIndex = %d", i, c.RingIndex())
+		}
+	}
+}
+
+func TestRingIndexInvalidationOnJoin(t *testing.T) {
+	tr := New()
+	a, err := tr.AddChild(tr.Root(), "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a.RingIndex() // force cache
+	indexBefore := a.RingIndex()
+	if indexBefore != 0 {
+		t.Fatalf("single child RingIndex = %d", indexBefore)
+	}
+	// Add more children; alpha's index must reflect the re-sorted ring.
+	for i := 0; i < 20; i++ {
+		if _, err := tr.AddChild(tr.Root(), fmt.Sprintf("m%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kids := tr.Root().Children()
+	want := -1
+	for i, c := range kids {
+		if c == a {
+			want = i
+		}
+	}
+	if got := a.RingIndex(); got != want {
+		t.Errorf("alpha RingIndex = %d, want %d", got, want)
+	}
+}
+
+func TestPathFromRoot(t *testing.T) {
+	tr := New()
+	edu, err := tr.AddChild(tr.Root(), "edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ucla, err := tr.AddChild(edu, "ucla")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := tr.AddChild(ucla, "cs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := cs.PathFromRoot()
+	wantNames := []string{".", "edu", "ucla.edu", "cs.ucla.edu"}
+	if len(path) != len(wantNames) {
+		t.Fatalf("path length %d, want %d", len(path), len(wantNames))
+	}
+	for i, n := range path {
+		if n.Name() != wantNames[i] {
+			t.Errorf("path[%d] = %q, want %q", i, n.Name(), wantNames[i])
+		}
+	}
+	rootPath := tr.Root().PathFromRoot()
+	if len(rootPath) != 1 || rootPath[0] != tr.Root() {
+		t.Error("root path wrong")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tr := New()
+	edu, err := tr.AddChild(tr.Root(), "edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ucla, err := tr.AddChild(edu, "ucla")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Remove(edu); err == nil {
+		t.Error("removing internal node: want error")
+	}
+	if err := tr.Remove(tr.Root()); err == nil {
+		t.Error("removing root: want error")
+	}
+	if err := tr.Remove(ucla); err != nil {
+		t.Fatalf("Remove(ucla): %v", err)
+	}
+	if _, ok := tr.Lookup("ucla.edu"); ok {
+		t.Error("removed node still resolvable")
+	}
+	if !edu.IsLeaf() {
+		t.Error("edu should be a leaf after removal")
+	}
+	if tr.Size() != 2 {
+		t.Errorf("Size = %d, want 2", tr.Size())
+	}
+	// The name can be re-admitted after removal.
+	if _, err := tr.AddChild(edu, "ucla"); err != nil {
+		t.Errorf("re-admission after removal failed: %v", err)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	tr, err := Generate([]LevelSpec{{"a", 3}, {"b", 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var visited []string
+	tr.Walk(func(n *Node) bool {
+		visited = append(visited, n.Name())
+		return true
+	})
+	if len(visited) != tr.Size() {
+		t.Errorf("walk visited %d nodes, tree has %d", len(visited), tr.Size())
+	}
+	if visited[0] != "." {
+		t.Errorf("walk did not start at root: %v", visited[0])
+	}
+	// Early stop.
+	count := 0
+	tr.Walk(func(n *Node) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early-stopped walk visited %d, want 3", count)
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	tr, err := Generate([]LevelSpec{{"l1-", 4}, {"l2-", 3}, {"l3-", 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 + 4 + 12 + 24 = 41.
+	if tr.Size() != 41 {
+		t.Errorf("Size = %d, want 41", tr.Size())
+	}
+	n, ok := tr.Lookup("l3-1.l2-2.l1-3")
+	if !ok {
+		t.Fatal("generated leaf not resolvable")
+	}
+	if n.Level() != 3 || !n.IsLeaf() {
+		t.Errorf("leaf level=%d isLeaf=%v", n.Level(), n.IsLeaf())
+	}
+	if _, err := Generate([]LevelSpec{{"x", -1}}); err == nil {
+		t.Error("negative fanout: want error")
+	}
+}
+
+// Property: for any generated two-level hierarchy, ring indices within each
+// sibling group are a permutation of 0..len-1 consistent with ID order.
+func TestRingIndexProperty(t *testing.T) {
+	f := func(fanRaw uint8) bool {
+		fan := int(fanRaw%40) + 1
+		tr, err := Generate([]LevelSpec{{"p", 3}, {"c", fan}})
+		if err != nil {
+			return false
+		}
+		for _, parent := range tr.Root().Children() {
+			kids := parent.Children()
+			if len(kids) != fan {
+				return false
+			}
+			for i, c := range kids {
+				if c.RingIndex() != i {
+					return false
+				}
+				if i > 0 && !kids[i-1].ID().Less(c.ID()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAddChild(b *testing.B) {
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.AddChild(tr.Root(), fmt.Sprintf("n%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChildrenSort50k(b *testing.B) {
+	tr := New()
+	for i := 0; i < 50000; i++ {
+		if _, err := tr.AddChild(tr.Root(), fmt.Sprintf("n%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Root().sorted = nil
+		_ = tr.Root().Children()
+	}
+}

@@ -1,0 +1,163 @@
+package hierarchy
+
+import (
+	"fmt"
+	"testing"
+)
+
+// meshFixture builds two level-1 parents, gives each children, and adopts
+// one of A's children into B's overlay.
+func meshFixture(t *testing.T) (*Tree, *Node, *Node, *Node) {
+	t.Helper()
+	tr := New()
+	a, err := tr.AddChild(tr.Root(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.AddChild(tr.Root(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meshed *Node
+	for i := 0; i < 6; i++ {
+		c, err := tr.AddChild(a, fmt.Sprintf("ca%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 2 {
+			meshed = c
+		}
+		if _, err := tr.AddChild(b, fmt.Sprintf("cb%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.AddSecondaryParent(meshed, b); err != nil {
+		t.Fatal(err)
+	}
+	return tr, a, b, meshed
+}
+
+func TestAddSecondaryParentValidation(t *testing.T) {
+	tr, a, b, meshed := meshFixture(t)
+	if err := tr.AddSecondaryParent(meshed, b); err == nil {
+		t.Error("duplicate adoption: want error")
+	}
+	if err := tr.AddSecondaryParent(meshed, a); err == nil {
+		t.Error("primary parent adoption: want error")
+	}
+	if err := tr.AddSecondaryParent(tr.Root(), b); err == nil {
+		t.Error("root adoption: want error")
+	}
+	if err := tr.AddSecondaryParent(nil, b); err == nil {
+		t.Error("nil node: want error")
+	}
+	if err := tr.AddSecondaryParent(meshed, meshed); err == nil {
+		t.Error("self adoption: want error")
+	}
+	// Cycle: adopting a under its own descendant.
+	if err := tr.AddSecondaryParent(a, meshed); err == nil {
+		t.Error("descendant adoption: want error")
+	}
+}
+
+func TestMeshMembership(t *testing.T) {
+	_, a, b, meshed := meshFixture(t)
+	if got := len(b.Children()); got != 7 {
+		t.Fatalf("b overlay members = %d, want 6 + adopted", got)
+	}
+	idx, ok := b.IndexOfChild(meshed)
+	if !ok {
+		t.Fatal("adopted member not indexed in b's overlay")
+	}
+	if b.Children()[idx] != meshed {
+		t.Error("IndexOfChild position wrong")
+	}
+	// The adopted member's primary ring index still refers to a's ring.
+	aIdx, ok := a.IndexOfChild(meshed)
+	if !ok {
+		t.Fatal("primary membership lost")
+	}
+	if meshed.RingIndex() != aIdx {
+		t.Errorf("RingIndex = %d, want primary index %d", meshed.RingIndex(), aIdx)
+	}
+	if got := meshed.SecondaryParents(); len(got) != 1 || got[0] != b {
+		t.Errorf("SecondaryParents = %v", got)
+	}
+	// Naming and the top-down path follow the primary parent.
+	if meshed.Parent() != a {
+		t.Error("primary parent changed")
+	}
+	path := meshed.PathFromRoot()
+	if path[1] != a {
+		t.Error("top-down path does not follow the primary parent")
+	}
+}
+
+func TestMeshRingOrderSorted(t *testing.T) {
+	_, _, b, _ := meshFixture(t)
+	kids := b.Children()
+	for i := 1; i < len(kids); i++ {
+		if !kids[i-1].ID().Less(kids[i].ID()) {
+			t.Fatalf("b's mesh overlay not sorted at %d", i)
+		}
+	}
+	for i, c := range kids {
+		got, ok := b.IndexOfChild(c)
+		if !ok || got != i {
+			t.Errorf("IndexOfChild(%s) = %d,%v want %d", c.Name(), got, ok, i)
+		}
+	}
+}
+
+func TestIndexOfChildNonMember(t *testing.T) {
+	tr, a, b, _ := meshFixture(t)
+	outsider, err := tr.AddChild(tr.Root(), "outsider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.IndexOfChild(outsider); ok {
+		t.Error("outsider indexed in a's overlay")
+	}
+	if _, ok := b.IndexOfChild(outsider); ok {
+		t.Error("outsider indexed in b's overlay")
+	}
+}
+
+func TestRemoveDetachesAdoption(t *testing.T) {
+	tr, _, b, meshed := meshFixture(t)
+	if err := tr.Remove(meshed); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.Children()); got != 6 {
+		t.Errorf("b overlay members after removal = %d, want 6", got)
+	}
+	for _, c := range b.Children() {
+		if c == meshed {
+			t.Error("removed node still adopted")
+		}
+	}
+}
+
+func TestRemoveAdopterWithAdoptedRefused(t *testing.T) {
+	tr := New()
+	a, err := tr.AddChild(tr.Root(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.AddChild(tr.Root(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tr.AddChild(a, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddSecondaryParent(c, b); err != nil {
+		t.Fatal(err)
+	}
+	// b has no primary children but hosts an adopted member: removing it
+	// would orphan the adoption.
+	if err := tr.Remove(b); err == nil {
+		t.Error("removing adopter with adopted members: want error")
+	}
+}

@@ -1,0 +1,22 @@
+package idspace
+
+import "testing"
+
+// FuzzParse hardens the hex ID parser: never panic; accepted inputs must
+// round-trip through String.
+func FuzzParse(f *testing.F) {
+	f.Add(FromName("seed").String())
+	f.Add("")
+	f.Add("zz")
+	f.Add("0000000000000000000000000000000000000000")
+	f.Fuzz(func(t *testing.T, s string) {
+		id, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(id.String())
+		if err != nil || back != id {
+			t.Fatalf("round trip failed for %q: %v", s, err)
+		}
+	})
+}

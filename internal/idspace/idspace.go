@@ -1,0 +1,130 @@
+// Package idspace implements the circular identifier space used by HOURS
+// overlays (paper §3.2).
+//
+// Each node is assigned an identifier by hashing its name with SHA-1, which
+// places it on a circular 160-bit space. Overlay neighbors, clockwise
+// ordering, and greedy routing decisions are all defined in terms of
+// clockwise distance on this circle. The package also provides the index
+// arithmetic used once a parent has sorted its children and assigned ring
+// indices (the paper's d_x(i, j) = (j - i) mod N).
+package idspace
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Size is the length of an identifier in bytes (SHA-1 output).
+const Size = 20
+
+// ID is a point on the circular identifier space, in big-endian byte order.
+// The zero value is the point 0 on the circle.
+type ID [Size]byte
+
+// FromName maps a node name to its identifier by applying SHA-1, the
+// publicly known hash function assumed by the paper.
+func FromName(name string) ID {
+	return ID(sha1.Sum([]byte(name)))
+}
+
+// FromUint64 places v on the circle by writing it into the low-order bytes.
+// It is intended for tests and simulations that want compact IDs.
+func FromUint64(v uint64) ID {
+	var id ID
+	binary.BigEndian.PutUint64(id[Size-8:], v)
+	return id
+}
+
+// Uint64 returns the low-order 64 bits of the identifier.
+func (a ID) Uint64() uint64 {
+	return binary.BigEndian.Uint64(a[Size-8:])
+}
+
+// Compare returns -1, 0, or +1 ordering identifiers as big-endian integers.
+func (a ID) Compare(b ID) int {
+	for i := 0; i < Size; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports whether a orders before b as a big-endian integer.
+func (a ID) Less(b ID) bool { return a.Compare(b) < 0 }
+
+// IsZero reports whether a is the zero point of the circle.
+func (a ID) IsZero() bool { return a == ID{} }
+
+// String renders the identifier as lowercase hex.
+func (a ID) String() string { return hex.EncodeToString(a[:]) }
+
+// Parse decodes a 40-character hex string into an ID.
+func Parse(s string) (ID, error) {
+	var id ID
+	if len(s) != 2*Size {
+		return id, fmt.Errorf("idspace: parse %q: want %d hex chars, got %d", s, 2*Size, len(s))
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return id, fmt.Errorf("idspace: parse %q: %w", s, err)
+	}
+	copy(id[:], b)
+	return id, nil
+}
+
+// Distance returns the clockwise distance from a to b on the circle, i.e.
+// (b - a) mod 2^160.
+func Distance(a, b ID) ID {
+	var d ID
+	var borrow uint16
+	for i := Size - 1; i >= 0; i-- {
+		v := uint16(b[i]) - uint16(a[i]) - borrow
+		d[i] = byte(v)
+		borrow = (v >> 8) & 1
+	}
+	return d
+}
+
+// Between reports whether x lies in the clockwise-open interval (a, b] on
+// the circle. When a == b the interval covers the whole circle except a
+// itself, matching ring-traversal semantics.
+func Between(x, a, b ID) bool {
+	if a == b {
+		return x != a
+	}
+	da := Distance(a, x)
+	db := Distance(a, b)
+	return !da.IsZero() && da.Compare(db) <= 0
+}
+
+// IndexDist returns the clockwise index distance d_x(i, j) = (j - i) mod n
+// in a ring of n indices (paper §3.2). It panics if n <= 0, which indicates
+// a programming error rather than a runtime condition.
+func IndexDist(i, j, n int) int {
+	if n <= 0 {
+		panic("idspace: IndexDist with non-positive ring size")
+	}
+	d := (j - i) % n
+	if d < 0 {
+		d += n
+	}
+	return d
+}
+
+// IndexAdd returns (i + d) mod n, the index d steps clockwise from i.
+func IndexAdd(i, d, n int) int {
+	if n <= 0 {
+		panic("idspace: IndexAdd with non-positive ring size")
+	}
+	r := (i + d) % n
+	if r < 0 {
+		r += n
+	}
+	return r
+}

@@ -1,0 +1,258 @@
+package idspace
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromNameDeterministic(t *testing.T) {
+	a := FromName("ucla.edu")
+	b := FromName("ucla.edu")
+	if a != b {
+		t.Fatalf("FromName not deterministic: %v vs %v", a, b)
+	}
+	c := FromName("ucla.edu.")
+	if a == c {
+		t.Fatalf("distinct names hashed to the same ID %v", a)
+	}
+}
+
+func TestFromUint64RoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 42, 1 << 40, ^uint64(0)}
+	for _, v := range cases {
+		if got := FromUint64(v).Uint64(); got != v {
+			t.Errorf("FromUint64(%d).Uint64() = %d", v, got)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b ID
+		want int
+	}{
+		{"equal", FromUint64(7), FromUint64(7), 0},
+		{"less", FromUint64(3), FromUint64(9), -1},
+		{"greater", FromUint64(9), FromUint64(3), 1},
+		{"zero vs nonzero", ID{}, FromUint64(1), -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Errorf("Compare = %d, want %d", got, tt.want)
+			}
+			if got := tt.a.Less(tt.b); got != (tt.want < 0) {
+				t.Errorf("Less = %v, want %v", got, tt.want < 0)
+			}
+		})
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	id := FromName("root/child-17")
+	got, err := Parse(id.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", id.String(), err)
+	}
+	if got != id {
+		t.Fatalf("Parse round trip: got %v want %v", got, id)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "abc", "zz" + FromUint64(0).String()[2:]} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", s)
+		}
+	}
+}
+
+func TestDistanceSmall(t *testing.T) {
+	a := FromUint64(10)
+	b := FromUint64(17)
+	if d := Distance(a, b).Uint64(); d != 7 {
+		t.Errorf("Distance(10,17) = %d, want 7", d)
+	}
+	// Wrap-around: distance from 17 back to 10 is 2^160 - 7, whose low 64
+	// bits are 2^64-7 and whose high bytes are all 0xff.
+	d := Distance(b, a)
+	if d.Uint64() != ^uint64(0)-6 {
+		t.Errorf("wrap distance low bits = %d, want %d", d.Uint64(), ^uint64(0)-6)
+	}
+	for i := 0; i < Size-8; i++ {
+		if d[i] != 0xff {
+			t.Errorf("wrap distance byte %d = %#x, want 0xff", i, d[i])
+		}
+	}
+}
+
+func TestDistanceIdentity(t *testing.T) {
+	a := FromName("x")
+	if !Distance(a, a).IsZero() {
+		t.Errorf("Distance(a,a) not zero")
+	}
+}
+
+// Property: for any a, b the clockwise distances a->b and b->a sum to zero
+// mod 2^160 (unless equal, in which case both are zero).
+func TestDistanceAntisymmetry(t *testing.T) {
+	f := func(av, bv uint64) bool {
+		a, b := FromUint64(av), FromUint64(bv)
+		ab, ba := Distance(a, b), Distance(b, a)
+		if a == b {
+			return ab.IsZero() && ba.IsZero()
+		}
+		var sum ID
+		var carry uint16
+		for i := Size - 1; i >= 0; i-- {
+			v := uint16(ab[i]) + uint16(ba[i]) + carry
+			sum[i] = byte(v)
+			carry = v >> 8
+		}
+		return sum.IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Distance(a, x) for random full-width IDs matches big-integer
+// subtraction semantics: adding the distance back to a yields x.
+func TestDistanceAddsBack(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	add := func(a, d ID) ID {
+		var r ID
+		var carry uint16
+		for i := Size - 1; i >= 0; i-- {
+			v := uint16(a[i]) + uint16(d[i]) + carry
+			r[i] = byte(v)
+			carry = v >> 8
+		}
+		return r
+	}
+	for trial := 0; trial < 1000; trial++ {
+		var a, x ID
+		for i := range a {
+			a[i] = byte(rng.UintN(256))
+			x[i] = byte(rng.UintN(256))
+		}
+		if got := add(a, Distance(a, x)); got != x {
+			t.Fatalf("a + Distance(a,x) != x: a=%v x=%v got=%v", a, x, got)
+		}
+	}
+}
+
+func TestBetween(t *testing.T) {
+	id := func(v uint64) ID { return FromUint64(v) }
+	tests := []struct {
+		name    string
+		x, a, b ID
+		want    bool
+	}{
+		{"inside", id(5), id(1), id(9), true},
+		{"at open start", id(1), id(1), id(9), false},
+		{"at closed end", id(9), id(1), id(9), true},
+		{"outside", id(10), id(1), id(9), false},
+		{"wrapped inside", id(0), id(100), id(3), true},
+		{"wrapped outside", id(50), id(100), id(3), false},
+		{"full circle excludes a", id(7), id(7), id(7), false},
+		{"full circle includes others", id(8), id(7), id(7), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Between(tt.x, tt.a, tt.b); got != tt.want {
+				t.Errorf("Between(%v,%v,%v) = %v, want %v", tt.x, tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIndexDist(t *testing.T) {
+	tests := []struct {
+		i, j, n, want int
+	}{
+		{0, 0, 10, 0},
+		{2, 7, 10, 5},
+		{7, 2, 10, 5},
+		{9, 0, 10, 1},
+		{0, 9, 10, 9},
+		{-3, 2, 10, 5},
+	}
+	for _, tt := range tests {
+		if got := IndexDist(tt.i, tt.j, tt.n); got != tt.want {
+			t.Errorf("IndexDist(%d,%d,%d) = %d, want %d", tt.i, tt.j, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestIndexAdd(t *testing.T) {
+	tests := []struct {
+		i, d, n, want int
+	}{
+		{0, 0, 5, 0},
+		{3, 4, 5, 2},
+		{4, 1, 5, 0},
+		{0, -1, 5, 4},
+		{2, -7, 5, 0},
+	}
+	for _, tt := range tests {
+		if got := IndexAdd(tt.i, tt.d, tt.n); got != tt.want {
+			t.Errorf("IndexAdd(%d,%d,%d) = %d, want %d", tt.i, tt.d, tt.n, got, tt.want)
+		}
+	}
+}
+
+// Property: IndexDist obeys the ring identity dist(i,j) + dist(j,i) ∈ {0, n}.
+func TestIndexDistRingIdentity(t *testing.T) {
+	f := func(i, j int8, nRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		a := IndexDist(int(i), int(j), n)
+		b := IndexDist(int(j), int(i), n)
+		if a < 0 || a >= n || b < 0 || b >= n {
+			return false
+		}
+		s := a + b
+		return s == 0 || s == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: IndexAdd is the inverse of IndexDist: IndexAdd(i, IndexDist(i,j,n), n) == j (mod n).
+func TestIndexAddInvertsDist(t *testing.T) {
+	f := func(i, j int16, nRaw uint16) bool {
+		n := int(nRaw%300) + 1
+		jj := IndexAdd(int(j), 0, n) // normalize j into [0, n)
+		return IndexAdd(int(i), IndexDist(int(i), jj, n), n) == jj
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexDistPanicsOnBadRing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("IndexDist(0,0,0) did not panic")
+		}
+	}()
+	IndexDist(0, 0, 0)
+}
+
+func BenchmarkFromName(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = FromName("node-1234.example.hierarchy")
+	}
+}
+
+func BenchmarkDistance(b *testing.B) {
+	x := FromName("a")
+	y := FromName("b")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Distance(x, y)
+	}
+}

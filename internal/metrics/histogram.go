@@ -1,0 +1,227 @@
+// Package metrics implements the measurement primitives used throughout the
+// HOURS evaluation: integer histograms for routing-table sizes, path
+// lengths, and per-node workload (Figures 5, 6, and 8), running summaries
+// with percentiles, and a delivery-ratio tracker (§5, §6).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram counts occurrences of non-negative integer observations, such
+// as routing-table entry counts or forwarding hop counts.
+type Histogram struct {
+	counts map[int]int64
+	total  int64
+	sum    int64
+	min    int
+	max    int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int64)}
+}
+
+// Observe records one occurrence of value v. Negative values are rejected
+// with an error because every HOURS metric is a count.
+func (h *Histogram) Observe(v int) error {
+	if v < 0 {
+		return fmt.Errorf("metrics: observe negative value %d", v)
+	}
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if h.total == 0 || v > h.max {
+		h.max = v
+	}
+	h.counts[v]++
+	h.total++
+	h.sum += int64(v)
+	return nil
+}
+
+// ObserveN records n occurrences of value v.
+func (h *Histogram) ObserveN(v int, n int64) error {
+	if n < 0 {
+		return fmt.Errorf("metrics: observe negative count %d", n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if v < 0 {
+		return fmt.Errorf("metrics: observe negative value %d", v)
+	}
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if h.total == 0 || v > h.max {
+		h.max = v
+	}
+	h.counts[v] += n
+	h.total += n
+	h.sum += int64(v) * n
+	return nil
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the average observed value, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Min returns the smallest observed value, or 0 for an empty histogram.
+func (h *Histogram) Min() int {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observed value, or 0 for an empty histogram.
+func (h *Histogram) Max() int {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the smallest value v such that at least q of the
+// observations are <= v, for q in [0, 1]. It returns 0 for an empty
+// histogram.
+func (h *Histogram) Quantile(q float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for _, v := range h.Values() {
+		cum += h.counts[v]
+		if cum >= target {
+			return v
+		}
+	}
+	return h.max
+}
+
+// FractionAtMost returns the fraction of observations <= v.
+func (h *Histogram) FractionAtMost(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var cum int64
+	for val, c := range h.counts {
+		if val <= v {
+			cum += c
+		}
+	}
+	return float64(cum) / float64(h.total)
+}
+
+// Values returns the distinct observed values in ascending order.
+func (h *Histogram) Values() []int {
+	vals := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+// CountOf returns how many times v was observed.
+func (h *Histogram) CountOf(v int) int64 { return h.counts[v] }
+
+// Merge adds all observations from other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for v, c := range other.counts {
+		// Values in an existing histogram are already validated.
+		_ = h.ObserveN(v, c)
+	}
+}
+
+// String renders a compact distribution summary for logs.
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "histogram{empty}"
+	}
+	return fmt.Sprintf("histogram{n=%d mean=%.2f min=%d p50=%d p90=%d p99=%d max=%d}",
+		h.total, h.Mean(), h.Min(), h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Max())
+}
+
+// Series returns (value, count) pairs in ascending value order, the raw
+// series plotted by the paper's distribution figures.
+func (h *Histogram) Series() []BinCount {
+	vals := h.Values()
+	out := make([]BinCount, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, BinCount{Value: v, Count: h.counts[v]})
+	}
+	return out
+}
+
+// BinCount is one point of a histogram series.
+type BinCount struct {
+	Value int
+	Count int64
+}
+
+// ASCIIPlot renders the histogram as a fixed-width bar chart with at most
+// maxRows rows (adjacent values are bucketed if needed). It is used by the
+// experiment CLI to show distribution shapes in the terminal.
+func (h *Histogram) ASCIIPlot(maxRows, width int) string {
+	if h.total == 0 {
+		return "(empty)\n"
+	}
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	if width < 1 {
+		width = 40
+	}
+	span := h.max - h.min + 1
+	bucket := (span + maxRows - 1) / maxRows
+	if bucket < 1 {
+		bucket = 1
+	}
+	rows := (span + bucket - 1) / bucket
+	binCounts := make([]int64, rows)
+	var peak int64
+	for v, c := range h.counts {
+		b := (v - h.min) / bucket
+		binCounts[b] += c
+		if binCounts[b] > peak {
+			peak = binCounts[b]
+		}
+	}
+	var sb strings.Builder
+	for b := 0; b < rows; b++ {
+		lo := h.min + b*bucket
+		hi := lo + bucket - 1
+		label := fmt.Sprintf("%6d", lo)
+		if bucket > 1 {
+			label = fmt.Sprintf("%6d-%-6d", lo, hi)
+		}
+		bar := 0
+		if peak > 0 {
+			bar = int(float64(binCounts[b]) / float64(peak) * float64(width))
+		}
+		fmt.Fprintf(&sb, "%s |%s %d\n", label, strings.Repeat("#", bar), binCounts[b])
+	}
+	return sb.String()
+}

@@ -1,0 +1,282 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{3, 1, 4, 1, 5, 9, 2, 6} {
+		if err := h.Observe(v); err != nil {
+			t.Fatalf("Observe(%d): %v", v, err)
+		}
+	}
+	if got := h.Count(); got != 8 {
+		t.Errorf("Count = %d, want 8", got)
+	}
+	if got := h.Min(); got != 1 {
+		t.Errorf("Min = %d, want 1", got)
+	}
+	if got := h.Max(); got != 9 {
+		t.Errorf("Max = %d, want 9", got)
+	}
+	wantMean := 31.0 / 8.0
+	if got := h.Mean(); math.Abs(got-wantMean) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, wantMean)
+	}
+	if got := h.CountOf(1); got != 2 {
+		t.Errorf("CountOf(1) = %d, want 2", got)
+	}
+}
+
+func TestHistogramRejectsNegative(t *testing.T) {
+	h := NewHistogram()
+	if err := h.Observe(-1); err == nil {
+		t.Error("Observe(-1): want error")
+	}
+	if err := h.ObserveN(1, -2); err == nil {
+		t.Error("ObserveN(1, -2): want error")
+	}
+	if h.Count() != 0 {
+		t.Errorf("failed observes mutated histogram: count=%d", h.Count())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram()
+	for v := 1; v <= 100; v++ {
+		if err := h.Observe(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tests := []struct {
+		q    float64
+		want int
+	}{
+		{0, 1}, {0.01, 1}, {0.5, 50}, {0.9, 90}, {1, 100}, {1.5, 100}, {-1, 1},
+	}
+	for _, tt := range tests {
+		if got := h.Quantile(tt.q); got != tt.want {
+			t.Errorf("Quantile(%v) = %d, want %d", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	if !strings.Contains(h.String(), "empty") {
+		t.Errorf("String() = %q, want mention of empty", h.String())
+	}
+}
+
+func TestHistogramFractionAtMost(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		if err := h.Observe(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.FractionAtMost(7); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("FractionAtMost(7) = %v, want 0.7", got)
+	}
+	if got := h.FractionAtMost(0); got != 0 {
+		t.Errorf("FractionAtMost(0) = %v, want 0", got)
+	}
+}
+
+func TestHistogramMergeAndSeries(t *testing.T) {
+	a := NewHistogram()
+	b := NewHistogram()
+	for _, v := range []int{1, 1, 2} {
+		if err := a.Observe(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range []int{2, 3} {
+		if err := b.Observe(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Merge(b)
+	series := a.Series()
+	want := []BinCount{{1, 2}, {2, 2}, {3, 1}}
+	if len(series) != len(want) {
+		t.Fatalf("series length = %d, want %d", len(series), len(want))
+	}
+	for i := range want {
+		if series[i] != want[i] {
+			t.Errorf("series[%d] = %+v, want %+v", i, series[i], want[i])
+		}
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(vals []uint8, q1f, q2f float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		q1 := math.Mod(math.Abs(q1f), 1)
+		q2 := math.Mod(math.Abs(q2f), 1)
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		h := NewHistogram()
+		for _, v := range vals {
+			if err := h.Observe(int(v)); err != nil {
+				return false
+			}
+		}
+		a, b := h.Quantile(q1), h.Quantile(q2)
+		return a <= b && a >= h.Min() && b <= h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramASCIIPlot(t *testing.T) {
+	h := NewHistogram()
+	for v := 0; v < 20; v++ {
+		if err := h.ObserveN(v, int64(v+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plot := h.ASCIIPlot(5, 20)
+	if lines := strings.Count(plot, "\n"); lines > 5 {
+		t.Errorf("plot has %d rows, want <= 5:\n%s", lines, plot)
+	}
+	if !strings.Contains(plot, "#") {
+		t.Errorf("plot has no bars:\n%s", plot)
+	}
+	if got := NewHistogram().ASCIIPlot(5, 20); !strings.Contains(got, "empty") {
+		t.Errorf("empty plot = %q", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := NewSummary()
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample stddev with n-1 denominator: sqrt(32/7).
+	if got, want := s.StdDev(), math.Sqrt(32.0/7.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if got := s.Quantile(0.5); got != 4 {
+		t.Errorf("p50 = %v, want 4", got)
+	}
+	if got := s.Quantile(0); got != 2 {
+		t.Errorf("p0 = %v, want 2", got)
+	}
+	if got := s.Quantile(1); got != 9 {
+		t.Errorf("p100 = %v, want 9", got)
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	s := NewSummary()
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Quantile(0.5) != 0 {
+		t.Error("empty summary should report zeros")
+	}
+	s.Observe(3)
+	if s.StdDev() != 0 {
+		t.Error("single-sample stddev should be 0")
+	}
+}
+
+func TestSummaryObserveAfterQuantile(t *testing.T) {
+	s := NewSummary()
+	s.Observe(5)
+	s.Observe(1)
+	if got := s.Quantile(1); got != 5 {
+		t.Fatalf("p100 = %v, want 5", got)
+	}
+	s.Observe(9)
+	if got := s.Quantile(1); got != 9 {
+		t.Errorf("p100 after new observation = %v, want 9", got)
+	}
+}
+
+func TestDeliveryTracker(t *testing.T) {
+	d := NewDeliveryTracker()
+	if d.Ratio() != 0 {
+		t.Error("empty tracker ratio should be 0")
+	}
+	for i := 0; i < 9; i++ {
+		d.Record(true)
+	}
+	d.Record(false)
+	if got := d.Ratio(); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("Ratio = %v, want 0.9", got)
+	}
+	other := NewDeliveryTracker()
+	other.Record(true)
+	d.Merge(other)
+	if d.Delivered() != 10 || d.Total() != 11 {
+		t.Errorf("after merge: delivered=%d total=%d", d.Delivered(), d.Total())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Figure X", "alpha", "P_i")
+	tab.AddRow(0.1, 0.999)
+	tab.AddRow(0.5, 0.87)
+	tab.AddNote("k=%d", 5)
+	out := tab.String()
+	for _, want := range []string{"Figure X", "alpha", "P_i", "0.87", "note: k=5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tab.NumRows())
+	}
+	rows := tab.Rows()
+	rows[0][0] = "mutated"
+	if tab.Rows()[0][0] == "mutated" {
+		t.Error("Rows() exposed internal state")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow("x,y", `q"q`)
+	csv := tab.CSV()
+	want := "a,b\n\"x,y\",\"q\"\"q\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestLoadCounter(t *testing.T) {
+	lc := NewLoadCounter(4)
+	for i := 0; i < 6; i++ {
+		lc.Inc(0)
+	}
+	lc.Inc(1)
+	lc.Inc(1)
+	if lc.Of(0) != 6 || lc.Of(1) != 2 || lc.Of(3) != 0 {
+		t.Errorf("unexpected loads: %d %d %d", lc.Of(0), lc.Of(1), lc.Of(3))
+	}
+	h := lc.Histogram()
+	if h.CountOf(0) != 2 || h.CountOf(2) != 1 || h.CountOf(6) != 1 {
+		t.Errorf("load histogram wrong: %v", h)
+	}
+	// mean = 8/4 = 2, max = 6 => imbalance 3.
+	if got := lc.MaxOverMean(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("MaxOverMean = %v, want 3", got)
+	}
+	if got := NewLoadCounter(0).MaxOverMean(); got != 0 {
+		t.Errorf("empty MaxOverMean = %v, want 0", got)
+	}
+}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates float64 observations and reports mean, standard
+// deviation, and exact percentiles. It keeps all samples; the HOURS
+// experiments observe at most a few million values per run.
+type Summary struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewSummary returns an empty summary.
+func NewSummary() *Summary { return &Summary{} }
+
+// Observe records one sample.
+func (s *Summary) Observe(v float64) {
+	s.samples = append(s.samples, v)
+	s.sorted = false
+}
+
+// Count returns the number of samples.
+func (s *Summary) Count() int { return len(s.samples) }
+
+// Mean returns the sample mean, or 0 when empty.
+func (s *Summary) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.samples {
+		sum += v
+	}
+	return sum / float64(len(s.samples))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0 when
+// fewer than two samples have been observed.
+func (s *Summary) StdDev() float64 {
+	n := len(s.samples)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.samples {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Quantile returns the q-th percentile (q in [0,1]) using nearest-rank, or
+// 0 when empty.
+func (s *Summary) Quantile(q float64) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.samples[0]
+	}
+	if q >= 1 {
+		return s.samples[len(s.samples)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(s.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s.samples[rank]
+}
+
+// String renders the summary for logs.
+func (s *Summary) String() string {
+	return fmt.Sprintf("summary{n=%d mean=%.3f sd=%.3f p50=%.3f p90=%.3f}",
+		s.Count(), s.Mean(), s.StdDev(), s.Quantile(0.5), s.Quantile(0.9))
+}
+
+// DeliveryTracker counts delivered vs failed queries and reports the
+// delivery ratio metric defined in §5 of the paper.
+type DeliveryTracker struct {
+	delivered int64
+	failed    int64
+}
+
+// NewDeliveryTracker returns a zeroed tracker.
+func NewDeliveryTracker() *DeliveryTracker { return &DeliveryTracker{} }
+
+// Record adds one query outcome.
+func (d *DeliveryTracker) Record(delivered bool) {
+	if delivered {
+		d.delivered++
+	} else {
+		d.failed++
+	}
+}
+
+// Delivered returns the number of delivered queries.
+func (d *DeliveryTracker) Delivered() int64 { return d.delivered }
+
+// Failed returns the number of failed queries.
+func (d *DeliveryTracker) Failed() int64 { return d.failed }
+
+// Total returns the number of recorded queries.
+func (d *DeliveryTracker) Total() int64 { return d.delivered + d.failed }
+
+// Ratio returns delivered/total, or 0 when no queries were recorded.
+func (d *DeliveryTracker) Ratio() float64 {
+	t := d.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(d.delivered) / float64(t)
+}
+
+// Merge adds the counts from other into d.
+func (d *DeliveryTracker) Merge(other *DeliveryTracker) {
+	d.delivered += other.delivered
+	d.failed += other.failed
+}
+
+// String renders the tracker for logs.
+func (d *DeliveryTracker) String() string {
+	return fmt.Sprintf("delivery{%d/%d = %.4f}", d.delivered, d.Total(), d.Ratio())
+}

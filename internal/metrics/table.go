@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table used by the experiment
+// harness to print the rows/series of each paper figure or table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	hs := make([]string, len(headers))
+	copy(hs, headers)
+	return &Table{title: title, headers: hs}
+}
+
+// Title returns the table title.
+func (t *Table) Title() string { return t.title }
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a free-form footnote printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns a copy of the formatted rows.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (header first). Cells are
+// quoted only when they contain commas or quotes.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeCSVRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				sb.WriteByte('"')
+				sb.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				sb.WriteByte('"')
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeCSVRow(t.headers)
+	for _, row := range t.rows {
+		writeCSVRow(row)
+	}
+	return sb.String()
+}
+
+// LoadCounter tracks how many queries each node forwarded in a run, the
+// workload metric of Figure 8.
+type LoadCounter struct {
+	counts []int64
+}
+
+// NewLoadCounter returns a counter for n nodes.
+func NewLoadCounter(n int) *LoadCounter {
+	return &LoadCounter{counts: make([]int64, n)}
+}
+
+// Inc adds one forwarded query to node i's workload.
+func (l *LoadCounter) Inc(i int) { l.counts[i]++ }
+
+// Of returns node i's workload.
+func (l *LoadCounter) Of(i int) int64 { return l.counts[i] }
+
+// Len returns the number of tracked nodes.
+func (l *LoadCounter) Len() int { return len(l.counts) }
+
+// Histogram buckets the per-node workloads: for each workload value, how
+// many nodes carried that much traffic (the Y-axis of Figure 8).
+func (l *LoadCounter) Histogram() *Histogram {
+	h := NewHistogram()
+	for _, c := range l.counts {
+		// Workloads are non-negative by construction.
+		_ = h.Observe(int(c))
+	}
+	return h
+}
+
+// MaxOverMean returns the ratio of the most-loaded node's workload to the
+// mean workload, a scalar imbalance measure. Returns 0 for empty counters.
+func (l *LoadCounter) MaxOverMean() float64 {
+	if len(l.counts) == 0 {
+		return 0
+	}
+	var sum, max int64
+	for _, c := range l.counts {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(l.counts))
+	return float64(max) / mean
+}

@@ -1,0 +1,391 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/idspace"
+	"repro/internal/wire"
+	"repro/internal/xrand"
+)
+
+// handle is the node's transport handler: it dispatches every inbound
+// message type of the live protocol.
+func (n *Node) handle(ctx context.Context, req wire.Message) (wire.Message, error) {
+	if n.isSuppressed() {
+		// Defense in depth: the Mem transport already fails calls to a
+		// suppressed address, but a TCP node must also refuse.
+		return wire.Message{}, fmt.Errorf("node %s: suppressed (under DoS)", n.Name())
+	}
+	switch req.Type {
+	case wire.TypeJoin:
+		return n.handleJoin(req)
+	case wire.TypeTableInfo:
+		return n.handleTableInfo(req)
+	case wire.TypeResolve:
+		return n.handleResolve(req)
+	case wire.TypeChildSample:
+		return n.handleChildSample(req)
+	case wire.TypeQuery:
+		return n.handleQuery(ctx, req)
+	case wire.TypeProbe:
+		return wire.Message{Type: wire.TypeProbeResult}, nil
+	case wire.TypeNotifyCCW:
+		return n.handleNotifyCCW(req)
+	case wire.TypeRepair:
+		return n.handleRepair(ctx, req)
+	case wire.TypeStats:
+		return wire.New(wire.TypeStatsResult, n.Stats())
+	default:
+		return wire.Message{}, fmt.Errorf("node %s: unknown message type %q", n.Name(), req.Type)
+	}
+}
+
+func (n *Node) handleJoin(req wire.Message) (wire.Message, error) {
+	var j wire.Join
+	if err := req.Decode(&j); err != nil {
+		return wire.Message{}, err
+	}
+	name, err := n.admit(j.Label, j.Addr)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	return wire.New(wire.TypeJoinResult, wire.JoinResult{Name: name})
+}
+
+func (n *Node) handleTableInfo(req wire.Message) (wire.Message, error) {
+	var ti wire.TableInfo
+	if err := req.Decode(&ti); err != nil {
+		return wire.Message{}, err
+	}
+	idx, ok := n.childIndexOf(ti.Name)
+	if !ok {
+		return wire.Message{}, fmt.Errorf("node %s: %q is not an admitted child", n.Name(), ti.Name)
+	}
+	n.mu.Lock()
+	size := len(n.children)
+	n.mu.Unlock()
+	return wire.New(wire.TypeTableInfoResult, wire.TableInfoResult{N: size, Index: idx})
+}
+
+func (n *Node) handleResolve(req wire.Message) (wire.Message, error) {
+	var r wire.Resolve
+	if err := req.Decode(&r); err != nil {
+		return wire.Message{}, err
+	}
+	kids := n.sortedChildren()
+	peers := make([]wire.Peer, 0, len(r.Indices))
+	for _, idx := range r.Indices {
+		if idx < 0 || idx >= len(kids) {
+			return wire.Message{}, fmt.Errorf("node %s: resolve index %d outside [0,%d)", n.Name(), idx, len(kids))
+		}
+		peers = append(peers, wire.Peer{Index: idx, Name: kids[idx].name, Addr: kids[idx].addr})
+	}
+	return wire.New(wire.TypeResolveResult, wire.ResolveResult{Peers: peers})
+}
+
+func (n *Node) handleChildSample(req wire.Message) (wire.Message, error) {
+	var cs wire.ChildSample
+	if err := req.Decode(&cs); err != nil {
+		return wire.Message{}, err
+	}
+	if cs.Count < 1 {
+		return wire.Message{}, fmt.Errorf("node %s: child sample count %d", n.Name(), cs.Count)
+	}
+	kids := n.sortedChildren()
+	out := make([]wire.Peer, 0, cs.Count)
+	if len(kids) <= cs.Count {
+		for i, c := range kids {
+			out = append(out, wire.Peer{Index: i, Name: c.name, Addr: c.addr})
+		}
+	} else {
+		rng := xrand.Derive(n.cfg.Seed, 0x5a13)
+		for _, i := range xrand.SampleDistinct(rng, len(kids), cs.Count) {
+			out = append(out, wire.Peer{Index: int(i), Name: kids[i].name, Addr: kids[i].addr})
+		}
+	}
+	return wire.New(wire.TypeChildSampleResult, wire.ChildSampleResult{Children: out})
+}
+
+func (n *Node) handleNotifyCCW(req wire.Message) (wire.Message, error) {
+	var nc wire.NotifyCCW
+	if err := req.Decode(&nc); err != nil {
+		return wire.Message{}, err
+	}
+	candidate := mkPeer(wire.Peer{Index: nc.Index, Name: nc.Name, Addr: nc.Addr})
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.contacts++
+	if n.overlayN > 0 {
+		// Clockwise distance from a CCW neighbor to us: smaller means
+		// closer counter-clockwise. Adopt the candidate when the
+		// current pointer is dead, unset, or farther.
+		cur := idspace.Distance(n.ccw.id, n.id)
+		cand := idspace.Distance(candidate.id, n.id)
+		if !n.ccwAlive || n.ccw.addr == "" || cand.Compare(cur) < 0 {
+			n.ccw = candidate
+			n.ccwAlive = true
+		}
+	}
+	return wire.Message{Type: wire.TypeNotifyCCWResult}, nil
+}
+
+// handleQuery implements Algorithms 2 and 3 as a real forwarding decision:
+// answer locally, descend the hierarchy, or forward across the overlay.
+func (n *Node) handleQuery(ctx context.Context, req wire.Message) (wire.Message, error) {
+	var q wire.Query
+	if err := req.Decode(&q); err != nil {
+		return wire.Message{}, err
+	}
+	if q.TTL <= 0 {
+		return wire.New(wire.TypeQueryResult, wire.QueryResult{
+			Found: false, Hops: q.Hops, Path: q.Path, Reason: "ttl exhausted",
+		})
+	}
+	q.TTL--
+	q.Path = append(q.Path, n.Name())
+
+	// Answer from local data.
+	if q.Target == n.name || (q.Target == "." && n.name == "") {
+		n.mu.Lock()
+		answer := n.data
+		n.statQueriesAnswered++
+		n.mu.Unlock()
+		return wire.New(wire.TypeQueryResult, wire.QueryResult{
+			Found: true, Answer: answer, Hops: q.Hops, Path: q.Path,
+		})
+	}
+	n.bump(&n.statQueriesForwarded)
+
+	// Query for a descendant: hierarchical forwarding (Algorithm 2,
+	// lines 1-7).
+	if n.isAncestorOf(q.Target) {
+		return n.descend(ctx, q)
+	}
+
+	// Overlay forwarding among siblings (Algorithm 3).
+	return n.overlayForward(ctx, q)
+}
+
+// isAncestorOf reports whether target lies in this node's delegated
+// portion of the namespace.
+func (n *Node) isAncestorOf(target string) bool {
+	if n.name == "" {
+		return true // the root manages the whole space
+	}
+	return strings.HasSuffix(target, "."+n.name)
+}
+
+// nextLabelToward returns the child label on the path to target.
+func (n *Node) nextLabelToward(target string) (string, error) {
+	sub := target
+	if n.name != "" {
+		sub = strings.TrimSuffix(target, "."+n.name)
+		if sub == target {
+			return "", fmt.Errorf("node %s: %q is not in my subtree", n.Name(), target)
+		}
+	}
+	if i := strings.LastIndexByte(sub, '.'); i >= 0 {
+		return sub[i+1:], nil
+	}
+	return sub, nil
+}
+
+// descend forwards a query to the on-path child, falling back to an alive
+// child with overlay instructions when the on-path child is down
+// (Algorithm 2, lines 2-7).
+func (n *Node) descend(ctx context.Context, q wire.Query) (wire.Message, error) {
+	label, err := n.nextLabelToward(q.Target)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	kids := n.sortedChildren()
+	odIndex := -1
+	var odAddr string
+	for i, c := range kids {
+		if c.label == label {
+			odIndex = i
+			odAddr = c.addr
+			break
+		}
+	}
+	if odIndex < 0 {
+		return wire.New(wire.TypeQueryResult, wire.QueryResult{
+			Found: false, Hops: q.Hops, Path: q.Path,
+			Reason: fmt.Sprintf("no such child %q of %s", label, n.Name()),
+		})
+	}
+
+	// Try the prescribed top-down hop first.
+	fwd := q
+	fwd.Mode = wire.ModeHierarchical
+	fwd.Hops++
+	if resp, err := n.forwardQuery(ctx, odAddr, fwd); err == nil {
+		return resp, nil
+	}
+
+	// The on-path child is down: hand the query to an alive child, whose
+	// sibling overlay detours around the failure (the receiver derives
+	// the OD node from the target name).
+	rng := xrand.Derive(n.cfg.Seed, uint64(q.Hops)*0x9e37+uint64(odIndex))
+	for _, off := range xrand.SampleDistinct(rng, len(kids), min(len(kids), 8)) {
+		i := int(off)
+		if i == odIndex {
+			continue
+		}
+		fwd := q
+		fwd.Mode = wire.ModeForward
+		fwd.Hops++
+		if resp, err := n.forwardQuery(ctx, kids[i].addr, fwd); err == nil {
+			return resp, nil
+		}
+	}
+	return wire.New(wire.TypeQueryResult, wire.QueryResult{
+		Found: false, Hops: q.Hops, Path: q.Path,
+		Reason: fmt.Sprintf("no alive child of %s to enter the overlay", n.Name()),
+	})
+}
+
+// odNameFor derives the overlay-destination node at this node's level: the
+// target's ancestor with as many labels as this node's own name. Names are
+// public, so any node can compute this (the same property the paper's
+// attacker exploits to learn ring positions).
+func (n *Node) odNameFor(target string) (string, bool) {
+	levels := strings.Count(n.name, ".") + 1
+	labels := strings.Split(target, ".")
+	if len(labels) < levels {
+		return "", false
+	}
+	return strings.Join(labels[len(labels)-levels:], "."), true
+}
+
+// overlayForward routes a query among siblings toward the OD node per
+// Algorithm 3, using identifier-space distances computed from public
+// names.
+func (n *Node) overlayForward(ctx context.Context, q wire.Query) (wire.Message, error) {
+	n.mu.Lock()
+	selfID := n.id
+	hasOverlay := n.overlayN > 0 && n.index >= 0
+	table := make([]tableEntry, len(n.table))
+	copy(table, n.table)
+	ccw := n.ccw
+	n.mu.Unlock()
+
+	odName, ok := n.odNameFor(q.Target)
+	if !ok || !hasOverlay {
+		return wire.New(wire.TypeQueryResult, wire.QueryResult{
+			Found: false, Hops: q.Hops, Path: q.Path,
+			Reason: fmt.Sprintf("%s cannot overlay-route toward %q", n.Name(), q.Target),
+		})
+	}
+	odID := idspace.FromName(odName)
+	dist := idspace.Distance(selfID, odID)
+
+	// Algorithm 3, lines 1-7: the OD node is in the routing table.
+	for _, e := range table {
+		if e.name != odName {
+			continue
+		}
+		// Try the OD node itself (sibling pointer).
+		fwd := q
+		fwd.Mode = wire.ModeHierarchical
+		fwd.Hops++
+		if resp, err := n.forwardQuery(ctx, e.addr, fwd); err == nil {
+			return resp, nil
+		}
+		// The OD node is down: use its nephew pointers to descend into
+		// the next-level overlay directly (this node is the exit).
+		if len(e.nephews) > 0 {
+			for _, nep := range e.nephews {
+				fwd := q
+				fwd.Mode = wire.ModeHierarchical
+				fwd.Hops++
+				if resp, err := n.forwardQuery(ctx, nep.addr, fwd); err == nil {
+					return resp, nil
+				}
+			}
+			return wire.New(wire.TypeQueryResult, wire.QueryResult{
+				Found: false, Hops: q.Hops, Path: q.Path,
+				Reason: "exit node found no alive nephew",
+			})
+		}
+		// A nephew-less entry (e.g. created by repair while the OD was
+		// already down) cannot serve as an exit: keep routing.
+		break
+	}
+
+	if q.Mode != wire.ModeBackward {
+		// Greedy clockwise: the table entry closest to the OD node
+		// without overshooting (Algorithm 3, line 11), skipping dead
+		// targets.
+		type cand struct {
+			addr string
+			d    idspace.ID
+		}
+		var cands []cand
+		for _, e := range table {
+			d := idspace.Distance(selfID, e.id)
+			if d.Compare(dist) < 0 {
+				cands = append(cands, cand{addr: e.addr, d: d})
+			}
+		}
+		// Try closest-to-OD first.
+		for len(cands) > 0 {
+			best := 0
+			for i := range cands {
+				if cands[i].d.Compare(cands[best].d) > 0 {
+					best = i
+				}
+			}
+			fwd := q
+			fwd.Mode = wire.ModeForward
+			fwd.Hops++
+			if resp, err := n.forwardQuery(ctx, cands[best].addr, fwd); err == nil {
+				return resp, nil
+			}
+			cands = append(cands[:best], cands[best+1:]...)
+		}
+		// Greedy exhausted: switch to backward mode (Algorithm 3,
+		// lines 12-16).
+	}
+
+	// Backward step via the counter-clockwise pointer.
+	if ccw.addr == "" || ccw.name == n.name {
+		return wire.New(wire.TypeQueryResult, wire.QueryResult{
+			Found: false, Hops: q.Hops, Path: q.Path, Reason: "no counter-clockwise pointer",
+		})
+	}
+	if idspace.Distance(ccw.id, odID).Compare(dist) <= 0 {
+		return wire.New(wire.TypeQueryResult, wire.QueryResult{
+			Found: false, Hops: q.Hops, Path: q.Path, Reason: "backward walk wrapped past the OD node",
+		})
+	}
+	fwd := q
+	fwd.Mode = wire.ModeBackward
+	fwd.Hops++
+	if resp, err := n.forwardQuery(ctx, ccw.addr, fwd); err == nil {
+		return resp, nil
+	}
+	return wire.New(wire.TypeQueryResult, wire.QueryResult{
+		Found: false, Hops: q.Hops, Path: q.Path, Reason: "counter-clockwise neighbor unreachable",
+	})
+}
+
+// forwardQuery sends the query to the next hop and relays its result.
+// Transport errors surface as errors so callers can try alternatives;
+// application-level "not found" results are returned as-is.
+func (n *Node) forwardQuery(ctx context.Context, addr string, q wire.Query) (wire.Message, error) {
+	req, err := wire.New(wire.TypeQuery, q)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	resp, err := n.call(ctx, addr, req)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	if resp.Type != wire.TypeQueryResult {
+		return wire.Message{}, fmt.Errorf("node %s: unexpected query reply %s", n.Name(), resp.Type)
+	}
+	return resp, nil
+}

@@ -1,0 +1,234 @@
+package node
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"repro/internal/idspace"
+	"repro/internal/wire"
+)
+
+// maintainLoop runs the §4.3 maintenance cycle (and, when configured, the
+// §7 periodic table regeneration) until Stop.
+func (n *Node) maintainLoop() {
+	defer close(n.done)
+	ticker := time.NewTicker(n.cfg.ProbePeriod)
+	defer ticker.Stop()
+	periods := 0
+	for {
+		select {
+		case <-ticker.C:
+			if n.isSuppressed() {
+				continue
+			}
+			n.MaintainOnce(context.Background())
+			periods++
+			if n.cfg.RegenEvery > 0 && periods%n.cfg.RegenEvery == 0 {
+				// Best effort: the parent may itself be under attack;
+				// the stale table keeps working until the next cycle.
+				_ = n.RegenerateNow(context.Background())
+			}
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// MaintainOnce runs one probing period of the §4.3 protocol:
+//
+//  1. Contact the first alive clockwise neighbor within k (conventional
+//     neighborhood recovery: this node is that neighbor's
+//     counter-clockwise pointer candidate).
+//  2. Probe the counter-clockwise pointer; if it answers, done.
+//  3. If the pointer is dead and no alive counter-clockwise neighbor
+//     contacted us since the last period, infer a massive failure and
+//     originate a Repair message destined to ourselves.
+//
+// Tests and examples call it directly for deterministic scheduling; the
+// background loop calls it every ProbePeriod.
+func (n *Node) MaintainOnce(ctx context.Context) {
+	if n.isSuppressed() {
+		// A node under DoS can neither probe nor repair; anything it
+		// originated while flooded would poison its peers with
+		// pointers to dead nodes.
+		return
+	}
+	n.mu.Lock()
+	selfIndex := n.index
+	selfID := n.id
+	overlayN := n.overlayN
+	ccw := n.ccw
+	contacts := n.contacts
+	n.contacts = 0
+	table := make([]tableEntry, len(n.table))
+	copy(table, n.table)
+	n.mu.Unlock()
+	if overlayN <= 1 || selfIndex < 0 {
+		return
+	}
+
+	// Step 1: tell the nearest alive clockwise neighbor (within the k
+	// guaranteed entries) that we are its counter-clockwise neighbor.
+	notify, err := wire.New(wire.TypeNotifyCCW, wire.NotifyCCW{
+		Index: selfIndex, Name: n.Name(), Addr: n.cfg.Addr,
+	})
+	if err != nil {
+		return
+	}
+	sort.Slice(table, func(i, j int) bool {
+		return idspace.Distance(selfID, table[i].id).Less(idspace.Distance(selfID, table[j].id))
+	})
+	limit := n.cfg.K
+	if limit > len(table) {
+		limit = len(table)
+	}
+	for i := 0; i < limit; i++ {
+		if _, err := n.call(ctx, table[i].addr, notify); err == nil {
+			break // first alive clockwise neighbor contacted
+		}
+	}
+
+	// Step 2: probe the counter-clockwise pointer.
+	if ccw.addr != "" && ccw.index != selfIndex {
+		n.bump(&n.statProbesSent)
+		if _, err := n.call(ctx, ccw.addr, wire.Message{Type: wire.TypeProbe}); err == nil {
+			n.mu.Lock()
+			n.ccwAlive = true
+			n.mu.Unlock()
+			return
+		}
+	}
+	n.mu.Lock()
+	n.ccwAlive = false
+	n.mu.Unlock()
+
+	// Step 3: if an alive counter-clockwise neighbor already contacted
+	// us (step 1 of its cycle), the pointer was just refreshed — check.
+	if contacts > 0 {
+		n.mu.Lock()
+		refreshed := n.ccwAlive || n.ccw.addr != ccw.addr
+		n.mu.Unlock()
+		if refreshed {
+			return
+		}
+	}
+
+	// Massive failure (gap >= k): originate a Repair message destined to
+	// ourselves (§4.3), launched to our farthest-reaching alive entry.
+	n.bump(&n.statRepairsOriginated)
+	repair := wire.Repair{
+		OriginIndex: selfIndex, OriginName: n.Name(), OriginAddr: n.cfg.Addr,
+		TTL: overlayN,
+	}
+	msg, err := wire.New(wire.TypeRepair, repair)
+	if err != nil {
+		return
+	}
+	// Launch clockwise around the full circle: try entries from the
+	// largest distance down.
+	for i := len(table) - 1; i >= 0; i-- {
+		if _, err := n.call(ctx, table[i].addr, msg); err == nil {
+			return
+		}
+	}
+}
+
+// handleRepair forwards a §4.3 Repair message per the paper's two rules,
+// or bridges the gap when neither applies: create a routing entry for the
+// origin and tell the origin we are its counter-clockwise neighbor.
+func (n *Node) handleRepair(ctx context.Context, req wire.Message) (wire.Message, error) {
+	var r wire.Repair
+	if err := req.Decode(&r); err != nil {
+		return wire.Message{}, err
+	}
+	if r.TTL <= 0 {
+		return wire.Message{Type: wire.TypeRepairResult}, nil
+	}
+	r.TTL--
+	r.Hops++
+
+	n.mu.Lock()
+	selfIndex := n.index
+	selfID := n.id
+	overlayN := n.overlayN
+	table := make([]tableEntry, len(n.table))
+	copy(table, n.table)
+	n.mu.Unlock()
+	if overlayN <= 0 || selfIndex < 0 {
+		return wire.Message{Type: wire.TypeRepairResult}, nil
+	}
+
+	originID := idspace.FromName(r.OriginName)
+	dist := idspace.Distance(selfID, originID)
+	hasOrigin := false
+	for _, e := range table {
+		if e.name == r.OriginName {
+			hasOrigin = true
+			break
+		}
+	}
+	fwd, err := wire.New(wire.TypeRepair, r)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	// Rule: holders of the origin use the second-best choice (strictly
+	// closer than the direct pointer); non-holders forward greedily.
+	// Either way the candidate set is "strictly before the origin going
+	// clockwise, excluding the origin itself".
+	type cand struct {
+		addr string
+		d    idspace.ID
+	}
+	var cands []cand
+	for _, e := range table {
+		if hasOrigin && e.name == r.OriginName {
+			continue
+		}
+		d := idspace.Distance(selfID, e.id)
+		if d.Compare(dist) < 0 {
+			cands = append(cands, cand{addr: e.addr, d: d})
+		}
+	}
+	for len(cands) > 0 {
+		best := 0
+		for i := range cands {
+			if cands[i].d.Compare(cands[best].d) > 0 {
+				best = i
+			}
+		}
+		if _, err := n.call(ctx, cands[best].addr, fwd); err == nil {
+			return wire.Message{Type: wire.TypeRepairResult}, nil
+		}
+		cands = append(cands[:best], cands[best+1:]...)
+	}
+
+	// Neither rule applies: this node bridges the gap. Create a routing
+	// entry for the origin and hand the origin its new CCW pointer.
+	n.mu.Lock()
+	already := false
+	for _, e := range n.table {
+		if e.name == r.OriginName {
+			already = true
+			break
+		}
+	}
+	if !already {
+		n.table = append(n.table, tableEntry{peer: mkPeer(wire.Peer{
+			Index: r.OriginIndex, Name: r.OriginName, Addr: r.OriginAddr,
+		})})
+		n.statEntriesCreated++
+	}
+	n.mu.Unlock()
+	notify, err := wire.New(wire.TypeNotifyCCW, wire.NotifyCCW{
+		Index: selfIndex, Name: n.Name(), Addr: n.cfg.Addr,
+	})
+	if err != nil {
+		return wire.Message{}, err
+	}
+	// Best effort: the origin is alive (it originated the repair).
+	if _, err := n.call(ctx, r.OriginAddr, notify); err != nil {
+		return wire.Message{}, err
+	}
+	return wire.Message{Type: wire.TypeRepairResult}, nil
+}

@@ -1,0 +1,496 @@
+// Package node implements a live HOURS server: one process-resident node
+// of the open service hierarchy that admits children (§3.1), builds its
+// randomized routing table by consulting its parent (Algorithm 1, §3.2),
+// forwards queries with hierarchical + overlay forwarding (Algorithms 2-3),
+// probes its counter-clockwise neighbor, and runs active recovery (§4.3).
+//
+// Nodes communicate exclusively through a transport.Transport, so the same
+// code runs over in-memory pipes (tests, examples) and TCP (cmd/hoursd).
+package node
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/idspace"
+	"repro/internal/overlay"
+	"repro/internal/transport"
+	"repro/internal/wire"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes a live node.
+type Config struct {
+	// Name is the node's full hierarchical name ("" or "." for a root).
+	Name string
+	// Addr is the transport address to serve on.
+	Addr string
+	// ParentAddr is the parent's transport address; empty for a root.
+	ParentAddr string
+	// K is the enhanced design's redundancy factor (default 3).
+	K int
+	// Q is the number of nephew pointers per table entry (default 4).
+	Q int
+	// Seed drives the node's random choices (table sampling).
+	Seed uint64
+	// CallTimeout bounds each outbound RPC (default 2s; in-memory
+	// transports answer instantly so the default is rarely hit).
+	CallTimeout time.Duration
+	// ProbePeriod is the §4.3 probing interval; zero disables the
+	// background maintenance goroutine (tests drive MaintainOnce
+	// directly).
+	ProbePeriod time.Duration
+	// RegenEvery triggers the §7 periodic routing-table regeneration
+	// every RegenEvery probe periods (the paper suggests an update
+	// period of ~half a day relative to seconds-scale probing). Zero
+	// disables periodic regeneration; RegenerateNow remains available.
+	RegenEvery int
+	// Data is the answer this node serves for its own name. Defaults to
+	// the node's address.
+	Data string
+}
+
+// peer is a remote node reference. The identifier is derived from the
+// name (SHA-1), never transmitted.
+type peer struct {
+	index int
+	name  string
+	addr  string
+	id    idspace.ID
+}
+
+// mkPeer builds a peer reference from a wire.Peer.
+func mkPeer(p wire.Peer) peer {
+	return peer{index: p.Index, name: p.Name, addr: p.Addr, id: idspace.FromName(p.Name)}
+}
+
+// tableEntry is one routing-table entry: a sibling pointer plus its q
+// nephew pointers (§4.1).
+type tableEntry struct {
+	peer
+	nephews []peer
+}
+
+// child is an admitted child, tracked by the parent role.
+type child struct {
+	label string
+	name  string
+	addr  string
+	id    idspace.ID
+}
+
+// Node is a live HOURS server.
+type Node struct {
+	cfg  Config
+	name string // normalized ("" for root)
+	id   idspace.ID
+	tr   transport.Transport
+
+	listener interface{ Close() error }
+
+	mu sync.Mutex
+	// epoch counts table regenerations (§7 maintenance); it salts the
+	// table-sampling stream so each refresh draws fresh randomness.
+	epoch uint64
+	// Parent role: admitted children sorted clockwise by ID.
+	children []child
+	// Member role: overlay parameters and routing state.
+	overlayN int
+	index    int
+	table    []tableEntry // sorted by clockwise distance
+	ccw      peer         // counter-clockwise neighbor pointer
+	ccwAlive bool         // last probe verdict
+	contacts int          // NotifyCCW messages since the last probe tick
+	data     string
+
+	suppressed bool
+
+	// Operational counters, surfaced via the stats message.
+	statQueriesAnswered   int64
+	statQueriesForwarded  int64
+	statProbesSent        int64
+	statRepairsOriginated int64
+	statEntriesCreated    int64
+
+	// Maintenance goroutine lifecycle.
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New creates a node. Call Start to begin serving.
+func New(cfg Config, tr transport.Transport) (*Node, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("node: config needs Addr")
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("node: nil transport")
+	}
+	if cfg.K == 0 {
+		cfg.K = 3
+	}
+	if cfg.Q == 0 {
+		cfg.Q = 4
+	}
+	if cfg.K < 1 || cfg.Q < 1 {
+		return nil, fmt.Errorf("node: K=%d Q=%d, want >= 1", cfg.K, cfg.Q)
+	}
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 2 * time.Second
+	}
+	name := cfg.Name
+	if name == "." {
+		name = ""
+	}
+	data := cfg.Data
+	if data == "" {
+		data = cfg.Addr
+	}
+	return &Node{
+		cfg:   cfg,
+		name:  name,
+		id:    idspace.FromName(name),
+		tr:    tr,
+		index: -1,
+		data:  data,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// Name returns the node's display name.
+func (n *Node) Name() string {
+	if n.name == "" {
+		return "."
+	}
+	return n.name
+}
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() string { return n.cfg.Addr }
+
+// Index returns the node's ring index in its parent's overlay, or -1
+// before BuildTable.
+func (n *Node) Index() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.index
+}
+
+// TableSize returns the number of routing entries.
+func (n *Node) TableSize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.table)
+}
+
+// CCWName returns the current counter-clockwise neighbor's name ("" if
+// unset).
+func (n *Node) CCWName() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ccw.name
+}
+
+// Start begins serving and, if ProbePeriod > 0, launches the maintenance
+// goroutine.
+func (n *Node) Start() error {
+	l, err := n.tr.Listen(n.cfg.Addr, n.handle)
+	if err != nil {
+		return fmt.Errorf("node %s: %w", n.Name(), err)
+	}
+	n.listener = l
+	if n.cfg.ProbePeriod > 0 {
+		go n.maintainLoop()
+	} else {
+		close(n.done)
+	}
+	return nil
+}
+
+// Stop shuts the node down: stops maintenance and closes the listener.
+func (n *Node) Stop() error {
+	select {
+	case <-n.stop:
+	default:
+		close(n.stop)
+	}
+	<-n.done
+	if n.listener != nil {
+		return n.listener.Close()
+	}
+	return nil
+}
+
+// Suppress models a DoS attack on this node: it stops answering requests
+// and pauses its own maintenance (a flooded server does neither).
+func (n *Node) Suppress(down bool) {
+	n.mu.Lock()
+	n.suppressed = down
+	n.mu.Unlock()
+	if mem, ok := n.tr.(*transport.Mem); ok {
+		mem.Suppress(n.cfg.Addr, down)
+	}
+}
+
+// isSuppressed reports the DoS switch.
+func (n *Node) isSuppressed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.suppressed
+}
+
+// Join registers this node with its parent (admission, §3.1). The parent
+// must be reachable.
+func (n *Node) Join(ctx context.Context) error {
+	if n.cfg.ParentAddr == "" {
+		return fmt.Errorf("node %s: root has no parent to join", n.Name())
+	}
+	label := n.ownLabel()
+	req, err := wire.New(wire.TypeJoin, wire.Join{Label: label, Addr: n.cfg.Addr})
+	if err != nil {
+		return err
+	}
+	resp, err := n.call(ctx, n.cfg.ParentAddr, req)
+	if err != nil {
+		return fmt.Errorf("node %s: join: %w", n.Name(), err)
+	}
+	if resp.Type != wire.TypeJoinResult {
+		return fmt.Errorf("node %s: join: unexpected reply %s", n.Name(), resp.Type)
+	}
+	return nil
+}
+
+// ownLabel extracts the node's label (first name component).
+func (n *Node) ownLabel() string {
+	for i := 0; i < len(n.name); i++ {
+		if n.name[i] == '.' {
+			return n.name[:i]
+		}
+	}
+	return n.name
+}
+
+// call performs one outbound RPC with the configured timeout.
+func (n *Node) call(ctx context.Context, addr string, req wire.Message) (wire.Message, error) {
+	cctx, cancel := context.WithTimeout(ctx, n.cfg.CallTimeout)
+	defer cancel()
+	return n.tr.Call(cctx, addr, req)
+}
+
+// BuildTable constructs the node's routing table per Algorithm 1: fetch
+// (N, index) from the parent, sample sibling distances locally, resolve
+// the chosen indices through the parent, then fetch q nephew pointers from
+// each sibling (§4.1). It also installs the counter-clockwise pointer.
+func (n *Node) BuildTable(ctx context.Context) error {
+	if n.cfg.ParentAddr == "" {
+		return nil // roots keep no sibling table
+	}
+	// Step 1: overlay size and own index.
+	req, err := wire.New(wire.TypeTableInfo, wire.TableInfo{Name: n.name})
+	if err != nil {
+		return err
+	}
+	resp, err := n.call(ctx, n.cfg.ParentAddr, req)
+	if err != nil {
+		return fmt.Errorf("node %s: table info: %w", n.Name(), err)
+	}
+	var info wire.TableInfoResult
+	if err := resp.Decode(&info); err != nil {
+		return err
+	}
+	if info.N == 1 {
+		n.mu.Lock()
+		n.overlayN, n.index, n.table = 1, 0, nil
+		n.mu.Unlock()
+		return nil
+	}
+
+	// Steps 2-5: sample distances with the enhanced probability
+	// min(1, k/d). The epoch salts the stream so periodic regeneration
+	// (§7) draws a fresh table.
+	n.mu.Lock()
+	epoch := n.epoch
+	n.mu.Unlock()
+	dists, err := overlay.Entries(xrand.Derive(n.cfg.Seed^(epoch*0x9e3779b97f4a7c15), uint64(info.Index)), info.N, n.cfg.K)
+	if err != nil {
+		return err
+	}
+	indices := make([]int, 0, len(dists)+1)
+	for _, d := range dists {
+		indices = append(indices, idspace.IndexAdd(info.Index, int(d), info.N))
+	}
+	ccwIndex := idspace.IndexAdd(info.Index, -1, info.N)
+	indices = append(indices, ccwIndex)
+
+	// Step 6: resolve addresses through the parent.
+	req, err = wire.New(wire.TypeResolve, wire.Resolve{Indices: indices})
+	if err != nil {
+		return err
+	}
+	resp, err = n.call(ctx, n.cfg.ParentAddr, req)
+	if err != nil {
+		return fmt.Errorf("node %s: resolve: %w", n.Name(), err)
+	}
+	var rr wire.ResolveResult
+	if err := resp.Decode(&rr); err != nil {
+		return err
+	}
+	byIndex := make(map[int]wire.Peer, len(rr.Peers))
+	for _, p := range rr.Peers {
+		byIndex[p.Index] = p
+	}
+
+	table := make([]tableEntry, 0, len(dists))
+	for _, d := range dists {
+		idx := idspace.IndexAdd(info.Index, int(d), info.N)
+		p, ok := byIndex[idx]
+		if !ok {
+			return fmt.Errorf("node %s: parent did not resolve index %d", n.Name(), idx)
+		}
+		table = append(table, tableEntry{peer: mkPeer(p)})
+	}
+	ccwPeer, ok := byIndex[ccwIndex]
+	if !ok {
+		return fmt.Errorf("node %s: parent did not resolve CCW index %d", n.Name(), ccwIndex)
+	}
+
+	n.mu.Lock()
+	n.overlayN = info.N
+	n.index = info.Index
+	n.table = table
+	n.ccw = mkPeer(ccwPeer)
+	n.ccwAlive = true
+	n.mu.Unlock()
+
+	// Step 7: fetch q nephew pointers per entry. Failures here are
+	// tolerable — the sibling may be down; its entry stays nephew-less
+	// until the next refresh.
+	n.refreshNephews(ctx)
+	return nil
+}
+
+// refreshNephews fetches q nephew pointers for each table entry.
+func (n *Node) refreshNephews(ctx context.Context) {
+	n.mu.Lock()
+	entries := make([]tableEntry, len(n.table))
+	copy(entries, n.table)
+	q := n.cfg.Q
+	n.mu.Unlock()
+	for i := range entries {
+		req, err := wire.New(wire.TypeChildSample, wire.ChildSample{Count: q})
+		if err != nil {
+			continue
+		}
+		resp, err := n.call(ctx, entries[i].addr, req)
+		if err != nil {
+			continue
+		}
+		var cs wire.ChildSampleResult
+		if err := resp.Decode(&cs); err != nil {
+			continue
+		}
+		nephews := make([]peer, 0, len(cs.Children))
+		for _, c := range cs.Children {
+			nephews = append(nephews, mkPeer(c))
+		}
+		n.mu.Lock()
+		if i < len(n.table) && n.table[i].index == entries[i].index {
+			n.table[i].nephews = nephews
+		}
+		n.mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of the node's operational counters.
+func (n *Node) Stats() wire.Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return wire.Stats{
+		Name:              n.Name(),
+		Index:             n.index,
+		TableEntries:      len(n.table),
+		Epoch:             n.epoch,
+		QueriesAnswered:   n.statQueriesAnswered,
+		QueriesForwarded:  n.statQueriesForwarded,
+		ProbesSent:        n.statProbesSent,
+		RepairsOriginated: n.statRepairsOriginated,
+		EntriesCreated:    n.statEntriesCreated,
+	}
+}
+
+// bump atomically increments a counter under the node lock.
+func (n *Node) bump(counter *int64) {
+	n.mu.Lock()
+	*counter++
+	n.mu.Unlock()
+}
+
+// RegenerateNow rebuilds the routing table from the parent's current
+// membership with fresh randomness — one §7 maintenance refresh. Between
+// refreshes, tables may drift from the ideal distribution under churn;
+// this restores it.
+func (n *Node) RegenerateNow(ctx context.Context) error {
+	n.mu.Lock()
+	n.epoch++
+	n.mu.Unlock()
+	return n.BuildTable(ctx)
+}
+
+// Epoch returns the number of table regenerations performed.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// sortedChildren returns the admitted children in ring order (sorted by
+// identifier), assigning ring indices by rank — the parent-side half of
+// Algorithm 1.
+func (n *Node) sortedChildren() []child {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]child, len(n.children))
+	copy(out, n.children)
+	return out
+}
+
+// childIndexOf returns the ring index of the named child.
+func (n *Node) childIndexOf(name string) (int, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, c := range n.children {
+		if c.name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// admit adds a child, keeping the ring sorted by identifier.
+func (n *Node) admit(label, addr string) (string, error) {
+	if label == "" {
+		return "", fmt.Errorf("node %s: empty child label", n.Name())
+	}
+	childName := label
+	if n.name != "" {
+		childName = label + "." + n.name
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, c := range n.children {
+		if c.label == label {
+			return "", fmt.Errorf("node %s: child %q already admitted", n.Name(), label)
+		}
+	}
+	c := child{label: label, name: childName, addr: addr, id: idspace.FromName(childName)}
+	pos := sort.Search(len(n.children), func(i int) bool {
+		return !n.children[i].id.Less(c.id)
+	})
+	n.children = append(n.children, child{})
+	copy(n.children[pos+1:], n.children[pos:])
+	n.children[pos] = c
+	return childName, nil
+}

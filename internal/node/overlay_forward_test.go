@@ -1,0 +1,251 @@
+package node
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// twoLevelFixture builds a root with n children, each with m grandchildren,
+// all joined and with built tables.
+func twoLevelFixture(t *testing.T, n, m, k, q int, seed uint64) (*fixture, map[string]*Node) {
+	t.Helper()
+	f := newFixture(t, n, k, q, seed)
+	ctx := context.Background()
+	grandkids := make(map[string]*Node)
+	tr := f.tr
+	for i, parent := range f.children {
+		for j := 0; j < m; j++ {
+			name := "g" + string(rune('a'+j)) + "." + parent.Name()
+			nd, err := New(Config{
+				Name: name, Addr: "mem://" + name, ParentAddr: parent.Addr(),
+				K: k, Q: q, Seed: seed + uint64(100+10*i+j), CallTimeout: f.children[0].cfg.CallTimeout,
+			}, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := nd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { _ = nd.Stop() })
+			if err := nd.Join(ctx); err != nil {
+				t.Fatal(err)
+			}
+			grandkids[name] = nd
+		}
+	}
+	for _, nd := range grandkids {
+		if err := nd.BuildTable(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Parents refresh nephews now that grandchildren exist.
+	for _, c := range f.children {
+		if err := c.RegenerateNow(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f, grandkids
+}
+
+// query sends a lookup to the given entry node.
+func query(t *testing.T, f *fixture, entryAddr, target string) wire.QueryResult {
+	t.Helper()
+	req, err := wire.New(wire.TypeQuery, wire.Query{Target: target, Mode: wire.ModeHierarchical, TTL: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := f.tr.Call(context.Background(), entryAddr, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr wire.QueryResult
+	if err := resp.Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	return qr
+}
+
+// TestOverlayForwardDirectSiblingEntry sends a query to a node whose
+// subtree does not contain the target: it must overlay-forward across
+// siblings (exercising odNameFor + greedy routing) and still resolve.
+func TestOverlayForwardAcrossSiblings(t *testing.T) {
+	f, _ := twoLevelFixture(t, 10, 2, 2, 2, 31)
+	entry := f.children[0]
+	// Pick a target under a different level-1 node.
+	var target string
+	for _, c := range f.children[1:] {
+		if c.Name() != entry.Name() {
+			target = "ga." + c.Name()
+			break
+		}
+	}
+	qr := query(t, f, entry.Addr(), target)
+	if !qr.Found {
+		t.Fatalf("cross-sibling query failed: %s (path %v)", qr.Reason, qr.Path)
+	}
+	if qr.Path[0] != entry.Name() {
+		t.Errorf("path did not start at the entry: %v", qr.Path)
+	}
+}
+
+// TestOverlayForwardExitViaNephews suppresses an on-path level-1 node: a
+// query entered at a sibling must exit through nephew pointers straight
+// into the dead node's children.
+func TestOverlayForwardExitViaNephews(t *testing.T) {
+	f, _ := twoLevelFixture(t, 8, 3, 2, 3, 32)
+	victim := f.children[3]
+	target := "gb." + victim.Name()
+	entry := f.children[0]
+	if entry == victim {
+		entry = f.children[1]
+	}
+
+	// Healthy first.
+	qr := query(t, f, entry.Addr(), target)
+	if !qr.Found {
+		t.Fatalf("healthy query failed: %s", qr.Reason)
+	}
+
+	victim.Suppress(true)
+	qr = query(t, f, entry.Addr(), target)
+	if !qr.Found {
+		t.Fatalf("query under DoS failed: %s (path %v)", qr.Reason, qr.Path)
+	}
+	for _, hop := range qr.Path {
+		if hop == victim.Name() {
+			t.Fatalf("query visited the suppressed node: %v", qr.Path)
+		}
+	}
+	victim.Suppress(false)
+}
+
+// TestOverlayForwardBackwardMode suppresses the OD node plus its closest
+// counter-clockwise ring neighbors beyond k, runs live recovery, and
+// checks queries still resolve (forcing the backward branch in at least
+// some orderings).
+func TestOverlayForwardBackwardMode(t *testing.T) {
+	f, _ := twoLevelFixture(t, 12, 2, 2, 2, 33)
+	byIndex := make(map[int]*Node)
+	for _, c := range f.children {
+		byIndex[c.Index()] = c
+	}
+	odIdx := 7
+	victims := []*Node{byIndex[odIdx]}
+	for d := 1; d <= 3; d++ {
+		victims = append(victims, byIndex[(odIdx-d+12)%12])
+	}
+	for _, v := range victims {
+		v.Suppress(true)
+	}
+	ctx := context.Background()
+	for round := 0; round < 4; round++ {
+		for _, c := range f.children {
+			c.MaintainOnce(ctx)
+		}
+	}
+	target := "ga." + victims[0].Name()
+	entry := byIndex[(odIdx+3)%12] // a few steps clockwise of the OD node
+	qr := query(t, f, entry.Addr(), target)
+	if !qr.Found {
+		t.Fatalf("backward-mode query failed: %s (path %v)", qr.Reason, qr.Path)
+	}
+	for _, v := range victims {
+		v.Suppress(false)
+	}
+}
+
+// TestQueryOutsideNamespace sends a query whose target has fewer labels
+// than the receiving node — unroutable from there.
+func TestQueryOutsideNamespace(t *testing.T) {
+	f, grandkids := twoLevelFixture(t, 4, 1, 1, 1, 34)
+	var deep *Node
+	for _, nd := range grandkids {
+		deep = nd
+		break
+	}
+	// A level-2 node asked for a level-1 name outside its subtree: its
+	// overlay is its level-2 sibling group, and the OD derivation needs
+	// a level-2 ancestor of the target, which does not exist.
+	qr := query(t, f, deep.Addr(), "nosuch")
+	if qr.Found {
+		t.Error("impossible target resolved")
+	}
+	if !strings.Contains(qr.Reason, "cannot overlay-route") && !strings.Contains(qr.Reason, "no such") {
+		t.Logf("reason: %s (acceptable failure)", qr.Reason)
+	}
+}
+
+func TestDescendToMissingChild(t *testing.T) {
+	f := newFixture(t, 3, 1, 1, 35)
+	qr := query(t, f, f.root.Addr(), "ghost.c0")
+	if qr.Found {
+		t.Error("ghost child resolved")
+	}
+	if !strings.Contains(qr.Reason, "no such child") {
+		t.Errorf("reason = %q", qr.Reason)
+	}
+}
+
+func BenchmarkLiveQueryThroughput(b *testing.B) {
+	tr := newBenchFixture(b)
+	req, err := wire.New(wire.TypeQuery, wire.Query{Target: "c3", Mode: wire.ModeHierarchical, TTL: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := tr.tr.Call(ctx, tr.root.Addr(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var qr wire.QueryResult
+		if err := resp.Decode(&qr); err != nil {
+			b.Fatal(err)
+		}
+		if !qr.Found {
+			b.Fatal("query failed")
+		}
+	}
+}
+
+// newBenchFixture mirrors newFixture for benchmarks.
+func newBenchFixture(b *testing.B) *fixture {
+	b.Helper()
+	tr := &fixture{}
+	mem := transport.NewMem()
+	tr.tr = mem
+	mk := func(name, parentAddr string, s uint64) *Node {
+		nd, err := New(Config{
+			Name: name, Addr: "mem://" + name, ParentAddr: parentAddr,
+			K: 2, Q: 2, Seed: s,
+		}, mem)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := nd.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = nd.Stop() })
+		return nd
+	}
+	tr.root = mk(".", "", 1)
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		c := mk("c"+string(rune('0'+i)), tr.root.Addr(), uint64(i+2))
+		if err := c.Join(ctx); err != nil {
+			b.Fatal(err)
+		}
+		tr.children = append(tr.children, c)
+	}
+	for _, c := range tr.children {
+		if err := c.BuildTable(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr
+}

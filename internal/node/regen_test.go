@@ -1,0 +1,103 @@
+package node
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func TestRegenerateNowChangesTable(t *testing.T) {
+	f := newFixture(t, 30, 2, 2, 21)
+	c := f.children[0]
+	before := c.TableSize()
+	if before < 2 {
+		t.Fatalf("table size %d", before)
+	}
+	if err := c.RegenerateNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Epoch() != 1 {
+		t.Errorf("epoch = %d, want 1", c.Epoch())
+	}
+	// Same membership, fresh randomness: the size fluctuates around the
+	// mean, and the table still carries the k sure neighbors. Check a
+	// few regenerations produce at least one different size (identical
+	// across 5 refreshes is implausible for N=30, k=2).
+	sizes := map[int]bool{before: true}
+	for i := 0; i < 5; i++ {
+		if err := c.RegenerateNow(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		sizes[c.TableSize()] = true
+	}
+	if len(sizes) == 1 {
+		t.Error("six regenerations produced identical table sizes; epoch salt suspect")
+	}
+	if c.Index() < 0 {
+		t.Error("regeneration lost the ring index")
+	}
+}
+
+func TestRegenerateRequiresParent(t *testing.T) {
+	f := newFixture(t, 3, 1, 1, 22)
+	// The root has no parent: regeneration is a no-op, not an error.
+	if err := f.root.RegenerateNow(context.Background()); err != nil {
+		t.Errorf("root regeneration: %v", err)
+	}
+	// With the parent suppressed, regeneration fails but the old table
+	// survives.
+	c := f.children[0]
+	before := c.TableSize()
+	f.root.Suppress(true)
+	if err := c.RegenerateNow(context.Background()); err == nil {
+		t.Error("regeneration with dead parent: want error")
+	}
+	if c.TableSize() != before {
+		t.Errorf("failed regeneration clobbered the table: %d -> %d", before, c.TableSize())
+	}
+	f.root.Suppress(false)
+}
+
+func TestBackgroundRegeneration(t *testing.T) {
+	tr := transport.NewMem()
+	mk := func(name, parentAddr string, regenEvery int) *Node {
+		nd, err := New(Config{
+			Name: name, Addr: "mem://bg-" + name, ParentAddr: parentAddr,
+			K: 1, Q: 1, Seed: 23, CallTimeout: time.Second,
+			ProbePeriod: 5 * time.Millisecond, RegenEvery: regenEvery,
+		}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = nd.Stop() })
+		return nd
+	}
+	root := mk(".", "", 0)
+	ctx := context.Background()
+	var kids []*Node
+	for _, label := range []string{"x", "y", "z"} {
+		c := mk(label, root.Addr(), 2)
+		if err := c.Join(ctx); err != nil {
+			t.Fatal(err)
+		}
+		kids = append(kids, c)
+	}
+	for _, c := range kids {
+		if err := c.BuildTable(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if kids[0].Epoch() >= 2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("background regeneration never ran (epoch %d)", kids[0].Epoch())
+}

@@ -1,0 +1,69 @@
+package overlay
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/idspace"
+	"repro/internal/xrand"
+)
+
+// TestConcurrentRouting exercises the documented contract: an eagerly
+// generated overlay supports concurrent Route calls after mutations are
+// done. Run with -race to verify.
+func TestConcurrentRouting(t *testing.T) {
+	const n = 2000
+	o := mustNew(t, Config{N: n, K: 5, Seed: 71})
+	const od = 1234
+	o.SetAlive(od, false)
+	for d := 1; d <= 30; d++ {
+		o.SetAlive(idspace.IndexAdd(od, -d, n), false)
+	}
+	o.Repair()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(100 + w))
+			for i := 0; i < 500; i++ {
+				src := rng.IntN(n)
+				if !o.Alive(src) {
+					continue
+				}
+				dst := rng.IntN(n)
+				res, err := o.Route(src, dst, RouteOptions{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if dst != od && o.Alive(dst) && res.Outcome != Delivered {
+					errs <- errUnexpectedOutcome(src, dst, res.Outcome)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// errUnexpectedOutcome keeps the goroutine bodies tidy.
+type routeOutcomeError struct {
+	src, dst int
+	outcome  Outcome
+}
+
+func (e *routeOutcomeError) Error() string {
+	return "unexpected outcome " + e.outcome.String()
+}
+
+func errUnexpectedOutcome(src, dst int, outcome Outcome) error {
+	return &routeOutcomeError{src: src, dst: dst, outcome: outcome}
+}

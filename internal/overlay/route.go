@@ -1,0 +1,242 @@
+package overlay
+
+import (
+	"fmt"
+
+	"repro/internal/idspace"
+	"repro/internal/metrics"
+)
+
+// Outcome classifies how an intra-overlay forwarding attempt ended.
+type Outcome int
+
+const (
+	// Delivered means the query reached the overlay-destination (OD) node
+	// itself, which is alive; hierarchical forwarding resumes there.
+	Delivered Outcome = iota + 1
+	// Exited means the OD node is out of service, and the query stopped
+	// at an exit node: one that holds a routing entry for the OD node
+	// (and therefore nephew pointers to its children in the enhanced
+	// design, or the OD's immediate counter-clockwise neighbor in the
+	// base design). The core layer continues with a nephew hop.
+	Exited
+	// Failed means the query could not reach the OD node or any exit
+	// node: the overlay's connectivity to the OD has been destroyed.
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (oc Outcome) String() string {
+	switch oc {
+	case Delivered:
+		return "delivered"
+	case Exited:
+		return "exited"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(oc))
+	}
+}
+
+// RouteOptions tunes a forwarding attempt.
+type RouteOptions struct {
+	// Load, when non-nil, is incremented for every node that forwards
+	// the query (the Figure 8 workload metric).
+	Load *metrics.LoadCounter
+	// TracePath, when set, records the sequence of visited nodes.
+	TracePath bool
+	// MaxHops caps the walk; zero means 3*N (enough for a full greedy
+	// pass plus a full backward wrap). Exceeding the cap fails the route.
+	MaxHops int
+}
+
+// Result reports a forwarding attempt.
+type Result struct {
+	Outcome Outcome
+	// Exit is the node where the query stopped: the OD node itself when
+	// Delivered, the exit node when Exited, and the last node visited
+	// when Failed.
+	Exit int
+	// Hops is the number of intra-overlay forwarding hops taken.
+	Hops int
+	// BackwardHops counts the hops taken in backward mode (§4.2), a
+	// subset of Hops.
+	BackwardHops int
+	// Path holds the visited nodes (including src, excluding none) when
+	// RouteOptions.TracePath is set.
+	Path []int32
+}
+
+// Route forwards a query from entrance node src toward the
+// overlay-destination node od, per Algorithm 2 (base design) or
+// Algorithm 3 (enhanced design). src must be alive; od may be dead, in
+// which case the walk looks for an exit node.
+//
+// Backward mode follows each node's counter-clockwise pointer. If a
+// pointer targets a dead node (a gap that active recovery has not yet
+// bridged — §4.3), the route fails; run Repair or BridgeGapsIdeal after
+// failures to model a recovered overlay.
+func (o *Overlay) Route(src, od int, opts RouteOptions) (Result, error) {
+	if src < 0 || src >= o.n {
+		return Result{}, fmt.Errorf("overlay: route src %d out of range [0,%d)", src, o.n)
+	}
+	if od < 0 || od >= o.n {
+		return Result{}, fmt.Errorf("overlay: route od %d out of range [0,%d)", od, o.n)
+	}
+	if !o.alive[src] {
+		return Result{}, fmt.Errorf("overlay: route src %d is not alive", src)
+	}
+	maxHops := opts.MaxHops
+	if maxHops <= 0 {
+		maxHops = 3 * o.n
+	}
+
+	res := Result{Exit: src}
+	u := src
+	backward := false
+	if opts.TracePath {
+		res.Path = append(res.Path, int32(src))
+	}
+	record := func(next int) {
+		if opts.Load != nil {
+			opts.Load.Inc(u)
+		}
+		u = next
+		res.Hops++
+		if opts.TracePath {
+			res.Path = append(res.Path, int32(next))
+		}
+	}
+
+	for {
+		if u == od {
+			// Only reachable when od is alive: hops toward a dead od
+			// stop at an exit instead.
+			res.Outcome = Delivered
+			res.Exit = u
+			return res, nil
+		}
+		if res.Hops >= maxHops {
+			res.Outcome = Failed
+			res.Exit = u
+			return res, nil
+		}
+
+		// Algorithm 3, lines 1-7 / Algorithm 2, lines 9-13: the OD node
+		// is in u's routing table.
+		if o.hasUsableODEntry(u, od) {
+			if o.alive[od] {
+				record(od)
+				continue // loop top reports Delivered
+			}
+			// OD is down: u holds its entry and hence nephew pointers
+			// to OD's children. u is the exit node.
+			res.Outcome = Exited
+			res.Exit = u
+			return res, nil
+		}
+
+		if !backward {
+			next, ok := o.bestGreedyHop(u, od)
+			if ok {
+				record(next)
+				continue
+			}
+			// Greedy forwarding cannot make progress: every table entry
+			// between u and od is out of service.
+			if o.design == Base {
+				// The base design has no backward mode (§3.4): the
+				// query is stuck.
+				res.Outcome = Failed
+				res.Exit = u
+				return res, nil
+			}
+			backward = true
+			// Fall through to take the first backward step.
+		}
+
+		// Backward mode (Algorithm 3, lines 17-19): follow the
+		// counter-clockwise pointer.
+		next := int(o.ccw[u])
+		if next == u || !o.alive[next] {
+			// Unbridged gap (or single-node ring): backward forwarding
+			// cannot proceed until recovery runs.
+			res.Outcome = Failed
+			res.Exit = u
+			return res, nil
+		}
+		if idspace.IndexDist(next, od, o.n) <= idspace.IndexDist(u, od, o.n) {
+			// Wrapped past the OD node going backward: the full ring
+			// holds no exit entry for od.
+			res.Outcome = Failed
+			res.Exit = u
+			return res, nil
+		}
+		record(next)
+		res.BackwardHops++
+	}
+}
+
+// hasUsableODEntry reports whether node u holds a routing entry for od that
+// carries nephew pointers, making u a potential exit node. In the enhanced
+// design every table entry carries q nephews (§4.1), so any entry
+// qualifies. In the base design only the clockwise-neighbor entry (distance
+// 1) does (§3.1), but a direct sibling pointer to an alive od is still
+// usable for delivery.
+func (o *Overlay) hasUsableODEntry(u, od int) bool {
+	if !o.HasEntry(u, od) {
+		return false
+	}
+	if o.design == Enhanced || o.alive[od] {
+		return true
+	}
+	return idspace.IndexDist(u, od, o.n) == 1
+}
+
+// bestGreedyHop returns the alive routing-table target of u that is closest
+// to od in the identifier space without overshooting it — the greedy rule
+// of Algorithm 2 line 10 — or ok=false when no alive entry makes progress.
+func (o *Overlay) bestGreedyHop(u, od int) (next int, ok bool) {
+	dist := int32(idspace.IndexDist(u, od, o.n))
+	t := o.table(u)
+	// Largest entry distance <= dist, trying alive targets from closest
+	// to od outward.
+	idx := upperBound(t, dist)
+	for i := idx - 1; i >= 0; i-- {
+		cand := idspace.IndexAdd(u, int(t[i]), o.n)
+		if o.alive[cand] {
+			return cand, true
+		}
+	}
+	// Repair-created entries participate in greedy forwarding too.
+	var best int32 = -1
+	for _, d := range o.extras[int32(u)] {
+		if d <= dist && d > best {
+			cand := idspace.IndexAdd(u, int(d), o.n)
+			if o.alive[cand] {
+				best = d
+				next = cand
+			}
+		}
+	}
+	if best >= 0 {
+		return next, true
+	}
+	return 0, false
+}
+
+// upperBound returns the number of elements in sorted ascending s that are
+// <= v.
+func upperBound(s []int32, v int32) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,459 @@
+package overlay
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/idspace"
+	"repro/internal/metrics"
+	"repro/internal/xrand"
+)
+
+func TestRouteValidation(t *testing.T) {
+	o := mustNew(t, Config{N: 20, K: 2, Seed: 1})
+	if _, err := o.Route(-1, 3, RouteOptions{}); err == nil {
+		t.Error("negative src: want error")
+	}
+	if _, err := o.Route(0, 20, RouteOptions{}); err == nil {
+		t.Error("od out of range: want error")
+	}
+	o.SetAlive(4, false)
+	if _, err := o.Route(4, 7, RouteOptions{}); err == nil {
+		t.Error("dead src: want error")
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	o := mustNew(t, Config{N: 20, K: 2, Seed: 1})
+	res, err := o.Route(5, 5, RouteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Delivered || res.Hops != 0 || res.Exit != 5 {
+		t.Errorf("self route = %+v", res)
+	}
+}
+
+func TestRouteNoFailuresAlwaysDelivers(t *testing.T) {
+	for _, design := range []Design{Base, Enhanced} {
+		o := mustNew(t, Config{N: 200, Design: design, K: 5, Seed: 2})
+		rng := xrand.New(3)
+		for trial := 0; trial < 2000; trial++ {
+			src := rng.IntN(200)
+			od := rng.IntN(200)
+			res, err := o.Route(src, od, RouteOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Outcome != Delivered || res.Exit != od {
+				t.Fatalf("%v: route %d->%d = %+v", design, src, od, res)
+			}
+			if src != od && res.Hops < 1 {
+				t.Fatalf("%v: route %d->%d took %d hops", design, src, od, res.Hops)
+			}
+			if res.BackwardHops != 0 {
+				t.Fatalf("%v: backward hops with no failures: %+v", design, res)
+			}
+		}
+	}
+}
+
+func TestRoutePathTrace(t *testing.T) {
+	o := mustNew(t, Config{N: 500, K: 3, Seed: 4})
+	res, err := o.Route(17, 400, RouteOptions{TracePath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Path) != res.Hops+1 {
+		t.Fatalf("path length %d, hops %d", len(res.Path), res.Hops)
+	}
+	if res.Path[0] != 17 || res.Path[len(res.Path)-1] != 400 {
+		t.Fatalf("path endpoints wrong: %v", res.Path)
+	}
+	// Every hop must target a routing-table entry of the previous node,
+	// and greedy forwarding must strictly decrease clockwise distance.
+	for i := 1; i < len(res.Path); i++ {
+		prev, cur := int(res.Path[i-1]), int(res.Path[i])
+		if !o.HasEntry(prev, cur) {
+			t.Errorf("hop %d->%d not in routing table", prev, cur)
+		}
+		dPrev := idspace.IndexDist(prev, 400, o.Size())
+		dCur := idspace.IndexDist(cur, 400, o.Size())
+		if dCur >= dPrev {
+			t.Errorf("hop %d->%d did not progress toward od (%d >= %d)", prev, cur, dCur, dPrev)
+		}
+	}
+}
+
+func TestRouteGreedyMeanHopsLogarithmic(t *testing.T) {
+	// Theorem 1: O(log N) hops. For base design the paper measures
+	// ~ln N; check the mean is in a generous band around it.
+	const n = 2000
+	o := mustNew(t, Config{N: n, Design: Base, Seed: 5})
+	rng := xrand.New(6)
+	var total int
+	const trials = 3000
+	for trial := 0; trial < trials; trial++ {
+		src := rng.IntN(n)
+		od := rng.IntN(n)
+		res, err := o.Route(src, od, RouteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.Hops
+	}
+	mean := float64(total) / trials
+	// ln(2000) ≈ 7.6; accept [3.8, 11.4].
+	if mean < 3.8 || mean > 11.4 {
+		t.Errorf("base-design mean hops %.2f, want ≈ ln N ≈ 7.6", mean)
+	}
+}
+
+func TestRouteEnhancedFasterThanBase(t *testing.T) {
+	const n = 5000
+	base := mustNew(t, Config{N: n, Design: Base, Seed: 7})
+	enh := mustNew(t, Config{N: n, Design: Enhanced, K: 5, Seed: 7})
+	rng := xrand.New(8)
+	var baseTotal, enhTotal int
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		src := rng.IntN(n)
+		od := rng.IntN(n)
+		rb, err := base.Route(src, od, RouteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := enh.Route(src, od, RouteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseTotal += rb.Hops
+		enhTotal += re.Hops
+	}
+	if enhTotal >= baseTotal {
+		t.Errorf("enhanced design not faster: base %d total hops, enhanced %d", baseTotal, enhTotal)
+	}
+}
+
+func TestRouteExitWhenODDead(t *testing.T) {
+	o := mustNew(t, Config{N: 200, K: 5, Seed: 9})
+	const od = 100
+	o.SetAlive(od, false)
+	o.Repair()
+	rng := xrand.New(10)
+	for trial := 0; trial < 500; trial++ {
+		src := rng.IntN(200)
+		if src == od {
+			continue
+		}
+		res, err := o.Route(src, od, RouteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != Exited {
+			t.Fatalf("route %d->%d = %+v, want exit", src, od, res)
+		}
+		if !o.HasEntry(res.Exit, od) {
+			t.Fatalf("exit node %d does not hold an entry for od %d", res.Exit, od)
+		}
+		if !o.Alive(res.Exit) {
+			t.Fatalf("exit node %d is dead", res.Exit)
+		}
+	}
+}
+
+func TestRouteNeighborAttackBackward(t *testing.T) {
+	// Kill od and a contiguous run of its counter-clockwise neighbors
+	// longer than k: queries must enter backward mode and still find an
+	// exit (Theorem 2 / Corollary 1 territory).
+	const (
+		n   = 400
+		k   = 4
+		od  = 200
+		gap = 40
+	)
+	o := mustNew(t, Config{N: n, K: k, Seed: 11})
+	o.SetAlive(od, false)
+	for d := 1; d <= gap; d++ {
+		o.SetAlive(idspace.IndexAdd(od, -d, n), false)
+	}
+	o.Repair()
+	rng := xrand.New(12)
+	sawBackward := false
+	for trial := 0; trial < 300; trial++ {
+		src := idspace.IndexAdd(od, rng.IntN(n-gap-2)+1, n) // alive region
+		if !o.Alive(src) {
+			continue
+		}
+		res, err := o.Route(src, od, RouteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != Exited {
+			t.Fatalf("route %d->%d = %+v, want exit", src, od, res)
+		}
+		if !o.HasEntry(res.Exit, od) || !o.Alive(res.Exit) {
+			t.Fatalf("bad exit node %d", res.Exit)
+		}
+		if res.BackwardHops > 0 {
+			sawBackward = true
+		}
+	}
+	if !sawBackward {
+		t.Error("no query used backward forwarding despite a gap > k")
+	}
+}
+
+func TestRouteBaseDesignStuckOnNeighborAttack(t *testing.T) {
+	// Base design: kill od and its counter-clockwise neighbor. Queries
+	// whose greedy walk lands on the dead pair's edge must fail — this is
+	// exactly the vulnerability §3.4 describes.
+	const n = 300
+	o := mustNew(t, Config{N: n, Design: Base, Seed: 13})
+	const od = 150
+	o.SetAlive(od, false)
+	o.SetAlive(od-1, false)
+	failures := 0
+	rng := xrand.New(14)
+	for trial := 0; trial < 300; trial++ {
+		src := rng.IntN(n)
+		if !o.Alive(src) || src == od {
+			continue
+		}
+		res, err := o.Route(src, od, RouteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch res.Outcome {
+		case Failed:
+			failures++
+		case Exited:
+			// A random long-range pointer straight to od can still
+			// provide an exit in the enhanced design — but base-design
+			// shortcut entries carry no nephews, so Exited implies the
+			// exit is od's immediate CCW neighbor, which is dead here.
+			t.Fatalf("base design produced exit %d with dead CCW neighbor", res.Exit)
+		}
+	}
+	if failures == 0 {
+		t.Error("base design never failed under a 2-node neighbor attack")
+	}
+}
+
+func TestRouteFailsWhenNoExitExists(t *testing.T) {
+	// Kill od and every node that could hold an entry for it except far
+	// nodes with negligible probability... instead, kill ALL nodes other
+	// than src: the route must fail, not loop.
+	const n = 50
+	o := mustNew(t, Config{N: n, K: 2, Seed: 15})
+	const src, od = 10, 30
+	for i := 0; i < n; i++ {
+		if i != src {
+			o.SetAlive(i, false)
+		}
+	}
+	o.Repair()
+	res, err := o.Route(src, od, RouteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Failed {
+		t.Errorf("route with lone survivor = %+v, want failed", res)
+	}
+}
+
+func TestRouteRepairRescuesMultiGapRoutes(t *testing.T) {
+	// Two dead runs: one covering od and its CCW neighbors (forces
+	// backward mode) and one further counter-clockwise (the backward walk
+	// must cross it). Without Repair the walk dies at the unbridged gap;
+	// after Repair the bridging pointers rescue it (§4.3).
+	const (
+		n  = 300
+		k  = 3
+		od = 150
+	)
+	kill := func(o *Overlay) {
+		for d := 0; d <= 30; d++ {
+			o.SetAlive(idspace.IndexAdd(od, -d, n), false)
+		}
+		for i := 80; i <= 110; i++ {
+			o.SetAlive(i, false)
+		}
+	}
+	unrepaired := mustNew(t, Config{N: n, K: k, Seed: 16})
+	repaired := mustNew(t, Config{N: n, K: k, Seed: 16})
+	kill(unrepaired)
+	kill(repaired)
+	repaired.Repair()
+
+	failsUnrepaired, failsRepaired := 0, 0
+	for src := od + 1; src < od+80; src++ {
+		s := idspace.IndexAdd(src, 0, n)
+		ru, err := unrepaired.Route(s, od, RouteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := repaired.Route(s, od, RouteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ru.Outcome == Failed {
+			failsUnrepaired++
+		}
+		if rr.Outcome == Failed {
+			failsRepaired++
+		}
+		if rr.Outcome == Exited && (!repaired.Alive(rr.Exit) || !repaired.HasEntry(rr.Exit, od)) {
+			t.Fatalf("repaired route exited at invalid node %d", rr.Exit)
+		}
+	}
+	if failsUnrepaired == 0 {
+		t.Skip("seed gave every probed source a direct od entry; acceptable")
+	}
+	if failsRepaired >= failsUnrepaired {
+		t.Errorf("repair did not reduce failures: %d unrepaired vs %d repaired",
+			failsUnrepaired, failsRepaired)
+	}
+}
+
+func TestRouteLoadCounter(t *testing.T) {
+	const n = 100
+	o := mustNew(t, Config{N: n, K: 2, Seed: 17})
+	load := metrics.NewLoadCounter(n)
+	res, err := o.Route(5, 80, RouteOptions{Load: load})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := 0; i < n; i++ {
+		total += load.Of(i)
+	}
+	if total != int64(res.Hops) {
+		t.Errorf("load total %d, hops %d", total, res.Hops)
+	}
+	if load.Of(80) != 0 {
+		t.Error("destination counted as forwarder")
+	}
+}
+
+func TestRouteMaxHops(t *testing.T) {
+	o := mustNew(t, Config{N: 1000, Design: Base, Seed: 18})
+	res, err := o.Route(0, 999, RouteOptions{MaxHops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome == Delivered && res.Hops > 1 {
+		t.Errorf("exceeded MaxHops: %+v", res)
+	}
+	if res.Hops > 1 {
+		t.Errorf("took %d hops with MaxHops=1", res.Hops)
+	}
+}
+
+// Property: routing in a healthy overlay always delivers, never walks
+// backward, and never exceeds N hops.
+func TestRouteHealthyProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw, srcRaw, odRaw uint16) bool {
+		n := int(nRaw%300) + 2
+		k := int(kRaw%6) + 1
+		o, err := New(Config{N: n, K: k, Seed: seed})
+		if err != nil {
+			return false
+		}
+		src := int(srcRaw) % n
+		od := int(odRaw) % n
+		res, err := o.Route(src, od, RouteOptions{})
+		if err != nil {
+			return false
+		}
+		return res.Outcome == Delivered && res.Exit == od &&
+			res.BackwardHops == 0 && res.Hops <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with od dead and arbitrary extra failures (after repair), the
+// route either exits at an alive entry-holder for od or fails; it never
+// claims delivery.
+func TestRouteDeadODProperty(t *testing.T) {
+	f := func(seed uint64, failPattern []bool) bool {
+		const n = 120
+		o, err := New(Config{N: n, K: 3, Seed: seed})
+		if err != nil {
+			return false
+		}
+		const od = 60
+		o.SetAlive(od, false)
+		for i, dead := range failPattern {
+			if dead && i < n {
+				o.SetAlive(i, false)
+			}
+		}
+		o.SetAlive(od, false)
+		if o.AliveCount() < 2 {
+			return true
+		}
+		src := o.NearestAliveCW(od)
+		if src < 0 || src == od {
+			return true
+		}
+		o.Repair()
+		res, err := o.Route(src, od, RouteOptions{})
+		if err != nil {
+			return false
+		}
+		switch res.Outcome {
+		case Delivered:
+			return false
+		case Exited:
+			return o.Alive(res.Exit) && o.HasEntry(res.Exit, od)
+		case Failed:
+			return true
+		default:
+			return false
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRouteHealthy50k(b *testing.B) {
+	o, err := New(Config{N: 50000, K: 5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := rng.IntN(50000)
+		od := rng.IntN(50000)
+		if _, err := o.Route(src, od, RouteOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRouteUnderNeighborAttack(b *testing.B) {
+	const n = 1000
+	o, err := New(Config{N: n, K: 5, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const od = 500
+	o.SetAlive(od, false)
+	for d := 1; d <= 300; d++ {
+		o.SetAlive(idspace.IndexAdd(od, -d, n), false)
+	}
+	o.Repair()
+	rng := xrand.New(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := idspace.IndexAdd(od, 1+rng.IntN(n-302), n)
+		if _, err := o.Route(src, od, RouteOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package overlay
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/idspace"
+	"repro/internal/xrand"
+)
+
+// TestStabilizeFixesMultiGapSkips builds the pathological pattern Repair
+// alone cannot finish: several large gaps that stall Repair messages, so
+// some counter-clockwise pointers "skip" alive stretches. Stabilization
+// must walk every pointer back to the true nearest alive predecessor.
+func TestStabilizeFixesMultiGapSkips(t *testing.T) {
+	const n, k = 400, 3
+	for seed := uint64(0); seed < 8; seed++ {
+		o := mustNew(t, Config{N: n, K: k, Seed: 300 + seed})
+		// Three separated gaps, each far larger than k.
+		for _, gapStart := range []int{50, 180, 320} {
+			for d := 0; d < 30; d++ {
+				o.SetAlive(idspace.IndexAdd(gapStart, d, n), false)
+			}
+		}
+		o.Repair()
+		o.Stabilize(0)
+
+		for x := 0; x < n; x++ {
+			if !o.Alive(x) {
+				continue
+			}
+			want := o.NearestAliveCCW(x)
+			if got := o.CCW(x); got != want {
+				t.Fatalf("seed %d: node %d CCW = %d, want nearest alive %d", seed, x, got, want)
+			}
+		}
+	}
+}
+
+func TestStabilizeNoOpOnHealthyRing(t *testing.T) {
+	o := mustNew(t, Config{N: 100, K: 2, Seed: 9})
+	if changed := o.Stabilize(0); changed != 0 {
+		t.Errorf("healthy ring stabilization changed %d pointers", changed)
+	}
+}
+
+func TestStabilizeTerminatesUnderRandomFailures(t *testing.T) {
+	const n, k = 250, 4
+	o := mustNew(t, Config{N: n, K: k, Seed: 10})
+	rng := xrand.New(11)
+	for i := 0; i < n/2; i++ {
+		o.SetAlive(rng.IntN(n), false)
+	}
+	o.Repair()
+	changed := o.Stabilize(0)
+	if changed < 0 {
+		t.Fatal("negative change count")
+	}
+	// A second full stabilization must be a no-op (fixpoint reached).
+	if again := o.Stabilize(0); again != 0 {
+		t.Errorf("stabilization not at fixpoint: %d further changes", again)
+	}
+}
+
+// TestTheorem2ExitNodeExistence checks the paper's Theorem 2: for an
+// arbitrary node i and distance d, with high probability some node in the
+// counter-clockwise interval [i-2d, i-d] holds a routing entry for i. The
+// failure probability telescopes to ~(1/2)^k, so k=5 gives >= ~97%.
+func TestTheorem2ExitNodeExistence(t *testing.T) {
+	const (
+		n      = 500
+		k      = 5
+		trials = 300
+	)
+	rng := xrand.New(12)
+	for _, d := range []int{8, 20, 60} {
+		hits := 0
+		for trial := 0; trial < trials; trial++ {
+			o := mustNew(t, Config{N: n, K: k, Seed: uint64(1000*d + trial), Lazy: true})
+			i := rng.IntN(n)
+			found := false
+			for j := d; j <= 2*d; j++ {
+				u := idspace.IndexAdd(i, -j, n)
+				if o.HasEntry(u, i) {
+					found = true
+					break
+				}
+			}
+			if found {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		// P(exists) = 1 - prod_{j=d..2d}(1 - k/j) >= 1 - (1/2)^k ≈ 0.97
+		// (slightly higher since the product starts at j=d).
+		want := 1 - math.Pow(0.5, k)
+		if got < want-0.05 {
+			t.Errorf("d=%d: exit-node existence %.3f, Theorem 2 expects >= ~%.3f", d, got, want)
+		}
+	}
+}

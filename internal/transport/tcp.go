@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TCP is a Transport over real sockets: one length-prefixed request and
+// response per connection. The prototype dials per call; connection reuse
+// is unnecessary at demo scale and keeps failure semantics obvious (a dead
+// peer is a dial error).
+type TCP struct {
+	// DialTimeout bounds connection establishment; zero means 2s.
+	DialTimeout time.Duration
+	// IOTimeout bounds each request/response exchange; zero means 5s.
+	IOTimeout time.Duration
+}
+
+var _ Transport = (*TCP)(nil)
+
+// tcpListener serves connections until closed.
+type tcpListener struct {
+	ln   net.Listener
+	h    Handler
+	io   time.Duration
+	wg   sync.WaitGroup
+	once sync.Once
+	stop chan struct{}
+}
+
+// Listen implements Transport. addr is a host:port; ":0" picks a free
+// port — read it back with Addr on the returned closer (type *TCPListener).
+func (t *TCP) Listen(addr string, h Handler) (io.Closer, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: listen needs a handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	l := &tcpListener{ln: ln, h: h, io: t.ioTimeout(), stop: make(chan struct{})}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return &TCPListener{l: l}, nil
+}
+
+func (t *TCP) dialTimeout() time.Duration {
+	if t.DialTimeout > 0 {
+		return t.DialTimeout
+	}
+	return 2 * time.Second
+}
+
+func (t *TCP) ioTimeout() time.Duration {
+	if t.IOTimeout > 0 {
+		return t.IOTimeout
+	}
+	return 5 * time.Second
+}
+
+// TCPListener exposes the bound address of a TCP listener.
+type TCPListener struct {
+	l *tcpListener
+}
+
+// Addr returns the bound address (useful with ":0").
+func (t *TCPListener) Addr() string { return t.l.ln.Addr().String() }
+
+// Close implements io.Closer: it stops accepting, closes the socket, and
+// waits for in-flight handlers.
+func (t *TCPListener) Close() error {
+	var err error
+	t.l.once.Do(func() {
+		close(t.l.stop)
+		err = t.l.ln.Close()
+		t.l.wg.Wait()
+	})
+	return err
+}
+
+func (l *tcpListener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			select {
+			case <-l.stop:
+				return
+			default:
+				// Transient accept errors (e.g. EMFILE) back off
+				// implicitly through the retry.
+				continue
+			}
+		}
+		l.wg.Add(1)
+		go l.serveConn(conn)
+	}
+}
+
+func (l *tcpListener) serveConn(conn net.Conn) {
+	defer l.wg.Done()
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(l.io)); err != nil {
+		return
+	}
+	req, err := wire.ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), l.io)
+	defer cancel()
+	resp, err := l.h(ctx, req)
+	if err != nil {
+		errMsg, encErr := wire.New(wire.TypeError, wire.Error{Reason: err.Error()})
+		if encErr != nil {
+			return
+		}
+		resp = errMsg
+	}
+	_ = wire.WriteFrame(conn, resp) // peer handles missing responses
+}
+
+// Call implements Transport.
+func (t *TCP) Call(ctx context.Context, addr string, req wire.Message) (wire.Message, error) {
+	d := net.Dialer{Timeout: t.dialTimeout()}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return wire.Message{}, fmt.Errorf("call %s: %w: %v", addr, ErrUnreachable, err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(t.ioTimeout())
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return wire.Message{}, fmt.Errorf("call %s: set deadline: %w", addr, err)
+	}
+	if err := wire.WriteFrame(conn, req); err != nil {
+		return wire.Message{}, fmt.Errorf("call %s: %w: %v", addr, ErrUnreachable, err)
+	}
+	resp, err := wire.ReadFrame(conn)
+	if err != nil {
+		return wire.Message{}, fmt.Errorf("call %s: %w: %v", addr, ErrUnreachable, err)
+	}
+	if resp.Type == wire.TypeError {
+		var e wire.Error
+		if err := resp.Decode(&e); err != nil {
+			return wire.Message{}, fmt.Errorf("call %s: undecodable error response: %w", addr, err)
+		}
+		return wire.Message{}, fmt.Errorf("call %s: remote error: %s", addr, e.Reason)
+	}
+	return resp, nil
+}

@@ -1,0 +1,126 @@
+// Package transport carries wire messages between live HOURS nodes. Two
+// implementations share one interface: Mem, an in-process registry used by
+// tests and large in-process clusters, and TCP, a length-prefixed-frame
+// protocol over real sockets for multi-process deployments.
+//
+// A DoS-attacked node is modeled by suppression at the transport layer:
+// calls to a suppressed address fail with ErrUnreachable, the way a
+// flooded server looks to its peers after a timeout.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// ErrUnreachable is returned when the callee does not answer — it is down,
+// suppressed (under DoS), or the dial failed.
+var ErrUnreachable = errors.New("transport: peer unreachable")
+
+// Handler serves one request message and returns the response.
+type Handler func(ctx context.Context, req wire.Message) (wire.Message, error)
+
+// Transport connects live nodes.
+type Transport interface {
+	// Listen registers handler under addr and starts serving. The
+	// returned closer stops serving.
+	Listen(addr string, h Handler) (io.Closer, error)
+	// Call sends req to addr and awaits the response.
+	Call(ctx context.Context, addr string, req wire.Message) (wire.Message, error)
+}
+
+// Mem is an in-process transport: a registry of handlers keyed by address.
+// The zero value is not usable; call NewMem.
+type Mem struct {
+	mu         sync.RWMutex
+	handlers   map[string]Handler
+	suppressed map[string]bool
+}
+
+var _ Transport = (*Mem)(nil)
+
+// NewMem returns an empty in-memory transport.
+func NewMem() *Mem {
+	return &Mem{
+		handlers:   make(map[string]Handler),
+		suppressed: make(map[string]bool),
+	}
+}
+
+// memListener unregisters an address on Close.
+type memListener struct {
+	m    *Mem
+	addr string
+	once sync.Once
+}
+
+// Close implements io.Closer.
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		l.m.mu.Lock()
+		delete(l.m.handlers, l.addr)
+		l.m.mu.Unlock()
+	})
+	return nil
+}
+
+// Listen implements Transport.
+func (m *Mem) Listen(addr string, h Handler) (io.Closer, error) {
+	if addr == "" || h == nil {
+		return nil, fmt.Errorf("transport: listen needs addr and handler")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.handlers[addr]; exists {
+		return nil, fmt.Errorf("transport: address %q already bound", addr)
+	}
+	m.handlers[addr] = h
+	return &memListener{m: m, addr: addr}, nil
+}
+
+// Call implements Transport.
+func (m *Mem) Call(ctx context.Context, addr string, req wire.Message) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return wire.Message{}, err
+	}
+	m.mu.RLock()
+	h := m.handlers[addr]
+	down := m.suppressed[addr]
+	m.mu.RUnlock()
+	if h == nil || down {
+		// A suppressed node behaves exactly like a flooded one: the
+		// caller's timeout elapses. The error is returned immediately
+		// so simulated failure detection is fast.
+		return wire.Message{}, fmt.Errorf("call %s: %w", addr, ErrUnreachable)
+	}
+	resp, err := h(ctx, req)
+	if err != nil {
+		return wire.Message{}, fmt.Errorf("call %s: %w", addr, err)
+	}
+	return resp, nil
+}
+
+// Suppress marks an address as under DoS attack (or lifts it): every call
+// to it fails with ErrUnreachable while its own outbound calls still work
+// only if its node chooses to send (nodes stop probing when suppressed).
+func (m *Mem) Suppress(addr string, down bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if down {
+		m.suppressed[addr] = true
+	} else {
+		delete(m.suppressed, addr)
+	}
+}
+
+// Suppressed reports whether addr is currently suppressed.
+func (m *Mem) Suppressed(addr string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.suppressed[addr]
+}

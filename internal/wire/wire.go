@@ -1,0 +1,259 @@
+// Package wire defines the message vocabulary and framing of the live
+// HOURS prototype. Nodes exchange JSON-encoded request/response messages:
+// admission (§3.1), routing-table construction via the parent (Algorithm
+// 1), query forwarding (Algorithms 2-3), probing and active recovery
+// (§4.3). Frames are length-prefixed so the same codec runs over TCP and
+// in-memory pipes.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Type tags a message.
+type Type string
+
+// Message types. Requests and responses pair by convention
+// (X / XResult).
+const (
+	// TypeJoin asks a parent to admit a new child (§3.1 admission).
+	TypeJoin Type = "join"
+	// TypeJoinResult acknowledges (or refuses) admission.
+	TypeJoinResult Type = "join_result"
+	// TypeTableInfo asks the parent for the overlay size and the
+	// caller's ring index (Algorithm 1, line 1).
+	TypeTableInfo Type = "table_info"
+	// TypeTableInfoResult carries (N, index).
+	TypeTableInfoResult Type = "table_info_result"
+	// TypeResolve asks the parent for the addresses of sibling indices
+	// (Algorithm 1, line 6).
+	TypeResolve Type = "resolve"
+	// TypeResolveResult carries the resolved addresses.
+	TypeResolveResult Type = "resolve_result"
+	// TypeChildSample asks a sibling for a random sample of its children
+	// (nephew pointers, §4.1).
+	TypeChildSample Type = "child_sample"
+	// TypeChildSampleResult carries the sampled child addresses.
+	TypeChildSampleResult Type = "child_sample_result"
+	// TypeQuery forwards a lookup (Algorithms 2-3).
+	TypeQuery Type = "query"
+	// TypeQueryResult carries the answer or failure.
+	TypeQueryResult Type = "query_result"
+	// TypeProbe is the §4.3 liveness probe.
+	TypeProbe Type = "probe"
+	// TypeProbeResult acknowledges a probe.
+	TypeProbeResult Type = "probe_result"
+	// TypeNotifyCCW tells a node about its (possibly new)
+	// counter-clockwise neighbor (conventional recovery, §4.3).
+	TypeNotifyCCW Type = "notify_ccw"
+	// TypeNotifyCCWResult acknowledges the notification.
+	TypeNotifyCCWResult Type = "notify_ccw_result"
+	// TypeRepair is the §4.3 Repair message routed around the ring.
+	TypeRepair Type = "repair"
+	// TypeRepairResult acknowledges the repair hop.
+	TypeRepairResult Type = "repair_result"
+	// TypeStats asks a node for its operational counters.
+	TypeStats Type = "stats"
+	// TypeStatsResult carries the counters.
+	TypeStatsResult Type = "stats_result"
+	// TypeError reports a request failure.
+	TypeError Type = "error"
+)
+
+// Message is one framed protocol message.
+type Message struct {
+	Type    Type            `json:"type"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// New encodes payload into a Message of the given type.
+func New(t Type, payload any) (Message, error) {
+	if payload == nil {
+		return Message{Type: t}, nil
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return Message{}, fmt.Errorf("wire: encode %s payload: %w", t, err)
+	}
+	return Message{Type: t, Payload: raw}, nil
+}
+
+// Decode unmarshals the payload into out.
+func (m Message) Decode(out any) error {
+	if err := json.Unmarshal(m.Payload, out); err != nil {
+		return fmt.Errorf("wire: decode %s payload: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Join is the admission request.
+type Join struct {
+	Label string `json:"label"`
+	Addr  string `json:"addr"`
+}
+
+// JoinResult acknowledges admission.
+type JoinResult struct {
+	Name string `json:"name"`
+}
+
+// TableInfo asks for overlay parameters; Name identifies the caller.
+type TableInfo struct {
+	Name string `json:"name"`
+}
+
+// TableInfoResult carries the overlay size and the caller's ring index.
+type TableInfoResult struct {
+	N     int `json:"n"`
+	Index int `json:"index"`
+}
+
+// Resolve asks the parent to resolve sibling ring indices to addresses.
+type Resolve struct {
+	Indices []int `json:"indices"`
+}
+
+// Peer names one overlay member.
+type Peer struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	Addr  string `json:"addr"`
+}
+
+// ResolveResult carries resolved peers in request order.
+type ResolveResult struct {
+	Peers []Peer `json:"peers"`
+}
+
+// ChildSample asks a sibling for up to Count of its children, drawn
+// randomly (nephew pointers).
+type ChildSample struct {
+	Count int `json:"count"`
+}
+
+// ChildSampleResult carries the sampled children.
+type ChildSampleResult struct {
+	Children []Peer `json:"children"`
+}
+
+// QueryMode is the forwarding mode carried by a query (Algorithm 3).
+type QueryMode string
+
+const (
+	// ModeHierarchical means the query is on the prescribed top-down
+	// path.
+	ModeHierarchical QueryMode = "hierarchical"
+	// ModeForward means clockwise greedy overlay forwarding.
+	ModeForward QueryMode = "forward"
+	// ModeBackward means counter-clockwise backward forwarding (§4.2).
+	ModeBackward QueryMode = "backward"
+)
+
+// Query is a forwarded lookup. Overlay routing needs no explicit
+// overlay-destination field: names are public, so every node derives the
+// OD node at its own level by hashing the target's ancestor name — the
+// same public-hash property the paper's topology-aware attacker exploits.
+type Query struct {
+	// Target is the full name whose answer is sought.
+	Target string `json:"target"`
+	// Mode is the current forwarding mode.
+	Mode QueryMode `json:"mode"`
+	// Hops counts forwarding hops so far.
+	Hops int `json:"hops"`
+	// TTL bounds forwarding; decremented per hop.
+	TTL int `json:"ttl"`
+	// Path records visited node names (diagnostics).
+	Path []string `json:"path,omitempty"`
+}
+
+// QueryResult carries the outcome of a query.
+type QueryResult struct {
+	Found  bool     `json:"found"`
+	Answer string   `json:"answer,omitempty"`
+	Hops   int      `json:"hops"`
+	Path   []string `json:"path,omitempty"`
+	Reason string   `json:"reason,omitempty"`
+}
+
+// NotifyCCW announces the sender as the receiver's counter-clockwise
+// neighbor candidate.
+type NotifyCCW struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	Addr  string `json:"addr"`
+}
+
+// Repair is the §4.3 repair message, destined to its origin.
+type Repair struct {
+	OriginIndex int    `json:"originIndex"`
+	OriginName  string `json:"originName"`
+	OriginAddr  string `json:"originAddr"`
+	Hops        int    `json:"hops"`
+	TTL         int    `json:"ttl"`
+}
+
+// Stats carries a node's operational counters (TypeStatsResult).
+type Stats struct {
+	Name              string `json:"name"`
+	Index             int    `json:"index"`
+	TableEntries      int    `json:"tableEntries"`
+	Epoch             uint64 `json:"epoch"`
+	QueriesAnswered   int64  `json:"queriesAnswered"`
+	QueriesForwarded  int64  `json:"queriesForwarded"`
+	ProbesSent        int64  `json:"probesSent"`
+	RepairsOriginated int64  `json:"repairsOriginated"`
+	EntriesCreated    int64  `json:"entriesCreated"`
+}
+
+// Error carries a request failure.
+type Error struct {
+	Reason string `json:"reason"`
+}
+
+// maxFrame bounds decoded frames; prototype messages are small, so a large
+// frame indicates corruption or abuse.
+const maxFrame = 1 << 20
+
+// WriteFrame writes one length-prefixed message.
+func WriteFrame(w io.Writer, m Message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: marshal frame: %w", err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(body), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed message.
+func ReadFrame(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, fmt.Errorf("wire: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return Message{}, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return Message{}, fmt.Errorf("wire: unmarshal frame: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndDecode(t *testing.T) {
+	m, err := New(TypeQuery, Query{Target: "cs.ucla.edu", Mode: ModeForward, Hops: 7, TTL: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != TypeQuery {
+		t.Errorf("type = %v", m.Type)
+	}
+	var q Query
+	if err := m.Decode(&q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Target != "cs.ucla.edu" || q.Mode != ModeForward || q.Hops != 7 || q.TTL != 64 {
+		t.Errorf("round trip = %+v", q)
+	}
+}
+
+func TestNewNilPayload(t *testing.T) {
+	m, err := New(TypeProbe, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != TypeProbe || m.Payload != nil {
+		t.Errorf("m = %+v", m)
+	}
+}
+
+func TestDecodeError(t *testing.T) {
+	m := Message{Type: TypeQuery, Payload: []byte("{not json")}
+	var q Query
+	if err := m.Decode(&q); err == nil {
+		t.Error("bad payload: want error")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	msgs := []Message{}
+	for _, payload := range []any{
+		Join{Label: "ucla", Addr: "mem://7"},
+		TableInfoResult{N: 50000, Index: 123},
+		Resolve{Indices: []int{1, 5, 99}},
+		ResolveResult{Peers: []Peer{{Index: 1, Name: "a", Addr: "x"}}},
+		QueryResult{Found: true, Answer: "addr", Hops: 9, Path: []string{"a", "b"}},
+		Repair{OriginIndex: 4, OriginName: "n", OriginAddr: "a", TTL: 100},
+		Error{Reason: "boom"},
+	} {
+		m, err := New(TypeQuery, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, m)
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != msgs[i].Type || !bytes.Equal(got.Payload, msgs[i].Payload) {
+			t.Errorf("frame %d mismatch", i)
+		}
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	m, err := New(TypeProbe, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{0, 2, len(data) - 1} {
+		if _, err := ReadFrame(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncated at %d: want error", cut)
+		}
+	}
+}
+
+func TestReadFrameOversized(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized frame error = %v", err)
+	}
+}
+
+func TestReadFrameGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 3)
+	buf.Write(hdr[:])
+	buf.WriteString(`{x!`)
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("garbage body: want error")
+	}
+}
+
+// Property: any query payload round-trips through a frame.
+func TestFrameProperty(t *testing.T) {
+	f := func(target string, hops, od uint16, backward bool) bool {
+		mode := ModeForward
+		if backward {
+			mode = ModeBackward
+		}
+		in := Query{Target: target, Mode: mode, Hops: int(hops + od), TTL: 64}
+		m, err := New(TypeQuery, in)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, m); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		var out Query
+		if err := got.Decode(&out); err != nil {
+			return false
+		}
+		return out.Target == in.Target && out.Mode == in.Mode &&
+			out.Hops == in.Hops && out.TTL == in.TTL
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	m, err := New(TypeQuery, Query{Target: "x.y.z", Mode: ModeForward, TTL: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteFrame(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadFrame(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

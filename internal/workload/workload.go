@@ -1,0 +1,104 @@
+// Package workload generates the query and churn workloads used by the
+// HOURS evaluation (§6): uniform random (source, destination) query streams
+// for single-overlay experiments, fixed-destination streams for the attack
+// experiments, and Zipf-distributed query popularity for the caching
+// discussion in §7.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Query is one lookup request injected into an overlay or hierarchy.
+type Query struct {
+	// Src is the index of the entrance node.
+	Src int
+	// Dst is the index of the destination (OD) node.
+	Dst int
+}
+
+// UniformQueries returns a generator that yields queries with source and
+// destination drawn uniformly and independently from [0, n), skipping
+// src == dst pairs (a query to yourself takes no forwarding).
+func UniformQueries(rng *rand.Rand, n int) (func() Query, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: uniform queries need n >= 2, got %d", n)
+	}
+	return func() Query {
+		src := rng.IntN(n)
+		dst := rng.IntN(n - 1)
+		if dst >= src {
+			dst++
+		}
+		return Query{Src: src, Dst: dst}
+	}, nil
+}
+
+// FixedDestQueries returns a generator that yields queries from uniform
+// random sources to a single destination, the §6.2 workload where all
+// 1 million queries target node D.
+func FixedDestQueries(rng *rand.Rand, n, dst int) (func() Query, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: fixed-dest queries need n >= 2, got %d", n)
+	}
+	if dst < 0 || dst >= n {
+		return nil, fmt.Errorf("workload: destination %d out of range [0,%d)", dst, n)
+	}
+	return func() Query {
+		src := rng.IntN(n - 1)
+		if src >= dst {
+			src++
+		}
+		return Query{Src: src, Dst: dst}
+	}, nil
+}
+
+// ZipfQueries returns a generator whose destination popularity follows a
+// Zipf distribution with exponent s over n destinations (rank 1 most
+// popular), with uniform random sources. The paper's §7 caching discussion
+// cites Zipf-like web/DNS query patterns.
+func ZipfQueries(rng *rand.Rand, n int, s float64) (func() Query, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: zipf queries need n >= 2, got %d", n)
+	}
+	z, err := NewZipf(n, s)
+	if err != nil {
+		return nil, err
+	}
+	return func() Query {
+		dst := z.Sample(rng)
+		src := rng.IntN(n - 1)
+		if src >= dst {
+			src++
+		}
+		return Query{Src: src, Dst: dst}
+	}, nil
+}
+
+// ChurnEvent describes one membership change in an overlay.
+type ChurnEvent struct {
+	// Join is true for a node arrival, false for a departure/failure.
+	Join bool
+	// Node is the index of the affected node.
+	Node int
+}
+
+// ChurnStream returns a generator of join/leave events over n nodes where
+// joinFraction of events are joins. The paper assumes membership dynamics
+// are infrequent but nonzero (§2); the stream drives overlay-maintenance
+// tests.
+func ChurnStream(rng *rand.Rand, n int, joinFraction float64) (func() ChurnEvent, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: churn needs n >= 1, got %d", n)
+	}
+	if joinFraction < 0 || joinFraction > 1 {
+		return nil, fmt.Errorf("workload: join fraction %v outside [0,1]", joinFraction)
+	}
+	return func() ChurnEvent {
+		return ChurnEvent{
+			Join: rng.Float64() < joinFraction,
+			Node: rng.IntN(n),
+		}
+	}, nil
+}

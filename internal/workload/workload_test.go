@@ -1,0 +1,255 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestUniformQueriesNoSelfQueries(t *testing.T) {
+	rng := xrand.New(1)
+	gen, err := UniformQueries(rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		q := gen()
+		if q.Src == q.Dst {
+			t.Fatalf("self query at draw %d: %+v", i, q)
+		}
+		if q.Src < 0 || q.Src >= 10 || q.Dst < 0 || q.Dst >= 10 {
+			t.Fatalf("out-of-range query: %+v", q)
+		}
+	}
+}
+
+func TestUniformQueriesCoverage(t *testing.T) {
+	rng := xrand.New(2)
+	const n = 5
+	gen, err := UniformQueries(rng, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenSrc := make([]bool, n)
+	seenDst := make([]bool, n)
+	for i := 0; i < 5000; i++ {
+		q := gen()
+		seenSrc[q.Src] = true
+		seenDst[q.Dst] = true
+	}
+	for i := 0; i < n; i++ {
+		if !seenSrc[i] || !seenDst[i] {
+			t.Errorf("node %d never drawn (src=%v dst=%v)", i, seenSrc[i], seenDst[i])
+		}
+	}
+}
+
+func TestUniformQueriesErrors(t *testing.T) {
+	if _, err := UniformQueries(xrand.New(1), 1); err == nil {
+		t.Error("n=1: want error")
+	}
+}
+
+func TestFixedDestQueries(t *testing.T) {
+	rng := xrand.New(3)
+	gen, err := FixedDestQueries(rng, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		q := gen()
+		if q.Dst != 42 {
+			t.Fatalf("destination %d, want 42", q.Dst)
+		}
+		if q.Src == 42 || q.Src < 0 || q.Src >= 100 {
+			t.Fatalf("bad source %d", q.Src)
+		}
+	}
+}
+
+func TestFixedDestQueriesErrors(t *testing.T) {
+	if _, err := FixedDestQueries(xrand.New(1), 1, 0); err == nil {
+		t.Error("n=1: want error")
+	}
+	if _, err := FixedDestQueries(xrand.New(1), 10, 10); err == nil {
+		t.Error("dst out of range: want error")
+	}
+	if _, err := FixedDestQueries(xrand.New(1), 10, -1); err == nil {
+		t.Error("dst negative: want error")
+	}
+}
+
+func TestNewZipfErrors(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("n=0: want error")
+	}
+	if _, err := NewZipf(10, 0); err == nil {
+		t.Error("s=0: want error")
+	}
+	if _, err := NewZipf(10, math.NaN()); err == nil {
+		t.Error("s=NaN: want error")
+	}
+	if _, err := NewZipf(10, math.Inf(1)); err == nil {
+		t.Error("s=+Inf: want error")
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z, err := NewZipf(50, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for r := 0; r < z.N(); r++ {
+		sum += z.Prob(r)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v, want 1", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(50) != 0 {
+		t.Error("out-of-range Prob should be 0")
+	}
+}
+
+func TestZipfMonotoneDecreasing(t *testing.T) {
+	z, err := NewZipf(20, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < z.N(); r++ {
+		if z.Prob(r) > z.Prob(r-1)+1e-15 {
+			t.Errorf("Prob(%d)=%v > Prob(%d)=%v", r, z.Prob(r), r-1, z.Prob(r-1))
+		}
+	}
+}
+
+func TestZipfEmpiricalMatchesProb(t *testing.T) {
+	const n = 10
+	z, err := NewZipf(n, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(5)
+	const trials = 200000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[z.Sample(rng)]++
+	}
+	for r := 0; r < n; r++ {
+		got := float64(counts[r]) / trials
+		want := z.Prob(r)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("rank %d: empirical %v vs expected %v", r, got, want)
+		}
+	}
+}
+
+func TestZipfQueries(t *testing.T) {
+	rng := xrand.New(7)
+	gen, err := ZipfQueries(rng, 100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		q := gen()
+		if q.Src == q.Dst {
+			t.Fatalf("self query: %+v", q)
+		}
+		counts[q.Dst]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("rank 0 (%d draws) should dominate rank 50 (%d draws)", counts[0], counts[50])
+	}
+}
+
+func TestZipfQueriesErrors(t *testing.T) {
+	if _, err := ZipfQueries(xrand.New(1), 1, 1); err == nil {
+		t.Error("n=1: want error")
+	}
+	if _, err := ZipfQueries(xrand.New(1), 10, -1); err == nil {
+		t.Error("s<0: want error")
+	}
+}
+
+func TestChurnStream(t *testing.T) {
+	rng := xrand.New(9)
+	gen, err := ChurnStream(rng, 50, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		ev := gen()
+		if ev.Node < 0 || ev.Node >= 50 {
+			t.Fatalf("node %d out of range", ev.Node)
+		}
+		if ev.Join {
+			joins++
+		}
+	}
+	frac := float64(joins) / trials
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Errorf("join fraction %v, want ~0.3", frac)
+	}
+}
+
+func TestChurnStreamErrors(t *testing.T) {
+	if _, err := ChurnStream(xrand.New(1), 0, 0.5); err == nil {
+		t.Error("n=0: want error")
+	}
+	if _, err := ChurnStream(xrand.New(1), 10, 1.5); err == nil {
+		t.Error("fraction>1: want error")
+	}
+	if _, err := ChurnStream(xrand.New(1), 10, -0.1); err == nil {
+		t.Error("fraction<0: want error")
+	}
+}
+
+// Property: every generator output stays in range for arbitrary sizes.
+func TestGeneratorsInRangeProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 2
+		rng := xrand.New(seed)
+		gen, err := UniformQueries(rng, n)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			q := gen()
+			if q.Src < 0 || q.Src >= n || q.Dst < 0 || q.Dst >= n || q.Src == q.Dst {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUniformQueries(b *testing.B) {
+	gen, err := UniformQueries(xrand.New(1), 50000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gen()
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z, err := NewZipf(50000, 0.91)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Sample(rng)
+	}
+}

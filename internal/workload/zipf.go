@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Zipf samples ranks in [0, n) with P(rank r) proportional to 1/(r+1)^s.
+// math/rand/v2 dropped the v1 Zipf generator, so we implement sampling by
+// inversion of a precomputed CDF, which is exact and fast for the bounded
+// populations the experiments use.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf returns a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: zipf needs n >= 1, got %d", n)
+	}
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("workload: zipf exponent must be positive and finite, got %v", s)
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for r := 0; r < n; r++ {
+		sum += math.Pow(float64(r+1), -s)
+		cdf[r] = sum
+	}
+	for r := range cdf {
+		cdf[r] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding leaving the tail unreachable
+	return &Zipf{cdf: cdf}, nil
+}
+
+// Sample draws one rank.
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob returns the probability of rank r.
+func (z *Zipf) Prob(r int) float64 {
+	if r < 0 || r >= len(z.cdf) {
+		return 0
+	}
+	if r == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[r] - z.cdf[r-1]
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }

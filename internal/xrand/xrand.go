@@ -1,0 +1,76 @@
+// Package xrand provides seeded, reproducible randomness for the HOURS
+// simulator and experiment harness.
+//
+// Every simulation object takes an explicit seed so that experiment runs are
+// deterministic and failures are replayable. The package wraps
+// math/rand/v2's PCG generator and adds the derivation and sampling helpers
+// the overlay code needs.
+package xrand
+
+import "math/rand/v2"
+
+// mixGamma is the 64-bit golden-ratio constant used to decorrelate derived
+// streams (the SplitMix64 increment).
+const mixGamma = 0x9e3779b97f4a7c15
+
+// New returns a deterministic generator for the given seed.
+func New(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^mixGamma))
+}
+
+// Derive returns a generator for a child stream of the given seed,
+// decorrelated by stream index. It allows one experiment seed to fan out to
+// many independent per-node or per-trial generators without sharing state.
+func Derive(seed, stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(mix(seed+mixGamma), mix(stream+mixGamma)))
+}
+
+// mix is the SplitMix64 finalizer; it turns correlated inputs (seed, seed+1,
+// ...) into well-distributed 64-bit values.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Perm fills out with a random permutation of [0, len(out)) drawn from rng
+// (Fisher-Yates).
+func Perm(rng *rand.Rand, out []int32) {
+	for i := range out {
+		out[i] = int32(i)
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := rng.IntN(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// SampleDistinct draws count distinct integers uniformly from [0, n) using
+// rng. It is O(count) expected time via rejection against a small set, and
+// falls back to a partial Fisher-Yates when count is a large fraction of n.
+// It panics if count > n (a programming error).
+func SampleDistinct(rng *rand.Rand, n, count int) []int32 {
+	if count > n {
+		panic("xrand: SampleDistinct count > n")
+	}
+	if count <= 0 {
+		return nil
+	}
+	// For dense draws, a partial shuffle is cheaper than rejection.
+	if count*3 >= n {
+		idx := make([]int32, n)
+		Perm(rng, idx)
+		return idx[:count:count]
+	}
+	out := make([]int32, 0, count)
+	seen := make(map[int32]struct{}, count)
+	for len(out) < count {
+		v := int32(rng.IntN(n))
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}

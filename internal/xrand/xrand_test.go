@@ -1,0 +1,161 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestNewDistinctSeeds(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("distinct seeds collided %d/100 times", same)
+	}
+}
+
+func TestDeriveIndependentStreams(t *testing.T) {
+	a := Derive(7, 0)
+	b := Derive(7, 1)
+	c := Derive(7, 0)
+	sameAB, sameAC := 0, 0
+	for i := 0; i < 100; i++ {
+		av, bv, cv := a.Uint64(), b.Uint64(), c.Uint64()
+		if av == bv {
+			sameAB++
+		}
+		if av == cv {
+			sameAC++
+		}
+	}
+	if sameAB > 0 {
+		t.Errorf("streams 0 and 1 collided %d/100 times", sameAB)
+	}
+	if sameAC != 100 {
+		t.Errorf("stream 0 not reproducible: only %d/100 draws matched", sameAC)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	rng := New(3)
+	for _, n := range []int{0, 1, 2, 17, 1000} {
+		out := make([]int32, n)
+		Perm(rng, out)
+		seen := make([]bool, n)
+		for _, v := range out {
+			if v < 0 || int(v) >= n || seen[v] {
+				t.Fatalf("n=%d: not a permutation: %v", n, out)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	// Chi-squared style sanity check: the first element of a length-4
+	// permutation should be near-uniform over 4000 trials.
+	rng := New(9)
+	counts := make([]int, 4)
+	out := make([]int32, 4)
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		Perm(rng, out)
+		counts[out[0]]++
+	}
+	for v, c := range counts {
+		if c < trials/4-150 || c > trials/4+150 {
+			t.Errorf("value %d appeared %d times, want ~%d", v, c, trials/4)
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	rng := New(11)
+	tests := []struct {
+		n, count int
+	}{
+		{10, 0}, {10, 1}, {10, 3}, {10, 10}, {1000, 5}, {100, 90},
+	}
+	for _, tt := range tests {
+		got := SampleDistinct(rng, tt.n, tt.count)
+		if len(got) != tt.count {
+			t.Errorf("n=%d count=%d: got %d values", tt.n, tt.count, len(got))
+		}
+		seen := make(map[int32]struct{}, len(got))
+		for _, v := range got {
+			if v < 0 || int(v) >= tt.n {
+				t.Errorf("n=%d count=%d: value %d out of range", tt.n, tt.count, v)
+			}
+			if _, dup := seen[v]; dup {
+				t.Errorf("n=%d count=%d: duplicate value %d", tt.n, tt.count, v)
+			}
+			seen[v] = struct{}{}
+		}
+	}
+}
+
+func TestSampleDistinctPanicsWhenOverdrawn(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SampleDistinct(_, 3, 4) did not panic")
+		}
+	}()
+	SampleDistinct(New(1), 3, 4)
+}
+
+// Property: SampleDistinct always returns count distinct in-range values for
+// any valid (n, count).
+func TestSampleDistinctProperty(t *testing.T) {
+	rng := New(13)
+	f := func(nRaw, cRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		count := int(cRaw) % (n + 1)
+		got := SampleDistinct(rng, n, count)
+		if len(got) != count {
+			return false
+		}
+		seen := make(map[int32]struct{}, count)
+		for _, v := range got {
+			if v < 0 || int(v) >= n {
+				return false
+			}
+			if _, dup := seen[v]; dup {
+				return false
+			}
+			seen[v] = struct{}{}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSampleDistinctSparse(b *testing.B) {
+	rng := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = SampleDistinct(rng, 50000, 10)
+	}
+}
+
+func BenchmarkSampleDistinctDense(b *testing.B) {
+	rng := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = SampleDistinct(rng, 1000, 900)
+	}
+}

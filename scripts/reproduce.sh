@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates every artifact of the HOURS reproduction:
+#   - the full test suite transcript        -> test_output.txt
+#   - the benchmark transcript              -> bench_output.txt
+#   - every paper figure/table + ablations  -> experiments_full.txt, results/*.csv
+#
+# Usage: scripts/reproduce.sh [scale]
+#   scale defaults to 1.0 (the paper's published parameters; the
+#   experiment pass takes a few minutes). Use e.g. 0.1 for a quick look.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-1.0}"
+
+echo "== build + vet =="
+go build ./...
+go vet ./...
+
+echo "== tests =="
+go test ./... 2>&1 | tee test_output.txt
+
+echo "== benchmarks =="
+go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+echo "== experiments (scale ${SCALE}) =="
+go run ./cmd/experiments -run all -scale "${SCALE}" -seed 1 -o results \
+  2>&1 | tee experiments_full.txt
+
+echo "done: test_output.txt bench_output.txt experiments_full.txt results/"
