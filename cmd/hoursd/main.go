@@ -13,14 +13,21 @@
 //
 //	hoursd -demo 4,3 -addr 127.0.0.1:7000
 //
-// Query any node with cmd/hoursq.
+// Query any node with cmd/hoursq. With -debug-addr, the daemon also
+// serves Prometheus metrics (/metrics), expvar-style JSON (/debug/vars),
+// and a liveness check (/healthz):
+//
+//	hoursd -demo 4,3 -addr 127.0.0.1:7000 -debug-addr 127.0.0.1:9090
+//	curl -s 127.0.0.1:9090/metrics
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -29,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -52,12 +60,25 @@ func run(args []string) error {
 		buildAfter = fs.Duration("build-after", 5*time.Second, "delay before building the routing table (lets siblings join first)")
 		demo       = fs.String("demo", "", "comma-separated fanouts: run a whole hierarchy in-process")
 		data       = fs.String("data", "", "answer served for this node's own name")
+		logLevel   = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /healthz on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	reg := obs.NewRegistry()
+	stopDebug, err := serveDebug(*debugAddr, reg, logger)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 	if *demo != "" {
-		return runDemo(*demo, *addr, *k, *q, *seed, *probe)
+		return runDemo(*demo, *addr, *k, *q, *seed, *probe, reg, logger)
 	}
 	if *name == "" {
 		return fmt.Errorf("missing -name (or use -demo)")
@@ -66,6 +87,7 @@ func run(args []string) error {
 	nd, err := node.New(node.Config{
 		Name: *name, Addr: *addr, ParentAddr: *parent,
 		K: *k, Q: *q, Seed: *seed, ProbePeriod: *probe, Data: *data,
+		Metrics: reg, Logger: logger,
 	}, tcp)
 	if err != nil {
 		return err
@@ -79,21 +101,44 @@ func run(args []string) error {
 		if err := nd.Join(ctx); err != nil {
 			return err
 		}
-		fmt.Printf("joined %s under %s\n", nd.Name(), *parent)
+		logger.Info("joined hierarchy", "node", nd.Name(), "parent", *parent)
 		time.AfterFunc(*buildAfter, func() {
 			if err := nd.BuildTable(context.Background()); err != nil {
-				fmt.Fprintln(os.Stderr, "hoursd: build table:", err)
+				logger.Error("build table failed", "node", nd.Name(), "err", err)
 				return
 			}
-			fmt.Printf("routing table built: %d entries, index %d\n", nd.TableSize(), nd.Index())
+			logger.Info("routing table built", "node", nd.Name(),
+				"entries", nd.TableSize(), "index", nd.Index())
 		})
 	}
-	fmt.Printf("hoursd %s serving on %s\n", nd.Name(), *addr)
+	logger.Info("serving", "node", nd.Name(), "addr", *addr)
 	return waitForSignal()
 }
 
+// serveDebug starts the observability HTTP endpoint (ISSUE: /metrics,
+// /debug/vars, /healthz) when addr is non-empty. The bound address is
+// recorded in debugBoundAddr so tests with ":0" can find it.
+func serveDebug(addr string, reg *obs.Registry, logger *slog.Logger) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listener: %w", err)
+	}
+	debugBoundAddr = ln.Addr().String()
+	srv := &http.Server{Handler: obs.Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	logger.Info("debug server listening", "addr", debugBoundAddr)
+	return func() { _ = srv.Close() }, nil
+}
+
+// debugBoundAddr is the resolved -debug-addr listen address (tests pass
+// ":0" and read the bound port from here).
+var debugBoundAddr string
+
 // runDemo spins up a whole hierarchy of TCP nodes in one process.
-func runDemo(spec, rootAddr string, k, q int, seed uint64, probe time.Duration) error {
+func runDemo(spec, rootAddr string, k, q int, seed uint64, probe time.Duration, reg *obs.Registry, logger *slog.Logger) error {
 	fanouts, err := parseFanouts(spec)
 	if err != nil {
 		return err
@@ -116,6 +161,7 @@ func runDemo(spec, rootAddr string, k, q int, seed uint64, probe time.Duration) 
 		nd, err := node.New(node.Config{
 			Name: name, Addr: listen, ParentAddr: parentAddr,
 			K: k, Q: q, Seed: seed + uint64(len(nodes)), ProbePeriod: probe,
+			Metrics: reg, Logger: logger,
 		}, tcp)
 		if err != nil {
 			return nil, "", err
@@ -137,7 +183,7 @@ func runDemo(spec, rootAddr string, k, q int, seed uint64, probe time.Duration) 
 		return err
 	}
 	_ = root
-	fmt.Printf("root on %s\n", rootBound)
+	logger.Info("root listening", "addr", rootBound)
 
 	type ent struct {
 		name string
@@ -179,7 +225,7 @@ func runDemo(spec, rootAddr string, k, q int, seed uint64, probe time.Duration) 
 			return fmt.Errorf("build table for %s: %w", nd.Name(), err)
 		}
 	}
-	fmt.Printf("demo hierarchy of %d nodes ready; query any node with hoursq\n", len(nodes))
+	logger.Info("demo hierarchy ready; query any node with hoursq", "nodes", len(nodes))
 	for _, nd := range nodes {
 		fmt.Printf("  %-24s %s\n", nd.Name(), nd.Addr())
 	}

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"fmt"
+	"io"
+	"net/http"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestParseFanouts(t *testing.T) {
@@ -36,19 +41,48 @@ func TestRunValidation(t *testing.T) {
 }
 
 // TestDemoEndToEnd stands up a whole TCP hierarchy via the demo path,
-// queries it with a real client call, and shuts down.
+// scrapes the -debug-addr observability endpoint while it is live, and
+// shuts down.
 func TestDemoEndToEnd(t *testing.T) {
 	old := waitForSignal
 	ready := make(chan struct{})
 	waitForSignal = func() error {
-		close(ready)
-		return nil // return immediately: the demo tears down after this
+		defer close(ready)
+		// The hierarchy is up: the debug endpoint must serve a parseable
+		// Prometheus scrape with a useful number of series, and answer
+		// the liveness check.
+		resp, err := http.Get("http://" + debugBoundAddr + "/metrics")
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		series, err := obs.ParsePrometheus(string(body))
+		if err != nil {
+			return fmt.Errorf("metrics scrape: %w\n%s", err, body)
+		}
+		if len(series) < 12 {
+			return fmt.Errorf("debug endpoint serves %d series, want >= 12", len(series))
+		}
+		hz, err := http.Get("http://" + debugBoundAddr + "/healthz")
+		if err != nil {
+			return err
+		}
+		hz.Body.Close()
+		if hz.StatusCode != http.StatusOK {
+			return fmt.Errorf("/healthz: %s", hz.Status)
+		}
+		return nil // the demo tears down after this
 	}
 	defer func() { waitForSignal = old }()
 
 	done := make(chan error, 1)
 	go func() {
-		done <- run([]string{"-demo", "3,2", "-addr", "127.0.0.1:0", "-probe", "0"})
+		done <- run([]string{"-demo", "3,2", "-addr", "127.0.0.1:0", "-probe", "0",
+			"-debug-addr", "127.0.0.1:0", "-log-level", "warn"})
 	}()
 	select {
 	case err := <-done:

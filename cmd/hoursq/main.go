@@ -11,6 +11,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -34,6 +35,7 @@ func run(args []string) error {
 		ttl     = fs.Int("ttl", 256, "forwarding TTL")
 		timeout = fs.Duration("timeout", 10*time.Second, "end-to-end timeout")
 		verbose = fs.Bool("v", false, "print the forwarding path")
+		trace   = fs.Bool("trace", false, "print a hop-by-hop trace (node, ring index, mode, per-hop time)")
 		stats   = fs.Bool("stats", false, "fetch the node's operational counters instead of querying")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -53,6 +55,7 @@ func run(args []string) error {
 		Target: strings.TrimSuffix(*target, "."),
 		Mode:   wire.ModeHierarchical,
 		TTL:    *ttl,
+		Trace:  *trace,
 	})
 	if err != nil {
 		return err
@@ -66,14 +69,32 @@ func run(args []string) error {
 	if err := resp.Decode(&qr); err != nil {
 		return err
 	}
+	if *trace {
+		printTrace(os.Stdout, qr)
+	}
 	if !qr.Found {
 		return fmt.Errorf("not resolved after %d hops: %s", qr.Hops, qr.Reason)
 	}
 	fmt.Printf("%s = %s (%d hops, %v)\n", *target, qr.Answer, qr.Hops, time.Since(start).Round(time.Millisecond))
-	if *verbose {
+	if *verbose && !*trace {
 		fmt.Printf("path: %s\n", strings.Join(qr.Path, " -> "))
 	}
 	return nil
+}
+
+// printTrace renders the per-hop records a traced query accumulated:
+// one line per node visited, with the ring index the node holds in its
+// sibling overlay, the forwarding mode the query arrived under, and the
+// time the node spent before handing the query on.
+func printTrace(w io.Writer, qr wire.QueryResult) {
+	for i, h := range qr.HopTrace {
+		name := h.Node
+		if name == "" {
+			name = "."
+		}
+		fmt.Fprintf(w, "hop %2d  %-24s index=%-4d mode=%-12s %v\n",
+			i, name, h.Index, h.Mode, time.Duration(h.DurationMicros)*time.Microsecond)
+	}
 }
 
 // fetchStats prints a node's operational counters.

@@ -1,6 +1,18 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
 
 func TestRunValidation(t *testing.T) {
 	if err := run(nil); err == nil {
@@ -11,4 +23,154 @@ func TestRunValidation(t *testing.T) {
 	if err == nil {
 		t.Error("unreachable entry: want error")
 	}
+}
+
+func TestPrintTrace(t *testing.T) {
+	var sb strings.Builder
+	printTrace(&sb, wire.QueryResult{HopTrace: []wire.HopRecord{
+		{Node: "", Index: -1, Mode: wire.ModeHierarchical, DurationMicros: 120},
+		{Node: "n1-2", Index: 4, Mode: wire.ModeForward, DurationMicros: 80},
+		{Node: "n1-5", Index: 7, Mode: wire.ModeBackward, DurationMicros: 33},
+	}})
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("printTrace wrote %d lines:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"hop  0  .", "mode=forward", "index=7", "mode=backward", "120µs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTracedQueryEndToEnd runs hoursq -trace against a real TCP sibling
+// group and checks that a multi-hop path is printed hop by hop.
+func TestTracedQueryEndToEnd(t *testing.T) {
+	tcp := &transport.TCP{DialTimeout: time.Second, IOTimeout: 3 * time.Second}
+	ctx := context.Background()
+	var nodes []*node.Node
+	freePort := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return addr
+	}
+	mk := func(name, parentAddr string) *node.Node {
+		nd, err := node.New(node.Config{
+			Name: name, Addr: freePort(), ParentAddr: parentAddr,
+			K: 2, Q: 2, Seed: 5, CallTimeout: time.Second,
+		}, tcp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = nd.Stop() })
+		nodes = append(nodes, nd)
+		return nd
+	}
+	root := mk(".", "")
+	const nChildren = 12
+	children := make([]*node.Node, 0, nChildren)
+	for i := 0; i < nChildren; i++ {
+		c := mk(fmt.Sprintf("c%d", i), root.Addr())
+		if err := c.Join(ctx); err != nil {
+			t.Fatal(err)
+		}
+		children = append(children, c)
+	}
+	for _, c := range children {
+		if err := c.BuildTable(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Find a sibling pair whose live route is multi-hop, then run the
+	// CLI against it with tracing on, capturing stdout.
+	for _, src := range children {
+		for _, od := range children {
+			if src == od {
+				continue
+			}
+			req, err := wire.New(wire.TypeQuery, wire.Query{
+				Target: od.Name(), Mode: wire.ModeHierarchical, TTL: 64, Trace: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := tcp.Call(ctx, src.Addr(), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var qr wire.QueryResult
+			if err := resp.Decode(&qr); err != nil {
+				t.Fatal(err)
+			}
+			if !qr.Found || len(qr.HopTrace) < 3 {
+				continue
+			}
+
+			out := captureStdout(t, func() error {
+				return run([]string{"-addr", src.Addr(), "-target", od.Name(), "-trace"})
+			})
+			lines := strings.Split(strings.TrimSpace(out), "\n")
+			var hops []string
+			for _, l := range lines {
+				if strings.HasPrefix(l, "hop ") {
+					hops = append(hops, l)
+				}
+			}
+			if len(hops) != len(qr.HopTrace) {
+				t.Fatalf("CLI printed %d hop lines, trace has %d:\n%s", len(hops), len(qr.HopTrace), out)
+			}
+			for i, h := range qr.HopTrace {
+				if !strings.Contains(hops[i], h.Node) {
+					t.Errorf("hop line %d = %q, want node %q", i, hops[i], h.Node)
+				}
+			}
+			if !strings.Contains(out, od.Name()+" = ") {
+				t.Errorf("missing answer line:\n%s", out)
+			}
+			return
+		}
+	}
+	t.Fatal("no multi-hop sibling pair found in a 12-node ring")
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	outc := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 0, 4096)
+		tmp := make([]byte, 1024)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		outc <- string(buf)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	if ferr != nil {
+		t.Fatalf("run: %v", ferr)
+	}
+	return <-outc
 }

@@ -22,6 +22,7 @@ package hours
 
 import (
 	"context"
+	"net/http"
 
 	"repro/internal/analysis"
 	"repro/internal/attack"
@@ -31,7 +32,9 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hierarchy"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/overlay"
+	"repro/internal/wire"
 )
 
 // Overlay layer: one randomized sibling overlay (§3.2, §4).
@@ -177,6 +180,28 @@ type (
 func NewCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	return cluster.New(ctx, cfg)
 }
+
+// Observability layer: the dependency-free metrics/logging/tracing kit
+// the live prototype is instrumented with (package internal/obs).
+type (
+	// MetricsRegistry holds named counters, gauges, and latency
+	// histograms; it renders to Prometheus text or expvar-style JSON.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time, merge-able copy of a registry,
+	// as carried in wire.Stats for remote scraping.
+	MetricsSnapshot = obs.Snapshot
+	// HopRecord is one step of a distributed query trace.
+	HopRecord = wire.HopRecord
+)
+
+// NewMetricsRegistry returns an empty metrics registry. Pass it as
+// ClusterConfig.Metrics to aggregate a whole live cluster in one place.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricsHandler serves /metrics (Prometheus text format 0.0.4),
+// /debug/vars (expvar-style JSON), and /healthz for a registry — the same
+// handler cmd/hoursd mounts under -debug-addr.
+func MetricsHandler(r *MetricsRegistry) http.Handler { return obs.Handler(r) }
 
 // Experiments layer: paper reproduction.
 type (

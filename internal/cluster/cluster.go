@@ -8,10 +8,12 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"strings"
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 	"repro/internal/xrand"
@@ -29,6 +31,14 @@ type Config struct {
 	// ProbePeriod enables each node's background maintenance loop; zero
 	// leaves maintenance to explicit MaintainAll calls.
 	ProbePeriod time.Duration
+	// Metrics, when non-nil, is shared by every node in the cluster, so
+	// the registry (and a /metrics scrape of it) aggregates process-wide.
+	// Note that per-node Stats legacy counters then also report the
+	// aggregate; leave Metrics nil for per-node registries.
+	Metrics *obs.Registry
+	// Logger receives every node's structured events (each node tags its
+	// records with a "node" attribute). Nil discards them.
+	Logger *slog.Logger
 }
 
 // Cluster is a running live hierarchy over an in-memory transport.
@@ -64,6 +74,8 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 			Seed:        xrand.Derive(cfg.Seed, uint64(len(c.order))).Uint64(),
 			ProbePeriod: cfg.ProbePeriod,
 			CallTimeout: 2 * time.Second,
+			Metrics:     cfg.Metrics,
+			Logger:      cfg.Logger,
 		}, tr)
 		if err != nil {
 			return nil, err
@@ -169,6 +181,17 @@ func (c *Cluster) MaintainAll(ctx context.Context) {
 // Query issues a lookup for target starting at the named entry node and
 // returns the result.
 func (c *Cluster) Query(ctx context.Context, entry, target string) (wire.QueryResult, error) {
+	return c.query(ctx, entry, target, false)
+}
+
+// QueryTraced is Query with per-hop tracing enabled: the result's
+// HopTrace records every node the query visited, the forwarding mode it
+// arrived under, and how long each node spent on it.
+func (c *Cluster) QueryTraced(ctx context.Context, entry, target string) (wire.QueryResult, error) {
+	return c.query(ctx, entry, target, true)
+}
+
+func (c *Cluster) query(ctx context.Context, entry, target string, trace bool) (wire.QueryResult, error) {
 	n, ok := c.nodes[entry]
 	if !ok {
 		return wire.QueryResult{}, fmt.Errorf("cluster: no entry node %q", entry)
@@ -177,6 +200,7 @@ func (c *Cluster) Query(ctx context.Context, entry, target string) (wire.QueryRe
 		Target: strings.TrimSuffix(target, "."),
 		Mode:   wire.ModeHierarchical,
 		TTL:    4 * len(c.nodes),
+		Trace:  trace,
 	})
 	if err != nil {
 		return wire.QueryResult{}, err

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func scrape(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := obs.ParsePrometheus(string(body))
+	if err != nil {
+		t.Fatalf("scrape did not parse: %v\n%s", err, body)
+	}
+	return series
+}
+
+// TestMetricsEndpointMonotonic stands up a cluster on a shared registry,
+// serves it through the same handler hoursd mounts on -debug-addr, and
+// checks that the scrape parses, carries a useful number of series, and
+// that query counters increase monotonically as queries flow.
+func TestMetricsEndpointMonotonic(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx := context.Background()
+	c, err := New(ctx, Config{Fanouts: []int{8, 2}, K: 2, Q: 3, Seed: 6, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	srv := httptest.NewServer(obs.Handler(reg))
+	defer srv.Close()
+
+	before := scrape(t, srv.URL+"/metrics")
+	if len(before) < 12 {
+		t.Fatalf("scrape exposes %d series, want >= 12", len(before))
+	}
+
+	queries := 0
+	for _, entry := range []string{".", "n1-0", "n1-3"} {
+		qr, err := c.Query(ctx, entry, "n2-1.n1-5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !qr.Found {
+			t.Fatalf("query from %s failed: %s", entry, qr.Reason)
+		}
+		queries++
+	}
+
+	after := scrape(t, srv.URL+"/metrics")
+	answered := "hours_queries_answered_total"
+	if after[answered] < before[answered]+float64(queries) {
+		t.Errorf("%s went %v -> %v after %d queries", answered, before[answered], after[answered], queries)
+	}
+	for name, v := range before {
+		if strings.Contains(name, "_total") && after[name] < v {
+			t.Errorf("counter %s decreased: %v -> %v", name, v, after[name])
+		}
+	}
+	// The handler's sibling endpoints respond too.
+	if resp, err := http.Get(srv.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz: %v %v", resp, err)
+	}
+	if resp, err := http.Get(srv.URL + "/debug/vars"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/vars: %v %v", resp, err)
+	} else if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/debug/vars Content-Type = %q", ct)
+	}
+}
+
+// TestQueryTraced checks the cluster-level tracing entry point: a traced
+// query returns one hop record per path element and a cross-branch query
+// is genuinely multi-hop.
+func TestQueryTraced(t *testing.T) {
+	ctx := context.Background()
+	c, err := New(ctx, Config{Fanouts: []int{8, 2}, K: 2, Q: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	qr, err := c.QueryTraced(ctx, "n1-0", "n2-1.n1-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Found {
+		t.Fatalf("traced query failed: %s", qr.Reason)
+	}
+	if len(qr.HopTrace) < 2 {
+		t.Fatalf("cross-branch trace has %d hops, want multi-hop", len(qr.HopTrace))
+	}
+	if len(qr.HopTrace) != len(qr.Path) {
+		t.Fatalf("trace %d records vs path %d", len(qr.HopTrace), len(qr.Path))
+	}
+	for i, h := range qr.HopTrace {
+		if h.Node != qr.Path[i] {
+			t.Errorf("hop %d: %q != path %q", i, h.Node, qr.Path[i])
+		}
+	}
+	// Untraced queries stay clean.
+	plain, err := c.Query(ctx, "n1-0", "n2-1.n1-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.HopTrace) != 0 {
+		t.Errorf("plain query carries %d hop records", len(plain.HopTrace))
+	}
+}

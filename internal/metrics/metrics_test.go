@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -224,6 +225,51 @@ func TestDeliveryTracker(t *testing.T) {
 	d.Merge(other)
 	if d.Delivered() != 10 || d.Total() != 11 {
 		t.Errorf("after merge: delivered=%d total=%d", d.Delivered(), d.Total())
+	}
+}
+
+// TestDeliveryTrackerConcurrent is the race-detector regression for the
+// tracker: parallel experiment workers record into one tracker while a
+// reader polls the ratio. Run with -race; it also checks no outcome is
+// lost.
+func TestDeliveryTrackerConcurrent(t *testing.T) {
+	d := NewDeliveryTracker()
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = d.Ratio()
+				_ = d.String()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sub := NewDeliveryTracker()
+			for i := 0; i < perW; i++ {
+				d.Record(i%4 != 0)
+				sub.Record(i%4 == 0)
+			}
+			d.Merge(sub)
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if got := d.Total(); got != 2*workers*perW {
+		t.Errorf("Total = %d, want %d (lost updates)", got, 2*workers*perW)
+	}
+	if got := d.Delivered(); got != workers*perW {
+		t.Errorf("Delivered = %d, want %d", got, workers*perW)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Summary accumulates float64 observations and reports mean, standard
@@ -84,10 +85,12 @@ func (s *Summary) String() string {
 }
 
 // DeliveryTracker counts delivered vs failed queries and reports the
-// delivery ratio metric defined in §5 of the paper.
+// delivery ratio metric defined in §5 of the paper. All methods are safe
+// for concurrent use: experiment workers record outcomes from many
+// goroutines into one tracker.
 type DeliveryTracker struct {
-	delivered int64
-	failed    int64
+	delivered atomic.Int64
+	failed    atomic.Int64
 }
 
 // NewDeliveryTracker returns a zeroed tracker.
@@ -96,37 +99,38 @@ func NewDeliveryTracker() *DeliveryTracker { return &DeliveryTracker{} }
 // Record adds one query outcome.
 func (d *DeliveryTracker) Record(delivered bool) {
 	if delivered {
-		d.delivered++
+		d.delivered.Add(1)
 	} else {
-		d.failed++
+		d.failed.Add(1)
 	}
 }
 
 // Delivered returns the number of delivered queries.
-func (d *DeliveryTracker) Delivered() int64 { return d.delivered }
+func (d *DeliveryTracker) Delivered() int64 { return d.delivered.Load() }
 
 // Failed returns the number of failed queries.
-func (d *DeliveryTracker) Failed() int64 { return d.failed }
+func (d *DeliveryTracker) Failed() int64 { return d.failed.Load() }
 
 // Total returns the number of recorded queries.
-func (d *DeliveryTracker) Total() int64 { return d.delivered + d.failed }
+func (d *DeliveryTracker) Total() int64 { return d.delivered.Load() + d.failed.Load() }
 
 // Ratio returns delivered/total, or 0 when no queries were recorded.
 func (d *DeliveryTracker) Ratio() float64 {
-	t := d.Total()
+	delivered := d.delivered.Load()
+	t := delivered + d.failed.Load()
 	if t == 0 {
 		return 0
 	}
-	return float64(d.delivered) / float64(t)
+	return float64(delivered) / float64(t)
 }
 
 // Merge adds the counts from other into d.
 func (d *DeliveryTracker) Merge(other *DeliveryTracker) {
-	d.delivered += other.delivered
-	d.failed += other.failed
+	d.delivered.Add(other.delivered.Load())
+	d.failed.Add(other.failed.Load())
 }
 
 // String renders the tracker for logs.
 func (d *DeliveryTracker) String() string {
-	return fmt.Sprintf("delivery{%d/%d = %.4f}", d.delivered, d.Total(), d.Ratio())
+	return fmt.Sprintf("delivery{%d/%d = %.4f}", d.Delivered(), d.Total(), d.Ratio())
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/idspace"
 	"repro/internal/wire"
@@ -49,8 +50,10 @@ func (n *Node) handleJoin(req wire.Message) (wire.Message, error) {
 	}
 	name, err := n.admit(j.Label, j.Addr)
 	if err != nil {
+		n.log.Warn("admission refused", "label", j.Label, "err", err)
 		return wire.Message{}, err
 	}
+	n.log.Info("child admitted", "child", name, "addr", j.Addr)
 	return wire.New(wire.TypeJoinResult, wire.JoinResult{Name: name})
 }
 
@@ -115,7 +118,8 @@ func (n *Node) handleNotifyCCW(req wire.Message) (wire.Message, error) {
 	}
 	candidate := mkPeer(wire.Peer{Index: nc.Index, Name: nc.Name, Addr: nc.Addr})
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	adopted := false
+	prev := n.ccw.name
 	n.contacts++
 	if n.overlayN > 0 {
 		// Clockwise distance from a CCW neighbor to us: smaller means
@@ -126,46 +130,78 @@ func (n *Node) handleNotifyCCW(req wire.Message) (wire.Message, error) {
 		if !n.ccwAlive || n.ccw.addr == "" || cand.Compare(cur) < 0 {
 			n.ccw = candidate
 			n.ccwAlive = true
+			adopted = prev != candidate.name
 		}
+	}
+	n.mu.Unlock()
+	if adopted {
+		n.m.ccwAdoptions.Inc()
+		n.log.Debug("ccw pointer adopted", "from", prev, "to", candidate.name)
 	}
 	return wire.Message{Type: wire.TypeNotifyCCWResult}, nil
 }
 
 // handleQuery implements Algorithms 2 and 3 as a real forwarding decision:
 // answer locally, descend the hierarchy, or forward across the overlay.
+// When the query carries the Trace flag, the node appends a HopRecord
+// whose duration covers its local handling plus the downstream call it
+// settled on — the live counterpart of overlay.RouteOptions.TracePath.
 func (n *Node) handleQuery(ctx context.Context, req wire.Message) (wire.Message, error) {
+	start := time.Now()
+	defer func() { n.m.handleLatency.Observe(time.Since(start)) }()
 	var q wire.Query
 	if err := req.Decode(&q); err != nil {
 		return wire.Message{}, err
 	}
 	if q.TTL <= 0 {
+		n.m.queryFailures.Inc()
 		return wire.New(wire.TypeQueryResult, wire.QueryResult{
 			Found: false, Hops: q.Hops, Path: q.Path, Reason: "ttl exhausted",
+			HopTrace: q.HopTrace,
 		})
 	}
 	q.TTL--
 	q.Path = append(q.Path, n.Name())
+	if q.Trace {
+		n.mu.Lock()
+		idx := n.index
+		n.mu.Unlock()
+		q.HopTrace = append(q.HopTrace, wire.HopRecord{
+			Node: n.Name(), Index: idx, Mode: q.Mode,
+		})
+	}
 
 	// Answer from local data.
 	if q.Target == n.name || (q.Target == "." && n.name == "") {
 		n.mu.Lock()
 		answer := n.data
-		n.statQueriesAnswered++
 		n.mu.Unlock()
+		n.m.queriesAnswered.Inc()
+		finishTrace(q.HopTrace, start)
 		return wire.New(wire.TypeQueryResult, wire.QueryResult{
 			Found: true, Answer: answer, Hops: q.Hops, Path: q.Path,
+			HopTrace: q.HopTrace,
 		})
 	}
-	n.bump(&n.statQueriesForwarded)
+	n.m.queriesForwarded.Inc()
 
 	// Query for a descendant: hierarchical forwarding (Algorithm 2,
 	// lines 1-7).
 	if n.isAncestorOf(q.Target) {
-		return n.descend(ctx, q)
+		return n.descend(ctx, q, start)
 	}
 
 	// Overlay forwarding among siblings (Algorithm 3).
-	return n.overlayForward(ctx, q)
+	return n.overlayForward(ctx, q, start)
+}
+
+// finishTrace stamps the last hop record (this node's) with the elapsed
+// handling time. The slice is shared down the call chain, so retries of
+// the same hop simply overwrite the duration.
+func finishTrace(trace []wire.HopRecord, start time.Time) {
+	if len(trace) > 0 {
+		trace[len(trace)-1].DurationMicros = time.Since(start).Microseconds()
+	}
 }
 
 // isAncestorOf reports whether target lies in this node's delegated
@@ -195,7 +231,7 @@ func (n *Node) nextLabelToward(target string) (string, error) {
 // descend forwards a query to the on-path child, falling back to an alive
 // child with overlay instructions when the on-path child is down
 // (Algorithm 2, lines 2-7).
-func (n *Node) descend(ctx context.Context, q wire.Query) (wire.Message, error) {
+func (n *Node) descend(ctx context.Context, q wire.Query, start time.Time) (wire.Message, error) {
 	label, err := n.nextLabelToward(q.Target)
 	if err != nil {
 		return wire.Message{}, err
@@ -211,17 +247,14 @@ func (n *Node) descend(ctx context.Context, q wire.Query) (wire.Message, error) 
 		}
 	}
 	if odIndex < 0 {
-		return wire.New(wire.TypeQueryResult, wire.QueryResult{
-			Found: false, Hops: q.Hops, Path: q.Path,
-			Reason: fmt.Sprintf("no such child %q of %s", label, n.Name()),
-		})
+		return n.failQuery(q, fmt.Sprintf("no such child %q of %s", label, n.Name()), start)
 	}
 
 	// Try the prescribed top-down hop first.
 	fwd := q
 	fwd.Mode = wire.ModeHierarchical
 	fwd.Hops++
-	if resp, err := n.forwardQuery(ctx, odAddr, fwd); err == nil {
+	if resp, err := n.forwardQuery(ctx, odAddr, fwd, start); err == nil {
 		return resp, nil
 	}
 
@@ -237,13 +270,23 @@ func (n *Node) descend(ctx context.Context, q wire.Query) (wire.Message, error) 
 		fwd := q
 		fwd.Mode = wire.ModeForward
 		fwd.Hops++
-		if resp, err := n.forwardQuery(ctx, kids[i].addr, fwd); err == nil {
+		if resp, err := n.forwardQuery(ctx, kids[i].addr, fwd, start); err == nil {
 			return resp, nil
 		}
 	}
+	return n.failQuery(q, fmt.Sprintf("no alive child of %s to enter the overlay", n.Name()), start)
+}
+
+// failQuery builds a not-found result and counts the local failure. The
+// trace's last hop (this node's) is stamped so failed traces carry real
+// durations too.
+func (n *Node) failQuery(q wire.Query, reason string, start time.Time) (wire.Message, error) {
+	n.m.queryFailures.Inc()
+	n.log.Debug("query failed", "target", q.Target, "reason", reason, "hops", q.Hops)
+	finishTrace(q.HopTrace, start)
 	return wire.New(wire.TypeQueryResult, wire.QueryResult{
-		Found: false, Hops: q.Hops, Path: q.Path,
-		Reason: fmt.Sprintf("no alive child of %s to enter the overlay", n.Name()),
+		Found: false, Hops: q.Hops, Path: q.Path, Reason: reason,
+		HopTrace: q.HopTrace,
 	})
 }
 
@@ -263,7 +306,7 @@ func (n *Node) odNameFor(target string) (string, bool) {
 // overlayForward routes a query among siblings toward the OD node per
 // Algorithm 3, using identifier-space distances computed from public
 // names.
-func (n *Node) overlayForward(ctx context.Context, q wire.Query) (wire.Message, error) {
+func (n *Node) overlayForward(ctx context.Context, q wire.Query, start time.Time) (wire.Message, error) {
 	n.mu.Lock()
 	selfID := n.id
 	hasOverlay := n.overlayN > 0 && n.index >= 0
@@ -274,10 +317,7 @@ func (n *Node) overlayForward(ctx context.Context, q wire.Query) (wire.Message, 
 
 	odName, ok := n.odNameFor(q.Target)
 	if !ok || !hasOverlay {
-		return wire.New(wire.TypeQueryResult, wire.QueryResult{
-			Found: false, Hops: q.Hops, Path: q.Path,
-			Reason: fmt.Sprintf("%s cannot overlay-route toward %q", n.Name(), q.Target),
-		})
+		return n.failQuery(q, fmt.Sprintf("%s cannot overlay-route toward %q", n.Name(), q.Target), start)
 	}
 	odID := idspace.FromName(odName)
 	dist := idspace.Distance(selfID, odID)
@@ -291,7 +331,7 @@ func (n *Node) overlayForward(ctx context.Context, q wire.Query) (wire.Message, 
 		fwd := q
 		fwd.Mode = wire.ModeHierarchical
 		fwd.Hops++
-		if resp, err := n.forwardQuery(ctx, e.addr, fwd); err == nil {
+		if resp, err := n.forwardQuery(ctx, e.addr, fwd, start); err == nil {
 			return resp, nil
 		}
 		// The OD node is down: use its nephew pointers to descend into
@@ -299,16 +339,13 @@ func (n *Node) overlayForward(ctx context.Context, q wire.Query) (wire.Message, 
 		if len(e.nephews) > 0 {
 			for _, nep := range e.nephews {
 				fwd := q
-				fwd.Mode = wire.ModeHierarchical
+				fwd.Mode = wire.ModeNephew
 				fwd.Hops++
-				if resp, err := n.forwardQuery(ctx, nep.addr, fwd); err == nil {
+				if resp, err := n.forwardQuery(ctx, nep.addr, fwd, start); err == nil {
 					return resp, nil
 				}
 			}
-			return wire.New(wire.TypeQueryResult, wire.QueryResult{
-				Found: false, Hops: q.Hops, Path: q.Path,
-				Reason: "exit node found no alive nephew",
-			})
+			return n.failQuery(q, "exit node found no alive nephew", start)
 		}
 		// A nephew-less entry (e.g. created by repair while the OD was
 		// already down) cannot serve as an exit: keep routing.
@@ -341,7 +378,7 @@ func (n *Node) overlayForward(ctx context.Context, q wire.Query) (wire.Message, 
 			fwd := q
 			fwd.Mode = wire.ModeForward
 			fwd.Hops++
-			if resp, err := n.forwardQuery(ctx, cands[best].addr, fwd); err == nil {
+			if resp, err := n.forwardQuery(ctx, cands[best].addr, fwd, start); err == nil {
 				return resp, nil
 			}
 			cands = append(cands[:best], cands[best+1:]...)
@@ -352,30 +389,31 @@ func (n *Node) overlayForward(ctx context.Context, q wire.Query) (wire.Message, 
 
 	// Backward step via the counter-clockwise pointer.
 	if ccw.addr == "" || ccw.name == n.name {
-		return wire.New(wire.TypeQueryResult, wire.QueryResult{
-			Found: false, Hops: q.Hops, Path: q.Path, Reason: "no counter-clockwise pointer",
-		})
+		return n.failQuery(q, "no counter-clockwise pointer", start)
 	}
 	if idspace.Distance(ccw.id, odID).Compare(dist) <= 0 {
-		return wire.New(wire.TypeQueryResult, wire.QueryResult{
-			Found: false, Hops: q.Hops, Path: q.Path, Reason: "backward walk wrapped past the OD node",
-		})
+		return n.failQuery(q, "backward walk wrapped past the OD node", start)
 	}
 	fwd := q
 	fwd.Mode = wire.ModeBackward
 	fwd.Hops++
-	if resp, err := n.forwardQuery(ctx, ccw.addr, fwd); err == nil {
+	if resp, err := n.forwardQuery(ctx, ccw.addr, fwd, start); err == nil {
 		return resp, nil
 	}
-	return wire.New(wire.TypeQueryResult, wire.QueryResult{
-		Found: false, Hops: q.Hops, Path: q.Path, Reason: "counter-clockwise neighbor unreachable",
-	})
+	return n.failQuery(q, "counter-clockwise neighbor unreachable", start)
 }
 
 // forwardQuery sends the query to the next hop and relays its result.
 // Transport errors surface as errors so callers can try alternatives;
-// application-level "not found" results are returned as-is.
-func (n *Node) forwardQuery(ctx context.Context, addr string, q wire.Query) (wire.Message, error) {
+// application-level "not found" results are returned as-is. Successful
+// sends count toward the per-mode forwarding metrics; on traced queries
+// this node's hop record is stamped with the elapsed time just before
+// the frame is encoded, so the recorded duration covers local handling
+// plus any dead-peer attempts that preceded this one.
+func (n *Node) forwardQuery(ctx context.Context, addr string, q wire.Query, start time.Time) (wire.Message, error) {
+	if q.Trace {
+		finishTrace(q.HopTrace, start)
+	}
 	req, err := wire.New(wire.TypeQuery, q)
 	if err != nil {
 		return wire.Message{}, err
@@ -386,6 +424,9 @@ func (n *Node) forwardQuery(ctx context.Context, addr string, q wire.Query) (wir
 	}
 	if resp.Type != wire.TypeQueryResult {
 		return wire.Message{}, fmt.Errorf("node %s: unexpected query reply %s", n.Name(), resp.Type)
+	}
+	if c := n.m.forwardedByMode[q.Mode]; c != nil {
+		c.Inc()
 	}
 	return resp, nil
 }

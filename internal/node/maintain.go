@@ -91,13 +91,16 @@ func (n *Node) MaintainOnce(ctx context.Context) {
 
 	// Step 2: probe the counter-clockwise pointer.
 	if ccw.addr != "" && ccw.index != selfIndex {
-		n.bump(&n.statProbesSent)
+		n.m.probesSent.Inc()
 		if _, err := n.call(ctx, ccw.addr, wire.Message{Type: wire.TypeProbe}); err == nil {
+			n.log.Debug("probe ok", "ccw", ccw.name)
 			n.mu.Lock()
 			n.ccwAlive = true
 			n.mu.Unlock()
 			return
 		}
+		n.m.probeFailures.Inc()
+		n.log.Warn("probe failed", "ccw", ccw.name, "addr", ccw.addr)
 	}
 	n.mu.Lock()
 	n.ccwAlive = false
@@ -116,7 +119,8 @@ func (n *Node) MaintainOnce(ctx context.Context) {
 
 	// Massive failure (gap >= k): originate a Repair message destined to
 	// ourselves (§4.3), launched to our farthest-reaching alive entry.
-	n.bump(&n.statRepairsOriginated)
+	n.m.repairsOrig.Inc()
+	n.log.Info("repair originated", "index", selfIndex, "ttl", overlayN)
 	repair := wire.Repair{
 		OriginIndex: selfIndex, OriginName: n.Name(), OriginAddr: n.cfg.Addr,
 		TTL: overlayN,
@@ -142,6 +146,7 @@ func (n *Node) handleRepair(ctx context.Context, req wire.Message) (wire.Message
 	if err := req.Decode(&r); err != nil {
 		return wire.Message{}, err
 	}
+	n.m.repairsHandled.Inc()
 	if r.TTL <= 0 {
 		return wire.Message{Type: wire.TypeRepairResult}, nil
 	}
@@ -213,13 +218,19 @@ func (n *Node) handleRepair(ctx context.Context, req wire.Message) (wire.Message
 			break
 		}
 	}
+	entries := len(n.table)
 	if !already {
 		n.table = append(n.table, tableEntry{peer: mkPeer(wire.Peer{
 			Index: r.OriginIndex, Name: r.OriginName, Addr: r.OriginAddr,
 		})})
-		n.statEntriesCreated++
+		entries = len(n.table)
 	}
 	n.mu.Unlock()
+	if !already {
+		n.m.entriesCreated.Inc()
+		n.m.tableEntries.Set(int64(entries))
+		n.log.Info("repair bridged", "origin", r.OriginName, "hops", r.Hops)
+	}
 	notify, err := wire.New(wire.TypeNotifyCCW, wire.NotifyCCW{
 		Index: selfIndex, Name: n.Name(), Addr: n.cfg.Addr,
 	})

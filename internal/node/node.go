@@ -11,11 +11,13 @@ package node
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/idspace"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -51,6 +53,14 @@ type Config struct {
 	// Data is the answer this node serves for its own name. Defaults to
 	// the node's address.
 	Data string
+	// Metrics receives the node's operational metrics. Nil creates a
+	// private registry (still readable through Stats); daemons pass a
+	// shared registry to aggregate and scrape. The transport is wrapped
+	// with RPC instrumentation recording into the same registry.
+	Metrics *obs.Registry
+	// Logger receives structured events (probe verdicts, repairs,
+	// regeneration, admissions). Nil discards them.
+	Logger *slog.Logger
 }
 
 // peer is a remote node reference. The identifier is derived from the
@@ -108,16 +118,60 @@ type Node struct {
 
 	suppressed bool
 
-	// Operational counters, surfaced via the stats message.
-	statQueriesAnswered   int64
-	statQueriesForwarded  int64
-	statProbesSent        int64
-	statRepairsOriginated int64
-	statEntriesCreated    int64
+	// Observability: registry-backed operational metrics (surfaced via
+	// the stats message and /metrics) and the structured event logger.
+	reg *obs.Registry
+	log *slog.Logger
+	m   nodeMetrics
 
 	// Maintenance goroutine lifecycle.
 	stop chan struct{}
 	done chan struct{}
+}
+
+// nodeMetrics caches the node's registry series so hot paths pay one
+// atomic op per event (see obs.BenchmarkCounterInc).
+type nodeMetrics struct {
+	queriesAnswered  *obs.Counter
+	queriesForwarded *obs.Counter
+	forwardedByMode  map[wire.QueryMode]*obs.Counter
+	queryFailures    *obs.Counter
+	probesSent       *obs.Counter
+	probeFailures    *obs.Counter
+	repairsOrig      *obs.Counter
+	repairsHandled   *obs.Counter
+	entriesCreated   *obs.Counter
+	regens           *obs.Counter
+	ccwAdoptions     *obs.Counter
+	tableEntries     *obs.Gauge
+	suppressed       *obs.Gauge
+	handleLatency    *obs.Histogram
+}
+
+// newNodeMetrics registers (or re-binds) the node metric series in reg.
+func newNodeMetrics(reg *obs.Registry) nodeMetrics {
+	byMode := make(map[wire.QueryMode]*obs.Counter, 4)
+	for _, m := range []wire.QueryMode{
+		wire.ModeHierarchical, wire.ModeForward, wire.ModeBackward, wire.ModeNephew,
+	} {
+		byMode[m] = reg.Counter("hours_queries_forwarded_total", obs.L("mode", string(m)))
+	}
+	return nodeMetrics{
+		queriesAnswered:  reg.Counter("hours_queries_answered_total"),
+		queriesForwarded: reg.Counter("hours_queries_received_forwarded_total"),
+		forwardedByMode:  byMode,
+		queryFailures:    reg.Counter("hours_query_failures_total"),
+		probesSent:       reg.Counter("hours_probes_sent_total"),
+		probeFailures:    reg.Counter("hours_probe_failures_total"),
+		repairsOrig:      reg.Counter("hours_repairs_originated_total"),
+		repairsHandled:   reg.Counter("hours_repairs_handled_total"),
+		entriesCreated:   reg.Counter("hours_repair_entries_created_total"),
+		regens:           reg.Counter("hours_table_regenerations_total"),
+		ccwAdoptions:     reg.Counter("hours_ccw_adoptions_total"),
+		tableEntries:     reg.Gauge("hours_table_entries"),
+		suppressed:       reg.Gauge("hours_node_suppressed"),
+		handleLatency:    reg.Histogram("hours_query_handle_seconds"),
+	}
 }
 
 // New creates a node. Call Start to begin serving.
@@ -148,16 +202,36 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 	if data == "" {
 		data = cfg.Addr
 	}
-	return &Node{
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	n := &Node{
 		cfg:   cfg,
 		name:  name,
 		id:    idspace.FromName(name),
-		tr:    tr,
+		tr:    transport.Instrument(tr, reg),
 		index: -1,
 		data:  data,
+		reg:   reg,
+		log:   log.With("node", displayName(name)),
+		m:     newNodeMetrics(reg),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
-	}, nil
+	}
+	return n, nil
+}
+
+// displayName renders "" as "." for logs.
+func displayName(name string) string {
+	if name == "" {
+		return "."
+	}
+	return name
 }
 
 // Name returns the node's display name.
@@ -230,7 +304,13 @@ func (n *Node) Suppress(down bool) {
 	n.mu.Lock()
 	n.suppressed = down
 	n.mu.Unlock()
-	if mem, ok := n.tr.(*transport.Mem); ok {
+	if down {
+		n.m.suppressed.Set(1)
+	} else {
+		n.m.suppressed.Set(0)
+	}
+	n.log.Warn("suppression changed", "down", down)
+	if mem, ok := transport.Unwrap(n.tr).(*transport.Mem); ok {
 		mem.Suppress(n.cfg.Addr, down)
 	}
 }
@@ -364,6 +444,9 @@ func (n *Node) BuildTable(ctx context.Context) error {
 	n.ccw = mkPeer(ccwPeer)
 	n.ccwAlive = true
 	n.mu.Unlock()
+	n.m.tableEntries.Set(int64(len(table)))
+	n.log.Info("routing table built",
+		"overlayN", info.N, "index", info.Index, "entries", len(table))
 
 	// Step 7: fetch q nephew pointers per entry. Failures here are
 	// tolerable — the sibling may be down; its entry stays nephew-less
@@ -404,29 +487,33 @@ func (n *Node) refreshNephews(ctx context.Context) {
 	}
 }
 
-// Stats returns a snapshot of the node's operational counters.
+// Stats returns a snapshot of the node's operational counters. The legacy
+// int64 fields are populated from the registry so pre-registry peers keep
+// working; Metrics carries the full snapshot.
 func (n *Node) Stats() wire.Stats {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	index := n.index
+	entries := len(n.table)
+	epoch := n.epoch
+	n.mu.Unlock()
+	snap := n.reg.Snapshot()
 	return wire.Stats{
 		Name:              n.Name(),
-		Index:             n.index,
-		TableEntries:      len(n.table),
-		Epoch:             n.epoch,
-		QueriesAnswered:   n.statQueriesAnswered,
-		QueriesForwarded:  n.statQueriesForwarded,
-		ProbesSent:        n.statProbesSent,
-		RepairsOriginated: n.statRepairsOriginated,
-		EntriesCreated:    n.statEntriesCreated,
+		Index:             index,
+		TableEntries:      entries,
+		Epoch:             epoch,
+		QueriesAnswered:   n.m.queriesAnswered.Value(),
+		QueriesForwarded:  n.m.queriesForwarded.Value(),
+		ProbesSent:        n.m.probesSent.Value(),
+		RepairsOriginated: n.m.repairsOrig.Value(),
+		EntriesCreated:    n.m.entriesCreated.Value(),
+		Metrics:           &snap,
 	}
 }
 
-// bump atomically increments a counter under the node lock.
-func (n *Node) bump(counter *int64) {
-	n.mu.Lock()
-	*counter++
-	n.mu.Unlock()
-}
+// Metrics exposes the node's registry (shared with Config.Metrics when
+// one was supplied).
+func (n *Node) Metrics() *obs.Registry { return n.reg }
 
 // RegenerateNow rebuilds the routing table from the parent's current
 // membership with fresh randomness — one §7 maintenance refresh. Between
@@ -435,7 +522,10 @@ func (n *Node) bump(counter *int64) {
 func (n *Node) RegenerateNow(ctx context.Context) error {
 	n.mu.Lock()
 	n.epoch++
+	epoch := n.epoch
 	n.mu.Unlock()
+	n.m.regens.Inc()
+	n.log.Info("routing table regeneration", "epoch", epoch)
 	return n.BuildTable(ctx)
 }
 

@@ -1,0 +1,237 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/overlay"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// newSharedSeedFixture builds a root with n children that all share ONE
+// seed. A live node samples its routing table from
+// Derive(seed, ringIndex), exactly like the simulator's overlay samples
+// node i's table from Derive(overlaySeed, i) — so a live sibling group
+// with a shared seed and a simulated overlay with the same (N, K, Seed)
+// hold identical tables, and routes can be compared node for node.
+func newSharedSeedFixture(t *testing.T, n, k, q int, seed uint64) *fixture {
+	t.Helper()
+	tr := transport.NewMem()
+	mk := func(name, parentAddr string) *Node {
+		nd, err := New(Config{
+			Name: name, Addr: "mem://" + name, ParentAddr: parentAddr,
+			K: k, Q: q, Seed: seed, CallTimeout: time.Second,
+		}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = nd.Stop() })
+		return nd
+	}
+	f := &fixture{tr: tr, root: mk(".", "")}
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		c := mk(fmt.Sprintf("c%d", i), f.root.Addr())
+		if err := c.Join(ctx); err != nil {
+			t.Fatal(err)
+		}
+		f.children = append(f.children, c)
+	}
+	for _, c := range f.children {
+		if err := c.BuildTable(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// liveTrace issues a traced query from entry to target and returns the
+// result.
+func liveTrace(t *testing.T, f *fixture, entry *Node, target string) wire.QueryResult {
+	t.Helper()
+	req, err := wire.New(wire.TypeQuery, wire.Query{
+		Target: target, Mode: wire.ModeHierarchical, TTL: 256, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := f.tr.Call(context.Background(), entry.Addr(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr wire.QueryResult
+	if err := resp.Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	return qr
+}
+
+// TestLiveTraceMatchesSimulatedRoute is the live/sim equivalence check:
+// a traced query across a live sibling overlay must visit the same node
+// sequence as overlay.Route with TracePath on an overlay built from the
+// same (N, K, Seed) — with all nodes up and with intermediate failures.
+func TestLiveTraceMatchesSimulatedRoute(t *testing.T) {
+	const (
+		nChildren = 24
+		k         = 2
+		seed      = 77
+	)
+	f := newSharedSeedFixture(t, nChildren, k, 2, seed)
+	byIndex := make(map[int]*Node, nChildren)
+	indexOf := make(map[string]int, nChildren)
+	for _, c := range f.children {
+		byIndex[c.Index()] = c
+		indexOf[c.Name()] = c.Index()
+	}
+
+	sim, err := overlay.New(overlay.Config{N: nChildren, K: k, Seed: seed, Design: overlay.Enhanced})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	simPath := func(src, od int) ([]int32, overlay.Outcome) {
+		t.Helper()
+		res, err := sim.Route(src, od, overlay.RouteOptions{TracePath: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Path, res.Outcome
+	}
+	livePath := func(src, od int) []int32 {
+		t.Helper()
+		qr := liveTrace(t, f, byIndex[src], byIndex[od].Name())
+		if !qr.Found {
+			t.Fatalf("live query %d->%d failed: %s", src, od, qr.Reason)
+		}
+		out := make([]int32, 0, len(qr.HopTrace))
+		for _, h := range qr.HopTrace {
+			idx, ok := indexOf[h.Node]
+			if !ok {
+				t.Fatalf("trace visited unknown node %q", h.Node)
+			}
+			if h.Index != idx {
+				t.Errorf("hop %s reported index %d, want %d", h.Node, h.Index, idx)
+			}
+			out = append(out, int32(idx))
+		}
+		return out
+	}
+
+	// Phase 1: every pair with everyone alive. Multi-hop pairs exist in a
+	// 24-node ring with k=2, so this exercises greedy forwarding, not
+	// just direct pointers.
+	multiHop := 0
+	pairs := 0
+	for src := 0; src < nChildren && pairs < 60; src++ {
+		for od := 0; od < nChildren && pairs < 60; od++ {
+			if src == od {
+				continue
+			}
+			pairs++
+			want, outcome := simPath(src, od)
+			if outcome != overlay.Delivered {
+				t.Fatalf("sim %d->%d outcome %v with all alive", src, od, outcome)
+			}
+			got := livePath(src, od)
+			if len(got) != len(want) {
+				t.Fatalf("route %d->%d: live %v != sim %v", src, od, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("route %d->%d hop %d: live %v != sim %v", src, od, i, got, want)
+				}
+			}
+			if len(want) > 2 {
+				multiHop++
+			}
+		}
+	}
+	if multiHop == 0 {
+		t.Error("no multi-hop route among the sampled pairs; equivalence check is vacuous")
+	}
+
+	// Phase 2: kill an intermediate node on a multi-hop path (never the
+	// OD node: a dead OD triggers nephew descent live, which the
+	// sibling-only simulator models as an exit instead). Both systems
+	// must detour identically.
+outer:
+	for src := 0; src < nChildren; src++ {
+		for od := 0; od < nChildren; od++ {
+			if src == od {
+				continue
+			}
+			want, outcome := simPath(src, od)
+			if outcome != overlay.Delivered || len(want) < 3 {
+				continue
+			}
+			victim := int(want[1]) // first intermediate hop
+			sim.SetAlive(victim, false)
+			byIndex[victim].Suppress(true)
+
+			dWant, dOutcome := simPath(src, od)
+			if dOutcome == overlay.Delivered {
+				dGot := livePath(src, od)
+				if len(dGot) != len(dWant) {
+					t.Fatalf("detour %d->%d (victim %d): live %v != sim %v", src, od, victim, dGot, dWant)
+				}
+				for i := range dWant {
+					if dGot[i] != dWant[i] {
+						t.Fatalf("detour %d->%d hop %d: live %v != sim %v", src, od, i, dGot, dWant)
+					}
+				}
+			}
+
+			sim.SetAlive(victim, true)
+			byIndex[victim].Suppress(false)
+			if dOutcome == overlay.Delivered {
+				break outer
+			}
+		}
+	}
+}
+
+// TestTraceRecordsModesAndDurations checks the per-hop metadata: arrival
+// modes are recorded and every hop carries a duration.
+func TestTraceRecordsModesAndDurations(t *testing.T) {
+	f := newFixture(t, 8, 2, 2, 31)
+	qr := liveTrace(t, f, f.root, "c3")
+	if !qr.Found {
+		t.Fatalf("query failed: %s", qr.Reason)
+	}
+	if len(qr.HopTrace) != len(qr.Path) {
+		t.Fatalf("trace has %d hops, path has %d", len(qr.HopTrace), len(qr.Path))
+	}
+	for i, h := range qr.HopTrace {
+		if h.Node != qr.Path[i] {
+			t.Errorf("hop %d node %q != path %q", i, h.Node, qr.Path[i])
+		}
+		if h.DurationMicros < 0 {
+			t.Errorf("hop %d negative duration", i)
+		}
+	}
+	if qr.HopTrace[0].Mode != wire.ModeHierarchical {
+		t.Errorf("first hop mode = %s, want hierarchical", qr.HopTrace[0].Mode)
+	}
+	// An untraced query carries no hop records.
+	req, err := wire.New(wire.TypeQuery, wire.Query{Target: "c3", Mode: wire.ModeHierarchical, TTL: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := f.tr.Call(context.Background(), f.root.Addr(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain wire.QueryResult
+	if err := resp.Decode(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.HopTrace) != 0 {
+		t.Errorf("untraced query returned %d hop records", len(plain.HopTrace))
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkCounterInc proves hot-path instrumentation is safe to leave on:
+// a cached counter increment is one atomic add, well under 20ns/op, so
+// per-query and per-RPC counters never become the bottleneck.
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterIncParallel measures contended increments across
+// goroutines (cache-line bouncing, still lock-free).
+func BenchmarkCounterIncParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+// BenchmarkHistogramObserve measures one latency observation: a binary
+// search over the bucket bounds plus three atomic adds.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+}
+
+// BenchmarkRegistryLookup measures the uncached path: map lookup under a
+// read lock plus series-id rendering. Hot paths should cache the pointer.
+func BenchmarkRegistryLookup(b *testing.B) {
+	r := NewRegistry()
+	r.Counter("bench_total", L("type", "query"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Counter("bench_total", L("type", "query")).Inc()
+	}
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBuckets are the latency bucket upper bounds in seconds, spanning
+// in-memory hops (~µs) through WAN RPCs under timeout (~10s).
+var DefaultBuckets = []float64{
+	0.000025, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are
+// durations; bucket bounds are seconds. All methods are safe for
+// concurrent use; Observe is lock-free.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds in seconds
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// NewHistogram returns a histogram with the given ascending bucket upper
+// bounds in seconds; nil means DefaultBuckets. An implicit +Inf bucket is
+// always appended.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultBuckets
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	secs := d.Seconds()
+	// Binary search for the first bound >= secs; the last slot is +Inf.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < secs {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram, in merge-able
+// form: per-bucket (non-cumulative) counts aligned with Bounds plus one
+// overflow bucket.
+type HistogramSnapshot struct {
+	Count    uint64    `json:"count"`
+	SumNanos int64     `json:"sumNanos"`
+	Bounds   []float64 `json:"bounds,omitempty"`
+	Counts   []uint64  `json:"counts,omitempty"` // len(Bounds)+1, last is +Inf
+}
+
+// Snapshot copies the histogram's current state. Concurrent observations
+// may land between bucket reads; totals stay self-consistent enough for
+// monitoring (bucket sum may trail Count by in-flight observations).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:    h.count.Load(),
+		SumNanos: h.sum.Load(),
+		Bounds:   append([]float64(nil), h.bounds...),
+		Counts:   make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Merge adds other's observations into h. The histograms must share bucket
+// bounds.
+func (h *Histogram) Merge(other *Histogram) error {
+	return h.MergeSnapshot(other.Snapshot())
+}
+
+// MergeSnapshot adds a snapshot's observations into h. The snapshot must
+// share h's bucket bounds.
+func (h *Histogram) MergeSnapshot(s HistogramSnapshot) error {
+	if len(s.Bounds) != len(h.bounds) {
+		return fmt.Errorf("obs: merge histogram with %d bounds into %d", len(s.Bounds), len(h.bounds))
+	}
+	for i, b := range s.Bounds {
+		if b != h.bounds[i] {
+			return fmt.Errorf("obs: merge histogram with mismatched bound %g != %g", b, h.bounds[i])
+		}
+	}
+	if len(s.Counts) != len(h.counts) {
+		return fmt.Errorf("obs: merge histogram with %d buckets into %d", len(s.Counts), len(h.counts))
+	}
+	for i, c := range s.Counts {
+		h.counts[i].Add(c)
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.SumNanos)
+	return nil
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) in seconds by linear
+// interpolation within the containing bucket, or 0 when empty. Values in
+// the +Inf bucket report the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	s := h.Snapshot()
+	return s.Quantile(q)
+}
+
+// Quantile estimates the q-th quantile of a snapshot (see
+// Histogram.Quantile).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum < target {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: no finite upper bound to interpolate to.
+			if len(s.Bounds) == 0 {
+				return 0
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		if c == 0 {
+			return upper
+		}
+		within := float64(target-(cum-c)) / float64(c)
+		return lower + (upper-lower)*within
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

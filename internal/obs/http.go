@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// Handler serves the registry over HTTP for scrapers and humans:
+//
+//	/metrics     Prometheus text exposition
+//	/debug/vars  expvar-style JSON
+//	/healthz     200 "ok"
+//
+// Mount it on a side port (hoursd -debug-addr) so operational traffic
+// never competes with the query path.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteExpvar(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}

@@ -1,0 +1,264 @@
+// Package obs is the observability layer of the live HOURS prototype: a
+// dependency-free metrics registry (atomic counters, gauges, and
+// fixed-bucket latency histograms with Prometheus-text and expvar-JSON
+// renderers), structured leveled logging on log/slog, and the snapshot
+// format carried by wire.Stats so peers can exchange metric state.
+//
+// The registry is built for hot paths: looking a metric up once and
+// caching the returned pointer makes every subsequent increment a single
+// atomic add (see BenchmarkCounterInc), so instrumentation can stay on in
+// production query forwarding.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value dimension of a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use and lock-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. All methods are safe for
+// concurrent use and lock-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// series is one registered metric: a name, its label set, and the metric
+// itself (exactly one of counter/gauge/hist is non-nil).
+type series struct {
+	name    string // metric name without labels
+	id      string // name plus rendered label set; the registry key
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds metric series keyed by name and label set. Lookup takes a
+// read lock; first registration takes a write lock. Callers on hot paths
+// should look a metric up once and keep the pointer.
+type Registry struct {
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// seriesID renders the canonical identity of a series: the metric name
+// followed by its label pairs sorted by key, in Prometheus exposition
+// syntax.
+func seriesID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// lookup returns the series for (name, labels), creating it with mk on
+// first use.
+func (r *Registry) lookup(name string, labels []Label, mk func(*series)) *series {
+	id := seriesID(name, labels)
+	r.mu.RLock()
+	s := r.series[id]
+	r.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s = r.series[id]; s != nil {
+		return s
+	}
+	s = &series{name: name, id: id, labels: append([]Label(nil), labels...)}
+	mk(s)
+	r.series[id] = s
+	return s
+}
+
+// Counter returns the counter for (name, labels), registering it on first
+// use. Panics if the series already exists with a different metric kind.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	s := r.lookup(name, labels, func(s *series) { s.counter = &Counter{} })
+	if s.counter == nil {
+		panic(fmt.Sprintf("obs: series %s registered as a different kind", s.id))
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge for (name, labels), registering it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	s := r.lookup(name, labels, func(s *series) { s.gauge = &Gauge{} })
+	if s.gauge == nil {
+		panic(fmt.Sprintf("obs: series %s registered as a different kind", s.id))
+	}
+	return s.gauge
+}
+
+// Histogram returns the latency histogram for (name, labels) with the
+// default buckets, registering it on first use.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	s := r.lookup(name, labels, func(s *series) { s.hist = NewHistogram(nil) })
+	if s.hist == nil {
+		panic(fmt.Sprintf("obs: series %s registered as a different kind", s.id))
+	}
+	return s.hist
+}
+
+// snapshotSeries returns all series sorted by id for deterministic
+// rendering.
+func (r *Registry) snapshotSeries() []*series {
+	r.mu.RLock()
+	out := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Snapshot captures every series' current value, keyed by series id. It is
+// the payload carried in wire.Stats.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{}
+	for _, s := range r.snapshotSeries() {
+		switch {
+		case s.counter != nil:
+			if snap.Counters == nil {
+				snap.Counters = make(map[string]int64)
+			}
+			snap.Counters[s.id] = s.counter.Value()
+		case s.gauge != nil:
+			if snap.Gauges == nil {
+				snap.Gauges = make(map[string]int64)
+			}
+			snap.Gauges[s.id] = s.gauge.Value()
+		case s.hist != nil:
+			if snap.Histograms == nil {
+				snap.Histograms = make(map[string]HistogramSnapshot)
+			}
+			snap.Histograms[s.id] = s.hist.Snapshot()
+		}
+	}
+	return snap
+}
+
+// Merge folds a snapshot into the registry: counter and histogram values
+// add, gauges overwrite. Series ids round-trip through seriesID, so a
+// snapshot taken from one registry merges cleanly into another — the basis
+// for cluster-wide aggregation.
+func (r *Registry) Merge(s Snapshot) error {
+	for id, v := range s.Counters {
+		name, labels, err := parseSeriesID(id)
+		if err != nil {
+			return err
+		}
+		r.Counter(name, labels...).Add(v)
+	}
+	for id, v := range s.Gauges {
+		name, labels, err := parseSeriesID(id)
+		if err != nil {
+			return err
+		}
+		r.Gauge(name, labels...).Set(v)
+	}
+	for id, hs := range s.Histograms {
+		name, labels, err := parseSeriesID(id)
+		if err != nil {
+			return err
+		}
+		if err := r.Histogram(name, labels...).MergeSnapshot(hs); err != nil {
+			return fmt.Errorf("obs: merge %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// parseSeriesID inverts seriesID.
+func parseSeriesID(id string) (string, []Label, error) {
+	open := strings.IndexByte(id, '{')
+	if open < 0 {
+		return id, nil, nil
+	}
+	if !strings.HasSuffix(id, "}") {
+		return "", nil, fmt.Errorf("obs: malformed series id %q", id)
+	}
+	name := id[:open]
+	var labels []Label
+	body := id[open+1 : len(id)-1]
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || len(body) < eq+2 || body[eq+1] != '"' {
+			return "", nil, fmt.Errorf("obs: malformed series id %q", id)
+		}
+		key := body[:eq]
+		rest := body[eq+1:]
+		var val string
+		n, err := fmt.Sscanf(rest, "%q", &val)
+		if err != nil || n != 1 {
+			return "", nil, fmt.Errorf("obs: malformed series id %q", id)
+		}
+		quoted := fmt.Sprintf("%q", val)
+		body = rest[len(quoted):]
+		body = strings.TrimPrefix(body, ",")
+		labels = append(labels, Label{Key: key, Value: val})
+	}
+	return name, labels, nil
+}

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hours_queries_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Same (name, labels) returns the same counter.
+	if r.Counter("hours_queries_total") != c {
+		t.Error("counter lookup is not stable")
+	}
+	g := r.Gauge("hours_table_entries")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+}
+
+func TestLabeledSeriesAreDistinctAndOrderInsensitive(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("rpc_total", L("type", "query"), L("dir", "out"))
+	b := r.Counter("rpc_total", L("dir", "out"), L("type", "query"))
+	if a != b {
+		t.Error("label order changed series identity")
+	}
+	other := r.Counter("rpc_total", L("type", "probe"), L("dir", "out"))
+	if a == other {
+		t.Error("different label values share a series")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge over counter: want panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := NewHistogram(nil)
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got != time.Second {
+		t.Errorf("sum = %v", got)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 0 || p50 > 0.0025 {
+		t.Errorf("p50 = %g, want in (0, 0.0025]", p50)
+	}
+	// An observation beyond every bound lands in +Inf and quantiles clamp
+	// to the largest finite bound.
+	h2 := NewHistogram([]float64{0.001})
+	h2.Observe(time.Minute)
+	if got := h2.Quantile(0.99); got != 0.001 {
+		t.Errorf("overflow quantile = %g, want 0.001", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(nil)
+	b := NewHistogram(nil)
+	a.Observe(time.Millisecond)
+	b.Observe(time.Second)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 2 || a.Sum() != time.Second+time.Millisecond {
+		t.Errorf("after merge count=%d sum=%v", a.Count(), a.Sum())
+	}
+	mismatch := NewHistogram([]float64{1, 2, 3})
+	if err := a.Merge(mismatch); err == nil {
+		t.Error("mismatched bounds: want error")
+	}
+}
+
+func TestSnapshotMergeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", L("mode", "forward")).Add(3)
+	r.Gauge("g").Set(9)
+	r.Histogram("h_seconds", L("type", "query")).Observe(2 * time.Millisecond)
+
+	snap := r.Snapshot()
+	// Snapshots must survive JSON (they ride in wire.Stats).
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	agg := NewRegistry()
+	if err := agg.Merge(back); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Merge(back); err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.Counter("c_total", L("mode", "forward")).Value(); got != 6 {
+		t.Errorf("merged counter = %d, want 6", got)
+	}
+	if got := agg.Gauge("g").Value(); got != 9 {
+		t.Errorf("merged gauge = %d, want 9", got)
+	}
+	if got := agg.Histogram("h_seconds", L("type", "query")).Count(); got != 2 {
+		t.Errorf("merged histogram count = %d, want 2", got)
+	}
+}
+
+func TestParseSeriesID(t *testing.T) {
+	for _, id := range []string{
+		"plain",
+		`labeled{a="b"}`,
+		`two{a="b",c="d"}`,
+		`escaped{a="x\"y"}`,
+	} {
+		name, labels, err := parseSeriesID(id)
+		if err != nil {
+			t.Fatalf("parse %q: %v", id, err)
+		}
+		if got := seriesID(name, labels); got != id {
+			t.Errorf("round trip %q -> %q", id, got)
+		}
+	}
+	for _, bad := range []string{"x{", `x{a=b}`, `x{a}`} {
+		if _, _, err := parseSeriesID(bad); err == nil {
+			t.Errorf("parse %q: want error", bad)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hours_queries_answered_total").Add(2)
+	r.Counter("hours_queries_forwarded_total", L("mode", "forward")).Add(1)
+	r.Gauge("hours_table_entries").Set(5)
+	r.Histogram("hours_rpc_seconds", L("type", "query")).Observe(time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE hours_queries_answered_total counter",
+		"hours_queries_answered_total 2",
+		`hours_queries_forwarded_total{mode="forward"} 1`,
+		"# TYPE hours_table_entries gauge",
+		"# TYPE hours_rpc_seconds histogram",
+		`hours_rpc_seconds_bucket{le="+Inf",type="query"} 1`,
+		`hours_rpc_seconds_count{type="query"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q in:\n%s", want, text)
+		}
+	}
+	samples, err := ParsePrometheus(text)
+	if err != nil {
+		t.Fatalf("self-parse: %v", err)
+	}
+	if samples["hours_queries_answered_total"] != 2 {
+		t.Errorf("parsed samples = %v", samples)
+	}
+	// Buckets must be cumulative: the +Inf bucket equals the count.
+	inf := samples[`hours_rpc_seconds_bucket{le="+Inf",type="query"}`]
+	cnt := samples[`hours_rpc_seconds_count{type="query"}`]
+	if inf != cnt || cnt != 1 {
+		t.Errorf("+Inf bucket %g != count %g", inf, cnt)
+	}
+}
+
+func TestWriteExpvarIsValidJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Inc()
+	r.Histogram("h_seconds").Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WriteExpvar(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("expvar output is not JSON: %v\n%s", err, buf.String())
+	}
+	if out["a_total"].(float64) != 1 {
+		t.Errorf("expvar = %v", out)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]string{
+		"debug": "DEBUG", "info": "INFO", "": "INFO",
+		"warn": "WARN", "warning": "WARN", "ERROR": "ERROR",
+	} {
+		lv, err := ParseLevel(in)
+		if err != nil {
+			t.Fatalf("ParseLevel(%q): %v", in, err)
+		}
+		if lv.String() != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, lv, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("bad level: want error")
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	// Must not panic and must be enabled for nothing.
+	log := NopLogger()
+	log.Error("dropped")
+}
+
+// TestConcurrentRegistry hammers one registry from many goroutines; run
+// with -race this is the regression test for lock-free hot paths.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot_total")
+	h := r.Histogram("hot_seconds")
+	g := r.Gauge("hot_gauge")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i) * time.Microsecond)
+				g.Add(1)
+				// Lookups race with registrations of fresh series.
+				r.Counter("lazy_total", L("w", string(rune('a'+w)))).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

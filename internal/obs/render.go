@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every series in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative _bucket/_sum/_count families. Series render in
+// sorted order so successive scrapes diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	typed := make(map[string]string) // base name -> TYPE already emitted
+	for _, s := range r.snapshotSeries() {
+		kind := "counter"
+		switch {
+		case s.gauge != nil:
+			kind = "gauge"
+		case s.hist != nil:
+			kind = "histogram"
+		}
+		if typed[s.name] == "" {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, kind); err != nil {
+				return err
+			}
+			typed[s.name] = kind
+		}
+		switch {
+		case s.counter != nil:
+			if _, err := fmt.Fprintf(w, "%s %d\n", s.id, s.counter.Value()); err != nil {
+				return err
+			}
+		case s.gauge != nil:
+			if _, err := fmt.Fprintf(w, "%s %d\n", s.id, s.gauge.Value()); err != nil {
+				return err
+			}
+		case s.hist != nil:
+			if err := writePrometheusHistogram(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePrometheusHistogram renders one histogram family with cumulative
+// buckets.
+func writePrometheusHistogram(w io.Writer, s *series) error {
+	snap := s.hist.Snapshot()
+	var cum uint64
+	for i, c := range snap.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(snap.Bounds) {
+			le = formatBound(snap.Bounds[i])
+		}
+		id := seriesID(s.name+"_bucket", append(append([]Label(nil), s.labels...), L("le", le)))
+		if _, err := fmt.Fprintf(w, "%s %d\n", id, cum); err != nil {
+			return err
+		}
+	}
+	sumID := seriesID(s.name+"_sum", s.labels)
+	countID := seriesID(s.name+"_count", s.labels)
+	if _, err := fmt.Fprintf(w, "%s %g\n", sumID, float64(snap.SumNanos)/1e9); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", countID, snap.Count)
+	return err
+}
+
+// formatBound renders a bucket bound the way Prometheus clients expect
+// (shortest decimal form).
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// WriteExpvar renders the registry as one JSON object in the spirit of
+// /debug/vars: counters and gauges as numbers keyed by series id,
+// histograms as {count, sum_seconds, p50, p99} summaries.
+func (r *Registry) WriteExpvar(w io.Writer) error {
+	out := make(map[string]any)
+	for _, s := range r.snapshotSeries() {
+		switch {
+		case s.counter != nil:
+			out[s.id] = s.counter.Value()
+		case s.gauge != nil:
+			out[s.id] = s.gauge.Value()
+		case s.hist != nil:
+			snap := s.hist.Snapshot()
+			out[s.id] = map[string]any{
+				"count":       snap.Count,
+				"sum_seconds": float64(snap.SumNanos) / 1e9,
+				"p50":         snap.Quantile(0.5),
+				"p99":         snap.Quantile(0.99),
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ParsePrometheus parses the sample lines of a Prometheus text exposition
+// into a map of series id to value, skipping comments. It understands only
+// the subset WritePrometheus emits and exists so tests (and hoursq) can
+// diff two scrapes without a Prometheus dependency.
+func ParsePrometheus(text string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return nil, fmt.Errorf("obs: malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: malformed sample value in %q: %w", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out, nil
+}
+
+// SeriesNames returns the sorted distinct series ids currently registered.
+func (r *Registry) SeriesNames() []string {
+	ss := r.snapshotSeries()
+	out := make([]string, 0, len(ss))
+	for _, s := range ss {
+		out = append(out, s.id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"context"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// Instrumented decorates a Transport with RPC metrics: per-message-type
+// latency histograms and error counters on the client (Call) side, the
+// same pair on the server (Listen/handler) side, per-destination failure
+// counters, and an in-flight gauge. Metric pointers are cached per
+// message type so the steady-state overhead per call is a few atomic ops.
+type Instrumented struct {
+	inner Transport
+	reg   *obs.Registry
+
+	inflight *obs.Gauge
+
+	mu       sync.RWMutex
+	byType   map[wire.Type]*typeMetrics
+	peerErrs map[string]*obs.Counter
+}
+
+// typeMetrics caches the per-message-type series.
+type typeMetrics struct {
+	clientLatency *obs.Histogram
+	clientErrors  *obs.Counter
+	serverLatency *obs.Histogram
+	serverErrors  *obs.Counter
+}
+
+var _ Transport = (*Instrumented)(nil)
+
+// Instrument wraps t so every Call and every served request is measured
+// into reg. A nil registry returns t unchanged.
+func Instrument(t Transport, reg *obs.Registry) Transport {
+	if reg == nil {
+		return t
+	}
+	return &Instrumented{
+		inner:    t,
+		reg:      reg,
+		inflight: reg.Gauge("hours_rpc_inflight"),
+		byType:   make(map[wire.Type]*typeMetrics),
+		peerErrs: make(map[string]*obs.Counter),
+	}
+}
+
+// Underlying returns the wrapped transport.
+func (i *Instrumented) Underlying() Transport { return i.inner }
+
+// Unwrap strips instrumentation decorators off t, returning the innermost
+// transport. Callers needing a concrete transport (e.g. *Mem for DoS
+// suppression) should type-assert the result instead of t.
+func Unwrap(t Transport) Transport {
+	for {
+		u, ok := t.(interface{ Underlying() Transport })
+		if !ok {
+			return t
+		}
+		t = u.Underlying()
+	}
+}
+
+// forType returns the cached metric set for one message type.
+func (i *Instrumented) forType(t wire.Type) *typeMetrics {
+	i.mu.RLock()
+	m := i.byType[t]
+	i.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if m = i.byType[t]; m != nil {
+		return m
+	}
+	l := obs.L("type", string(t))
+	m = &typeMetrics{
+		clientLatency: i.reg.Histogram("hours_rpc_client_seconds", l),
+		clientErrors:  i.reg.Counter("hours_rpc_client_errors_total", l),
+		serverLatency: i.reg.Histogram("hours_rpc_server_seconds", l),
+		serverErrors:  i.reg.Counter("hours_rpc_server_errors_total", l),
+	}
+	i.byType[t] = m
+	return m
+}
+
+// forPeer returns the cached per-destination error counter.
+func (i *Instrumented) forPeer(addr string) *obs.Counter {
+	i.mu.RLock()
+	c := i.peerErrs[addr]
+	i.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if c = i.peerErrs[addr]; c != nil {
+		return c
+	}
+	c = i.reg.Counter("hours_rpc_peer_errors_total", obs.L("peer", addr))
+	i.peerErrs[addr] = c
+	return c
+}
+
+// Call implements Transport: it times the RPC and records latency and
+// outcome under the request's message type.
+func (i *Instrumented) Call(ctx context.Context, addr string, req wire.Message) (wire.Message, error) {
+	m := i.forType(req.Type)
+	i.inflight.Add(1)
+	start := time.Now()
+	resp, err := i.inner.Call(ctx, addr, req)
+	m.clientLatency.Observe(time.Since(start))
+	i.inflight.Add(-1)
+	if err != nil {
+		m.clientErrors.Inc()
+		i.forPeer(addr).Inc()
+	}
+	return resp, err
+}
+
+// Listen implements Transport: the handler is wrapped so server-side
+// handling latency and errors are recorded per message type.
+func (i *Instrumented) Listen(addr string, h Handler) (io.Closer, error) {
+	wrapped := func(ctx context.Context, req wire.Message) (wire.Message, error) {
+		m := i.forType(req.Type)
+		start := time.Now()
+		resp, err := h(ctx, req)
+		m.serverLatency.Observe(time.Since(start))
+		if err != nil {
+			m.serverErrors.Inc()
+		}
+		return resp, err
+	}
+	return i.inner.Listen(addr, wrapped)
+}

@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+func TestInstrumentedCallMetrics(t *testing.T) {
+	mem := NewMem()
+	reg := obs.NewRegistry()
+	tr := Instrument(mem, reg)
+
+	l, err := tr.Listen("mem://a", func(ctx context.Context, req wire.Message) (wire.Message, error) {
+		if req.Type == wire.TypeJoin {
+			return wire.Message{}, fmt.Errorf("refused")
+		}
+		return wire.Message{Type: wire.TypeProbeResult}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	ctx := context.Background()
+	if _, err := tr.Call(ctx, "mem://a", wire.Message{Type: wire.TypeProbe}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Call(ctx, "mem://a", wire.Message{Type: wire.TypeJoin}); err == nil {
+		t.Fatal("handler error lost")
+	}
+	if _, err := tr.Call(ctx, "mem://down", wire.Message{Type: wire.TypeProbe}); err == nil {
+		t.Fatal("unreachable peer: want error")
+	}
+
+	probeL := obs.L("type", "probe")
+	if got := reg.Histogram("hours_rpc_client_seconds", probeL).Count(); got != 2 {
+		t.Errorf("client probe latency count = %d, want 2", got)
+	}
+	if got := reg.Histogram("hours_rpc_server_seconds", probeL).Count(); got != 1 {
+		t.Errorf("server probe latency count = %d, want 1", got)
+	}
+	if got := reg.Counter("hours_rpc_client_errors_total", obs.L("type", "join")).Value(); got != 1 {
+		t.Errorf("client join errors = %d, want 1", got)
+	}
+	if got := reg.Counter("hours_rpc_server_errors_total", obs.L("type", "join")).Value(); got != 1 {
+		t.Errorf("server join errors = %d, want 1", got)
+	}
+	if got := reg.Counter("hours_rpc_peer_errors_total", obs.L("peer", "mem://down")).Value(); got != 1 {
+		t.Errorf("peer errors = %d, want 1", got)
+	}
+	if got := reg.Gauge("hours_rpc_inflight").Value(); got != 0 {
+		t.Errorf("inflight gauge = %d, want 0 at rest", got)
+	}
+}
+
+func TestInstrumentUnwrap(t *testing.T) {
+	mem := NewMem()
+	if Instrument(mem, nil) != Transport(mem) {
+		t.Error("nil registry must be a no-op")
+	}
+	wrapped := Instrument(mem, obs.NewRegistry())
+	if wrapped == Transport(mem) {
+		t.Fatal("expected a decorator")
+	}
+	inner, ok := Unwrap(wrapped).(*Mem)
+	if !ok || inner != mem {
+		t.Errorf("Unwrap = %T, want the original *Mem", Unwrap(wrapped))
+	}
+	// Unwrap on a bare transport is the identity.
+	if Unwrap(mem) != Transport(mem) {
+		t.Error("Unwrap(bare) changed the transport")
+	}
+	// Double wrapping still unwraps to the core.
+	double := Instrument(wrapped, obs.NewRegistry())
+	if got, ok := Unwrap(double).(*Mem); !ok || got != mem {
+		t.Error("Unwrap failed through two decorators")
+	}
+}

@@ -14,6 +14,10 @@ func FuzzReadFrame(f *testing.F) {
 		{Type: TypeProbe},
 		{Type: TypeQuery, Payload: []byte(`{"target":"a.b","mode":"forward","ttl":9}`)},
 		{Type: TypeError, Payload: []byte(`{"reason":"x"}`)},
+		{Type: TypeQuery, Payload: []byte(`{"target":"a.b","mode":"nephew","ttl":9,"trace":true,` +
+			`"hopTrace":[{"node":".","index":-1,"mode":"hierarchical","durationMicros":12}]}`)},
+		{Type: TypeStatsResult, Payload: []byte(`{"name":"a","metrics":{"counters":{"q_total":3},` +
+			`"histograms":{"h_seconds":{"count":1,"sumNanos":1000,"bounds":[0.001],"counts":[1,0]}}}}`)},
 	}
 	for _, m := range seedMsgs {
 		var buf bytes.Buffer

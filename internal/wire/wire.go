@@ -11,6 +11,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/obs"
 )
 
 // Type tags a message.
@@ -150,7 +152,23 @@ const (
 	ModeForward QueryMode = "forward"
 	// ModeBackward means counter-clockwise backward forwarding (§4.2).
 	ModeBackward QueryMode = "backward"
+	// ModeNephew means the hop followed a nephew pointer into the
+	// next-level overlay after the OD node was found dead (§4.1). It
+	// behaves like ModeHierarchical for forwarding decisions; the
+	// distinct tag exists so traces show where a detour dropped a level.
+	ModeNephew QueryMode = "nephew"
 )
+
+// HopRecord is one hop of a traced query: which node handled it, that
+// node's ring index in its sibling overlay (-1 for the root or before
+// BuildTable), the mode by which the query arrived, and how long the node
+// spent on it (local handling plus the downstream call it chose).
+type HopRecord struct {
+	Node           string    `json:"node"`
+	Index          int       `json:"index"`
+	Mode           QueryMode `json:"mode"`
+	DurationMicros int64     `json:"durationMicros,omitempty"`
+}
 
 // Query is a forwarded lookup. Overlay routing needs no explicit
 // overlay-destination field: names are public, so every node derives the
@@ -167,6 +185,12 @@ type Query struct {
 	TTL int `json:"ttl"`
 	// Path records visited node names (diagnostics).
 	Path []string `json:"path,omitempty"`
+	// Trace asks every node on the path to append a HopRecord. Peers
+	// that predate tracing ignore both fields and still answer; the
+	// trace is then merely truncated at the first old hop.
+	Trace bool `json:"trace,omitempty"`
+	// HopTrace accumulates per-hop records when Trace is set.
+	HopTrace []HopRecord `json:"hopTrace,omitempty"`
 }
 
 // QueryResult carries the outcome of a query.
@@ -176,6 +200,8 @@ type QueryResult struct {
 	Hops   int      `json:"hops"`
 	Path   []string `json:"path,omitempty"`
 	Reason string   `json:"reason,omitempty"`
+	// HopTrace carries the per-hop records of a traced query.
+	HopTrace []HopRecord `json:"hopTrace,omitempty"`
 }
 
 // NotifyCCW announces the sender as the receiver's counter-clockwise
@@ -195,17 +221,23 @@ type Repair struct {
 	TTL         int    `json:"ttl"`
 }
 
-// Stats carries a node's operational counters (TypeStatsResult).
+// Stats carries a node's operational counters (TypeStatsResult). The
+// named int64 fields are the legacy counter set, kept populated so old
+// peers keep working; Metrics carries the full registry snapshot
+// (counters, gauges, histogram summaries). Peers that predate the
+// registry ignore the unknown field, and a missing Metrics decodes as
+// nil — both directions interoperate.
 type Stats struct {
-	Name              string `json:"name"`
-	Index             int    `json:"index"`
-	TableEntries      int    `json:"tableEntries"`
-	Epoch             uint64 `json:"epoch"`
-	QueriesAnswered   int64  `json:"queriesAnswered"`
-	QueriesForwarded  int64  `json:"queriesForwarded"`
-	ProbesSent        int64  `json:"probesSent"`
-	RepairsOriginated int64  `json:"repairsOriginated"`
-	EntriesCreated    int64  `json:"entriesCreated"`
+	Name              string        `json:"name"`
+	Index             int           `json:"index"`
+	TableEntries      int           `json:"tableEntries"`
+	Epoch             uint64        `json:"epoch"`
+	QueriesAnswered   int64         `json:"queriesAnswered"`
+	QueriesForwarded  int64         `json:"queriesForwarded"`
+	ProbesSent        int64         `json:"probesSent"`
+	RepairsOriginated int64         `json:"repairsOriginated"`
+	EntriesCreated    int64         `json:"entriesCreated"`
+	Metrics           *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // Error carries a request failure.

@@ -6,6 +6,9 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
+
+	"repro/internal/obs"
 )
 
 func TestNewAndDecode(t *testing.T) {
@@ -53,6 +56,9 @@ func TestFrameRoundTrip(t *testing.T) {
 		QueryResult{Found: true, Answer: "addr", Hops: 9, Path: []string{"a", "b"}},
 		Repair{OriginIndex: 4, OriginName: "n", OriginAddr: "a", TTL: 100},
 		Error{Reason: "boom"},
+		Query{Target: "a.b", Mode: ModeNephew, TTL: 8, Trace: true,
+			HopTrace: []HopRecord{{Node: ".", Index: -1, Mode: ModeHierarchical, DurationMicros: 12}}},
+		QueryResult{Found: true, Answer: "x", HopTrace: []HopRecord{{Node: "a", Index: 0, Mode: ModeForward}}},
 	} {
 		m, err := New(TypeQuery, payload)
 		if err != nil {
@@ -143,6 +149,101 @@ func TestFrameProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestTraceRoundTrip covers the hop-trace fields introduced for live
+// observability: flag, records, and modes survive a frame round trip.
+func TestTraceRoundTrip(t *testing.T) {
+	in := Query{
+		Target: "c.b.a", Mode: ModeBackward, Hops: 3, TTL: 9, Trace: true,
+		HopTrace: []HopRecord{
+			{Node: ".", Index: -1, Mode: ModeHierarchical, DurationMicros: 40},
+			{Node: "b.a", Index: 2, Mode: ModeForward, DurationMicros: 15},
+			{Node: "c.b.a", Index: 5, Mode: ModeNephew},
+		},
+	}
+	m, err := New(TypeQuery, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Query
+	if err := got.Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Trace || len(out.HopTrace) != 3 {
+		t.Fatalf("trace round trip = %+v", out)
+	}
+	for i := range in.HopTrace {
+		if out.HopTrace[i] != in.HopTrace[i] {
+			t.Errorf("hop %d = %+v, want %+v", i, out.HopTrace[i], in.HopTrace[i])
+		}
+	}
+}
+
+// TestStatsRoundTripWithMetrics covers the registry snapshot riding in
+// Stats, and both interop directions: a new payload decoded by a peer
+// that ignores unknown fields, and an old payload (no metrics) decoding
+// into the new struct.
+func TestStatsRoundTripWithMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("hours_queries_answered_total").Add(7)
+	reg.Gauge("hours_table_entries").Set(4)
+	reg.Histogram("hours_rpc_client_seconds", obs.L("type", "query")).Observe(3 * time.Millisecond)
+	snap := reg.Snapshot()
+
+	in := Stats{Name: "a.b", Index: 3, TableEntries: 4, QueriesAnswered: 7, Metrics: &snap}
+	m, err := New(TypeStatsResult, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Stats
+	if err := got.Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics == nil {
+		t.Fatal("metrics snapshot lost in transit")
+	}
+	if out.Metrics.Counters["hours_queries_answered_total"] != 7 {
+		t.Errorf("counters = %v", out.Metrics.Counters)
+	}
+	h, ok := out.Metrics.Histograms[`hours_rpc_client_seconds{type="query"}`]
+	if !ok || h.Count != 1 {
+		t.Errorf("histograms = %v", out.Metrics.Histograms)
+	}
+
+	// Old peer -> new peer: a legacy payload without metrics decodes with
+	// Metrics nil.
+	legacy := Message{Type: TypeStatsResult, Payload: []byte(`{"name":"x","queriesAnswered":2}`)}
+	var st Stats
+	if err := legacy.Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Metrics != nil || st.QueriesAnswered != 2 {
+		t.Errorf("legacy decode = %+v", st)
+	}
+
+	// New peer -> old peer: unknown fields (including ones from future
+	// versions) are ignored by encoding/json.
+	future := Message{Type: TypeStatsResult, Payload: []byte(`{"name":"x","futureField":{"a":1},"metrics":{"counters":{"c":1}}}`)}
+	if err := future.Decode(&st); err != nil {
+		t.Fatalf("future fields must be ignored: %v", err)
 	}
 }
 
