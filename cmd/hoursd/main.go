@@ -62,6 +62,8 @@ func run(args []string) error {
 		data       = fs.String("data", "", "answer served for this node's own name")
 		logLevel   = fs.String("log-level", "info", "log level: debug, info, warn, error")
 		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /healthz on this address")
+		retryAtt   = fs.Int("retry-attempts", 3, "max attempts per idempotent RPC (1 disables retries)")
+		suspicionK = fs.Int("suspicion-k", 3, "consecutive failed probes before the CCW pointer is declared dead")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,7 +80,7 @@ func run(args []string) error {
 	}
 	defer stopDebug()
 	if *demo != "" {
-		return runDemo(*demo, *addr, *k, *q, *seed, *probe, reg, logger)
+		return runDemo(*demo, *addr, *k, *q, *seed, *probe, *retryAtt, *suspicionK, reg, logger)
 	}
 	if *name == "" {
 		return fmt.Errorf("missing -name (or use -demo)")
@@ -87,6 +89,7 @@ func run(args []string) error {
 	nd, err := node.New(node.Config{
 		Name: *name, Addr: *addr, ParentAddr: *parent,
 		K: *k, Q: *q, Seed: *seed, ProbePeriod: *probe, Data: *data,
+		Retry: retryPolicy(*retryAtt, *seed), SuspicionK: *suspicionK,
 		Metrics: reg, Logger: logger,
 	}, tcp)
 	if err != nil {
@@ -137,8 +140,23 @@ func serveDebug(addr string, reg *obs.Registry, logger *slog.Logger) (func(), er
 // ":0" and read the bound port from here).
 var debugBoundAddr string
 
+// retryPolicy builds the daemon's retry policy: attempts <= 1 keeps the
+// single-shot behavior (nil policy), anything more retries idempotent
+// RPCs with jittered exponential backoff sized for WAN-ish latencies.
+func retryPolicy(attempts int, seed uint64) *transport.RetryPolicy {
+	if attempts <= 1 {
+		return nil
+	}
+	return &transport.RetryPolicy{
+		MaxAttempts: attempts,
+		BaseBackoff: 25 * time.Millisecond,
+		MaxBackoff:  time.Second,
+		Seed:        seed,
+	}
+}
+
 // runDemo spins up a whole hierarchy of TCP nodes in one process.
-func runDemo(spec, rootAddr string, k, q int, seed uint64, probe time.Duration, reg *obs.Registry, logger *slog.Logger) error {
+func runDemo(spec, rootAddr string, k, q int, seed uint64, probe time.Duration, retryAtt, suspicionK int, reg *obs.Registry, logger *slog.Logger) error {
 	fanouts, err := parseFanouts(spec)
 	if err != nil {
 		return err
@@ -161,6 +179,7 @@ func runDemo(spec, rootAddr string, k, q int, seed uint64, probe time.Duration, 
 		nd, err := node.New(node.Config{
 			Name: name, Addr: listen, ParentAddr: parentAddr,
 			K: k, Q: q, Seed: seed + uint64(len(nodes)), ProbePeriod: probe,
+			Retry: retryPolicy(retryAtt, seed), SuspicionK: suspicionK,
 			Metrics: reg, Logger: logger,
 		}, tcp)
 		if err != nil {

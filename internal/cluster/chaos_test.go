@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/xrand"
+)
+
+// chaosSeed fixes every random stream of the soak test: the fault plan,
+// the retry jitter, the cluster topology sampling, and the query workload
+// all derive from it, so a failure replays exactly.
+const chaosSeed = 42
+
+// ringIntact reports whether every sibling overlay's CCW ring is exactly
+// the identifier ring: each member's counter-clockwise pointer names its
+// ring predecessor. It returns the first broken link for diagnostics.
+func ringIntact(c *Cluster) (bool, string) {
+	groups := make(map[string][]*node.Node)
+	for _, name := range c.Names() {
+		if name == "." {
+			continue
+		}
+		parent := "."
+		if i := strings.IndexByte(name, '.'); i >= 0 {
+			parent = name[i+1:]
+		}
+		n, _ := c.Node(name)
+		groups[parent] = append(groups[parent], n)
+	}
+	for parent, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		byIndex := make(map[int]*node.Node, len(members))
+		for _, m := range members {
+			byIndex[m.Index()] = m
+		}
+		for idx, m := range byIndex {
+			prev := byIndex[(idx-1+len(members))%len(members)]
+			if m.CCWName() != prev.Name() {
+				return false, m.Name() + " (overlay of " + parent + ") ccw = " +
+					m.CCWName() + ", want " + prev.Name()
+			}
+		}
+	}
+	return true, ""
+}
+
+// TestChaosSoak is the acceptance soak for the robustness stack: a
+// two-level hierarchy under seeded request/response loss, injected
+// latency up to one probe period, and 10% of nodes suppressed must keep
+// query delivery at or above 95%, and the CCW rings must be fully
+// repaired within 5 probe periods of the attack ending. Everything is
+// seed-driven and single-threaded, so the run is deterministic.
+func TestChaosSoak(t *testing.T) {
+	queries := 200
+	probePeriod := 2 * time.Millisecond
+	if testing.Short() {
+		queries = 60
+		probePeriod = time.Millisecond
+	}
+
+	plan := transport.NewFaultPlan(chaosSeed)
+	reg := obs.NewRegistry()
+	plan.SetMetrics(reg)
+	ctx := context.Background()
+	c, err := New(ctx, Config{
+		Fanouts:    []int{4, 4},
+		K:          3,
+		Q:          3,
+		Seed:       chaosSeed,
+		Faults:     plan,
+		Retry:      &transport.RetryPolicy{MaxAttempts: 4, BaseBackoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond, Seed: chaosSeed},
+		SuspicionK: 3,
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	// Attack: 10% of the 21 nodes suppressed — one interior node (its
+	// children become reachable only via nephew detours) and one leaf —
+	// plus 5% request loss, 5% response loss, and uniform latency up to
+	// one probe period on every link.
+	victims := []string{"n1-1", "n2-2.n1-0"}
+	for _, v := range victims {
+		if err := c.Suppress(v, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan.SetDefault(transport.Rule{
+		DropRequest:  0.05,
+		DropResponse: 0.05,
+		LatencyMax:   probePeriod,
+	})
+
+	// Let failure detection and §4.3 recovery churn under the attack:
+	// suspicion (K=3) needs three periods to declare the victims dead,
+	// then the rings route around them.
+	for i := 0; i < 6; i++ {
+		c.MaintainAll(ctx)
+	}
+
+	// Workload: seeded queries from realistic entry points — the root and
+	// the alive interior nodes (queries route down and sideways, never up,
+	// so an entry must sit at or above the target's cousin level). Targets
+	// are all alive nodes, including children of the suppressed interior
+	// node — the paper's nephew-detour case.
+	suppressed := map[string]bool{}
+	for _, v := range victims {
+		suppressed[v] = true
+	}
+	var entries, alive []string
+	for _, name := range c.Names() {
+		if suppressed[name] {
+			continue
+		}
+		if name == "." || !strings.Contains(name, ".") {
+			entries = append(entries, name)
+		}
+		if name != "." {
+			alive = append(alive, name)
+		}
+	}
+	rng := xrand.Derive(chaosSeed, 0xc0de)
+	delivered := 0
+	for i := 0; i < queries; i++ {
+		entry := entries[rng.IntN(len(entries))]
+		target := alive[rng.IntN(len(alive))]
+		res, err := c.Query(ctx, entry, target)
+		if err == nil && res.Found {
+			delivered++
+		}
+	}
+	ratio := float64(delivered) / float64(queries)
+	t.Logf("chaos soak: delivered %d/%d (%.3f) under loss+latency+suppression", delivered, queries, ratio)
+	if ratio < 0.95 {
+		t.Errorf("delivery ratio %.3f under attack, want >= 0.95", ratio)
+	}
+
+	// The fault and retry layers must actually have fired — a soak that
+	// injected nothing proves nothing.
+	faults := reg.Counter("hours_faults_injected_total", obs.L("kind", "drop_request")).Value() +
+		reg.Counter("hours_faults_injected_total", obs.L("kind", "drop_response")).Value()
+	if faults == 0 {
+		t.Error("no faults injected during the soak")
+	}
+	if reg.Counter("hours_retry_recovered_total", obs.L("type", "probe")).Value() == 0 &&
+		reg.Counter("hours_retry_attempts_total", obs.L("type", "probe")).Value() == 0 {
+		t.Error("retry layer never engaged during the soak")
+	}
+
+	// Attack ends: suppression lifts, loss and latency stay (a healing
+	// network is still lossy). Every CCW ring must be exactly restored
+	// within 5 probe periods.
+	for _, v := range victims {
+		if err := c.Suppress(v, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	repairedAfter := -1
+	for period := 1; period <= 5; period++ {
+		c.MaintainAll(ctx)
+		if ok, _ := ringIntact(c); ok {
+			repairedAfter = period
+			break
+		}
+	}
+	if repairedAfter < 0 {
+		_, detail := ringIntact(c)
+		t.Fatalf("CCW ring not repaired within 5 probe periods of attack end: %s", detail)
+	}
+	t.Logf("chaos soak: ring fully repaired %d probe period(s) after attack end", repairedAfter)
+
+	// And the restored network serves queries to the former victims.
+	res, err := c.Query(ctx, alive[0], "n2-2.n1-0")
+	if err != nil || !res.Found {
+		t.Errorf("former victim unreachable after repair: %v %+v", err, res)
+	}
+}

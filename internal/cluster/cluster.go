@@ -31,6 +31,18 @@ type Config struct {
 	// ProbePeriod enables each node's background maintenance loop; zero
 	// leaves maintenance to explicit MaintainAll calls.
 	ProbePeriod time.Duration
+	// Faults, when non-nil, subjects every node's outbound calls to the
+	// plan's injected faults (loss, latency, partitions, flapping); each
+	// node is bound to the plan under its own address, so directed
+	// partitions between cluster members work. The plan stays live: chaos
+	// tests reconfigure it mid-run.
+	Faults *transport.FaultPlan
+	// Retry, when non-nil, gives every node the retry policy (see
+	// node.Config.Retry).
+	Retry *transport.RetryPolicy
+	// SuspicionK sets every node's failure-suspicion threshold (see
+	// node.Config.SuspicionK; 0 means the default of 1).
+	SuspicionK int
 	// Metrics, when non-nil, is shared by every node in the cluster, so
 	// the registry (and a /metrics scrape of it) aggregates process-wide.
 	// Note that per-node Stats legacy counters then also report the
@@ -65,18 +77,25 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 	c := &Cluster{tr: tr, nodes: make(map[string]*node.Node)}
 
 	mk := func(name, parentAddr string) (*node.Node, error) {
+		addr := "mem://" + name
+		var nodeTr transport.Transport = tr
+		if cfg.Faults != nil {
+			nodeTr = cfg.Faults.Bind(addr, tr)
+		}
 		nd, err := node.New(node.Config{
 			Name:        name,
-			Addr:        "mem://" + name,
+			Addr:        addr,
 			ParentAddr:  parentAddr,
 			K:           cfg.K,
 			Q:           cfg.Q,
 			Seed:        xrand.Derive(cfg.Seed, uint64(len(c.order))).Uint64(),
 			ProbePeriod: cfg.ProbePeriod,
 			CallTimeout: 2 * time.Second,
+			Retry:       cfg.Retry,
+			SuspicionK:  cfg.SuspicionK,
 			Metrics:     cfg.Metrics,
 			Logger:      cfg.Logger,
-		}, tr)
+		}, nodeTr)
 		if err != nil {
 			return nil, err
 		}

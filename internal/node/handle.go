@@ -130,6 +130,9 @@ func (n *Node) handleNotifyCCW(req wire.Message) (wire.Message, error) {
 		if !n.ccwAlive || n.ccw.addr == "" || cand.Compare(cur) < 0 {
 			n.ccw = candidate
 			n.ccwAlive = true
+			// The candidate just proved itself alive by contacting us:
+			// any suspicion accumulated against the old pointer is moot.
+			n.ccwSuspicion = 0
 			adopted = prev != candidate.name
 		}
 	}
@@ -354,24 +357,29 @@ func (n *Node) overlayForward(ctx context.Context, q wire.Query, start time.Time
 
 	if q.Mode != wire.ModeBackward {
 		// Greedy clockwise: the table entry closest to the OD node
-		// without overshooting (Algorithm 3, line 11), skipping dead
-		// targets.
+		// without overshooting (Algorithm 3, line 11). Suspects — peers
+		// with recent failed calls — are deprioritized, not skipped:
+		// among equal suspicion levels closest-to-OD still wins, so a
+		// degraded peer is only consulted after every clean candidate
+		// failed (graceful degradation instead of eviction).
 		type cand struct {
 			addr string
 			d    idspace.ID
+			susp int
 		}
 		var cands []cand
 		for _, e := range table {
 			d := idspace.Distance(selfID, e.id)
 			if d.Compare(dist) < 0 {
-				cands = append(cands, cand{addr: e.addr, d: d})
+				cands = append(cands, cand{addr: e.addr, d: d, susp: n.suspicionOf(e.addr)})
 			}
 		}
-		// Try closest-to-OD first.
+		// Try lowest-suspicion, closest-to-OD first.
 		for len(cands) > 0 {
 			best := 0
 			for i := range cands {
-				if cands[i].d.Compare(cands[best].d) > 0 {
+				if cands[i].susp < cands[best].susp ||
+					(cands[i].susp == cands[best].susp && cands[i].d.Compare(cands[best].d) > 0) {
 					best = i
 				}
 			}
@@ -418,7 +426,7 @@ func (n *Node) forwardQuery(ctx context.Context, addr string, q wire.Query, star
 	if err != nil {
 		return wire.Message{}, err
 	}
-	resp, err := n.call(ctx, addr, req)
+	resp, err := n.callPeer(ctx, addr, req)
 	if err != nil {
 		return wire.Message{}, err
 	}

@@ -54,6 +54,7 @@ func (n *Node) MaintainOnce(ctx context.Context) {
 		// pointers to dead nodes.
 		return
 	}
+	n.decaySuspicion()
 	n.mu.Lock()
 	selfIndex := n.index
 	selfID := n.id
@@ -84,23 +85,51 @@ func (n *Node) MaintainOnce(ctx context.Context) {
 		limit = len(table)
 	}
 	for i := 0; i < limit; i++ {
-		if _, err := n.call(ctx, table[i].addr, notify); err == nil {
+		if _, err := n.callPeer(ctx, table[i].addr, notify); err == nil {
 			break // first alive clockwise neighbor contacted
 		}
 	}
 
-	// Step 2: probe the counter-clockwise pointer.
+	// Step 2: probe the counter-clockwise pointer. A failed probe only
+	// raises suspicion; the pointer is declared dead — and recovery
+	// engaged — after SuspicionK consecutive failures, so a single lost
+	// probe under load does not evict a live peer.
 	if ccw.addr != "" && ccw.index != selfIndex {
 		n.m.probesSent.Inc()
 		if _, err := n.call(ctx, ccw.addr, wire.Message{Type: wire.TypeProbe}); err == nil {
 			n.log.Debug("probe ok", "ccw", ccw.name)
 			n.mu.Lock()
+			recovered := n.ccwSuspicion > 0
+			n.ccwSuspicion = 0
 			n.ccwAlive = true
 			n.mu.Unlock()
+			n.m.ccwSuspicion.Set(0)
+			if recovered {
+				n.m.aliveTrans.Inc()
+				n.log.Info("ccw suspicion cleared", "ccw", ccw.name)
+			}
 			return
 		}
 		n.m.probeFailures.Inc()
-		n.log.Warn("probe failed", "ccw", ccw.name, "addr", ccw.addr)
+		n.mu.Lock()
+		n.ccwSuspicion++
+		susp := n.ccwSuspicion
+		n.mu.Unlock()
+		n.m.ccwSuspicion.Set(int64(susp))
+		if susp == 1 {
+			n.m.suspectTrans.Inc()
+		}
+		if susp < n.cfg.SuspicionK {
+			n.log.Warn("probe failed, ccw suspected",
+				"ccw", ccw.name, "addr", ccw.addr,
+				"suspicion", susp, "threshold", n.cfg.SuspicionK)
+			return // graceful degradation: not yet declared dead
+		}
+		if susp == n.cfg.SuspicionK {
+			n.m.deadTrans.Inc()
+		}
+		n.log.Warn("probe failed, ccw declared dead",
+			"ccw", ccw.name, "addr", ccw.addr, "suspicion", susp)
 	}
 	n.mu.Lock()
 	n.ccwAlive = false
@@ -130,11 +159,33 @@ func (n *Node) MaintainOnce(ctx context.Context) {
 		return
 	}
 	// Launch clockwise around the full circle: try entries from the
-	// largest distance down.
-	for i := len(table) - 1; i >= 0; i-- {
-		if _, err := n.call(ctx, table[i].addr, msg); err == nil {
+	// largest distance down, deprioritizing suspects so the launch does
+	// not burn its first attempts on peers that just failed.
+	type launch struct {
+		addr string
+		d    idspace.ID
+		susp int
+	}
+	cands := make([]launch, 0, len(table))
+	for _, e := range table {
+		cands = append(cands, launch{
+			addr: e.addr,
+			d:    idspace.Distance(selfID, e.id),
+			susp: n.suspicionOf(e.addr),
+		})
+	}
+	for len(cands) > 0 {
+		best := 0
+		for i := range cands {
+			if cands[i].susp < cands[best].susp ||
+				(cands[i].susp == cands[best].susp && cands[i].d.Compare(cands[best].d) > 0) {
+				best = i
+			}
+		}
+		if _, err := n.callPeer(ctx, cands[best].addr, msg); err == nil {
 			return
 		}
+		cands = append(cands[:best], cands[best+1:]...)
 	}
 }
 
@@ -180,10 +231,13 @@ func (n *Node) handleRepair(ctx context.Context, req wire.Message) (wire.Message
 	// Rule: holders of the origin use the second-best choice (strictly
 	// closer than the direct pointer); non-holders forward greedily.
 	// Either way the candidate set is "strictly before the origin going
-	// clockwise, excluding the origin itself".
+	// clockwise, excluding the origin itself". Suspects come last: a
+	// repair races the failure it is fixing, so first attempts go to
+	// peers with a clean record.
 	type cand struct {
 		addr string
 		d    idspace.ID
+		susp int
 	}
 	var cands []cand
 	for _, e := range table {
@@ -192,17 +246,18 @@ func (n *Node) handleRepair(ctx context.Context, req wire.Message) (wire.Message
 		}
 		d := idspace.Distance(selfID, e.id)
 		if d.Compare(dist) < 0 {
-			cands = append(cands, cand{addr: e.addr, d: d})
+			cands = append(cands, cand{addr: e.addr, d: d, susp: n.suspicionOf(e.addr)})
 		}
 	}
 	for len(cands) > 0 {
 		best := 0
 		for i := range cands {
-			if cands[i].d.Compare(cands[best].d) > 0 {
+			if cands[i].susp < cands[best].susp ||
+				(cands[i].susp == cands[best].susp && cands[i].d.Compare(cands[best].d) > 0) {
 				best = i
 			}
 		}
-		if _, err := n.call(ctx, cands[best].addr, fwd); err == nil {
+		if _, err := n.callPeer(ctx, cands[best].addr, fwd); err == nil {
 			return wire.Message{Type: wire.TypeRepairResult}, nil
 		}
 		cands = append(cands[:best], cands[best+1:]...)

@@ -41,6 +41,20 @@ type Config struct {
 	// CallTimeout bounds each outbound RPC (default 2s; in-memory
 	// transports answer instantly so the default is rarely hit).
 	CallTimeout time.Duration
+	// Retry, when non-nil, wraps the transport with the retry decorator:
+	// idempotent requests (probes, table reads) that fail with a
+	// retryable error are re-sent with capped exponential backoff inside
+	// the CallTimeout window. Nil keeps the seed single-attempt
+	// semantics.
+	Retry *transport.RetryPolicy
+	// SuspicionK is the number of consecutive failed probes before the
+	// counter-clockwise pointer is declared dead and recovery starts
+	// (default 1, the paper prototype's instant-eviction behavior; 3 is
+	// a reasonable production setting that rides out transient loss and
+	// flapping). Table entries whose calls fail are likewise only
+	// deprioritized — never evicted — and their suspicion decays one
+	// level per probe period.
+	SuspicionK int
 	// ProbePeriod is the §4.3 probing interval; zero disables the
 	// background maintenance goroutine (tests drive MaintainOnce
 	// directly).
@@ -115,6 +129,15 @@ type Node struct {
 	ccwAlive bool         // last probe verdict
 	contacts int          // NotifyCCW messages since the last probe tick
 	data     string
+	// ccwSuspicion counts consecutive failed probes of the CCW pointer;
+	// the pointer is declared dead only at SuspicionK (§4.3 hardening:
+	// one lost probe under load must not trigger eviction and repair).
+	ccwSuspicion int
+	// suspects maps peer addresses to suspicion levels accumulated from
+	// failed calls; overlayForward and repair forwarding deprioritize
+	// suspects instead of hammering them. Levels decay one per probe
+	// period and clear on any successful call.
+	suspects map[string]int
 
 	suppressed bool
 
@@ -143,8 +166,12 @@ type nodeMetrics struct {
 	entriesCreated   *obs.Counter
 	regens           *obs.Counter
 	ccwAdoptions     *obs.Counter
+	suspectTrans     *obs.Counter
+	deadTrans        *obs.Counter
+	aliveTrans       *obs.Counter
 	tableEntries     *obs.Gauge
 	suppressed       *obs.Gauge
+	ccwSuspicion     *obs.Gauge
 	handleLatency    *obs.Histogram
 }
 
@@ -168,8 +195,12 @@ func newNodeMetrics(reg *obs.Registry) nodeMetrics {
 		entriesCreated:   reg.Counter("hours_repair_entries_created_total"),
 		regens:           reg.Counter("hours_table_regenerations_total"),
 		ccwAdoptions:     reg.Counter("hours_ccw_adoptions_total"),
+		suspectTrans:     reg.Counter("hours_suspicion_transitions_total", obs.L("to", "suspect")),
+		deadTrans:        reg.Counter("hours_suspicion_transitions_total", obs.L("to", "dead")),
+		aliveTrans:       reg.Counter("hours_suspicion_transitions_total", obs.L("to", "alive")),
 		tableEntries:     reg.Gauge("hours_table_entries"),
 		suppressed:       reg.Gauge("hours_node_suppressed"),
+		ccwSuspicion:     reg.Gauge("hours_ccw_suspicion"),
 		handleLatency:    reg.Histogram("hours_query_handle_seconds"),
 	}
 }
@@ -194,6 +225,12 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 	if cfg.CallTimeout == 0 {
 		cfg.CallTimeout = 2 * time.Second
 	}
+	if cfg.SuspicionK == 0 {
+		cfg.SuspicionK = 1
+	}
+	if cfg.SuspicionK < 1 {
+		return nil, fmt.Errorf("node: SuspicionK=%d, want >= 1", cfg.SuspicionK)
+	}
 	name := cfg.Name
 	if name == "." {
 		name = ""
@@ -210,18 +247,26 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 	if log == nil {
 		log = obs.NopLogger()
 	}
+	// Decorator order: the instrument layer wraps the retrier, so RPC
+	// metrics count logical calls (what the node experienced) while the
+	// retry layer's own counters account for physical attempts.
+	inner := tr
+	if cfg.Retry != nil {
+		inner = transport.Retry(inner, *cfg.Retry, reg)
+	}
 	n := &Node{
-		cfg:   cfg,
-		name:  name,
-		id:    idspace.FromName(name),
-		tr:    transport.Instrument(tr, reg),
-		index: -1,
-		data:  data,
-		reg:   reg,
-		log:   log.With("node", displayName(name)),
-		m:     newNodeMetrics(reg),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		cfg:      cfg,
+		name:     name,
+		id:       idspace.FromName(name),
+		tr:       transport.Instrument(inner, reg),
+		index:    -1,
+		data:     data,
+		suspects: make(map[string]int),
+		reg:      reg,
+		log:      log.With("node", displayName(name)),
+		m:        newNodeMetrics(reg),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	return n, nil
 }
@@ -360,6 +405,74 @@ func (n *Node) call(ctx context.Context, addr string, req wire.Message) (wire.Me
 	return n.tr.Call(cctx, addr, req)
 }
 
+// callPeer is call plus failure-suspicion accounting: a failed call raises
+// the peer's suspicion level, a successful one clears it.
+func (n *Node) callPeer(ctx context.Context, addr string, req wire.Message) (wire.Message, error) {
+	resp, err := n.call(ctx, addr, req)
+	if err != nil {
+		n.notePeerFailure(addr)
+	} else {
+		n.notePeerSuccess(addr)
+	}
+	return resp, err
+}
+
+// notePeerFailure raises addr's suspicion level by one.
+func (n *Node) notePeerFailure(addr string) {
+	n.mu.Lock()
+	n.suspects[addr]++
+	level := n.suspects[addr]
+	n.mu.Unlock()
+	switch level {
+	case 1:
+		n.m.suspectTrans.Inc()
+	case n.cfg.SuspicionK:
+		n.m.deadTrans.Inc()
+		n.log.Debug("peer declared dead", "peer", addr, "failures", level)
+	}
+}
+
+// notePeerSuccess clears addr's suspicion.
+func (n *Node) notePeerSuccess(addr string) {
+	n.mu.Lock()
+	prev := n.suspects[addr]
+	delete(n.suspects, addr)
+	n.mu.Unlock()
+	if prev > 0 {
+		n.m.aliveTrans.Inc()
+	}
+}
+
+// suspicionOf returns addr's current suspicion level.
+func (n *Node) suspicionOf(addr string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.suspects[addr]
+}
+
+// decaySuspicion lowers every suspicion level by one, dropping cleared
+// peers. Called once per probe period so stale verdicts fade instead of
+// permanently demoting a peer that recovered while unused.
+func (n *Node) decaySuspicion() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for addr, level := range n.suspects {
+		if level <= 1 {
+			delete(n.suspects, addr)
+			continue
+		}
+		n.suspects[addr] = level - 1
+	}
+}
+
+// CCWSuspicion returns the count of consecutive failed probes of the
+// counter-clockwise pointer.
+func (n *Node) CCWSuspicion() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ccwSuspicion
+}
+
 // BuildTable constructs the node's routing table per Algorithm 1: fetch
 // (N, index) from the parent, sample sibling distances locally, resolve
 // the chosen indices through the parent, then fetch q nephew pointers from
@@ -443,7 +556,9 @@ func (n *Node) BuildTable(ctx context.Context) error {
 	n.table = table
 	n.ccw = mkPeer(ccwPeer)
 	n.ccwAlive = true
+	n.ccwSuspicion = 0
 	n.mu.Unlock()
+	n.m.ccwSuspicion.Set(0)
 	n.m.tableEntries.Set(int64(len(table)))
 	n.log.Info("routing table built",
 		"overlayN", info.N, "index", info.Index, "entries", len(table))

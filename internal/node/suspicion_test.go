@@ -1,0 +1,300 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/idspace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// suspicionFixture is the standard fixture with SuspicionK and an optional
+// retry policy set on every node.
+func suspicionFixture(t *testing.T, n, k, q int, seed uint64, suspicionK int, retry *transport.RetryPolicy) *fixture {
+	t.Helper()
+	tr := transport.NewMem()
+	mk := func(name, parentAddr string, s uint64) *Node {
+		nd, err := New(Config{
+			Name: name, Addr: "mem://" + name, ParentAddr: parentAddr,
+			K: k, Q: q, Seed: s, CallTimeout: time.Second,
+			SuspicionK: suspicionK, Retry: retry,
+		}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = nd.Stop() })
+		return nd
+	}
+	f := &fixture{tr: tr, root: mk(".", "", seed)}
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		c := mk(fmt.Sprintf("c%d", i), f.root.Addr(), seed+uint64(i)+1)
+		if err := c.Join(ctx); err != nil {
+			t.Fatal(err)
+		}
+		f.children = append(f.children, c)
+	}
+	for _, c := range f.children {
+		if err := c.BuildTable(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// TestFlappingPeerNotEvictedOnSingleFailure is the acceptance test for
+// failure suspicion: with SuspicionK=3, one failed probe must neither
+// change the successor's CCW pointer nor originate a repair, and a
+// successful probe resets the suspicion count.
+func TestFlappingPeerNotEvictedOnSingleFailure(t *testing.T) {
+	f := suspicionFixture(t, 10, 2, 2, 7, 3, nil)
+	byIndex := make(map[int]*Node)
+	for _, c := range f.children {
+		byIndex[c.Index()] = c
+	}
+	victim := byIndex[4]
+	successor := byIndex[5]
+	if successor.CCWName() != victim.Name() {
+		t.Fatalf("precondition: ccw = %s, want %s", successor.CCWName(), victim.Name())
+	}
+	ctx := context.Background()
+	repairsBefore := successor.Stats().RepairsOriginated
+
+	// One flap: the victim is down for a single probe period.
+	victim.Suppress(true)
+	successor.MaintainOnce(ctx)
+	victim.Suppress(false)
+
+	if got := successor.CCWName(); got != victim.Name() {
+		t.Errorf("single probe failure evicted the ccw pointer: now %s", got)
+	}
+	if got := successor.CCWSuspicion(); got != 1 {
+		t.Errorf("suspicion after one failure = %d, want 1", got)
+	}
+	if got := successor.Stats().RepairsOriginated; got != repairsBefore {
+		t.Errorf("repair originated on first suspicion (repairs %d -> %d)", repairsBefore, got)
+	}
+
+	// The peer answers again: suspicion resets.
+	successor.MaintainOnce(ctx)
+	if got := successor.CCWSuspicion(); got != 0 {
+		t.Errorf("suspicion after recovery = %d, want 0", got)
+	}
+	if got := successor.CCWName(); got != victim.Name() {
+		t.Errorf("ccw pointer lost after recovery: %s", got)
+	}
+
+	// Two more flaps interleaved with recoveries never reach K=3.
+	for round := 0; round < 3; round++ {
+		victim.Suppress(true)
+		successor.MaintainOnce(ctx)
+		successor.MaintainOnce(ctx)
+		victim.Suppress(false)
+		successor.MaintainOnce(ctx)
+		if got := successor.CCWSuspicion(); got != 0 {
+			t.Fatalf("round %d: suspicion = %d, want reset to 0", round, got)
+		}
+		if got := successor.CCWName(); got != victim.Name() {
+			t.Fatalf("round %d: flapping peer evicted (ccw %s)", round, got)
+		}
+	}
+}
+
+// TestSustainedFailureStillEvicts: suspicion must not block real recovery
+// — K consecutive failed probes declare the peer dead and the §4.3
+// machinery repairs the ring as before.
+func TestSustainedFailureStillEvicts(t *testing.T) {
+	f := suspicionFixture(t, 10, 2, 2, 7, 3, nil)
+	byIndex := make(map[int]*Node)
+	for _, c := range f.children {
+		byIndex[c.Index()] = c
+	}
+	victim := byIndex[4]
+	successor := byIndex[5]
+	victim.Suppress(true)
+	ctx := context.Background()
+	// K periods to declare the pointer dead, then the usual few rounds
+	// for conventional recovery to converge.
+	for i := 0; i < 3+3; i++ {
+		for _, c := range f.children {
+			c.MaintainOnce(ctx)
+		}
+	}
+	if got := successor.CCWName(); got != byIndex[3].Name() {
+		t.Errorf("ccw after sustained failure = %s, want %s", got, byIndex[3].Name())
+	}
+}
+
+// TestSuspicionDecay: table-entry suspicion fades one level per probe
+// period instead of branding a peer forever.
+func TestSuspicionDecay(t *testing.T) {
+	f := suspicionFixture(t, 6, 2, 2, 11, 3, nil)
+	n := f.children[0]
+	n.notePeerFailure("mem://x")
+	n.notePeerFailure("mem://x")
+	n.notePeerFailure("mem://x")
+	if got := n.suspicionOf("mem://x"); got != 3 {
+		t.Fatalf("suspicion = %d, want 3", got)
+	}
+	ctx := context.Background()
+	n.MaintainOnce(ctx)
+	if got := n.suspicionOf("mem://x"); got != 2 {
+		t.Errorf("after one period: suspicion = %d, want 2 (decayed)", got)
+	}
+	n.MaintainOnce(ctx)
+	n.MaintainOnce(ctx)
+	if got := n.suspicionOf("mem://x"); got != 0 {
+		t.Errorf("after three periods: suspicion = %d, want 0", got)
+	}
+	// Success clears instantly.
+	n.notePeerFailure("mem://y")
+	n.notePeerFailure("mem://y")
+	n.notePeerSuccess("mem://y")
+	if got := n.suspicionOf("mem://y"); got != 0 {
+		t.Errorf("after success: suspicion = %d, want 0", got)
+	}
+}
+
+// TestOverlayForwardDeprioritizesSuspects: with a suspect in the table,
+// the greedy forwarder consults clean peers first — the suspect is only
+// tried after every clean candidate.
+func TestOverlayForwardDeprioritizesSuspects(t *testing.T) {
+	f := suspicionFixture(t, 8, 3, 2, 13, 3, nil)
+
+	// Suppress the root so queries must ride the sibling overlay.
+	f.root.Suppress(true)
+	defer f.root.Suppress(false)
+
+	// Find an (entry, target) pair whose baseline route passes through an
+	// intermediate sibling with at least one clean greedy alternative at
+	// the entry — only then is deprioritization observable.
+	for _, entry := range f.children {
+		for _, tgt := range f.children {
+			if tgt == entry {
+				continue
+			}
+			target := tgt.Name()
+			res := queryVia(t, f, entry, target)
+			if !res.Found || len(res.Path) < 3 || res.Path[1] == target {
+				continue
+			}
+			first := res.Path[1]
+			if len(greedyAlternatives(entry, target, first)) == 0 {
+				continue
+			}
+			// Brand the first forwarding choice a suspect: the reissued
+			// query must route around it.
+			entry.notePeerFailure("mem://" + first)
+			entry.notePeerFailure("mem://" + first)
+			res = queryVia(t, f, entry, target)
+			if !res.Found {
+				t.Fatalf("query with suspect %s failed: %s", first, res.Reason)
+			}
+			if res.Path[1] == first {
+				t.Errorf("suspect %s still consulted first (path %v)", first, res.Path)
+			}
+			// The suspect recovers: suspicion cleared on success restores
+			// the original greedy route.
+			entry.notePeerSuccess("mem://" + first)
+			res = queryVia(t, f, entry, target)
+			if !res.Found || res.Path[1] != first {
+				t.Errorf("recovered peer not restored as first choice (path %v)", res.Path)
+			}
+			return
+		}
+	}
+	t.Skip("no route with an intermediate and a clean alternative under this seed")
+}
+
+// greedyAlternatives returns the entry's greedy candidates toward target
+// other than excluded: table entries strictly closer to the OD node than
+// the entry itself.
+func greedyAlternatives(n *Node, target, excluded string) []string {
+	odID := idspace.FromName(target)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	dist := idspace.Distance(n.id, odID)
+	var out []string
+	for _, e := range n.table {
+		if e.name == excluded || e.name == target {
+			continue
+		}
+		if idspace.Distance(n.id, e.id).Compare(dist) < 0 {
+			out = append(out, e.addr)
+		}
+	}
+	return out
+}
+
+// queryVia issues a query from the given node.
+func queryVia(t *testing.T, f *fixture, entry *Node, target string) wire.QueryResult {
+	t.Helper()
+	req, err := wire.New(wire.TypeQuery, wire.Query{
+		Target: target, Mode: wire.ModeHierarchical, TTL: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := f.tr.Call(context.Background(), entry.Addr(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr wire.QueryResult
+	if err := resp.Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	return qr
+}
+
+// TestNodeWithRetryPolicySurvivesResponseLoss: a node configured with a
+// retry policy keeps probing successfully across a lossy transport, while
+// one without the policy sees failures.
+func TestNodeWithRetryPolicySurvivesResponseLoss(t *testing.T) {
+	mem := transport.NewMem()
+	plan := transport.NewFaultPlan(17)
+	retry := &transport.RetryPolicy{
+		MaxAttempts: 5, BaseBackoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond, Seed: 3,
+	}
+	tr := plan.Bind("mem://prober", mem)
+
+	mk := func(name string, parent string, useRetry bool, base transport.Transport) *Node {
+		cfg := Config{
+			Name: name, Addr: "mem://" + name, ParentAddr: parent,
+			K: 2, Q: 2, Seed: 5, CallTimeout: time.Second, SuspicionK: 1,
+		}
+		if useRetry {
+			cfg.Retry = retry
+		}
+		nd, err := New(cfg, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = nd.Stop() })
+		return nd
+	}
+	root := mk(".", "", false, mem)
+	prober := mk("prober", root.Addr(), true, tr)
+	ctx := context.Background()
+	if err := prober.Join(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// 40% request loss on everything: single-shot calls fail often, a
+	// 5-attempt retry practically never (0.4^5 ~ 1%).
+	plan.SetDefault(transport.Rule{DropRequest: 0.4})
+	var built bool
+	for i := 0; i < 3 && !built; i++ {
+		built = prober.BuildTable(ctx) == nil
+	}
+	if !built {
+		t.Fatal("table build failed even with retries")
+	}
+}

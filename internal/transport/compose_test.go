@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// composeFixture builds a Mem transport with one flaky address: the first
+// failCalls physical calls lose their response, then calls succeed.
+func composeFixture(t *testing.T, failCalls int) (Transport, *FaultPlan, *Mem) {
+	t.Helper()
+	m := NewMem()
+	if _, err := m.Listen("a", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	plan := NewFaultPlan(21)
+	// DropResponse=1 is installed/cleared by the test around calls.
+	_ = failCalls
+	return plan.Bind("caller", m), plan, m
+}
+
+// TestUnwrapThroughAllDecorators: Unwrap must strip Retry, Instrument, and
+// Faulty in any stacking order down to the innermost transport.
+func TestUnwrapThroughAllDecorators(t *testing.T) {
+	m := NewMem()
+	reg := obs.NewRegistry()
+	plan := NewFaultPlan(1)
+
+	stacks := []Transport{
+		Retry(Instrument(plan.Bind("x", m), reg), RetryPolicy{Seed: 1}, reg),
+		Instrument(Retry(plan.Bind("x", m), RetryPolicy{Seed: 1}, reg), reg),
+		plan.Bind("x", Retry(Instrument(m, reg), RetryPolicy{Seed: 1}, reg)),
+	}
+	for i, s := range stacks {
+		if got := Unwrap(s); got != Transport(m) {
+			t.Errorf("stack %d: Unwrap = %T, want *Mem", i, got)
+		}
+	}
+	// The unwrapped transport supports Mem-specific operations.
+	if mem, ok := Unwrap(stacks[0]).(*Mem); !ok || mem != m {
+		t.Error("Unwrap result not usable as *Mem")
+	}
+}
+
+// TestComposeRetryOutsideInstrumentCountsPhysicalAttempts:
+// Retry(Instrument(Faulty(Mem))) — the instrument layer sits under the
+// retrier, so its client counters see every physical attempt.
+func TestComposeRetryOutsideInstrumentCountsPhysicalAttempts(t *testing.T) {
+	faulty, plan, _ := composeFixture(t, 0)
+	reg := obs.NewRegistry()
+	tr := Retry(Instrument(faulty, reg), RetryPolicy{
+		MaxAttempts: 3, BaseBackoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond, Seed: 5,
+	}, reg)
+
+	plan.SetAddrRule("a", Rule{DropResponse: 1})
+	if _, err := tr.Call(context.Background(), "a", wire.Message{Type: wire.TypeProbe}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	errs := reg.Counter("hours_rpc_client_errors_total", obs.L("type", "probe")).Value()
+	if errs != 3 {
+		t.Errorf("inner instrument saw %d errors, want 3 physical attempts", errs)
+	}
+	lat := reg.Histogram("hours_rpc_client_seconds", obs.L("type", "probe")).Count()
+	if lat != 3 {
+		t.Errorf("inner instrument observed %d latencies, want 3", lat)
+	}
+	if got := reg.Counter("hours_retry_attempts_total", obs.L("type", "probe")).Value(); got != 2 {
+		t.Errorf("retry layer counted %d extra attempts, want 2", got)
+	}
+}
+
+// TestComposeInstrumentOutsideRetryCountsLogicalCalls:
+// Instrument(Retry(Faulty(Mem))) — the instrument layer wraps the
+// retrier, so its client counters see one logical call regardless of how
+// many attempts happened underneath.
+func TestComposeInstrumentOutsideRetryCountsLogicalCalls(t *testing.T) {
+	faulty, plan, _ := composeFixture(t, 0)
+	reg := obs.NewRegistry()
+	tr := Instrument(Retry(faulty, RetryPolicy{
+		MaxAttempts: 3, BaseBackoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond, Seed: 5,
+	}, reg), reg)
+
+	plan.SetAddrRule("a", Rule{DropResponse: 1})
+	if _, err := tr.Call(context.Background(), "a", wire.Message{Type: wire.TypeProbe}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	errs := reg.Counter("hours_rpc_client_errors_total", obs.L("type", "probe")).Value()
+	if errs != 1 {
+		t.Errorf("outer instrument saw %d errors, want 1 logical call", errs)
+	}
+	lat := reg.Histogram("hours_rpc_client_seconds", obs.L("type", "probe")).Count()
+	if lat != 1 {
+		t.Errorf("outer instrument observed %d latencies, want 1", lat)
+	}
+	// The retry layer still accounts for the physical attempts.
+	if got := reg.Counter("hours_retry_attempts_total", obs.L("type", "probe")).Value(); got != 2 {
+		t.Errorf("retry layer counted %d extra attempts, want 2", got)
+	}
+
+	// After the fault clears, a recovered call counts one logical
+	// success and records the recovery.
+	plan.SetAddrRule("a", Rule{})
+	if _, err := tr.Call(context.Background(), "a", wire.Message{Type: wire.TypeProbe}); err != nil {
+		t.Fatal(err)
+	}
+	if errs := reg.Counter("hours_rpc_client_errors_total", obs.L("type", "probe")).Value(); errs != 1 {
+		t.Errorf("clean call incremented error counter: %d", errs)
+	}
+}
+
+// TestComposeFaultyBetweenLayersInjects: the fault layer keeps injecting
+// when sandwiched between instrument and retry layers.
+func TestComposeFaultyBetweenLayersInjects(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Listen("a", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	plan := NewFaultPlan(31)
+	plan.SetTypeRule(wire.TypeProbe, Rule{TransientErr: 1})
+	tr := Retry(plan.Bind("caller", Instrument(m, reg)), RetryPolicy{
+		MaxAttempts: 2, BaseBackoff: 100 * time.Microsecond, Seed: 9,
+	}, reg)
+
+	if _, err := tr.Call(context.Background(), "a", wire.Message{Type: wire.TypeProbe}); !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v, want ErrTransient", err)
+	}
+	// The transient fault fires above the instrument layer, so the inner
+	// Mem (and its instrumentation) never saw the call.
+	if errs := reg.Counter("hours_rpc_client_errors_total", obs.L("type", "probe")).Value(); errs != 0 {
+		t.Errorf("instrument under the fault layer saw %d errors, want 0", errs)
+	}
+	if got := reg.Counter("hours_retry_attempts_total", obs.L("type", "probe")).Value(); got != 1 {
+		t.Errorf("retry attempts = %d, want 1", got)
+	}
+}

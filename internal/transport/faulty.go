@@ -1,0 +1,304 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+	"repro/internal/xrand"
+)
+
+// Rule describes the faults injected into matching calls. Probabilities
+// are in [0, 1]; a zero Rule injects nothing. When several rules match one
+// call (per-address, per-type, default), each is applied independently:
+// drop and error probabilities compose, latencies add.
+type Rule struct {
+	// DropRequest is the probability the request never reaches the
+	// callee: the handler does not run and the caller sees
+	// ErrUnreachable.
+	DropRequest float64
+	// DropResponse is the probability the response is lost after the
+	// handler ran — the partial-failure case that distinguishes "the
+	// work happened" from "the caller knows it happened". The caller
+	// sees ErrUnreachable.
+	DropResponse float64
+	// TransientErr is the probability of a transient fault before the
+	// handler runs; the caller sees ErrTransient.
+	TransientErr float64
+	// LatencyMin and LatencyMax bound the uniform extra latency added to
+	// the call (both zero: none). The sleep respects the caller's
+	// context.
+	LatencyMin, LatencyMax time.Duration
+}
+
+// zero reports whether the rule injects nothing.
+func (r Rule) zero() bool {
+	return r.DropRequest == 0 && r.DropResponse == 0 && r.TransientErr == 0 &&
+		r.LatencyMin == 0 && r.LatencyMax == 0
+}
+
+// flapState models probabilistic flapping: each observation of the address
+// toggles it down with probability PDown (when up) or back up with
+// probability PUp (when down). While down, calls fail with ErrUnreachable.
+type flapState struct {
+	pDown, pUp float64
+	down       bool
+}
+
+// pair is a directed (source, destination) address edge.
+type pair struct{ from, to string }
+
+// FaultPlan is a deterministic, seed-driven fault model shared by every
+// Faulty decorator bound to it. All configuration methods are safe for
+// concurrent use and take effect immediately, so chaos tests can
+// reconfigure the network while a cluster is live.
+//
+// The plan draws all randomness from one seeded stream guarded by its
+// mutex: a fixed seed plus a fixed call sequence replays the exact same
+// faults, which keeps chaos soak tests deterministic.
+type FaultPlan struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	def    Rule
+	byAddr map[string]Rule
+	byType map[wire.Type]Rule
+	parts  map[pair]bool
+	flaps  map[string]*flapState
+
+	injected map[string]*obs.Counter // by fault kind
+	reg      *obs.Registry
+}
+
+// NewFaultPlan returns an empty plan drawing randomness from seed.
+func NewFaultPlan(seed uint64) *FaultPlan {
+	return &FaultPlan{
+		rng:    xrand.Derive(seed, 0xfa017),
+		byAddr: make(map[string]Rule),
+		byType: make(map[wire.Type]Rule),
+		parts:  make(map[pair]bool),
+		flaps:  make(map[string]*flapState),
+	}
+}
+
+// SetMetrics records injected-fault counters into reg
+// (hours_faults_injected_total{kind=...}). Nil disables recording.
+func (p *FaultPlan) SetMetrics(reg *obs.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reg = reg
+	p.injected = nil
+	if reg != nil {
+		p.injected = make(map[string]*obs.Counter)
+	}
+}
+
+// count bumps the injected-fault counter for kind. Caller holds p.mu.
+func (p *FaultPlan) count(kind string) {
+	if p.reg == nil {
+		return
+	}
+	c := p.injected[kind]
+	if c == nil {
+		c = p.reg.Counter("hours_faults_injected_total", obs.L("kind", kind))
+		p.injected[kind] = c
+	}
+	c.Inc()
+}
+
+// SetDefault installs the rule applied to every call.
+func (p *FaultPlan) SetDefault(r Rule) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.def = r
+}
+
+// SetAddrRule installs (or, for a zero rule, clears) the rule applied to
+// calls destined to addr.
+func (p *FaultPlan) SetAddrRule(addr string, r Rule) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r.zero() {
+		delete(p.byAddr, addr)
+		return
+	}
+	p.byAddr[addr] = r
+}
+
+// SetTypeRule installs (or, for a zero rule, clears) the rule applied to
+// calls carrying the given message type.
+func (p *FaultPlan) SetTypeRule(t wire.Type, r Rule) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r.zero() {
+		delete(p.byType, t)
+		return
+	}
+	p.byType[t] = r
+}
+
+// Partition blocks (or unblocks) the directed edge from → to: calls along
+// it fail with ErrUnreachable while the reverse direction is untouched,
+// modeling asymmetric partitions.
+func (p *FaultPlan) Partition(from, to string, blocked bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if blocked {
+		p.parts[pair{from, to}] = true
+		return
+	}
+	delete(p.parts, pair{from, to})
+}
+
+// SetFlapping makes addr flap: each call destined to it toggles the
+// address down with probability pDown (when up) or back up with
+// probability pUp (when down). Zero probabilities clear the state.
+func (p *FaultPlan) SetFlapping(addr string, pDown, pUp float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pDown == 0 && pUp == 0 {
+		delete(p.flaps, addr)
+		return
+	}
+	p.flaps[addr] = &flapState{pDown: pDown, pUp: pUp}
+}
+
+// Bind returns a Transport view of inner whose calls are subjected to this
+// plan, with src as the caller's own address (the "from" end of directed
+// partitions). Every node of a cluster binds its own view to one shared
+// plan.
+func (p *FaultPlan) Bind(src string, inner Transport) Transport {
+	return &Faulty{src: src, plan: p, inner: inner}
+}
+
+// verdict is the outcome of judging one call against the plan.
+type verdict struct {
+	latency      time.Duration
+	dropRequest  bool
+	dropResponse bool
+	transient    bool
+	partitioned  bool
+	flappedDown  bool
+}
+
+// judge draws this call's fate from the plan. One locked section keeps the
+// random stream strictly ordered by call sequence.
+func (p *FaultPlan) judge(src, dst string, t wire.Type) verdict {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var v verdict
+	if p.parts[pair{src, dst}] {
+		v.partitioned = true
+		p.count("partition")
+		return v
+	}
+	if f := p.flaps[dst]; f != nil {
+		if f.down {
+			if p.rng.Float64() < f.pUp {
+				f.down = false
+			}
+		} else if p.rng.Float64() < f.pDown {
+			f.down = true
+		}
+		if f.down {
+			v.flappedDown = true
+			p.count("flap")
+			return v
+		}
+	}
+	for _, r := range []Rule{p.def, p.byAddr[dst], p.byType[t]} {
+		if r.zero() {
+			continue
+		}
+		if r.LatencyMax > 0 || r.LatencyMin > 0 {
+			span := r.LatencyMax - r.LatencyMin
+			d := r.LatencyMin
+			if span > 0 {
+				d += time.Duration(p.rng.Int64N(int64(span) + 1))
+			}
+			v.latency += d
+		}
+		if r.DropRequest > 0 && p.rng.Float64() < r.DropRequest {
+			v.dropRequest = true
+		}
+		if r.TransientErr > 0 && p.rng.Float64() < r.TransientErr {
+			v.transient = true
+		}
+		if r.DropResponse > 0 && p.rng.Float64() < r.DropResponse {
+			v.dropResponse = true
+		}
+	}
+	switch {
+	case v.dropRequest:
+		p.count("drop_request")
+	case v.transient:
+		p.count("transient")
+	case v.dropResponse:
+		p.count("drop_response")
+	}
+	if v.latency > 0 {
+		p.count("latency")
+	}
+	return v
+}
+
+// Faulty decorates a Transport with the faults of its FaultPlan. It is
+// the per-caller view returned by FaultPlan.Bind and composes with Mem,
+// TCP, Instrument, and Retry.
+type Faulty struct {
+	src   string
+	plan  *FaultPlan
+	inner Transport
+}
+
+var _ Transport = (*Faulty)(nil)
+
+// Underlying returns the wrapped transport (see Unwrap).
+func (f *Faulty) Underlying() Transport { return f.inner }
+
+// Listen implements Transport by delegating to the inner transport; the
+// plan models the network between caller and callee, so injection happens
+// on the Call side only.
+func (f *Faulty) Listen(addr string, h Handler) (io.Closer, error) {
+	return f.inner.Listen(addr, h)
+}
+
+// Call implements Transport: it judges the call against the plan, injects
+// the drawn faults, and otherwise delegates.
+func (f *Faulty) Call(ctx context.Context, addr string, req wire.Message) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return wire.Message{}, err
+	}
+	v := f.plan.judge(f.src, addr, req.Type)
+	if v.latency > 0 {
+		t := time.NewTimer(v.latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return wire.Message{}, ctx.Err()
+		}
+	}
+	switch {
+	case v.partitioned:
+		return wire.Message{}, fmt.Errorf("call %s: partitioned: %w", addr, ErrUnreachable)
+	case v.flappedDown:
+		return wire.Message{}, fmt.Errorf("call %s: flapping: %w", addr, ErrUnreachable)
+	case v.dropRequest:
+		return wire.Message{}, fmt.Errorf("call %s: request lost: %w", addr, ErrUnreachable)
+	case v.transient:
+		return wire.Message{}, fmt.Errorf("call %s: %w", addr, ErrTransient)
+	}
+	resp, err := f.inner.Call(ctx, addr, req)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	if v.dropResponse {
+		return wire.Message{}, fmt.Errorf("call %s: response lost: %w", addr, ErrUnreachable)
+	}
+	return resp, nil
+}

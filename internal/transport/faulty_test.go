@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// countingMem is a Mem transport whose handler counts invocations.
+func countingMem(t *testing.T, addr string) (*Mem, *atomic.Int64) {
+	t.Helper()
+	m := NewMem()
+	var served atomic.Int64
+	if _, err := m.Listen(addr, func(ctx context.Context, req wire.Message) (wire.Message, error) {
+		served.Add(1)
+		return wire.Message{Type: wire.TypeProbeResult}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return m, &served
+}
+
+func TestFaultyPassThrough(t *testing.T) {
+	m, served := countingMem(t, "a")
+	f := NewFaultPlan(1).Bind("caller", m)
+	for i := 0; i < 10; i++ {
+		if _, err := f.Call(context.Background(), "a", wire.Message{Type: wire.TypeProbe}); err != nil {
+			t.Fatalf("empty plan injected a fault: %v", err)
+		}
+	}
+	if served.Load() != 10 {
+		t.Errorf("served = %d, want 10", served.Load())
+	}
+}
+
+func TestFaultyDropRequestNeverRunsHandler(t *testing.T) {
+	m, served := countingMem(t, "a")
+	p := NewFaultPlan(7)
+	p.SetAddrRule("a", Rule{DropRequest: 1})
+	f := p.Bind("caller", m)
+	_, err := f.Call(context.Background(), "a", wire.Message{Type: wire.TypeProbe})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Errorf("dropped request err = %v, want ErrUnreachable", err)
+	}
+	if served.Load() != 0 {
+		t.Errorf("handler ran %d times on a dropped request", served.Load())
+	}
+}
+
+func TestFaultyDropResponseRunsHandler(t *testing.T) {
+	m, served := countingMem(t, "a")
+	p := NewFaultPlan(7)
+	p.SetAddrRule("a", Rule{DropResponse: 1})
+	f := p.Bind("caller", m)
+	_, err := f.Call(context.Background(), "a", wire.Message{Type: wire.TypeProbe})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Errorf("dropped response err = %v, want ErrUnreachable", err)
+	}
+	if served.Load() != 1 {
+		t.Errorf("handler ran %d times, want 1 (drop is of the response)", served.Load())
+	}
+}
+
+func TestFaultyTransientError(t *testing.T) {
+	m, served := countingMem(t, "a")
+	p := NewFaultPlan(7)
+	p.SetTypeRule(wire.TypeProbe, Rule{TransientErr: 1})
+	f := p.Bind("caller", m)
+	_, err := f.Call(context.Background(), "a", wire.Message{Type: wire.TypeProbe})
+	if !errors.Is(err, ErrTransient) {
+		t.Errorf("err = %v, want ErrTransient", err)
+	}
+	if served.Load() != 0 {
+		t.Error("handler ran despite the transient fault")
+	}
+	// Other message types are untouched by the per-type rule.
+	if _, err := f.Call(context.Background(), "a", wire.Message{Type: wire.TypeStats}); err == nil {
+		// The handler answers probe-result regardless of type; only the
+		// absence of an injected error matters here.
+		_ = err
+	} else {
+		t.Errorf("per-type rule leaked onto another type: %v", err)
+	}
+}
+
+func TestFaultyAsymmetricPartition(t *testing.T) {
+	m, _ := countingMem(t, "b")
+	if _, err := m.Listen("a", func(ctx context.Context, req wire.Message) (wire.Message, error) {
+		return wire.Message{Type: wire.TypeProbeResult}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := NewFaultPlan(3)
+	p.Partition("a", "b", true)
+	fa := p.Bind("a", m)
+	fb := p.Bind("b", m)
+	if _, err := fa.Call(context.Background(), "b", wire.Message{Type: wire.TypeProbe}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("a->b should be partitioned, got %v", err)
+	}
+	if _, err := fb.Call(context.Background(), "a", wire.Message{Type: wire.TypeProbe}); err != nil {
+		t.Errorf("b->a should be open (asymmetric), got %v", err)
+	}
+	p.Partition("a", "b", false)
+	if _, err := fa.Call(context.Background(), "b", wire.Message{Type: wire.TypeProbe}); err != nil {
+		t.Errorf("a->b after heal: %v", err)
+	}
+}
+
+func TestFaultyFlappingTogglesDeterministically(t *testing.T) {
+	run := func(seed uint64) []bool {
+		m, _ := countingMem(t, "a")
+		p := NewFaultPlan(seed)
+		p.SetFlapping("a", 0.5, 0.5)
+		f := p.Bind("caller", m)
+		var outcomes []bool
+		for i := 0; i < 40; i++ {
+			_, err := f.Call(context.Background(), "a", wire.Message{Type: wire.TypeProbe})
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(11), run(11)
+	up, down := 0, 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flapping not deterministic at call %d", i)
+		}
+		if a[i] {
+			up++
+		} else {
+			down++
+		}
+	}
+	if up == 0 || down == 0 {
+		t.Errorf("flapping peer never changed state: up=%d down=%d", up, down)
+	}
+}
+
+func TestFaultyLatencyRespectsContext(t *testing.T) {
+	m, _ := countingMem(t, "a")
+	p := NewFaultPlan(5)
+	p.SetAddrRule("a", Rule{LatencyMin: time.Minute, LatencyMax: time.Minute})
+	f := p.Bind("caller", m)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.Call(ctx, "a", wire.Message{Type: wire.TypeProbe})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("latency sleep ignored the context (%v)", elapsed)
+	}
+}
+
+func TestFaultyLatencyAddsDelay(t *testing.T) {
+	m, _ := countingMem(t, "a")
+	p := NewFaultPlan(5)
+	p.SetAddrRule("a", Rule{LatencyMin: 10 * time.Millisecond, LatencyMax: 15 * time.Millisecond})
+	f := p.Bind("caller", m)
+	start := time.Now()
+	if _, err := f.Call(context.Background(), "a", wire.Message{Type: wire.TypeProbe}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("call took %v, want >= 10ms of injected latency", elapsed)
+	}
+}
+
+func TestFaultyRuntimeReconfiguration(t *testing.T) {
+	m, served := countingMem(t, "a")
+	p := NewFaultPlan(9)
+	f := p.Bind("caller", m)
+	ctx := context.Background()
+	if _, err := f.Call(ctx, "a", wire.Message{Type: wire.TypeProbe}); err != nil {
+		t.Fatal(err)
+	}
+	p.SetDefault(Rule{DropRequest: 1})
+	if _, err := f.Call(ctx, "a", wire.Message{Type: wire.TypeProbe}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("after SetDefault: %v, want ErrUnreachable", err)
+	}
+	p.SetDefault(Rule{})
+	if _, err := f.Call(ctx, "a", wire.Message{Type: wire.TypeProbe}); err != nil {
+		t.Errorf("after clearing: %v", err)
+	}
+	if served.Load() != 2 {
+		t.Errorf("served = %d, want 2", served.Load())
+	}
+}
+
+func TestFaultyMetrics(t *testing.T) {
+	m, _ := countingMem(t, "a")
+	p := NewFaultPlan(7)
+	reg := obs.NewRegistry()
+	p.SetMetrics(reg)
+	p.SetAddrRule("a", Rule{DropRequest: 1})
+	f := p.Bind("caller", m)
+	for i := 0; i < 3; i++ {
+		_, _ = f.Call(context.Background(), "a", wire.Message{Type: wire.TypeProbe})
+	}
+	if got := reg.Counter("hours_faults_injected_total", obs.L("kind", "drop_request")).Value(); got != 3 {
+		t.Errorf("drop_request injected = %d, want 3", got)
+	}
+}

@@ -1,0 +1,264 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+	"repro/internal/xrand"
+)
+
+// ErrorClass partitions call failures for retry decisions.
+type ErrorClass int
+
+const (
+	// ClassRemote means the handler ran and returned an error: the
+	// request had its effect (or was rejected deliberately), so a retry
+	// would repeat work, not recover loss.
+	ClassRemote ErrorClass = iota
+	// ClassUnreachable means the peer did not answer — down, suppressed,
+	// partitioned, or a frame was lost. The handler may or may not have
+	// run.
+	ClassUnreachable
+	// ClassTransient means a momentary failure that is expected to clear
+	// (see ErrTransient); the handler did not run.
+	ClassTransient
+	// ClassTimeout means the attempt ran out of time (context deadline or
+	// an I/O timeout).
+	ClassTimeout
+)
+
+// String renders the class for logs and metrics.
+func (c ErrorClass) String() string {
+	switch c {
+	case ClassUnreachable:
+		return "unreachable"
+	case ClassTransient:
+		return "transient"
+	case ClassTimeout:
+		return "timeout"
+	default:
+		return "remote"
+	}
+}
+
+// Classify maps a Call error to its ErrorClass. Order matters: transient
+// and timeout markers win over the generic unreachable wrapping.
+func Classify(err error) ErrorClass {
+	switch {
+	case err == nil:
+		return ClassRemote
+	case errors.Is(err, ErrTransient):
+		return ClassTransient
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return ClassTimeout
+	case errors.Is(err, ErrUnreachable):
+		return ClassUnreachable
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return ClassTimeout
+	}
+	return ClassRemote
+}
+
+// Retryable reports whether a failure of the given class may be retried
+// (for an idempotent request): the handler's effect is either absent or
+// safe to repeat. Remote errors are deliberate answers and are final.
+func Retryable(c ErrorClass) bool {
+	return c == ClassUnreachable || c == ClassTransient || c == ClassTimeout
+}
+
+// Idempotent reports whether a message type may be re-sent when its
+// response is lost. Probes, table reads (table info, resolve, child
+// sample), stats, and CCW notifications (last-writer-wins with the same
+// value) are idempotent. Join (admission), Query (re-executes the whole
+// downstream forwarding chain), and Repair (may create table entries and
+// re-route per hop) are not: a lost response must not trigger their side
+// effects twice.
+func Idempotent(t wire.Type) bool {
+	switch t {
+	case wire.TypeProbe, wire.TypeTableInfo, wire.TypeResolve,
+		wire.TypeChildSample, wire.TypeStats, wire.TypeNotifyCCW:
+		return true
+	}
+	return false
+}
+
+// RetryPolicy parameterizes the Retry decorator. The zero value gets
+// sensible defaults from normalize.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total number of attempts per logical call,
+	// including the first (default 3). Non-idempotent message types
+	// always get exactly one attempt.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry (default 5ms);
+	// each further retry doubles it up to MaxBackoff (default 32 *
+	// BaseBackoff). A deterministic jitter in [0, backoff/2) is added.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+	// Budget bounds the total wall time of one logical call, attempts
+	// plus backoff; zero means the caller's context is the only bound.
+	Budget time.Duration
+	// Seed drives the jitter stream (deterministic for a fixed call
+	// sequence).
+	Seed uint64
+}
+
+// normalize fills defaults.
+func (p RetryPolicy) normalize() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 32 * p.BaseBackoff
+	}
+	return p
+}
+
+// Retrier decorates a Transport with the retry policy. Use Retry to
+// construct it.
+type Retrier struct {
+	inner Transport
+	p     RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	attempts  map[wire.Type]*obs.Counter // physical attempts beyond the first
+	recovered map[wire.Type]*obs.Counter
+	exhausted map[wire.Type]*obs.Counter
+	backoff   *obs.Histogram
+	reg       *obs.Registry
+	metricsMu sync.Mutex
+}
+
+var _ Transport = (*Retrier)(nil)
+
+// Retry wraps t with the policy. A nil-ish policy still retries with the
+// defaults; reg may be nil to skip metrics. Compose it outside the fault
+// layer and instrumentation order to taste: Retry(Instrument(x)) counts
+// physical attempts in the RPC metrics, Instrument(Retry(x)) counts
+// logical calls.
+func Retry(t Transport, p RetryPolicy, reg *obs.Registry) *Retrier {
+	p = p.normalize()
+	r := &Retrier{
+		inner: t,
+		p:     p,
+		rng:   xrand.Derive(p.Seed, 0x8e772),
+		reg:   reg,
+	}
+	if reg != nil {
+		r.attempts = make(map[wire.Type]*obs.Counter)
+		r.recovered = make(map[wire.Type]*obs.Counter)
+		r.exhausted = make(map[wire.Type]*obs.Counter)
+		r.backoff = reg.Histogram("hours_retry_backoff_seconds")
+	}
+	return r
+}
+
+// Underlying returns the wrapped transport (see Unwrap).
+func (r *Retrier) Underlying() Transport { return r.inner }
+
+// Listen implements Transport by delegating; retries are a caller-side
+// concern.
+func (r *Retrier) Listen(addr string, h Handler) (io.Closer, error) {
+	return r.inner.Listen(addr, h)
+}
+
+// counter returns the cached per-type counter from m, creating it under
+// name on first use.
+func (r *Retrier) counter(m map[wire.Type]*obs.Counter, name string, t wire.Type) *obs.Counter {
+	r.metricsMu.Lock()
+	defer r.metricsMu.Unlock()
+	c := m[t]
+	if c == nil {
+		c = r.reg.Counter(name, obs.L("type", string(t)))
+		m[t] = c
+	}
+	return c
+}
+
+// jitter draws the deterministic jitter for one backoff delay.
+func (r *Retrier) jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.rng.Int64N(int64(d / 2)))
+}
+
+// Call implements Transport: idempotent requests are retried on retryable
+// failures with capped exponential backoff until the attempt, time, or
+// context budget runs out. Non-idempotent requests get exactly one
+// attempt.
+func (r *Retrier) Call(ctx context.Context, addr string, req wire.Message) (wire.Message, error) {
+	attempts := r.p.MaxAttempts
+	if !Idempotent(req.Type) {
+		attempts = 1
+	}
+	var deadline time.Time
+	if r.p.Budget > 0 {
+		deadline = time.Now().Add(r.p.Budget)
+	}
+	backoff := r.p.BaseBackoff
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			d := backoff + r.jitter(backoff)
+			if backoff < r.p.MaxBackoff {
+				backoff *= 2
+				if backoff > r.p.MaxBackoff {
+					backoff = r.p.MaxBackoff
+				}
+			}
+			if !deadline.IsZero() && time.Now().Add(d).After(deadline) {
+				break // budget exhausted: sleeping through it helps nobody
+			}
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return wire.Message{}, fmt.Errorf("call %s: %w", addr, ctx.Err())
+			}
+			if r.reg != nil {
+				r.backoff.Observe(d)
+				r.counter(r.attempts, "hours_retry_attempts_total", req.Type).Inc()
+			}
+		}
+		resp, err := r.inner.Call(ctx, addr, req)
+		if err == nil {
+			if attempt > 0 && r.reg != nil {
+				r.counter(r.recovered, "hours_retry_recovered_total", req.Type).Inc()
+			}
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break // the logical call's own clock ran out; do not spin on it
+		}
+		if !Retryable(Classify(err)) {
+			break
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+	}
+	if r.reg != nil && Retryable(Classify(lastErr)) && Idempotent(req.Type) {
+		r.counter(r.exhausted, "hours_retry_exhausted_total", req.Type).Inc()
+	}
+	return wire.Message{}, lastErr
+}

@@ -1,0 +1,228 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// scriptedTransport fails the first failures calls with err, then
+// delegates to the handler-free success response.
+type scriptedTransport struct {
+	mu       sync.Mutex
+	failures int
+	err      error
+	calls    int
+}
+
+func (s *scriptedTransport) Listen(addr string, h Handler) (io.Closer, error) {
+	return nil, fmt.Errorf("scripted: no listen")
+}
+
+func (s *scriptedTransport) Call(ctx context.Context, addr string, req wire.Message) (wire.Message, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	if s.calls <= s.failures {
+		return wire.Message{}, s.err
+	}
+	return wire.Message{Type: wire.TypeProbeResult}, nil
+}
+
+func (s *scriptedTransport) callCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// fastPolicy keeps test backoffs tiny.
+func fastPolicy(attempts int) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: attempts,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+		Seed:        1,
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want ErrorClass
+	}{
+		{fmt.Errorf("call x: %w", ErrUnreachable), ClassUnreachable},
+		{fmt.Errorf("call x: %w", ErrTransient), ClassTransient},
+		{fmt.Errorf("call x: %w", context.DeadlineExceeded), ClassTimeout},
+		{fmt.Errorf("call x: %w", context.Canceled), ClassTimeout},
+		{errors.New("remote error: boom"), ClassRemote},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	if Retryable(ClassRemote) {
+		t.Error("remote errors must not be retryable")
+	}
+	for _, c := range []ErrorClass{ClassUnreachable, ClassTransient, ClassTimeout} {
+		if !Retryable(c) {
+			t.Errorf("%v must be retryable", c)
+		}
+	}
+}
+
+func TestRetryRecoversIdempotentCall(t *testing.T) {
+	s := &scriptedTransport{failures: 2, err: fmt.Errorf("call a: %w", ErrUnreachable)}
+	r := Retry(s, fastPolicy(3), nil)
+	resp, err := r.Call(context.Background(), "a", wire.Message{Type: wire.TypeProbe})
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if resp.Type != wire.TypeProbeResult {
+		t.Errorf("resp type = %v", resp.Type)
+	}
+	if s.callCount() != 3 {
+		t.Errorf("attempts = %d, want 3", s.callCount())
+	}
+}
+
+func TestRetryStopsAtMaxAttempts(t *testing.T) {
+	s := &scriptedTransport{failures: 100, err: fmt.Errorf("call a: %w", ErrUnreachable)}
+	r := Retry(s, fastPolicy(4), nil)
+	_, err := r.Call(context.Background(), "a", wire.Message{Type: wire.TypeProbe})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v", err)
+	}
+	if s.callCount() != 4 {
+		t.Errorf("attempts = %d, want 4", s.callCount())
+	}
+}
+
+func TestRetryDoesNotRetryRemoteErrors(t *testing.T) {
+	s := &scriptedTransport{failures: 100, err: errors.New("remote error: bad request")}
+	r := Retry(s, fastPolicy(5), nil)
+	_, err := r.Call(context.Background(), "a", wire.Message{Type: wire.TypeProbe})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if s.callCount() != 1 {
+		t.Errorf("remote error retried: %d attempts", s.callCount())
+	}
+}
+
+func TestRetrySingleAttemptForNonIdempotent(t *testing.T) {
+	for _, typ := range []wire.Type{wire.TypeJoin, wire.TypeQuery, wire.TypeRepair} {
+		s := &scriptedTransport{failures: 100, err: fmt.Errorf("call a: %w", ErrUnreachable)}
+		r := Retry(s, fastPolicy(5), nil)
+		if _, err := r.Call(context.Background(), "a", wire.Message{Type: typ}); err == nil {
+			t.Fatalf("%s: want error", typ)
+		}
+		if s.callCount() != 1 {
+			t.Errorf("%s: non-idempotent type sent %d times", typ, s.callCount())
+		}
+	}
+}
+
+// TestRetryNeverResendsNonIdempotentUnderResponseLoss is the acceptance
+// test for the idempotency rule: under total response loss, the handler
+// runs MaxAttempts times for idempotent types and exactly once for types
+// with side effects.
+func TestRetryNeverResendsNonIdempotentUnderResponseLoss(t *testing.T) {
+	m := NewMem()
+	invocations := make(map[wire.Type]int)
+	var mu sync.Mutex
+	if _, err := m.Listen("a", func(ctx context.Context, req wire.Message) (wire.Message, error) {
+		mu.Lock()
+		invocations[req.Type]++
+		mu.Unlock()
+		return wire.Message{Type: wire.TypeProbeResult}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	plan := NewFaultPlan(13)
+	plan.SetDefault(Rule{DropResponse: 1}) // handler always runs, caller never learns
+	r := Retry(plan.Bind("caller", m), fastPolicy(3), nil)
+
+	ctx := context.Background()
+	for _, typ := range []wire.Type{
+		wire.TypeProbe, wire.TypeTableInfo, wire.TypeResolve,
+		wire.TypeJoin, wire.TypeQuery, wire.TypeRepair,
+	} {
+		if _, err := r.Call(ctx, "a", wire.Message{Type: typ}); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("%s: err = %v, want ErrUnreachable", typ, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, typ := range []wire.Type{wire.TypeProbe, wire.TypeTableInfo, wire.TypeResolve} {
+		if invocations[typ] != 3 {
+			t.Errorf("%s handler ran %d times, want 3 (idempotent, retried)", typ, invocations[typ])
+		}
+	}
+	for _, typ := range []wire.Type{wire.TypeJoin, wire.TypeQuery, wire.TypeRepair} {
+		if invocations[typ] != 1 {
+			t.Errorf("%s handler ran %d times, want exactly 1 (non-idempotent)", typ, invocations[typ])
+		}
+	}
+}
+
+func TestRetryHonorsContextCancellation(t *testing.T) {
+	s := &scriptedTransport{failures: 100, err: fmt.Errorf("call a: %w", ErrUnreachable)}
+	p := RetryPolicy{MaxAttempts: 50, BaseBackoff: 50 * time.Millisecond, MaxBackoff: 50 * time.Millisecond, Seed: 1}
+	r := Retry(s, p, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := r.Call(ctx, "a", wire.Message{Type: wire.TypeProbe})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled retry loop ran %v", elapsed)
+	}
+	if s.callCount() > 3 {
+		t.Errorf("attempts after cancellation = %d", s.callCount())
+	}
+}
+
+func TestRetryBudgetBoundsTotalTime(t *testing.T) {
+	s := &scriptedTransport{failures: 100, err: fmt.Errorf("call a: %w", ErrUnreachable)}
+	p := RetryPolicy{MaxAttempts: 1000, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 5 * time.Millisecond, Budget: 25 * time.Millisecond, Seed: 1}
+	r := Retry(s, p, nil)
+	start := time.Now()
+	_, err := r.Call(context.Background(), "a", wire.Message{Type: wire.TypeProbe})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("budgeted call ran %v, want ~25ms", elapsed)
+	}
+	if s.callCount() >= 1000 {
+		t.Errorf("budget did not bound attempts: %d", s.callCount())
+	}
+}
+
+func TestRetryMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := &scriptedTransport{failures: 2, err: fmt.Errorf("call a: %w", ErrUnreachable)}
+	r := Retry(s, fastPolicy(3), reg)
+	if _, err := r.Call(context.Background(), "a", wire.Message{Type: wire.TypeProbe}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("hours_retry_attempts_total", obs.L("type", "probe")).Value(); got != 2 {
+		t.Errorf("retry attempts = %d, want 2", got)
+	}
+	if got := reg.Counter("hours_retry_recovered_total", obs.L("type", "probe")).Value(); got != 1 {
+		t.Errorf("recovered = %d, want 1", got)
+	}
+	if reg.Histogram("hours_retry_backoff_seconds").Count() != 2 {
+		t.Error("backoff histogram missing observations")
+	}
+}

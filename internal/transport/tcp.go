@@ -26,12 +26,14 @@ var _ Transport = (*TCP)(nil)
 
 // tcpListener serves connections until closed.
 type tcpListener struct {
-	ln   net.Listener
-	h    Handler
-	io   time.Duration
-	wg   sync.WaitGroup
-	once sync.Once
-	stop chan struct{}
+	ln      net.Listener
+	h       Handler
+	io      time.Duration
+	wg      sync.WaitGroup
+	once    sync.Once
+	stop    chan struct{}
+	baseCtx context.Context // canceled on Close so in-flight handlers stop
+	cancel  context.CancelFunc
 }
 
 // Listen implements Transport. addr is a host:port; ":0" picks a free
@@ -45,6 +47,7 @@ func (t *TCP) Listen(addr string, h Handler) (io.Closer, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	l := &tcpListener{ln: ln, h: h, io: t.ioTimeout(), stop: make(chan struct{})}
+	l.baseCtx, l.cancel = context.WithCancel(context.Background())
 	l.wg.Add(1)
 	go l.acceptLoop()
 	return &TCPListener{l: l}, nil
@@ -72,20 +75,31 @@ type TCPListener struct {
 // Addr returns the bound address (useful with ":0").
 func (t *TCPListener) Addr() string { return t.l.ln.Addr().String() }
 
-// Close implements io.Closer: it stops accepting, closes the socket, and
-// waits for in-flight handlers.
+// Close implements io.Closer: it stops accepting, cancels the context of
+// in-flight handlers, closes the socket, and waits for the handlers to
+// drain.
 func (t *TCPListener) Close() error {
 	var err error
 	t.l.once.Do(func() {
 		close(t.l.stop)
+		t.l.cancel()
 		err = t.l.ln.Close()
 		t.l.wg.Wait()
 	})
 	return err
 }
 
+// acceptBackoff bounds the accept-error retry delay: 5ms doubling to 1s,
+// the net/http Server schedule. Without it, a persistent accept error
+// (EMFILE under fd exhaustion) turns the loop into a hot spin.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 1 * time.Second
+)
+
 func (l *tcpListener) acceptLoop() {
 	defer l.wg.Done()
+	delay := time.Duration(0)
 	for {
 		conn, err := l.ln.Accept()
 		if err != nil {
@@ -93,11 +107,24 @@ func (l *tcpListener) acceptLoop() {
 			case <-l.stop:
 				return
 			default:
-				// Transient accept errors (e.g. EMFILE) back off
-				// implicitly through the retry.
-				continue
 			}
+			// Transient accept errors (e.g. EMFILE) get a capped
+			// exponential backoff before the next attempt.
+			if delay == 0 {
+				delay = acceptBackoffMin
+			} else if delay *= 2; delay > acceptBackoffMax {
+				delay = acceptBackoffMax
+			}
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-l.stop:
+				t.Stop()
+				return
+			}
+			continue
 		}
+		delay = 0
 		l.wg.Add(1)
 		go l.serveConn(conn)
 	}
@@ -113,7 +140,10 @@ func (l *tcpListener) serveConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), l.io)
+	// The handler context descends from the listener's, so Close cancels
+	// in-flight handlers instead of letting them outlive the listener
+	// until their IO timeout.
+	ctx, cancel := context.WithTimeout(l.baseCtx, l.io)
 	defer cancel()
 	resp, err := l.h(ctx, req)
 	if err != nil {
@@ -126,8 +156,14 @@ func (l *tcpListener) serveConn(conn net.Conn) {
 	_ = wire.WriteFrame(conn, resp) // peer handles missing responses
 }
 
-// Call implements Transport.
+// Call implements Transport. Context cancellation is honored at every
+// stage: DialContext aborts the dial, and a watcher goroutine forces the
+// connection deadline so a cancel mid-write or mid-read unblocks the
+// exchange promptly instead of waiting out the IO timeout.
 func (t *TCP) Call(ctx context.Context, addr string, req wire.Message) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return wire.Message{}, fmt.Errorf("call %s: %w: %v", addr, ErrUnreachable, err)
+	}
 	d := net.Dialer{Timeout: t.dialTimeout()}
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -141,12 +177,30 @@ func (t *TCP) Call(ctx context.Context, addr string, req wire.Message) (wire.Mes
 	if err := conn.SetDeadline(deadline); err != nil {
 		return wire.Message{}, fmt.Errorf("call %s: set deadline: %w", addr, err)
 	}
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			// Expire the deadline: the blocked read/write returns a
+			// timeout error immediately and the deferred Close cleans
+			// the connection up.
+			_ = conn.SetDeadline(time.Unix(1, 0))
+		case <-watchDone:
+		}
+	}()
+	callErr := func(err error) error {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("call %s: %w: %v", addr, ctxErr, err)
+		}
+		return fmt.Errorf("call %s: %w: %v", addr, ErrUnreachable, err)
+	}
 	if err := wire.WriteFrame(conn, req); err != nil {
-		return wire.Message{}, fmt.Errorf("call %s: %w: %v", addr, ErrUnreachable, err)
+		return wire.Message{}, callErr(err)
 	}
 	resp, err := wire.ReadFrame(conn)
 	if err != nil {
-		return wire.Message{}, fmt.Errorf("call %s: %w: %v", addr, ErrUnreachable, err)
+		return wire.Message{}, callErr(err)
 	}
 	if resp.Type == wire.TypeError {
 		var e wire.Error

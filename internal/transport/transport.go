@@ -22,6 +22,12 @@ import (
 // suppressed (under DoS), or the dial failed.
 var ErrUnreachable = errors.New("transport: peer unreachable")
 
+// ErrTransient marks a failure that is expected to clear on its own — a
+// momentarily overloaded peer, a lost frame, an injected fault. Retry
+// policies treat it as retryable; unlike ErrUnreachable it carries no
+// implication that the peer is down.
+var ErrTransient = errors.New("transport: transient failure")
+
 // Handler serves one request message and returns the response.
 type Handler func(ctx context.Context, req wire.Message) (wire.Message, error)
 

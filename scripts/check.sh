@@ -16,7 +16,17 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
+echo "==> go vet -structtag -copylocks (robustness packages)"
+go vet -structtag -copylocks ./internal/transport/ ./internal/node/ ./internal/cluster/
+
 echo "==> go test -race"
 go test -race ./...
+
+# The chaos soak is the robustness acceptance gate: seeded loss, latency,
+# and suppression with delivery-ratio and ring-repair assertions. It runs
+# in the suite above too; this explicit pass keeps it visible (and -short
+# keeps it under a few seconds — drop the flag for the full soak).
+echo "==> chaos soak (-race, fixed seed)"
+go test -race -short -run 'TestChaosSoak' -v ./internal/cluster/ | grep -E 'chaos soak|ok|FAIL'
 
 echo "OK"
