@@ -50,20 +50,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("hoursd", flag.ContinueOnError)
 	var (
-		name       = fs.String("name", "", "node name ('.' for the root)")
-		addr       = fs.String("addr", "127.0.0.1:7000", "listen address (host:port)")
-		parent     = fs.String("parent", "", "parent address (empty for a root)")
-		k          = fs.Int("k", 3, "redundancy factor k")
-		q          = fs.Int("q", 4, "nephew pointers per entry q")
-		seed       = fs.Uint64("seed", 1, "random seed")
-		probe      = fs.Duration("probe", 2*time.Second, "probing period (0 disables)")
-		buildAfter = fs.Duration("build-after", 5*time.Second, "delay before building the routing table (lets siblings join first)")
-		demo       = fs.String("demo", "", "comma-separated fanouts: run a whole hierarchy in-process")
-		data       = fs.String("data", "", "answer served for this node's own name")
-		logLevel   = fs.String("log-level", "info", "log level: debug, info, warn, error")
-		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /healthz on this address")
-		retryAtt   = fs.Int("retry-attempts", 3, "max attempts per idempotent RPC (1 disables retries)")
-		suspicionK = fs.Int("suspicion-k", 3, "consecutive failed probes before the CCW pointer is declared dead")
+		name        = fs.String("name", "", "node name ('.' for the root)")
+		addr        = fs.String("addr", "127.0.0.1:7000", "listen address (host:port)")
+		parent      = fs.String("parent", "", "parent address (empty for a root)")
+		k           = fs.Int("k", 3, "redundancy factor k")
+		q           = fs.Int("q", 4, "nephew pointers per entry q")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		probe       = fs.Duration("probe", 2*time.Second, "probing period (0 disables)")
+		buildAfter  = fs.Duration("build-after", 5*time.Second, "delay before building the routing table (lets siblings join first)")
+		demo        = fs.String("demo", "", "comma-separated fanouts: run a whole hierarchy in-process")
+		data        = fs.String("data", "", "answer served for this node's own name")
+		logLevel    = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /healthz on this address")
+		retryAtt    = fs.Int("retry-attempts", 3, "max attempts per idempotent RPC (1 disables retries)")
+		suspicionK  = fs.Int("suspicion-k", 3, "consecutive failed probes before the CCW pointer is declared dead")
+		poolSize    = fs.Int("pool-size", 4, "persistent connections kept per peer (0 dials per call)")
+		maxInflight = fs.Int("max-inflight", 32, "concurrent requests multiplexed per pooled connection")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,18 +82,32 @@ func run(args []string) error {
 	}
 	defer stopDebug()
 	if *demo != "" {
-		return runDemo(*demo, *addr, *k, *q, *seed, *probe, *retryAtt, *suspicionK, reg, logger)
+		return runDemo(demoConfig{
+			spec: *demo, rootAddr: *addr, k: *k, q: *q, seed: *seed,
+			probe: *probe, retryAtt: *retryAtt, suspicionK: *suspicionK,
+			poolSize: *poolSize, maxInflight: *maxInflight,
+		}, reg, logger)
 	}
 	if *name == "" {
 		return fmt.Errorf("missing -name (or use -demo)")
 	}
-	tcp := &transport.TCP{}
+	base, pool := tcpBase(*poolSize, *maxInflight, 0, 0)
+	stacked, err := transport.Stack(transport.StackConfig{
+		Base:    base,
+		Pool:    pool,
+		Retry:   retryPolicy(*retryAtt, *seed),
+		Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = stacked.Close() }()
 	nd, err := node.New(node.Config{
 		Name: *name, Addr: *addr, ParentAddr: *parent,
 		K: *k, Q: *q, Seed: *seed, ProbePeriod: *probe, Data: *data,
-		Retry: retryPolicy(*retryAtt, *seed), SuspicionK: *suspicionK,
-		Metrics: reg, Logger: logger,
-	}, tcp)
+		SuspicionK: *suspicionK,
+		Metrics:    reg, Logger: logger,
+	}, stacked)
 	if err != nil {
 		return err
 	}
@@ -155,16 +171,57 @@ func retryPolicy(attempts int, seed uint64) *transport.RetryPolicy {
 	}
 }
 
-// runDemo spins up a whole hierarchy of TCP nodes in one process.
-func runDemo(spec, rootAddr string, k, q int, seed uint64, probe time.Duration, retryAtt, suspicionK int, reg *obs.Registry, logger *slog.Logger) error {
-	fanouts, err := parseFanouts(spec)
+// tcpBase maps the pool flags onto a StackConfig base: the pooled
+// multiplexing transport by default (nil base + pool config, so Stack
+// wires the pool metrics), or the one-shot dial-per-call TCP when
+// -pool-size 0 asks for the v1 baseline. Zero timeouts keep the
+// transport defaults.
+func tcpBase(poolSize, maxInflight int, dialTimeout, ioTimeout time.Duration) (transport.Transport, transport.PoolConfig) {
+	if poolSize <= 0 {
+		return &transport.TCP{DialTimeout: dialTimeout, IOTimeout: ioTimeout}, transport.PoolConfig{}
+	}
+	return nil, transport.PoolConfig{
+		MaxConnsPerPeer:    poolSize,
+		MaxInflightPerConn: maxInflight,
+		DialTimeout:        dialTimeout,
+		IOTimeout:          ioTimeout,
+	}
+}
+
+// demoConfig bundles the -demo hierarchy parameters.
+type demoConfig struct {
+	spec        string
+	rootAddr    string
+	k, q        int
+	seed        uint64
+	probe       time.Duration
+	retryAtt    int
+	suspicionK  int
+	poolSize    int
+	maxInflight int
+}
+
+// runDemo spins up a whole hierarchy of TCP nodes in one process, all
+// sharing one canonical transport stack (see transport.Stack).
+func runDemo(dc demoConfig, reg *obs.Registry, logger *slog.Logger) error {
+	fanouts, err := parseFanouts(dc.spec)
 	if err != nil {
 		return err
 	}
-	tcp := &transport.TCP{DialTimeout: time.Second, IOTimeout: 3 * time.Second}
+	base, pool := tcpBase(dc.poolSize, dc.maxInflight, time.Second, 3*time.Second)
+	stacked, err := transport.Stack(transport.StackConfig{
+		Base:    base,
+		Pool:    pool,
+		Retry:   retryPolicy(dc.retryAtt, dc.seed),
+		Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = stacked.Close() }()
 	ctx := context.Background()
 
-	host := rootAddr[:strings.LastIndexByte(rootAddr, ':')]
+	host := dc.rootAddr[:strings.LastIndexByte(dc.rootAddr, ':')]
 	var nodes []*node.Node
 	mk := func(name, parentAddr, listen string) (*node.Node, string, error) {
 		// A ":0" listen address must be resolved to a concrete port
@@ -178,10 +235,10 @@ func runDemo(spec, rootAddr string, k, q int, seed uint64, probe time.Duration, 
 		}
 		nd, err := node.New(node.Config{
 			Name: name, Addr: listen, ParentAddr: parentAddr,
-			K: k, Q: q, Seed: seed + uint64(len(nodes)), ProbePeriod: probe,
-			Retry: retryPolicy(retryAtt, seed), SuspicionK: suspicionK,
-			Metrics: reg, Logger: logger,
-		}, tcp)
+			K: dc.k, Q: dc.q, Seed: dc.seed + uint64(len(nodes)), ProbePeriod: dc.probe,
+			SuspicionK: dc.suspicionK,
+			Metrics:    reg, Logger: logger,
+		}, stacked)
 		if err != nil {
 			return nil, "", err
 		}
@@ -197,7 +254,7 @@ func runDemo(spec, rootAddr string, k, q int, seed uint64, probe time.Duration, 
 		}
 	}()
 
-	root, rootBound, err := mk(".", "", rootAddr)
+	root, rootBound, err := mk(".", "", dc.rootAddr)
 	if err != nil {
 		return err
 	}
@@ -209,7 +266,7 @@ func runDemo(spec, rootAddr string, k, q int, seed uint64, probe time.Duration, 
 		addr string
 	}
 	frontier := []ent{{name: "", addr: rootBound}}
-	basePort := portOf(rootAddr)
+	basePort := portOf(dc.rootAddr)
 	port := basePort + 1
 	var joined []*node.Node
 	for li, fan := range fanouts {

@@ -170,10 +170,16 @@ func NewChordRing(n int) (*ChordRing, error) { return chord.New(n) }
 
 // Live layer: the goroutine/TCP prototype.
 type (
-	// Cluster is a running live hierarchy in one process.
+	// Cluster is a running live hierarchy in one process. Its query entry
+	// points are context-aware — Query and Lookup take a context.Context
+	// that cancels the in-flight RPC fan-out — with QueryDefault and
+	// LookupDefault as thin context-free wrappers.
 	Cluster = cluster.Cluster
 	// ClusterConfig parameterizes NewCluster.
 	ClusterConfig = cluster.Config
+	// LiveQueryResult is the answer a live cluster query returns (the
+	// wire-level result carried back through Cluster.Query and Lookup).
+	LiveQueryResult = wire.QueryResult
 )
 
 // NewCluster builds, starts, and wires up a live hierarchy.

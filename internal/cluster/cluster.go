@@ -37,8 +37,8 @@ type Config struct {
 	// partitions between cluster members work. The plan stays live: chaos
 	// tests reconfigure it mid-run.
 	Faults *transport.FaultPlan
-	// Retry, when non-nil, gives every node the retry policy (see
-	// node.Config.Retry).
+	// Retry, when non-nil, gives every node the retry policy; it is
+	// assembled into each node's transport stack (see transport.Stack).
 	Retry *transport.RetryPolicy
 	// SuspicionK sets every node's failure-suspicion threshold (see
 	// node.Config.SuspicionK; 0 means the default of 1).
@@ -78,9 +78,23 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 
 	mk := func(name, parentAddr string) (*node.Node, error) {
 		addr := "mem://" + name
-		var nodeTr transport.Transport = tr
-		if cfg.Faults != nil {
-			nodeTr = cfg.Faults.Bind(addr, tr)
+		// Each node gets its own canonical transport stack (Retry →
+		// Faulty → Instrument → Mem) bound to its own address, so
+		// directed partitions between cluster members work and per-layer
+		// metrics land in the node's registry.
+		reg := cfg.Metrics
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		stacked, err := transport.Stack(transport.StackConfig{
+			Base:    tr,
+			Addr:    addr,
+			Faults:  cfg.Faults,
+			Retry:   cfg.Retry,
+			Metrics: reg,
+		})
+		if err != nil {
+			return nil, err
 		}
 		nd, err := node.New(node.Config{
 			Name:        name,
@@ -91,11 +105,10 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 			Seed:        xrand.Derive(cfg.Seed, uint64(len(c.order))).Uint64(),
 			ProbePeriod: cfg.ProbePeriod,
 			CallTimeout: 2 * time.Second,
-			Retry:       cfg.Retry,
 			SuspicionK:  cfg.SuspicionK,
-			Metrics:     cfg.Metrics,
+			Metrics:     reg,
 			Logger:      cfg.Logger,
-		}, nodeTr)
+		}, stacked)
 		if err != nil {
 			return nil, err
 		}
@@ -198,9 +211,65 @@ func (c *Cluster) MaintainAll(ctx context.Context) {
 }
 
 // Query issues a lookup for target starting at the named entry node and
-// returns the result.
+// returns the result. Canceling ctx aborts the in-flight RPC chain.
 func (c *Cluster) Query(ctx context.Context, entry, target string) (wire.QueryResult, error) {
 	return c.query(ctx, entry, target, false)
+}
+
+// QueryDefault is Query with a background context — a thin context-free
+// wrapper kept for callers (REPLs, examples) with no context to thread.
+func (c *Cluster) QueryDefault(entry, target string) (wire.QueryResult, error) {
+	return c.Query(context.Background(), entry, target)
+}
+
+// Lookup fans the query for target out from several entry nodes
+// concurrently and returns the first delivered result, canceling the
+// remaining in-flight RPC fan-out. With no entries it starts at the
+// root. If no entry delivers, the first failure (a completed-but-empty
+// result or an error) is returned.
+func (c *Cluster) Lookup(ctx context.Context, target string, entries ...string) (wire.QueryResult, error) {
+	if len(entries) == 0 {
+		entries = []string{c.root.Name()}
+	}
+	for _, e := range entries {
+		if _, ok := c.nodes[e]; !ok {
+			return wire.QueryResult{}, fmt.Errorf("cluster: no entry node %q", e)
+		}
+	}
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		qr  wire.QueryResult
+		err error
+	}
+	results := make(chan outcome, len(entries))
+	for _, e := range entries {
+		go func(entry string) {
+			qr, err := c.query(fctx, entry, target, false)
+			results <- outcome{qr, err}
+		}(e)
+	}
+	var firstLoss *outcome
+	for range entries {
+		select {
+		case out := <-results:
+			if out.err == nil && out.qr.Found {
+				return out.qr, nil // cancel (deferred) aborts the rest
+			}
+			if firstLoss == nil {
+				firstLoss = &out
+			}
+		case <-ctx.Done():
+			return wire.QueryResult{}, ctx.Err()
+		}
+	}
+	return firstLoss.qr, firstLoss.err
+}
+
+// LookupDefault is Lookup with a background context (context-free
+// compatibility wrapper).
+func (c *Cluster) LookupDefault(target string, entries ...string) (wire.QueryResult, error) {
+	return c.Lookup(context.Background(), target, entries...)
 }
 
 // QueryTraced is Query with per-hop tracing enabled: the result's

@@ -45,7 +45,8 @@ type Config struct {
 	// idempotent requests (probes, table reads) that fail with a
 	// retryable error are re-sent with capped exponential backoff inside
 	// the CallTimeout window. Nil keeps the seed single-attempt
-	// semantics.
+	// semantics. Callers assembling the transport with transport.Stack
+	// configure retries there instead and leave this nil.
 	Retry *transport.RetryPolicy
 	// SuspicionK is the number of consecutive failed probes before the
 	// counter-clockwise pointer is declared dead and recovery starts
@@ -247,18 +248,24 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 	if log == nil {
 		log = obs.NopLogger()
 	}
-	// Decorator order: the instrument layer wraps the retrier, so RPC
-	// metrics count logical calls (what the node experienced) while the
-	// retry layer's own counters account for physical attempts.
+	// Callers that assemble the canonical chain with transport.Stack
+	// (cluster, hoursd) pass a ready-made stack and leave Retry nil: the
+	// chain is used as-is. Bare transports keep the legacy wrapping —
+	// Instrument(Retry(tr)), RPC metrics counting logical calls — so
+	// direct constructions stay instrumented. The chain walk prevents
+	// double instrumentation (and its doubled counters).
 	inner := tr
 	if cfg.Retry != nil {
 		inner = transport.Retry(inner, *cfg.Retry, reg)
+	}
+	if !hasInstrument(inner) {
+		inner = transport.Instrument(inner, reg)
 	}
 	n := &Node{
 		cfg:      cfg,
 		name:     name,
 		id:       idspace.FromName(name),
-		tr:       transport.Instrument(inner, reg),
+		tr:       inner,
 		index:    -1,
 		data:     data,
 		suspects: make(map[string]int),
@@ -269,6 +276,17 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 		done:     make(chan struct{}),
 	}
 	return n, nil
+}
+
+// hasInstrument walks the transport decorator chain looking for an
+// existing instrumentation layer.
+func hasInstrument(tr transport.Transport) bool {
+	for _, l := range transport.Layers(tr) {
+		if _, ok := l.(*transport.Instrumented); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // displayName renders "" as "." for logs.

@@ -51,21 +51,8 @@ func Instrument(t Transport, reg *obs.Registry) Transport {
 	}
 }
 
-// Underlying returns the wrapped transport.
+// Underlying returns the wrapped transport (see Unwrap in stack.go).
 func (i *Instrumented) Underlying() Transport { return i.inner }
-
-// Unwrap strips instrumentation decorators off t, returning the innermost
-// transport. Callers needing a concrete transport (e.g. *Mem for DoS
-// suppression) should type-assert the result instead of t.
-func Unwrap(t Transport) Transport {
-	for {
-		u, ok := t.(interface{ Underlying() Transport })
-		if !ok {
-			return t
-		}
-		t = u.Underlying()
-	}
-}
 
 // forType returns the cached metric set for one message type.
 func (i *Instrumented) forType(t wire.Type) *typeMetrics {

@@ -1,0 +1,291 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// errPeerIsV1 reports that the dialed peer rejected the mux preface — it
+// speaks the one-shot v1 framing and calls must fall back to
+// dial-per-call.
+var errPeerIsV1 = errors.New("transport: peer speaks one-shot framing")
+
+// errConnDraining reports that the peer announced GoAway for this
+// connection; the frame was never sent, so redialing is safe.
+var errConnDraining = errors.New("transport: connection draining")
+
+// muxResult carries one demultiplexed response to its waiting caller.
+type muxResult struct {
+	msg wire.Message
+	err error
+}
+
+// muxConn is one multiplexed client connection: concurrent calls write
+// request frames tagged with fresh IDs, a single reader goroutine
+// dispatches response frames to the per-request channels. A muxConn
+// starts in the dialing state (ready open); callers may be assigned to it
+// before the dial finishes and block on ready.
+type muxConn struct {
+	addr string
+	io   time.Duration
+
+	ready   chan struct{} // closed once dial+hello completed (or failed)
+	dialErr error         // set before ready closes
+
+	conn net.Conn
+	wmu  sync.Mutex // serializes frame writes
+
+	mu       sync.Mutex
+	pending  map[uint64]chan muxResult
+	nextID   uint64
+	assigned int       // calls currently assigned by the pool
+	idleAt   time.Time // when assigned last hit zero
+	draining bool      // GoAway received: no new assignments
+	dead     bool
+	deadErr  error
+
+	// onRetire detaches the conn from its pool slot exactly once, whether
+	// it died or started draining.
+	onRetire   func(*muxConn)
+	retireOnce sync.Once
+}
+
+// newMuxConn returns a conn in the dialing state.
+func newMuxConn(addr string, ioTimeout time.Duration, onRetire func(*muxConn)) *muxConn {
+	return &muxConn{
+		addr:     addr,
+		io:       ioTimeout,
+		ready:    make(chan struct{}),
+		pending:  make(map[uint64]chan muxResult),
+		idleAt:   time.Now(),
+		onRetire: onRetire,
+	}
+}
+
+// dial establishes the connection and negotiates the mux protocol. On a
+// v1 peer (preface rejected after a successful TCP dial) dialErr is
+// errPeerIsV1. It always closes ready.
+func (c *muxConn) dial(ctx context.Context, dialTimeout time.Duration) {
+	defer close(c.ready)
+	d := net.Dialer{Timeout: dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		c.dialErr = fmt.Errorf("%w: %v", ErrUnreachable, err)
+		c.markDead(c.dialErr)
+		return
+	}
+	if err := conn.SetDeadline(time.Now().Add(c.io)); err != nil {
+		conn.Close()
+		c.dialErr = fmt.Errorf("%w: %v", ErrUnreachable, err)
+		c.markDead(c.dialErr)
+		return
+	}
+	if err := wire.WriteHello(conn); err != nil {
+		conn.Close()
+		c.dialErr = fmt.Errorf("%w: %v", ErrUnreachable, err)
+		c.markDead(c.dialErr)
+		return
+	}
+	if _, err := wire.ReadHello(conn); err != nil {
+		// The TCP dial succeeded but the peer did not ack the preface: a
+		// v1 server read the magic as an oversized length and closed the
+		// connection. Fall back to one-shot framing.
+		conn.Close()
+		c.dialErr = errPeerIsV1
+		c.markDead(errPeerIsV1)
+		return
+	}
+	// Clear the handshake deadline; per-exchange bounds are enforced by
+	// the callers' timers and the write deadlines.
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		c.dialErr = fmt.Errorf("%w: %v", ErrUnreachable, err)
+		c.markDead(c.dialErr)
+		return
+	}
+	c.mu.Lock()
+	c.conn = conn
+	dead := c.dead
+	c.mu.Unlock()
+	if dead { // lost a race with fail (e.g. pool closed mid-dial)
+		conn.Close()
+		return
+	}
+	go c.readLoop()
+}
+
+// readLoop demultiplexes response frames until the connection breaks.
+func (c *muxConn) readLoop() {
+	for {
+		kind, id, msg, err := wire.ReadMuxFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrUnreachable, err))
+			return
+		}
+		switch kind {
+		case wire.FrameResponse:
+			c.mu.Lock()
+			ch := c.pending[id]
+			delete(c.pending, id)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- muxResult{msg: msg}
+			}
+		case wire.FrameGoAway:
+			// Stop taking new work; in-flight responses keep flowing
+			// until the peer closes the connection.
+			c.mu.Lock()
+			c.draining = true
+			c.mu.Unlock()
+			c.retire()
+		default:
+			c.fail(fmt.Errorf("%w: unexpected %s frame", ErrUnreachable, kind))
+			return
+		}
+	}
+}
+
+// retire detaches the conn from its pool slot (idempotent).
+func (c *muxConn) retire() {
+	c.retireOnce.Do(func() {
+		if c.onRetire != nil {
+			c.onRetire(c)
+		}
+	})
+}
+
+// markDead flags the conn dead without touching the socket (dial-stage
+// failures).
+func (c *muxConn) markDead(err error) {
+	c.mu.Lock()
+	c.dead = true
+	c.deadErr = err
+	c.mu.Unlock()
+	c.retire()
+}
+
+// fail marks the conn broken: every pending call completes with err, the
+// socket closes, and the pool slot is freed so the next call redials.
+func (c *muxConn) fail(err error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = true
+	c.deadErr = err
+	pending := c.pending
+	c.pending = make(map[uint64]chan muxResult)
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	for _, ch := range pending {
+		ch <- muxResult{err: err}
+	}
+	c.retire()
+}
+
+// usable reports whether the pool may assign another call to this conn.
+func (c *muxConn) usable(maxInflight int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.dead && !c.draining && c.assigned < maxInflight
+}
+
+// close shuts the connection down, failing any pending calls.
+func (c *muxConn) close() {
+	c.fail(fmt.Errorf("%w: connection closed", ErrUnreachable))
+}
+
+// idleSince returns the time assigned last hit zero (zero time if busy).
+func (c *muxConn) idleSince() (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.assigned > 0 {
+		return time.Time{}, false
+	}
+	return c.idleAt, true
+}
+
+// call performs one multiplexed exchange. A write failure means the
+// request never left, so the returned error unwraps to errWriteFailed
+// and the pool may transparently redial; a missing response is
+// indistinguishable from executed-but-lost and surfaces as plain
+// ErrUnreachable for the retry layer to judge.
+func (c *muxConn) call(ctx context.Context, req wire.Message) (wire.Message, error) {
+	select {
+	case <-c.ready:
+	case <-ctx.Done():
+		return wire.Message{}, ctx.Err()
+	}
+	if c.dialErr != nil {
+		return wire.Message{}, c.dialErr
+	}
+	c.mu.Lock()
+	if c.dead {
+		err := c.deadErr
+		c.mu.Unlock()
+		// Died before this request was sent: safe to redial.
+		return wire.Message{}, fmt.Errorf("%w: %v", errWriteFailed, err)
+	}
+	if c.draining {
+		c.mu.Unlock()
+		return wire.Message{}, errConnDraining
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan muxResult, 1)
+	c.pending[id] = ch
+	conn := c.conn
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := conn.SetWriteDeadline(time.Now().Add(c.io))
+	if err == nil {
+		err = wire.WriteMuxFrame(conn, wire.FrameRequest, id, req)
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.forget(id)
+		c.fail(fmt.Errorf("%w: %v", ErrUnreachable, err))
+		return wire.Message{}, fmt.Errorf("%w: %v", errWriteFailed, err)
+	}
+
+	timer := time.NewTimer(c.io)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res.msg, res.err
+	case <-ctx.Done():
+		// The request may still execute; only this caller gives up. The
+		// conn stays usable and a late response is discarded by forget.
+		c.forget(id)
+		return wire.Message{}, ctx.Err()
+	case <-timer.C:
+		// The exchange outlived the IO budget: the conn is suspect (hung
+		// peer, half-open socket). Retire it so the pool redials.
+		c.forget(id)
+		c.fail(fmt.Errorf("%w: response timeout", ErrUnreachable))
+		return wire.Message{}, fmt.Errorf("%w: response timeout after %v", ErrUnreachable, c.io)
+	}
+}
+
+// errWriteFailed marks a call whose request frame never left this side:
+// the handler cannot have run, so the pool retries it on a fresh
+// connection without consulting idempotency.
+var errWriteFailed = errors.New("transport: request write failed")
+
+// forget abandons a pending request ID.
+func (c *muxConn) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}

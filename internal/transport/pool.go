@@ -1,0 +1,662 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// ErrClosed is returned by calls on a pooled transport after Close.
+var ErrClosed = errors.New("transport: pooled transport closed")
+
+// PoolConfig parameterizes the pooled, multiplexed TCP transport. The
+// zero value gets sensible defaults.
+type PoolConfig struct {
+	// MaxConnsPerPeer bounds the persistent connections kept per
+	// destination address (default 4).
+	MaxConnsPerPeer int
+	// MaxInflightPerConn bounds the concurrently pipelined requests per
+	// connection (default 32). MaxConnsPerPeer × MaxInflightPerConn is
+	// the hard cap on concurrent calls per peer; excess callers queue.
+	MaxInflightPerConn int
+	// IdleTimeout evicts connections that carried no request for this
+	// long (default 60s). The server side grants idle connections twice
+	// this before hanging up, so the client evicts first.
+	IdleTimeout time.Duration
+	// DialTimeout bounds connection establishment; zero means 2s.
+	DialTimeout time.Duration
+	// IOTimeout bounds each request/response exchange; zero means 5s.
+	IOTimeout time.Duration
+}
+
+// withDefaults fills zero fields.
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.MaxConnsPerPeer <= 0 {
+		c.MaxConnsPerPeer = 4
+	}
+	if c.MaxInflightPerConn <= 0 {
+		c.MaxInflightPerConn = 32
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 60 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// poolMetrics is the pool's per-layer series (nil without a registry).
+type poolMetrics struct {
+	dials     *obs.Counter
+	reuse     *obs.Counter
+	fallbacks *obs.Counter
+	evictions *obs.Counter
+	retired   *obs.Counter
+	redials   *obs.Counter
+	connsOpen *obs.Gauge
+}
+
+// peerPool is the bounded connection set for one destination address.
+// The semaphore caps concurrent calls at MaxConnsPerPeer ×
+// MaxInflightPerConn; holding a token guarantees (by pigeonhole) that
+// either a listed conn has spare in-flight capacity or a conn slot is
+// free to dial.
+type peerPool struct {
+	sem   chan struct{}
+	mu    sync.Mutex
+	conns []*muxConn
+}
+
+// PooledTCP is a Transport over persistent, multiplexed TCP connections:
+// a bounded per-peer pool of connections, concurrent request pipelining
+// with per-request response demultiplexing, idle eviction, and
+// retire-and-redial of broken connections. Peers that predate the mux
+// protocol are detected during the connection preface and served by
+// one-shot dial-per-call framing, so mixed-version deployments
+// interoperate. Close drains in-flight calls before tearing the pool
+// down.
+//
+// Its Listen side serves both protocol versions by sniffing each accepted
+// connection's first bytes.
+type PooledTCP struct {
+	cfg     PoolConfig
+	oneShot TCP // negotiated fallback path for v1 peers
+
+	mu      sync.Mutex
+	peers   map[string]*peerPool
+	v1      map[string]bool // peers that rejected the mux preface
+	closed  bool
+	stop    chan struct{}
+	janitor bool
+
+	calls sync.WaitGroup // in-flight Call tracking, for draining Close
+
+	m *poolMetrics
+}
+
+var _ Transport = (*PooledTCP)(nil)
+
+// NewPooledTCP returns a pooled transport with the given configuration.
+func NewPooledTCP(cfg PoolConfig) *PooledTCP {
+	cfg = cfg.withDefaults()
+	return &PooledTCP{
+		cfg:     cfg,
+		oneShot: TCP{DialTimeout: cfg.DialTimeout, IOTimeout: cfg.IOTimeout},
+		peers:   make(map[string]*peerPool),
+		v1:      make(map[string]bool),
+		stop:    make(chan struct{}),
+	}
+}
+
+// SetMetrics registers the pool's own series (dials, reuse, evictions,
+// fallbacks) in reg. Call before the first Call; nil is a no-op.
+func (p *PooledTCP) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.m = &poolMetrics{
+		dials:     reg.Counter("hours_pool_dials_total"),
+		reuse:     reg.Counter("hours_pool_conn_reuse_total"),
+		fallbacks: reg.Counter("hours_pool_fallback_calls_total"),
+		evictions: reg.Counter("hours_pool_idle_evictions_total"),
+		retired:   reg.Counter("hours_pool_conns_retired_total"),
+		redials:   reg.Counter("hours_pool_redials_total"),
+		connsOpen: reg.Gauge("hours_pool_conns_open"),
+	}
+}
+
+// peer returns (creating on demand) the pool for addr.
+func (p *PooledTCP) peer(addr string) *peerPool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pp := p.peers[addr]
+	if pp == nil {
+		pp = &peerPool{sem: make(chan struct{}, p.cfg.MaxConnsPerPeer*p.cfg.MaxInflightPerConn)}
+		p.peers[addr] = pp
+	}
+	return pp
+}
+
+// janitorLoop closes connections that have been idle past IdleTimeout.
+func (p *PooledTCP) janitorLoop() {
+	interval := p.cfg.IdleTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+		}
+		cutoff := time.Now().Add(-p.cfg.IdleTimeout)
+		p.mu.Lock()
+		pools := make([]*peerPool, 0, len(p.peers))
+		for _, pp := range p.peers {
+			pools = append(pools, pp)
+		}
+		p.mu.Unlock()
+		for _, pp := range pools {
+			var evict []*muxConn
+			pp.mu.Lock()
+			kept := pp.conns[:0]
+			for _, c := range pp.conns {
+				if at, idle := c.idleSince(); idle && at.Before(cutoff) {
+					evict = append(evict, c)
+					continue
+				}
+				kept = append(kept, c)
+			}
+			pp.conns = kept
+			pp.mu.Unlock()
+			for _, c := range evict {
+				// close → retire handles the conns-open gauge.
+				c.close()
+				if p.m != nil {
+					p.m.evictions.Inc()
+				}
+			}
+		}
+	}
+}
+
+// acquire reserves an in-flight slot on a live (or dialing) connection to
+// addr, dialing a new one when every listed conn is at capacity and a
+// slot is free. It returns the conn and a release func.
+func (p *PooledTCP) acquire(ctx context.Context, addr string) (*muxConn, func(), error) {
+	pp := p.peer(addr)
+	select {
+	case pp.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	case <-p.stop:
+		return nil, nil, ErrClosed
+	}
+
+	pp.mu.Lock()
+	var pick *muxConn
+	for _, c := range pp.conns {
+		if !c.usable(p.cfg.MaxInflightPerConn) {
+			continue
+		}
+		if pick == nil || c.loadLess(pick) {
+			pick = c
+		}
+	}
+	dialed := false
+	if pick == nil {
+		// Every listed conn is full, dead, or draining; the semaphore
+		// guarantees a slot is free (dead/draining conns are detached by
+		// onRetire, so the list holds only usable-or-full conns).
+		pick = newMuxConn(addr, p.cfg.IOTimeout, func(c *muxConn) {
+			pp.detach(c)
+			if p.m != nil {
+				p.m.retired.Inc()
+				p.m.connsOpen.Add(-1)
+			}
+		})
+		pp.conns = append(pp.conns, pick)
+		dialed = true
+	}
+	pick.mu.Lock()
+	pick.assigned++
+	pick.mu.Unlock()
+	pp.mu.Unlock()
+
+	if dialed {
+		if p.m != nil {
+			p.m.dials.Inc()
+			p.m.connsOpen.Add(1)
+		}
+		go pick.dial(context.Background(), p.cfg.DialTimeout)
+	} else if p.m != nil {
+		p.m.reuse.Inc()
+	}
+
+	release := func() {
+		pick.mu.Lock()
+		pick.assigned--
+		if pick.assigned == 0 {
+			pick.idleAt = time.Now()
+		}
+		pick.mu.Unlock()
+		<-pp.sem
+	}
+	return pick, release, nil
+}
+
+// detach removes c from the peer's conn list (it keeps serving any
+// in-flight calls until they finish).
+func (pp *peerPool) detach(c *muxConn) {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	for i, x := range pp.conns {
+		if x == c {
+			pp.conns = append(pp.conns[:i], pp.conns[i+1:]...)
+			return
+		}
+	}
+}
+
+// loadLess orders conns by current assignment (least-loaded wins).
+func (c *muxConn) loadLess(o *muxConn) bool {
+	c.mu.Lock()
+	a := c.assigned
+	c.mu.Unlock()
+	o.mu.Lock()
+	b := o.assigned
+	o.mu.Unlock()
+	return a < b
+}
+
+// markV1 records that addr speaks the one-shot protocol.
+func (p *PooledTCP) markV1(addr string) {
+	p.mu.Lock()
+	p.v1[addr] = true
+	p.mu.Unlock()
+}
+
+// Call implements Transport: it multiplexes the request over a pooled
+// connection to addr, transparently redialing once when the pooled
+// connection broke before the request could be written, and falling back
+// to one-shot dial-per-call framing for peers that rejected the mux
+// preface.
+func (p *PooledTCP) Call(ctx context.Context, addr string, req wire.Message) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return wire.Message{}, fmt.Errorf("call %s: %w: %v", addr, ErrUnreachable, err)
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return wire.Message{}, fmt.Errorf("call %s: %w", addr, ErrClosed)
+	}
+	p.calls.Add(1)
+	isV1 := p.v1[addr]
+	if !p.janitor {
+		p.janitor = true
+		go p.janitorLoop()
+	}
+	p.mu.Unlock()
+	defer p.calls.Done()
+
+	if isV1 {
+		if p.m != nil {
+			p.m.fallbacks.Inc()
+		}
+		return p.oneShot.Call(ctx, addr, req)
+	}
+
+	// One transparent redial: a conn that died or drained before this
+	// request was written cannot have executed it, so retrying on a fresh
+	// conn is safe for every message type.
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		c, release, err := p.acquire(ctx, addr)
+		if err != nil {
+			return wire.Message{}, fmt.Errorf("call %s: %w", addr, err)
+		}
+		resp, err := c.call(ctx, req)
+		release()
+		if err == nil {
+			return p.finish(addr, resp)
+		}
+		if errors.Is(err, errPeerIsV1) {
+			p.markV1(addr)
+			if p.m != nil {
+				p.m.fallbacks.Inc()
+			}
+			return p.oneShot.Call(ctx, addr, req)
+		}
+		lastErr = err
+		if errors.Is(err, errWriteFailed) || errors.Is(err, errConnDraining) {
+			if p.m != nil {
+				p.m.redials.Inc()
+			}
+			continue
+		}
+		break
+	}
+	return wire.Message{}, fmt.Errorf("call %s: %w", addr, lastErr)
+}
+
+// finish maps a remote error response, mirroring the one-shot client.
+func (p *PooledTCP) finish(addr string, resp wire.Message) (wire.Message, error) {
+	if resp.Type == wire.TypeError {
+		var e wire.Error
+		if err := resp.Decode(&e); err != nil {
+			return wire.Message{}, fmt.Errorf("call %s: undecodable error response: %w", addr, err)
+		}
+		return wire.Message{}, fmt.Errorf("call %s: remote error: %s", addr, e.Reason)
+	}
+	return resp, nil
+}
+
+// Close gracefully drains the pool: new calls fail with ErrClosed,
+// in-flight calls run to completion (bounded by IOTimeout), then every
+// pooled connection closes. Listeners are closed separately via their
+// own closers.
+func (p *PooledTCP) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.stop)
+	p.mu.Unlock()
+	p.calls.Wait()
+	p.mu.Lock()
+	pools := make([]*peerPool, 0, len(p.peers))
+	for _, pp := range p.peers {
+		pools = append(pools, pp)
+	}
+	p.mu.Unlock()
+	for _, pp := range pools {
+		pp.mu.Lock()
+		conns := append([]*muxConn(nil), pp.conns...)
+		pp.conns = nil
+		pp.mu.Unlock()
+		for _, c := range conns {
+			c.close()
+		}
+	}
+	return nil
+}
+
+// Listen implements Transport: it serves both the multiplexed v2
+// protocol and the one-shot v1 framing, selected per connection by
+// sniffing the first four bytes (see wire.IsMuxPreface). The returned
+// closer is a *PooledListener.
+func (p *PooledTCP) Listen(addr string, h Handler) (io.Closer, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: listen needs a handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	l := &muxListener{
+		ln:          ln,
+		h:           h,
+		io:          p.cfg.IOTimeout,
+		idle:        2 * p.cfg.IdleTimeout,
+		maxInflight: p.cfg.MaxInflightPerConn,
+		stop:        make(chan struct{}),
+		conns:       make(map[net.Conn]struct{}),
+	}
+	l.baseCtx, l.cancel = context.WithCancel(context.Background())
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return &PooledListener{l: l}, nil
+}
+
+// PooledListener exposes the bound address of a pooled listener.
+type PooledListener struct {
+	l *muxListener
+}
+
+// Addr returns the bound address (useful with ":0").
+func (p *PooledListener) Addr() string { return p.l.ln.Addr().String() }
+
+// Close stops accepting, announces GoAway on every mux connection,
+// cancels in-flight handlers, closes the sockets, and waits for handlers
+// to drain.
+func (p *PooledListener) Close() error {
+	var err error
+	p.l.once.Do(func() {
+		close(p.l.stop)
+		p.l.goAwayAll()
+		p.l.cancel()
+		err = p.l.ln.Close()
+		p.l.closeConns()
+		p.l.wg.Wait()
+	})
+	return err
+}
+
+// muxListener serves sniffed v1/v2 connections until closed.
+type muxListener struct {
+	ln          net.Listener
+	h           Handler
+	io          time.Duration
+	idle        time.Duration
+	maxInflight int
+
+	wg      sync.WaitGroup
+	once    sync.Once
+	stop    chan struct{}
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wmus  map[net.Conn]*sync.Mutex
+}
+
+// track registers a live mux conn and returns its write mutex.
+func (l *muxListener) track(conn net.Conn) *sync.Mutex {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wmus == nil {
+		l.wmus = make(map[net.Conn]*sync.Mutex)
+	}
+	l.conns[conn] = struct{}{}
+	mu := &sync.Mutex{}
+	l.wmus[conn] = mu
+	return mu
+}
+
+// untrack removes a finished conn.
+func (l *muxListener) untrack(conn net.Conn) {
+	l.mu.Lock()
+	delete(l.conns, conn)
+	delete(l.wmus, conn)
+	l.mu.Unlock()
+}
+
+// goAwayAll best-effort announces shutdown to every mux peer so clients
+// retire the connections instead of assigning new requests to them.
+func (l *muxListener) goAwayAll() {
+	l.mu.Lock()
+	type cw struct {
+		c  net.Conn
+		mu *sync.Mutex
+	}
+	var all []cw
+	for c := range l.conns {
+		all = append(all, cw{c, l.wmus[c]})
+	}
+	l.mu.Unlock()
+	for _, x := range all {
+		x.mu.Lock()
+		_ = x.c.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+		_ = wire.WriteMuxFrame(x.c, wire.FrameGoAway, 0, wire.Message{})
+		x.mu.Unlock()
+	}
+}
+
+// closeConns force-closes every tracked connection.
+func (l *muxListener) closeConns() {
+	l.mu.Lock()
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// acceptLoop mirrors the one-shot listener: transient accept errors back
+// off exponentially (capped), Close exits the loop.
+func (l *muxListener) acceptLoop() {
+	defer l.wg.Done()
+	delay := time.Duration(0)
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			select {
+			case <-l.stop:
+				return
+			default:
+			}
+			if delay == 0 {
+				delay = acceptBackoffMin
+			} else if delay *= 2; delay > acceptBackoffMax {
+				delay = acceptBackoffMax
+			}
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-l.stop:
+				t.Stop()
+				return
+			}
+			continue
+		}
+		delay = 0
+		l.wg.Add(1)
+		go l.serveConn(conn)
+	}
+}
+
+// serveConn sniffs the protocol version and dispatches: the mux preface
+// selects the multiplexed loop, anything else is a v1 length prefix and
+// the connection serves one request.
+func (l *muxListener) serveConn(conn net.Conn) {
+	defer l.wg.Done()
+	defer conn.Close()
+	if err := conn.SetReadDeadline(time.Now().Add(l.io)); err != nil {
+		return
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return
+	}
+	if !wire.IsMuxPreface(hdr) {
+		l.serveOneShot(conn, hdr)
+		return
+	}
+	if _, err := wire.FinishHello(conn); err != nil {
+		return
+	}
+	if err := conn.SetWriteDeadline(time.Now().Add(l.io)); err != nil {
+		return
+	}
+	if err := wire.WriteHello(conn); err != nil {
+		return
+	}
+	l.serveMux(conn)
+}
+
+// serveOneShot finishes a v1 exchange whose length prefix was sniffed.
+func (l *muxListener) serveOneShot(conn net.Conn, hdr [4]byte) {
+	if err := conn.SetDeadline(time.Now().Add(l.io)); err != nil {
+		return
+	}
+	req, err := wire.ReadFrameWithHeader(conn, hdr)
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(l.baseCtx, l.io)
+	defer cancel()
+	resp, err := l.h(ctx, req)
+	if err != nil {
+		errMsg, encErr := wire.New(wire.TypeError, wire.Error{Reason: err.Error()})
+		if encErr != nil {
+			return
+		}
+		resp = errMsg
+	}
+	_ = wire.WriteFrame(conn, resp)
+}
+
+// serveMux runs the multiplexed request loop: each request frame is
+// handled in its own goroutine and answered with a same-ID response
+// frame; a bounded semaphore enforces the per-conn in-flight cap by
+// pausing the read loop (backpressure) when the peer over-pipelines.
+func (l *muxListener) serveMux(conn net.Conn) {
+	wmu := l.track(conn)
+	defer l.untrack(conn)
+	sem := make(chan struct{}, l.maxInflight)
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(l.idle + l.io)); err != nil {
+			return
+		}
+		kind, id, req, err := wire.ReadMuxFrame(conn)
+		if err != nil {
+			return
+		}
+		switch kind {
+		case wire.FrameGoAway:
+			return // the client is done with this connection
+		case wire.FrameRequest:
+		default:
+			return // protocol error: clients never send responses
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-l.stop:
+			return
+		}
+		handlers.Add(1)
+		l.wg.Add(1)
+		go func(id uint64, req wire.Message) {
+			defer handlers.Done()
+			defer l.wg.Done()
+			defer func() { <-sem }()
+			ctx, cancel := context.WithTimeout(l.baseCtx, l.io)
+			defer cancel()
+			resp, err := l.h(ctx, req)
+			if err != nil {
+				errMsg, encErr := wire.New(wire.TypeError, wire.Error{Reason: err.Error()})
+				if encErr != nil {
+					return
+				}
+				resp = errMsg
+			}
+			wmu.Lock()
+			defer wmu.Unlock()
+			if err := conn.SetWriteDeadline(time.Now().Add(l.io)); err != nil {
+				return
+			}
+			_ = wire.WriteMuxFrame(conn, wire.FrameResponse, id, resp)
+		}(id, req)
+	}
+}

@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// StackConfig selects the layers of a canonical transport stack. One
+// options struct replaces the hand-nested decorator construction that
+// used to be duplicated across cluster and daemon wiring.
+type StackConfig struct {
+	// Base is the innermost transport (e.g. *Mem for in-process
+	// clusters). Nil builds a pooled, multiplexed TCP transport from
+	// Pool.
+	Base Transport
+	// Pool parameterizes the pooled TCP base when Base is nil.
+	Pool PoolConfig
+	// Addr is the local address the fault layer binds as its call
+	// source; required when Faults is non-nil (directed partitions need
+	// a source identity).
+	Addr string
+	// Faults, when non-nil, injects the plan's faults into every call.
+	Faults *FaultPlan
+	// Retry, when non-nil, retries idempotent calls per the policy.
+	Retry *RetryPolicy
+	// Metrics, when non-nil, receives every layer's series: RPC
+	// client/server instrumentation, retry counters, fault-injection
+	// counters, and the pool's connection metrics.
+	Metrics *obs.Registry
+}
+
+// Stacked is an assembled transport chain. It implements Transport by
+// delegating to the outermost layer and io.Closer by closing the base
+// (a pooled transport drains; other bases close if they support it).
+type Stacked struct {
+	Transport
+	base Transport
+}
+
+var _ Transport = (*Stacked)(nil)
+var _ io.Closer = (*Stacked)(nil)
+
+// Underlying returns the outermost decorator, so Unwrap walks through a
+// Stacked into the chain it assembled.
+func (s *Stacked) Underlying() Transport { return s.Transport }
+
+// Base returns the innermost transport of the stack.
+func (s *Stacked) Base() Transport { return s.base }
+
+// Close tears the base transport down (drains a pooled base); bases
+// without a Close are a no-op.
+func (s *Stacked) Close() error {
+	if c, ok := s.base.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Stack assembles the canonical decorator chain
+//
+//	Retry → Faulty → Instrument → base (pooled TCP or the supplied Base)
+//
+// outermost first. The order is deliberate: retries must traverse the
+// fault layer so chaos runs exercise them, and the instrument layer sits
+// innermost so RPC metrics count physical attempts (the retry layer's
+// own series account for the logical-vs-physical difference). Layers
+// whose config is absent are skipped, so the chain is exactly as thick
+// as asked for.
+func Stack(cfg StackConfig) (*Stacked, error) {
+	base := cfg.Base
+	if base == nil {
+		p := NewPooledTCP(cfg.Pool)
+		p.SetMetrics(cfg.Metrics)
+		base = p
+	}
+	t := Instrument(base, cfg.Metrics) // nil registry: pass-through
+	if cfg.Faults != nil {
+		if cfg.Addr == "" {
+			return nil, fmt.Errorf("transport: stack with faults needs Addr (the fault layer's call source)")
+		}
+		t = cfg.Faults.Bind(cfg.Addr, t)
+	}
+	if cfg.Retry != nil {
+		t = Retry(t, *cfg.Retry, cfg.Metrics)
+	}
+	return &Stacked{Transport: t, base: base}, nil
+}
+
+// Layers returns the decorator chain of t from outermost to innermost,
+// including t itself: every layer exposing Underlying is walked, so the
+// result covers Stacked, Retrier, Faulty, and Instrumented wrappers down
+// to the base transport.
+func Layers(t Transport) []Transport {
+	var out []Transport
+	for {
+		out = append(out, t)
+		u, ok := t.(interface{ Underlying() Transport })
+		if !ok {
+			return out
+		}
+		t = u.Underlying()
+	}
+}
+
+// Unwrap strips every decorator off t — it walks the whole chain through
+// Stacked, Retrier, Faulty, and Instrumented layers — returning the
+// innermost transport. Callers needing a concrete transport (e.g. *Mem
+// for DoS suppression, *PooledTCP to drain the pool) type-assert the
+// result.
+func Unwrap(t Transport) Transport {
+	ls := Layers(t)
+	return ls[len(ls)-1]
+}

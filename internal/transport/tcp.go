@@ -12,9 +12,10 @@ import (
 )
 
 // TCP is a Transport over real sockets: one length-prefixed request and
-// response per connection. The prototype dials per call; connection reuse
-// is unnecessary at demo scale and keeps failure semantics obvious (a dead
-// peer is a dial error).
+// response per connection, dialed per call. It is the v1 one-shot
+// protocol — kept as the negotiated fallback for old peers and as the
+// dial-per-call baseline; production paths use PooledTCP, which
+// multiplexes concurrent requests over persistent pooled connections.
 type TCP struct {
 	// DialTimeout bounds connection establishment; zero means 2s.
 	DialTimeout time.Duration

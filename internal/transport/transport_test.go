@@ -260,20 +260,56 @@ func BenchmarkMemCall(b *testing.B) {
 	}
 }
 
+// BenchmarkTCPCall contrasts the v1 dial-per-call client with the
+// pooled, multiplexed client at 1 and 64 concurrent callers. Both run
+// against the same sniffing pooled listener, so only the client-side
+// strategy differs. scripts/check.sh smoke-runs this pair and records
+// the numbers in BENCH_transport.json.
 func BenchmarkTCPCall(b *testing.B) {
-	tr := &TCP{}
-	closer, err := tr.Listen("127.0.0.1:0", echoHandler)
+	server := NewPooledTCP(PoolConfig{})
+	closer, err := server.Listen("127.0.0.1:0", echoHandler)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer closer.Close()
-	addr := closer.(*TCPListener).Addr()
-	ctx := context.Background()
-	msg := wire.Message{Type: wire.TypeProbe}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := tr.Call(ctx, addr, msg); err != nil {
-			b.Fatal(err)
+	addr := closer.(*PooledListener).Addr()
+
+	bench := func(tr Transport, callers int) func(*testing.B) {
+		return func(b *testing.B) {
+			ctx := context.Background()
+			msg := wire.Message{Type: wire.TypeProbe}
+			var wg sync.WaitGroup
+			per := b.N / callers
+			extra := b.N % callers
+			b.ResetTimer()
+			for w := 0; w < callers; w++ {
+				n := per
+				if w < extra {
+					n++
+				}
+				if n == 0 {
+					continue
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						if _, err := tr.Call(ctx, addr, msg); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(n)
+			}
+			wg.Wait()
 		}
 	}
+
+	dial := &TCP{}
+	pooled := NewPooledTCP(PoolConfig{})
+	defer pooled.Close()
+	b.Run("dial/c1", bench(dial, 1))
+	b.Run("dial/c64", bench(dial, 64))
+	b.Run("pooled/c1", bench(pooled, 1))
+	b.Run("pooled/c64", bench(pooled, 64))
 }

@@ -1,0 +1,172 @@
+package wire
+
+// Multiplexed framing (wire version 2).
+//
+// The original (version 1) framing carries one length-prefixed message per
+// direction per connection: [len:4][json]. Version 2 multiplexes many
+// concurrent exchanges over one persistent connection by tagging every
+// frame with a kind and a request ID:
+//
+//	preface   [magic:4 = "HRS2"][version:1]        (client → server)
+//	ack       [magic:4 = "HRS2"][version:1]        (server → client)
+//	frame     [kind:1][id:8][len:4][json body]     (both directions)
+//
+// Version negotiation exploits the v1 length prefix: the magic, read as a
+// big-endian uint32 length, exceeds maxFrame, so a v1 server rejects the
+// preface instantly and closes the connection — the client falls back to
+// one-shot framing. Conversely a v2 server sniffs the first four bytes of
+// every accepted connection: the magic selects the mux protocol, anything
+// else is a v1 length prefix and the connection is served one-shot. Old
+// and new peers therefore interoperate without configuration.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MuxMagic opens every multiplexed connection ("HRS2" big-endian). Its
+// numeric value (0x48525332) is far above maxFrame, so a v1 peer reading
+// it as a frame length fails immediately instead of waiting for a body.
+const MuxMagic uint32 = 0x48525332
+
+// MuxVersion is the multiplexed protocol version spoken by this build.
+const MuxVersion byte = 2
+
+// FrameKind tags one multiplexed frame.
+type FrameKind byte
+
+const (
+	// FrameRequest carries a request message; the peer answers with a
+	// FrameResponse bearing the same ID.
+	FrameRequest FrameKind = 1
+	// FrameResponse carries the response to the same-ID request.
+	FrameResponse FrameKind = 2
+	// FrameGoAway tells the peer the sender is about to close the
+	// connection: stop issuing new requests on it. It carries no body and
+	// ID 0.
+	FrameGoAway FrameKind = 3
+)
+
+// valid reports whether the kind is one this build understands.
+func (k FrameKind) valid() bool {
+	return k == FrameRequest || k == FrameResponse || k == FrameGoAway
+}
+
+// String renders the kind for errors and logs.
+func (k FrameKind) String() string {
+	switch k {
+	case FrameRequest:
+		return "request"
+	case FrameResponse:
+		return "response"
+	case FrameGoAway:
+		return "goaway"
+	default:
+		return fmt.Sprintf("kind(%d)", byte(k))
+	}
+}
+
+// helloLen is the size of the preface/ack: magic plus version.
+const helloLen = 5
+
+// WriteHello writes the mux preface (client side) or ack (server side).
+func WriteHello(w io.Writer) error {
+	var buf [helloLen]byte
+	binary.BigEndian.PutUint32(buf[:4], MuxMagic)
+	buf[4] = MuxVersion
+	if _, err := w.Write(buf[:]); err != nil {
+		return fmt.Errorf("wire: write mux hello: %w", err)
+	}
+	return nil
+}
+
+// ReadHello reads and validates a mux preface/ack, returning the peer's
+// version.
+func ReadHello(r io.Reader) (byte, error) {
+	var buf [helloLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("wire: read mux hello: %w", err)
+	}
+	if binary.BigEndian.Uint32(buf[:4]) != MuxMagic {
+		return 0, fmt.Errorf("wire: bad mux magic %#x", binary.BigEndian.Uint32(buf[:4]))
+	}
+	return buf[4], nil
+}
+
+// FinishHello completes a hello whose first four bytes were already
+// consumed by connection sniffing (see IsMuxPreface): it reads the
+// version byte.
+func FinishHello(r io.Reader) (byte, error) {
+	var v [1]byte
+	if _, err := io.ReadFull(r, v[:]); err != nil {
+		return 0, fmt.Errorf("wire: read mux hello version: %w", err)
+	}
+	return v[0], nil
+}
+
+// IsMuxPreface reports whether a sniffed 4-byte header opens a
+// multiplexed connection (as opposed to being a v1 length prefix).
+func IsMuxPreface(hdr [4]byte) bool {
+	return binary.BigEndian.Uint32(hdr[:]) == MuxMagic
+}
+
+// muxHeaderLen is the per-frame header: kind, request ID, body length.
+const muxHeaderLen = 1 + 8 + 4
+
+// WriteMuxFrame writes one multiplexed frame. GoAway frames carry no
+// body; every other kind carries the JSON-encoded message.
+func WriteMuxFrame(w io.Writer, kind FrameKind, id uint64, m Message) error {
+	if !kind.valid() {
+		return fmt.Errorf("wire: write frame of unknown kind %d", byte(kind))
+	}
+	var body []byte
+	if kind != FrameGoAway {
+		var err error
+		body, err = encodeFrame(m)
+		if err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, muxHeaderLen+len(body))
+	buf[0] = byte(kind)
+	binary.BigEndian.PutUint64(buf[1:9], id)
+	binary.BigEndian.PutUint32(buf[9:13], uint32(len(body)))
+	copy(buf[muxHeaderLen:], body)
+	// One Write keeps the frame contiguous under concurrent writers that
+	// serialize on a mutex but must not interleave partial frames.
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("wire: write mux frame: %w", err)
+	}
+	return nil
+}
+
+// ReadMuxFrame reads one multiplexed frame: its kind, request ID, and
+// message (zero Message for bodyless kinds).
+func ReadMuxFrame(r io.Reader) (FrameKind, uint64, Message, error) {
+	var hdr [muxHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, Message{}, fmt.Errorf("wire: read mux header: %w", err)
+	}
+	kind := FrameKind(hdr[0])
+	if !kind.valid() {
+		return 0, 0, Message{}, fmt.Errorf("wire: unknown frame kind %d", hdr[0])
+	}
+	id := binary.BigEndian.Uint64(hdr[1:9])
+	n := binary.BigEndian.Uint32(hdr[9:13])
+	if n > maxFrame {
+		return 0, 0, Message{}, fmt.Errorf("wire: mux frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	if n == 0 {
+		return kind, id, Message{}, nil
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, 0, Message{}, fmt.Errorf("wire: read mux body: %w", err)
+	}
+	m, err := decodeFrame(body)
+	if err != nil {
+		return 0, 0, Message{}, err
+	}
+	return kind, id, m, nil
+}

@@ -1,0 +1,257 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestMuxHelloRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Len(); got != helloLen {
+		t.Fatalf("hello length = %d, want %d", got, helloLen)
+	}
+	v, err := ReadHello(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != MuxVersion {
+		t.Errorf("version = %d, want %d", v, MuxVersion)
+	}
+}
+
+func TestMuxHelloBadMagic(t *testing.T) {
+	if _, err := ReadHello(bytes.NewReader([]byte{0, 0, 0, 9, 2})); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadHello(bytes.NewReader([]byte{0x48, 0x52})); err == nil {
+		t.Error("truncated hello accepted")
+	}
+}
+
+func TestMuxMagicExceedsFrameLimit(t *testing.T) {
+	// The negotiation trick depends on it: a v1 server reading the magic
+	// as a length prefix must reject it instantly.
+	if MuxMagic <= maxFrame {
+		t.Fatalf("MuxMagic %#x must exceed maxFrame %#x for v1 fallback", MuxMagic, maxFrame)
+	}
+	var buf bytes.Buffer
+	if err := WriteHello(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("v1 decoder accepted the mux preface")
+	}
+}
+
+func TestIsMuxPreface(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MuxMagic)
+	if !IsMuxPreface(hdr) {
+		t.Error("magic not recognized")
+	}
+	binary.BigEndian.PutUint32(hdr[:], 42) // a plausible v1 length
+	if IsMuxPreface(hdr) {
+		t.Error("v1 length prefix misread as mux preface")
+	}
+}
+
+func TestFinishHello(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	var hdr [4]byte
+	copy(hdr[:], raw[:4]) // sniffed by the listener
+	if !IsMuxPreface(hdr) {
+		t.Fatal("preface not recognized")
+	}
+	v, err := FinishHello(bytes.NewReader(raw[4:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != MuxVersion {
+		t.Errorf("version = %d, want %d", v, MuxVersion)
+	}
+}
+
+func TestMuxFrameRoundTrip(t *testing.T) {
+	msg, err := New(TypeQuery, Query{Target: "a.b", Mode: ModeHierarchical, TTL: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []FrameKind{FrameRequest, FrameResponse} {
+		var buf bytes.Buffer
+		if err := WriteMuxFrame(&buf, kind, 77, msg); err != nil {
+			t.Fatal(err)
+		}
+		k, id, m, err := ReadMuxFrame(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != kind || id != 77 {
+			t.Errorf("kind/id = %v/%d, want %v/77", k, id, kind)
+		}
+		if m.Type != msg.Type || !bytes.Equal(m.Payload, msg.Payload) {
+			t.Errorf("message round trip: %+v vs %+v", m, msg)
+		}
+	}
+}
+
+func TestMuxGoAwayBodyless(t *testing.T) {
+	var buf bytes.Buffer
+	// Any message passed with GoAway is ignored: the frame has no body.
+	msg, err := New(TypeProbe, TableInfo{Name: "ignored"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMuxFrame(&buf, FrameGoAway, 0, msg); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Len(); got != muxHeaderLen {
+		t.Fatalf("goaway frame length = %d, want header-only %d", got, muxHeaderLen)
+	}
+	k, id, m, err := ReadMuxFrame(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != FrameGoAway || id != 0 || m.Type != "" || m.Payload != nil {
+		t.Errorf("goaway decoded as kind=%v id=%d msg=%+v", k, id, m)
+	}
+}
+
+func TestMuxFrameMalformed(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteMuxFrame(&buf, FrameRequest, 1, Message{Type: TypeProbe}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	t.Run("unknown kind", func(t *testing.T) {
+		raw := valid()
+		raw[0] = 0xEE
+		if _, _, _, err := ReadMuxFrame(bytes.NewReader(raw)); err == nil {
+			t.Error("unknown kind accepted")
+		}
+	})
+	t.Run("write unknown kind", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := WriteMuxFrame(&buf, FrameKind(9), 1, Message{Type: TypeProbe}); err == nil {
+			t.Error("unknown kind written")
+		}
+	})
+	t.Run("oversized length", func(t *testing.T) {
+		raw := valid()
+		binary.BigEndian.PutUint32(raw[9:13], maxFrame+1)
+		_, _, _, err := ReadMuxFrame(bytes.NewReader(raw))
+		if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+			t.Errorf("oversized frame err = %v", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		raw := valid()
+		if _, _, _, err := ReadMuxFrame(bytes.NewReader(raw[:muxHeaderLen-2])); err == nil {
+			t.Error("truncated header accepted")
+		}
+	})
+	t.Run("truncated body", func(t *testing.T) {
+		raw := valid()
+		if _, _, _, err := ReadMuxFrame(bytes.NewReader(raw[:len(raw)-1])); err == nil {
+			t.Error("truncated body accepted")
+		}
+	})
+	t.Run("bad json body", func(t *testing.T) {
+		body := []byte("not json")
+		raw := make([]byte, muxHeaderLen+len(body))
+		raw[0] = byte(FrameRequest)
+		binary.BigEndian.PutUint64(raw[1:9], 3)
+		binary.BigEndian.PutUint32(raw[9:13], uint32(len(body)))
+		copy(raw[muxHeaderLen:], body)
+		if _, _, _, err := ReadMuxFrame(bytes.NewReader(raw)); err == nil {
+			t.Error("undecodable body accepted")
+		}
+	})
+	t.Run("empty stream", func(t *testing.T) {
+		if _, _, _, err := ReadMuxFrame(bytes.NewReader(nil)); err == nil {
+			t.Error("empty stream accepted")
+		}
+	})
+}
+
+// TestMuxFrameStream decodes several frames back to back, as the
+// connection read loops do.
+func TestMuxFrameStream(t *testing.T) {
+	var buf bytes.Buffer
+	for id := uint64(1); id <= 5; id++ {
+		if err := WriteMuxFrame(&buf, FrameRequest, id, Message{Type: TypeProbe}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for id := uint64(1); id <= 5; id++ {
+		k, gotID, _, err := ReadMuxFrame(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != FrameRequest || gotID != id {
+			t.Fatalf("frame %d decoded as kind=%v id=%d", id, k, gotID)
+		}
+	}
+	if _, _, _, err := ReadMuxFrame(r); err == nil || !bytes.Contains([]byte(err.Error()), []byte(io.EOF.Error())) {
+		t.Errorf("post-stream read err = %v, want EOF-ish", err)
+	}
+}
+
+// FuzzReadMuxFrame hardens the mux decoder the same way FuzzReadFrame
+// hardens the one-shot decoder: never panic, and round-trip anything
+// accepted.
+func FuzzReadMuxFrame(f *testing.F) {
+	seed := func(kind FrameKind, id uint64, m Message) {
+		var buf bytes.Buffer
+		if err := WriteMuxFrame(&buf, kind, id, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(FrameRequest, 1, Message{Type: TypeProbe})
+	seed(FrameResponse, 1<<40, Message{Type: TypeQuery,
+		Payload: []byte(`{"target":"a.b","mode":"forward","ttl":9}`)})
+	seed(FrameGoAway, 0, Message{})
+
+	// Malformed seeds: unknown kind, oversized length, truncations.
+	bad := make([]byte, muxHeaderLen)
+	bad[0] = 0xEE
+	f.Add(bad)
+	over := make([]byte, muxHeaderLen)
+	over[0] = byte(FrameRequest)
+	binary.BigEndian.PutUint32(over[9:13], maxFrame+1)
+	f.Add(over)
+	f.Add([]byte{byte(FrameRequest), 0, 0})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, id, m, err := ReadMuxFrame(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		if err := WriteMuxFrame(&buf, kind, id, m); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		k2, id2, m2, err := ReadMuxFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if k2 != kind || id2 != id || m2.Type != m.Type || !bytes.Equal(m2.Payload, m.Payload) {
+			t.Fatalf("round trip mismatch: (%v,%d,%+v) vs (%v,%d,%+v)", kind, id, m, k2, id2, m2)
+		}
+	})
+}

@@ -249,14 +249,33 @@ type Error struct {
 // frame indicates corruption or abuse.
 const maxFrame = 1 << 20
 
-// WriteFrame writes one length-prefixed message.
-func WriteFrame(w io.Writer, m Message) error {
+// encodeFrame marshals a message body and enforces the frame limit.
+func encodeFrame(m Message) ([]byte, error) {
 	body, err := json.Marshal(m)
 	if err != nil {
-		return fmt.Errorf("wire: marshal frame: %w", err)
+		return nil, fmt.Errorf("wire: marshal frame: %w", err)
 	}
 	if len(body) > maxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(body), maxFrame)
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(body), maxFrame)
+	}
+	return body, nil
+}
+
+// decodeFrame unmarshals a frame body.
+func decodeFrame(body []byte) (Message, error) {
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return Message{}, fmt.Errorf("wire: unmarshal frame: %w", err)
+	}
+	return m, nil
+}
+
+// WriteFrame writes one length-prefixed message (framing version 1: a
+// single request or response per connection direction).
+func WriteFrame(w io.Writer, m Message) error {
+	body, err := encodeFrame(m)
+	if err != nil {
+		return err
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
@@ -275,6 +294,14 @@ func ReadFrame(r io.Reader) (Message, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Message{}, fmt.Errorf("wire: read frame header: %w", err)
 	}
+	return ReadFrameWithHeader(r, hdr)
+}
+
+// ReadFrameWithHeader completes a v1 frame read whose 4-byte length
+// prefix has already been consumed — version-sniffing servers read the
+// prefix to distinguish mux connections (see IsMuxPreface) and finish the
+// one-shot path here.
+func ReadFrameWithHeader(r io.Reader, hdr [4]byte) (Message, error) {
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
 		return Message{}, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, maxFrame)
@@ -283,9 +310,5 @@ func ReadFrame(r io.Reader) (Message, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Message{}, fmt.Errorf("wire: read frame body: %w", err)
 	}
-	var m Message
-	if err := json.Unmarshal(body, &m); err != nil {
-		return Message{}, fmt.Errorf("wire: unmarshal frame: %w", err)
-	}
-	return m, nil
+	return decodeFrame(body)
 }

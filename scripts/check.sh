@@ -29,4 +29,24 @@ go test -race ./...
 echo "==> chaos soak (-race, fixed seed)"
 go test -race -short -run 'TestChaosSoak' -v ./internal/cluster/ | grep -E 'chaos soak|ok|FAIL'
 
+# Transport benchmark smoke: pooled vs dial-per-call at 1 and 64
+# concurrent callers. The numbers land in BENCH_transport.json so a
+# regression (pooled dropping under ~3x dial-per-call at c64) is visible
+# in review diffs.
+echo "==> transport bench smoke (pooled vs dial-per-call)"
+bench_out=$(go test -run '^$' -bench 'BenchmarkTCPCall' -benchtime 0.2s ./internal/transport/)
+echo "$bench_out" | grep 'BenchmarkTCPCall'
+echo "$bench_out" | awk '
+    BEGIN { print "{" }
+    /^BenchmarkTCPCall\// {
+        split($1, parts, "/")
+        name = parts[2] "/" parts[3]
+        sub(/-[0-9]+$/, "", name)
+        if (n++) printf ",\n"
+        printf "  \"%s\": {\"iters\": %s, \"ns_per_op\": %s}", name, $2, $3
+    }
+    END { print "\n}" }
+' > BENCH_transport.json
+echo "    wrote BENCH_transport.json"
+
 echo "OK"
