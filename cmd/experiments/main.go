@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -40,9 +42,36 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", 0, "max worker goroutines (0 = GOMAXPROCS)")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		outDir   = fs.String("o", "", "also write one CSV file per experiment into this directory")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("create cpu profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: create mem profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live steady-state allocations, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: write mem profile:", err)
+			}
+		}()
 	}
 	if *list {
 		for _, r := range experiments.All() {

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestQueryNodeSteadyStateAllocs pins the allocation budget of the
+// end-to-end query hot path. After the first query has warmed the path
+// cache and the pooled query-run bookkeeping, a healthy query (no trace, no
+// load tracking) must stay within a fixed low bound — the steady state is
+// designed to allocate nothing, with one unit of slack because a GC pass
+// during measurement can empty the sync.Pool.
+func TestQueryNodeSteadyStateAllocs(t *testing.T) {
+	tr := buildTree(t, 64, 12, 3)
+	s := buildSystem(t, tr, Config{K: 5, Seed: 30})
+	dst, ok := tr.Lookup("l3-1.l2-7.l1-42")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	rng := xrand.New(31)
+	// Warm-up: build overlay states, the PathFromRoot cache, and the pool.
+	for i := 0; i < 16; i++ {
+		if _, err := s.QueryNode(dst, QueryOptions{Rng: rng}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := s.QueryNode(dst, QueryOptions{Rng: rng}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("steady-state QueryNode allocates %.1f objects per call, want <= 1", allocs)
+	}
+}
+
+// TestQueryNodeUnderAttackAllocs bounds the attacked path too: the detour
+// through the sibling overlay plus the memoized nephew hop must not regrow
+// per-query garbage (the nephew selection allocates only on cache misses).
+func TestQueryNodeUnderAttackAllocs(t *testing.T) {
+	tr := buildTree(t, 64, 12, 3)
+	s := buildSystem(t, tr, Config{K: 5, Seed: 32})
+	mid, ok := tr.Lookup("l1-42")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	s.SetAlive(mid, false)
+	s.Repair()
+	dst, ok := tr.Lookup("l3-1.l2-7.l1-42")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	rng := xrand.New(33)
+	for i := 0; i < 64; i++ {
+		if _, err := s.QueryNode(dst, QueryOptions{Rng: rng}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := s.QueryNode(dst, QueryOptions{Rng: rng}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The attacked path derives one fresh RNG per nephew-cache miss; after
+	// warm-up misses are rare, so the amortized budget stays small.
+	if allocs > 4 {
+		t.Fatalf("attacked QueryNode allocates %.1f objects per call, want <= 4", allocs)
+	}
+}

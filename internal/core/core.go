@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/hierarchy"
 	"repro/internal/overlay"
@@ -60,9 +61,20 @@ const (
 )
 
 // System is an HOURS-protected service hierarchy.
+//
+// Concurrency: querying (QueryNode, Query) is safe from multiple
+// goroutines once the hierarchy is frozen and all mutations (SetAlive,
+// SetCompromised, Repair, replication changes) have completed, provided
+// every overlay a query can touch has been built — call Prepare for each
+// destination first (or issue one warm-up query per destination serially).
+// Mutations require exclusive access.
 type System struct {
-	tree   *hierarchy.Tree
-	cfg    Config
+	tree *hierarchy.Tree
+	cfg  Config
+
+	// mu guards states so concurrent queries can build overlay state
+	// lazily without racing.
+	mu     sync.RWMutex
 	states map[*hierarchy.Node]*ovState // keyed by parent node
 
 	dead        map[*hierarchy.Node]bool
@@ -80,7 +92,18 @@ type ovState struct {
 	members []*hierarchy.Node // ring index -> node
 	indexOf map[*hierarchy.Node]int
 	seed    uint64
+
+	// nephewMu guards nephewCache, the per-(holder, target) memo of the
+	// stable nephew selection (see System.Nephews).
+	nephewMu    sync.RWMutex
+	nephewCache map[uint64][]*hierarchy.Node
 }
+
+// nephewCacheLimit bounds each overlay's nephew memo. The hot experiments
+// (fig9/fig10) hammer a handful of exit→OD pairs, so the cache stays tiny
+// in practice; the limit only guards pathological access patterns from
+// growing it without bound.
+const nephewCacheLimit = 1 << 15
 
 // New wraps tree in an HOURS system. The tree remains owned by the caller
 // but must not gain or lose nodes while the system is in use (rebuild the
@@ -147,7 +170,11 @@ func (s *System) SetAlive(n *hierarchy.Node, up bool) {
 		return // the root joins no overlay
 	}
 	// Update every built overlay the node is a member of: its primary
-	// parent's plus any mesh adoptions (§7).
+	// parent's plus any mesh adoptions (§7). SetAlive is a mutation and
+	// must not run concurrently with queries; the lock only keeps the
+	// states map access consistent with lazy builds.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	parents := append([]*hierarchy.Node{n.Parent()}, n.SecondaryParents()...)
 	for _, p := range parents {
 		if st, ok := s.states[p]; ok {
@@ -200,12 +227,25 @@ func (s *System) Overlay(parent *hierarchy.Node) *overlay.Overlay {
 // state returns (building if needed) the overlay state for parent's sibling
 // group.
 func (s *System) state(parent *hierarchy.Node) *ovState {
+	s.mu.RLock()
+	st, ok := s.states[parent]
+	s.mu.RUnlock()
+	if ok {
+		return st
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stateLocked(parent)
+}
+
+// stateLocked is state with s.mu already held exclusively.
+func (s *System) stateLocked(parent *hierarchy.Node) *ovState {
+	if st, ok := s.states[parent]; ok {
+		return st
+	}
 	members := parent.Children()
 	if len(members) == 0 {
 		return nil
-	}
-	if st, ok := s.states[parent]; ok {
-		return st
 	}
 	seed := xrand.Derive(s.cfg.Seed, parent.ID().Uint64()).Uint64()
 	ov, err := overlay.New(overlay.Config{
@@ -249,7 +289,9 @@ func (s *System) state(parent *hierarchy.Node) *ovState {
 // children of target (§4.1's randomized nephew pointers). Both arguments
 // are members of the same overlay. Fewer than q children means all of them
 // are kept. The selection depends only on (system seed, overlay, holder,
-// target), so it is stable across calls without being stored.
+// target), so it is stable across calls; because it is stable, it is
+// memoized per (holder, target) in the overlay state — the returned slice
+// is shared and must not be modified.
 func (s *System) Nephews(holder, target *hierarchy.Node) []*hierarchy.Node {
 	if holder.Parent() == nil || holder.Parent() != target.Parent() {
 		return nil
@@ -262,17 +304,48 @@ func (s *System) Nephews(holder, target *hierarchy.Node) []*hierarchy.Node {
 	if st == nil {
 		return nil
 	}
-	if len(kids) <= s.cfg.Q {
-		out := make([]*hierarchy.Node, len(kids))
-		copy(out, kids)
+	key := uint64(uint32(st.indexOf[holder]))<<32 | uint64(uint32(st.indexOf[target]))
+	st.nephewMu.RLock()
+	out, ok := st.nephewCache[key]
+	st.nephewMu.RUnlock()
+	if ok {
 		return out
 	}
-	stream := uint64(st.indexOf[holder])<<32 | uint64(uint32(st.indexOf[target]))
-	rng := xrand.Derive(st.seed, stream)
-	picks := xrand.SampleDistinct(rng, len(kids), s.cfg.Q)
-	out := make([]*hierarchy.Node, 0, s.cfg.Q)
-	for _, p := range picks {
-		out = append(out, kids[p])
+	if len(kids) <= s.cfg.Q {
+		out = make([]*hierarchy.Node, len(kids))
+		copy(out, kids)
+	} else {
+		rng := xrand.Derive(st.seed, key)
+		picks := xrand.SampleDistinct(rng, len(kids), s.cfg.Q)
+		out = make([]*hierarchy.Node, 0, s.cfg.Q)
+		for _, p := range picks {
+			out = append(out, kids[p])
+		}
 	}
+	st.nephewMu.Lock()
+	if cached, ok := st.nephewCache[key]; ok {
+		out = cached // a racer beat us; keep one canonical slice
+	} else if len(st.nephewCache) < nephewCacheLimit {
+		if st.nephewCache == nil {
+			st.nephewCache = make(map[uint64][]*hierarchy.Node)
+		}
+		st.nephewCache[key] = out
+	}
+	st.nephewMu.Unlock()
 	return out
+}
+
+// Prepare builds the overlay state of every sibling group along the
+// prescribed path to dst and warms the associated ring-order caches. After
+// Prepare (and once all mutations are done), concurrent QueryNode calls for
+// dst are safe; experiment sweeps call it once per instance before fanning
+// the query loop out across workers.
+func (s *System) Prepare(dst *hierarchy.Node) {
+	if dst == nil {
+		return
+	}
+	for _, n := range dst.PathFromRoot() {
+		n.Children() // warm the lazily sorted ring order
+		s.state(n)
+	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/idspace"
@@ -43,6 +44,75 @@ func TestQueryDeterminism(t *testing.T) {
 			ra.OverlayHops != rb.OverlayHops || ra.BackwardHops != rb.BackwardHops ||
 			ra.NephewHops != rb.NephewHops {
 			t.Fatalf("query %d diverged: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+// TestConcurrentQueryDeterminism pins the contract behind the experiment
+// fan-out: after Prepare, per-worker query streams executed concurrently
+// produce exactly the results they produce when executed serially, worker
+// by worker. This is what lets runHierarchyAttack shard its query budget
+// across goroutines without perturbing figure tables. Run with -race.
+func TestConcurrentQueryDeterminism(t *testing.T) {
+	const workers = 8
+	const perWorker = 100
+	tr := buildTree(t, 40, 6, 2)
+
+	type outcome struct {
+		res QueryResult
+		err error
+	}
+	collect := func(concurrent bool) [][]outcome {
+		s := buildSystem(t, tr, Config{K: 4, Q: 6, Seed: 777})
+		kids := tr.Root().Children()
+		od := kids[13]
+		s.SetAlive(od, false)
+		for d := 1; d <= 9; d++ {
+			s.SetAlive(kids[idspace.IndexAdd(od.RingIndex(), -d, 40)], false)
+		}
+		s.Repair()
+		dst := od.Children()[2].Children()[1]
+		s.Prepare(dst)
+		out := make([][]outcome, workers)
+		runWorker := func(w int) {
+			rng := xrand.New(1000 + uint64(w))
+			out[w] = make([]outcome, perWorker)
+			for i := 0; i < perWorker; i++ {
+				res, err := s.QueryNode(dst, QueryOptions{Rng: rng})
+				out[w][i] = outcome{res: res, err: err}
+			}
+		}
+		if concurrent {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					runWorker(w)
+				}(w)
+			}
+			wg.Wait()
+		} else {
+			for w := 0; w < workers; w++ {
+				runWorker(w)
+			}
+		}
+		return out
+	}
+
+	serial := collect(false)
+	concurrent := collect(true)
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			a, b := serial[w][i], concurrent[w][i]
+			if (a.err == nil) != (b.err == nil) {
+				t.Fatalf("worker %d query %d: error mismatch %v vs %v", w, i, a.err, b.err)
+			}
+			if a.res.Outcome != b.res.Outcome || a.res.Hops != b.res.Hops ||
+				a.res.OverlayHops != b.res.OverlayHops || a.res.BackwardHops != b.res.BackwardHops ||
+				a.res.NephewHops != b.res.NephewHops {
+				t.Fatalf("worker %d query %d diverged: %+v vs %+v", w, i, a.res, b.res)
+			}
 		}
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync"
 
 	"repro/internal/hierarchy"
 	"repro/internal/idspace"
@@ -84,7 +85,9 @@ func (s *System) Query(name string, opts QueryOptions) (QueryResult, error) {
 	return s.QueryNode(dst, opts)
 }
 
-// QueryNode is Query addressed by node instead of name.
+// QueryNode is Query addressed by node instead of name. It is safe to call
+// concurrently once the system is prepared and quiescent (see the System
+// concurrency contract).
 func (s *System) QueryNode(dst *hierarchy.Node, opts QueryOptions) (QueryResult, error) {
 	if dst == nil {
 		return QueryResult{}, fmt.Errorf("core: query to nil node")
@@ -92,13 +95,24 @@ func (s *System) QueryNode(dst *hierarchy.Node, opts QueryOptions) (QueryResult,
 	if opts.Rng == nil {
 		return QueryResult{}, fmt.Errorf("core: QueryOptions.Rng is required")
 	}
-	q := &queryRun{sys: s, opts: opts}
+	q := queryRunPool.Get().(*queryRun)
+	q.sys = s
+	q.opts = opts
 	res, err := q.run(dst)
+	// Recycle the run's bookkeeping. res.Path (when traced) now belongs to
+	// the caller, so everything except the overlay-path scratch is zeroed;
+	// the scratch is private to routeInOverlay and safe to reuse.
+	*q = queryRun{ovPath: q.ovPath[:0]}
+	queryRunPool.Put(q)
 	if err != nil {
 		return QueryResult{}, err
 	}
 	return res, nil
 }
+
+// queryRunPool recycles per-query bookkeeping so the steady-state query
+// loop of a Monte-Carlo sweep allocates nothing (alloc_test.go).
+var queryRunPool = sync.Pool{New: func() any { return new(queryRun) }}
 
 // queryRun carries one query's bookkeeping.
 type queryRun struct {
@@ -110,6 +124,11 @@ type queryRun struct {
 	// back on the prescribed path.
 	lastOnPath *hierarchy.Node
 	lastLevel  int
+
+	// ovPath is the reusable backing buffer for traced overlay routes
+	// (overlay.RouteOptions.PathBuf); routeInOverlay consumes the path
+	// before the next route, so one buffer serves the whole query.
+	ovPath []int32
 }
 
 // visit records arrival at node n and applies insider-drop semantics.
@@ -312,6 +331,7 @@ func (q *queryRun) routeInOverlay(st *ovState, entrance, od *hierarchy.Node) (ov
 	needTrace := q.opts.TracePath || q.opts.Load != nil || len(q.sys.compromised) > 0
 	res, err := st.ov.Route(st.indexOf[entrance], st.indexOf[od], overlay.RouteOptions{
 		TracePath: needTrace,
+		PathBuf:   q.ovPath,
 	})
 	if err != nil {
 		return overlay.Result{}, false, fmt.Errorf("core: overlay %s: %w", st.parent.Name(), err)
@@ -320,6 +340,10 @@ func (q *queryRun) routeInOverlay(st *ovState, entrance, od *hierarchy.Node) (ov
 	q.res.OverlayHops += res.Hops
 	q.res.BackwardHops += res.BackwardHops
 	if needTrace {
+		// The route is done with the buffer once visited; keep the grown
+		// backing array for the next overlay phase (and the next pooled
+		// query).
+		q.ovPath = res.Path[:0]
 		// Path[0] is the entrance, already visited by the caller.
 		for _, idx := range res.Path[1:] {
 			if !q.visit(st.members[idx]) {

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/xrand"
+)
+
+// benchFig9Topo holds the shared benchmark topology so repeated benchmark
+// runs (and -benchtime sweeps) do not rebuild the 50k-ish tree every time.
+var benchFig9Topo *sixTwoTopology
+
+func fig9BenchTopo(b *testing.B) *sixTwoTopology {
+	b.Helper()
+	if benchFig9Topo == nil {
+		topo, err := buildSixTwo(200, 2000, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		topo.tree.Root().Children()
+		topo.t.Children()
+		topo.v2.Children()
+		benchFig9Topo = topo
+	}
+	return benchFig9Topo
+}
+
+// BenchmarkFig9Cell runs one full Figure-9 sweep cell end to end — system
+// construction, attack campaign, and the Monte-Carlo query loop — at a
+// reduced but fig9-shaped size (level1=200, |children(T)|=2000, 4,000
+// queries over 2 instances, 30% random attack density). This is the
+// end-to-end simulation-throughput benchmark behind BENCH_sim.json; it
+// reports queries/sec so the number is comparable across workload tweaks.
+func BenchmarkFig9Cell(b *testing.B) {
+	topo := fig9BenchTopo(b)
+	const (
+		k         = 5
+		q         = 10
+		queries   = 4000
+		instances = 2
+	)
+	attacked := 1 + 200*3/10
+	seed := xrand.Derive(7, 0x910).Uint64()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := runHierarchyAttack(topo, k, q, queries, instances, runtime.GOMAXPROCS(0), seed,
+			func(inst int) (*attack.Campaign, error) {
+				return attack.Random(xrand.Derive(7, 1009+uint64(inst)), topo.t, attacked)
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.delivery == 0 {
+			b.Fatal("benchmark sweep delivered nothing")
+		}
+	}
+	b.ReportMetric(float64(queries)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}

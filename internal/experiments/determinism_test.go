@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/xrand"
+)
+
+// TestHierarchyAttackParallelismInvariant proves the in-cell query fan-out
+// is seed-stable: the same sweep cell run serially and run on many workers
+// must agree on every emitted statistic, because the shard → RNG-stream
+// mapping is fixed (queryShards) and shard results merge in shard order.
+func TestHierarchyAttackParallelismInvariant(t *testing.T) {
+	topo, err := buildSixTwo(100, 300, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(parallelism int) attackSweepResult {
+		res, err := runHierarchyAttack(topo, 5, 10, 2000, 2, parallelism,
+			xrand.Derive(11, 0x910).Uint64(),
+			func(inst int) (*attack.Campaign, error) {
+				return attack.Random(xrand.Derive(11, 1009+uint64(inst)), topo.t, 31)
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, p := range []int{2, 8} {
+		parallel := run(p)
+		if serial != parallel {
+			t.Fatalf("parallelism %d diverged from serial:\nserial:   %+v\nparallel: %+v", p, serial, parallel)
+		}
+	}
+}
+
+// TestFigure9TableParallelismInvariant pins the end-to-end acceptance
+// criterion: the full Figure 9 table is byte-identical for equal Options
+// regardless of Parallelism.
+func TestFigure9TableParallelismInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure table comparison; run without -short")
+	}
+	mk := func(parallelism int) string {
+		tab, err := Figure9(Options{Seed: 5, Scale: 0.001, Parallelism: parallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.CSV()
+	}
+	serial := mk(1)
+	parallel := mk(8)
+	if serial != parallel {
+		t.Fatalf("Figure9 tables differ between Parallelism=1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}

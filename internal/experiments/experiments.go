@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 )
@@ -91,43 +92,59 @@ func All() []Runner {
 	}
 }
 
+// byName indexes the runner registry once; All() builds fresh slices, so
+// rebuilding it linearly on every lookup wasted work for hot callers.
+var (
+	byNameOnce sync.Once
+	byName     map[string]Runner
+)
+
 // ByName returns the runner with the given name.
 func ByName(name string) (Runner, bool) {
-	for _, r := range All() {
-		if r.Name == name {
-			return r, true
+	byNameOnce.Do(func() {
+		all := All()
+		byName = make(map[string]Runner, len(all))
+		for _, r := range all {
+			byName[r.Name] = r
 		}
-	}
-	return Runner{}, false
+	})
+	r, ok := byName[name]
+	return r, ok
 }
 
 // forEachParallel runs fn(i) for i in [0, n) on up to parallelism workers
-// and returns the first error.
+// and returns the first error. Work is handed out through an atomic
+// counter — no queue lock — and parallelism 1 degenerates to a plain loop,
+// which keeps single-worker runs exactly as deterministic (and as
+// profilable) as serial code.
 func forEachParallel(n, parallelism int, fn func(i int) error) error {
 	if parallelism > n {
 		parallelism = n
 	}
-	if parallelism < 1 {
-		parallelism = 1
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-		err  error
+		wg     sync.WaitGroup
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		err    error
 	)
 	worker := func() {
 		defer wg.Done()
-		for {
-			mu.Lock()
-			if err != nil || next >= n {
-				mu.Unlock()
+		for !failed.Load() {
+			i := int(next.Add(1)) - 1
+			if i >= n {
 				return
 			}
-			i := next
-			next++
-			mu.Unlock()
 			if e := fn(i); e != nil {
+				failed.Store(true)
 				mu.Lock()
 				if err == nil {
 					err = e

@@ -54,6 +54,9 @@ func buildSixTwo(level1, tChildren, dChildren int) (*sixTwoTopology, error) {
 		}
 	}
 	d := v2.Children()[0]
+	// Sweep cells run in parallel and share this topology; warming the
+	// tree's lazy caches now keeps the concurrent readers write-free.
+	tr.Warm()
 	return &sixTwoTopology{tree: tr, t: tNode, v2: v2, d: d}, nil
 }
 
@@ -68,13 +71,33 @@ type attackSweepResult struct {
 	numFailed int64
 }
 
+// queryShards fixes how many independently seeded slices the per-instance
+// query budget is cut into. The count is a constant — never derived from
+// Options.Parallelism — so the shard → RNG-stream mapping, and therefore
+// every figure table, is identical whether the shards run on one worker or
+// sixteen. Parallelism only decides how many shards execute at once.
+const queryShards = 16
+
+// shardAccum collects one query shard's measurements; shards are merged in
+// shard order afterwards so floating-point accumulation order (and thus the
+// emitted table) does not depend on worker scheduling.
+type shardAccum struct {
+	hops      *metrics.Summary
+	hist      *metrics.Histogram
+	backward  int64
+	delivered int64
+	failed    int64
+}
+
 // runHierarchyAttack measures query forwarding to D while T and a set of
 // its siblings are under attack. Because the backward-walk length toward a
 // dead OD node is essentially frozen per overlay instance (it depends on
 // where the nearest surviving pointer-holder sits), the measurement
 // averages over several independently seeded systems, splitting the query
-// budget among them.
-func runHierarchyAttack(topo *sixTwoTopology, k, q, queries, instances int, seed uint64,
+// budget among them. Within each instance the query loop fans out across
+// up to parallelism workers (see queryShards for why results stay
+// seed-stable regardless).
+func runHierarchyAttack(topo *sixTwoTopology, k, q, queries, instances, parallelism int, seed uint64,
 	buildCampaign func(inst int) (*attack.Campaign, error)) (attackSweepResult, error) {
 
 	if instances < 1 {
@@ -86,11 +109,19 @@ func runHierarchyAttack(topo *sixTwoTopology, k, q, queries, instances int, seed
 	}
 	hops := metrics.NewSummary()
 	var backwardTotal int64
-	tracker := metrics.NewDeliveryTracker()
+	var delivered, failed int64
 	hist := metrics.NewHistogram()
 	var size int
 	for inst := 0; inst < instances; inst++ {
-		sys, err := core.New(topo.tree, core.Config{K: k, Q: q, Seed: xrand.Derive(seed, uint64(inst)).Uint64()})
+		// Overlays generate routing tables lazily: a sweep cell's queries
+		// touch a thin slice of T's 50,000-node overlay, and the CAS-based
+		// lazy fill keeps concurrent shards race-free. Eager generation
+		// used to dominate cell wall-clock at O(N^2) per instance.
+		sys, err := core.New(topo.tree, core.Config{
+			K: k, Q: q,
+			Seed:             xrand.Derive(seed, uint64(inst)).Uint64(),
+			LazyOverlayAbove: 1,
+		})
 		if err != nil {
 			return attackSweepResult{}, err
 		}
@@ -102,30 +133,62 @@ func runHierarchyAttack(topo *sixTwoTopology, k, q, queries, instances int, seed
 			return attackSweepResult{}, err
 		}
 		size = campaign.Size()
-		rng := xrand.Derive(seed, 0xf19+uint64(inst))
-		for i := 0; i < perInstance; i++ {
-			res, err := sys.QueryNode(topo.d, core.QueryOptions{Rng: rng})
-			if err != nil {
-				return attackSweepResult{}, err
+		sys.Prepare(topo.d)
+
+		shards := queryShards
+		if shards > perInstance {
+			shards = perInstance
+		}
+		instSeed := xrand.Derive(seed, 0xf19+uint64(inst)).Uint64()
+		accs := make([]shardAccum, shards)
+		err = forEachParallel(shards, parallelism, func(sh int) error {
+			acc := &accs[sh]
+			acc.hops = metrics.NewSummary()
+			acc.hist = metrics.NewHistogram()
+			n := perInstance / shards
+			if sh < perInstance%shards {
+				n++
 			}
-			delivered := res.Outcome == core.QueryDelivered
-			tracker.Record(delivered)
-			if delivered {
-				hops.Observe(float64(res.Hops))
-				backwardTotal += int64(res.BackwardHops)
-				if err := hist.Observe(res.Hops); err != nil {
-					return attackSweepResult{}, err
+			rng := xrand.Derive(instSeed, uint64(sh))
+			for i := 0; i < n; i++ {
+				res, err := sys.QueryNode(topo.d, core.QueryOptions{Rng: rng})
+				if err != nil {
+					return err
+				}
+				if res.Outcome == core.QueryDelivered {
+					acc.delivered++
+					acc.hops.Observe(float64(res.Hops))
+					acc.backward += int64(res.BackwardHops)
+					if err := acc.hist.Observe(res.Hops); err != nil {
+						return err
+					}
+				} else {
+					acc.failed++
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return attackSweepResult{}, err
+		}
+		for i := range accs {
+			acc := &accs[i]
+			hops.Merge(acc.hops)
+			hist.Merge(acc.hist)
+			backwardTotal += acc.backward
+			delivered += acc.delivered
+			failed += acc.failed
 		}
 	}
 	out := attackSweepResult{
 		k:         k,
 		attacked:  size,
-		delivery:  tracker.Ratio(),
 		meanHops:  hops.Mean(),
 		p90Hops:   hist.Quantile(0.9),
-		numFailed: tracker.Failed(),
+		numFailed: failed,
+	}
+	if delivered+failed > 0 {
+		out.delivery = float64(delivered) / float64(delivered+failed)
 	}
 	if hops.Count() > 0 {
 		out.backward = float64(backwardTotal) / float64(hops.Count())
@@ -223,7 +286,7 @@ func hierarchyAttackFigure(opts Options, kind string) (*metrics.Table, error) {
 			}
 			return attack.Neighbors(topo.t, c.count)
 		}
-		res, err := runHierarchyAttack(topo, c.k, 10, queries, instances,
+		res, err := runHierarchyAttack(topo, c.k, 10, queries, instances, opts.Parallelism,
 			xrand.Derive(opts.Seed, 0x910+uint64(i)).Uint64(), buildCampaign)
 		if err != nil {
 			return err

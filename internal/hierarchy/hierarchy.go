@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/idspace"
 )
@@ -47,6 +48,11 @@ type Node struct {
 	// ringIndex is the node's index in its primary parent's overlay,
 	// valid only while that parent's sorted cache is fresh.
 	ringIndex int
+	// pathFromRoot caches PathFromRoot. A node's ancestry is immutable
+	// (parent and level are fixed at AddChild), so the cache never goes
+	// stale; the atomic pointer makes a racing first computation benign
+	// (both racers build the identical path).
+	pathFromRoot atomic.Pointer[[]*Node]
 }
 
 // Name returns the node's full name ("." for the root).
@@ -137,8 +143,13 @@ func (n *Node) RingIndex() int {
 }
 
 // PathFromRoot returns the top-down tree path [v_0, v_1, ..., v_l] ending
-// at n, the prescribed hierarchical forwarding path of §3.3.
+// at n, the prescribed hierarchical forwarding path of §3.3. The path is
+// computed once and cached (ancestry is immutable); the returned slice is
+// shared and must not be modified.
 func (n *Node) PathFromRoot() []*Node {
+	if p := n.pathFromRoot.Load(); p != nil {
+		return *p
+	}
 	depth := n.level + 1
 	path := make([]*Node, depth)
 	cur := n
@@ -146,6 +157,7 @@ func (n *Node) PathFromRoot() []*Node {
 		path[i] = cur
 		cur = cur.parent
 	}
+	n.pathFromRoot.Store(&path)
 	return path
 }
 
@@ -311,6 +323,20 @@ func (t *Tree) Walk(fn func(*Node) bool) {
 		return true
 	}
 	rec(t.root)
+}
+
+// Warm pre-builds every node's lazy caches — the sorted overlay membership
+// (Children) and the root path (PathFromRoot) — so a fully constructed tree
+// can afterwards be read concurrently. Without it, the first Children call
+// on a node sorts and publishes the membership slice lazily, a write that
+// races when two goroutines hit the same cold node; experiment sweeps that
+// share one topology across parallel cells call Warm once after build.
+func (t *Tree) Warm() {
+	t.Walk(func(n *Node) bool {
+		n.Children()
+		n.PathFromRoot()
+		return true
+	})
 }
 
 // LevelSpec describes one level of a generated hierarchy: every node at the

@@ -78,6 +78,18 @@ func (s *Summary) Quantile(q float64) float64 {
 	return s.samples[rank]
 }
 
+// Merge appends all of other's samples into s. Merging shard-local
+// summaries in a fixed shard order yields byte-identical statistics
+// regardless of how many workers produced them (floating-point sums follow
+// sample order, which the fixed merge order pins down).
+func (s *Summary) Merge(other *Summary) {
+	if other == nil || len(other.samples) == 0 {
+		return
+	}
+	s.samples = append(s.samples, other.samples...)
+	s.sorted = false
+}
+
 // String renders the summary for logs.
 func (s *Summary) String() string {
 	return fmt.Sprintf("summary{n=%d mean=%.3f sd=%.3f p50=%.3f p90=%.3f}",

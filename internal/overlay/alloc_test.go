@@ -1,0 +1,54 @@
+package overlay
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestRouteHealthyZeroAllocs pins the zero-allocation contract of the query
+// hot path: routing through a healthy overlay with no trace and no load
+// counter must not allocate at all. Every figure run issues millions of
+// these routes, so a single stray allocation per hop shows up as GC time in
+// whole-sweep profiles.
+func TestRouteHealthyZeroAllocs(t *testing.T) {
+	o := mustNew(t, Config{N: 4096, K: 5, Seed: 9})
+	rng := xrand.New(10)
+	// One warm-up pass so lazy bits (none here) and pools settle.
+	if _, err := o.Route(0, 2048, RouteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		src := rng.IntN(4096)
+		od := rng.IntN(4096)
+		if _, err := o.Route(src, od, RouteOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("healthy Route allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestRouteLazyZeroAllocsSteadyState proves the lazy-table fast path is
+// also allocation-free once the touched tables exist: the atomic load that
+// replaced the generation check costs no allocation.
+func TestRouteLazyZeroAllocsSteadyState(t *testing.T) {
+	o := mustNew(t, Config{N: 4096, K: 5, Seed: 9, Lazy: true})
+	rng := xrand.New(10)
+	// Warm every table the measured routes can touch.
+	warm := xrand.New(10)
+	for i := 0; i < 400; i++ {
+		if _, err := o.Route(warm.IntN(4096), warm.IntN(4096), RouteOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := o.Route(rng.IntN(4096), rng.IntN(4096), RouteOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state lazy Route allocates %.1f objects per call, want 0", allocs)
+	}
+}

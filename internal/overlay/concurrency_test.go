@@ -67,3 +67,56 @@ func (e *routeOutcomeError) Error() string {
 func errUnexpectedOutcome(src, dst int, outcome Outcome) error {
 	return &routeOutcomeError{src: src, dst: dst, outcome: outcome}
 }
+
+// TestConcurrentLazyRouting exercises the CAS-based lazy table fill: many
+// goroutines route through a shared lazy overlay whose tables do not exist
+// yet, racing to generate them. Run with -race. Afterwards the lazily
+// generated tables must be identical to an eagerly built twin — duplicate
+// generations are discarded, never merged.
+func TestConcurrentLazyRouting(t *testing.T) {
+	const n = 2000
+	lazy := mustNew(t, Config{N: n, K: 5, Seed: 71, Lazy: true})
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(300 + w))
+			for i := 0; i < 500; i++ {
+				src := rng.IntN(n)
+				dst := rng.IntN(n)
+				res, err := lazy.Route(src, dst, RouteOptions{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Outcome != Delivered {
+					errs <- errUnexpectedOutcome(src, dst, res.Outcome)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	eager := mustNew(t, Config{N: n, K: 5, Seed: 71})
+	for i := 0; i < n; i++ {
+		lt := lazy.Table(i)
+		et := eager.Table(i)
+		if len(lt) != len(et) {
+			t.Fatalf("node %d: lazy table has %d entries, eager %d", i, len(lt), len(et))
+		}
+		for j := range lt {
+			if lt[j] != et[j] {
+				t.Fatalf("node %d entry %d: lazy %d != eager %d", i, j, lt[j], et[j])
+			}
+		}
+	}
+}

@@ -132,10 +132,17 @@ func Entries(rng *rand.Rand, n, k int) ([]int32, error) {
 // reflects current membership.
 func (o *Overlay) RegenerateTable(i int, epoch uint64) {
 	rng := xrand.Derive(o.seed^(epoch*0x9e3779b97f4a7c15), uint64(i))
+	var t []int32
 	if o.exact {
-		o.tables[i] = genTableExact(rng, o.n, o.k)
+		t = genTableExact(rng, o.n, o.k)
 	} else {
-		o.tables[i] = genTableFast(rng, o.n, o.k)
+		t = genTableFast(rng, o.n, o.k)
 	}
+	if o.tables != nil {
+		o.tables[i] = t
+	} else {
+		o.lazyTables[i].Store(&t)
+	}
+	o.extrasN -= len(o.extras[int32(i)])
 	delete(o.extras, int32(i))
 }

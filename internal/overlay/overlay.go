@@ -10,12 +10,15 @@
 // indices to names/addresses. All randomness is derived from an explicit
 // seed, so overlays (and whole experiments) are reproducible.
 //
-// Concurrency: an eagerly generated overlay is safe for concurrent Route
+// Concurrency: an overlay — eager or lazy — is safe for concurrent Route
 // and read-accessor calls once construction and any SetAlive/Repair
-// mutations have completed (routing only reads). Lazy overlays generate
-// tables during routing and are not safe for concurrent use, nor are
-// SetAlive, Repair, BridgeGapsIdeal, or RegenerateTable concurrent with
-// anything else.
+// mutations have completed (routing only reads, and lazy table generation
+// publishes each node's table through a per-slot atomic compare-and-swap;
+// every node draws from its own derived random stream, so a racing
+// duplicate generation produces an identical table and the loser is
+// discarded). Mutations — SetAlive, Repair, Stabilize, BridgeGapsIdeal,
+// RegenerateTable — still require exclusive access: run them before or
+// between query phases, never concurrently with routing.
 //
 // The overlay stores only sibling structure. Nephew pointers (which target
 // nodes in a *different*, next-level overlay) are kept by package core,
@@ -25,6 +28,7 @@ package overlay
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/idspace"
 )
@@ -111,13 +115,25 @@ type Overlay struct {
 	exact  bool
 
 	// tables[i] holds node i's sibling pointers as clockwise index
-	// distances, sorted ascending. In lazy mode a nil slice means "not
-	// yet generated" and lazyTables tracks generation.
+	// distances, sorted ascending. Eager overlays fill it at construction
+	// and routing reads it directly (contiguous slice headers, no
+	// indirection on the hot path). Lazy overlays leave it nil and use
+	// lazyTables instead.
 	tables [][]int32
+	// lazyTables backs lazy mode: slot i is nil until node i's table is
+	// first needed, and generation installs it with a compare-and-swap so
+	// concurrent Route calls on a shared lazy overlay are race-free
+	// (duplicate generations are identical; the CAS loser is discarded).
+	lazyTables []atomic.Pointer[[]int32]
 	// extras[i] holds routing entries created outside Algorithm 1 (by the
 	// active-recovery protocol), as clockwise distances. Kept separate so
 	// regeneration and repair interact predictably.
 	extras map[int32][]int32
+	// extrasN counts the entries across extras. The steady state of every
+	// figure run has no repair entries at all; keeping the count lets the
+	// per-hop lookups (HasEntry, bestGreedyHop) skip the map entirely
+	// instead of paying a hash per hop.
+	extrasN int
 
 	alive      []bool
 	aliveCount int
@@ -152,7 +168,6 @@ func New(cfg Config) (*Overlay, error) {
 		seed:       cfg.Seed,
 		lazy:       cfg.Lazy,
 		exact:      cfg.ForceExactGen || cfg.N <= fastGenThreshold,
-		tables:     make([][]int32, cfg.N),
 		extras:     make(map[int32][]int32),
 		alive:      make([]bool, cfg.N),
 		aliveCount: cfg.N,
@@ -162,7 +177,10 @@ func New(cfg Config) (*Overlay, error) {
 		o.alive[i] = true
 		o.ccw[i] = int32(idspace.IndexAdd(i, -1, o.n))
 	}
-	if !o.lazy {
+	if o.lazy {
+		o.lazyTables = make([]atomic.Pointer[[]int32], cfg.N)
+	} else {
+		o.tables = make([][]int32, cfg.N)
 		for i := 0; i < o.n; i++ {
 			o.tables[i] = o.genTable(i)
 		}
@@ -201,14 +219,21 @@ func (o *Overlay) SetAlive(i int, up bool) {
 }
 
 // table returns node i's generated routing table, generating it on demand
-// in lazy mode.
+// in lazy mode. Generation races (concurrent Route calls on a shared lazy
+// overlay) are benign: each node's table comes from its own derived random
+// stream, so every racer computes the same table and CAS keeps exactly one.
 func (o *Overlay) table(i int) []int32 {
-	t := o.tables[i]
-	if t == nil {
-		t = o.genTable(i)
-		o.tables[i] = t
+	if o.tables != nil {
+		return o.tables[i]
 	}
-	return t
+	if p := o.lazyTables[i].Load(); p != nil {
+		return *p
+	}
+	t := o.genTable(i)
+	if o.lazyTables[i].CompareAndSwap(nil, &t) {
+		return t
+	}
+	return *o.lazyTables[i].Load()
 }
 
 // Table returns node i's routing entries as clockwise index distances in
@@ -246,9 +271,11 @@ func (o *Overlay) HasEntry(i, j int) bool {
 	if containsSorted(o.table(i), d) {
 		return true
 	}
-	for _, e := range o.extras[int32(i)] {
-		if e == d {
-			return true
+	if o.extrasN != 0 {
+		for _, e := range o.extras[int32(i)] {
+			if e == d {
+				return true
+			}
 		}
 	}
 	return false
@@ -263,6 +290,7 @@ func (o *Overlay) addExtraEntry(i, j int) {
 	d := int32(idspace.IndexDist(i, j, o.n))
 	key := int32(i)
 	o.extras[key] = insertSorted(o.extras[key], d)
+	o.extrasN++
 }
 
 // ExtraEntries returns the number of repair-created entries at node i.

@@ -46,6 +46,10 @@ type RouteOptions struct {
 	Load *metrics.LoadCounter
 	// TracePath, when set, records the sequence of visited nodes.
 	TracePath bool
+	// PathBuf, when non-nil and TracePath is set, is used (truncated) as
+	// the backing storage for Result.Path, letting callers that consume
+	// the path immediately reuse one buffer across many routes.
+	PathBuf []int32
 	// MaxHops caps the walk; zero means 3*N (enough for a full greedy
 	// pass plus a full backward wrap). Exceeding the cap fails the route.
 	MaxHops int
@@ -95,18 +99,11 @@ func (o *Overlay) Route(src, od int, opts RouteOptions) (Result, error) {
 	res := Result{Exit: src}
 	u := src
 	backward := false
+	// Recording is inlined at each forwarding site (rather than a shared
+	// closure) so that the healthy fast path — no trace, no load counter —
+	// allocates nothing; alloc_test.go pins AllocsPerRun == 0.
 	if opts.TracePath {
-		res.Path = append(res.Path, int32(src))
-	}
-	record := func(next int) {
-		if opts.Load != nil {
-			opts.Load.Inc(u)
-		}
-		u = next
-		res.Hops++
-		if opts.TracePath {
-			res.Path = append(res.Path, int32(next))
-		}
+		res.Path = append(opts.PathBuf[:0], int32(src))
 	}
 
 	for {
@@ -127,7 +124,14 @@ func (o *Overlay) Route(src, od int, opts RouteOptions) (Result, error) {
 		// is in u's routing table.
 		if o.hasUsableODEntry(u, od) {
 			if o.alive[od] {
-				record(od)
+				if opts.Load != nil {
+					opts.Load.Inc(u)
+				}
+				u = od
+				res.Hops++
+				if opts.TracePath {
+					res.Path = append(res.Path, int32(od))
+				}
 				continue // loop top reports Delivered
 			}
 			// OD is down: u holds its entry and hence nephew pointers
@@ -140,7 +144,14 @@ func (o *Overlay) Route(src, od int, opts RouteOptions) (Result, error) {
 		if !backward {
 			next, ok := o.bestGreedyHop(u, od)
 			if ok {
-				record(next)
+				if opts.Load != nil {
+					opts.Load.Inc(u)
+				}
+				u = next
+				res.Hops++
+				if opts.TracePath {
+					res.Path = append(res.Path, int32(next))
+				}
 				continue
 			}
 			// Greedy forwarding cannot make progress: every table entry
@@ -173,7 +184,14 @@ func (o *Overlay) Route(src, od int, opts RouteOptions) (Result, error) {
 			res.Exit = u
 			return res, nil
 		}
-		record(next)
+		if opts.Load != nil {
+			opts.Load.Inc(u)
+		}
+		u = next
+		res.Hops++
+		if opts.TracePath {
+			res.Path = append(res.Path, int32(next))
+		}
 		res.BackwardHops++
 	}
 }
@@ -209,7 +227,11 @@ func (o *Overlay) bestGreedyHop(u, od int) (next int, ok bool) {
 			return cand, true
 		}
 	}
-	// Repair-created entries participate in greedy forwarding too.
+	// Repair-created entries participate in greedy forwarding too. The
+	// no-repair steady state skips the map lookup entirely.
+	if o.extrasN == 0 {
+		return 0, false
+	}
 	var best int32 = -1
 	for _, d := range o.extras[int32(u)] {
 		if d <= dist && d > best {

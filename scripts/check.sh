@@ -49,4 +49,37 @@ echo "$bench_out" | awk '
 ' > BENCH_transport.json
 echo "    wrote BENCH_transport.json"
 
+# Simulation bench smoke: the intra-overlay and end-to-end query hot paths
+# plus a fig9-shaped sweep cell (system build + attack + sharded Monte-Carlo
+# query loop). Current numbers land in BENCH_sim.json next to the fixed
+# pre-overhaul baseline so the speedup (and any regression) is visible in
+# review diffs; the acceptance floor is >= 2x on BenchmarkFig9Cell.
+echo "==> simulation bench smoke (query hot path + fig9-shaped sweep cell)"
+sim_core=$(go test -run '^$' -bench 'BenchmarkQueryHealthy$' -benchtime 0.2s ./internal/core/)
+sim_overlay=$(go test -run '^$' -bench 'BenchmarkRouteHealthy50k$' -benchtime 0.2s ./internal/overlay/)
+sim_fig9=$(go test -run '^$' -bench 'BenchmarkFig9Cell$' -benchtime 3x ./internal/experiments/)
+printf '%s\n%s\n%s\n' "$sim_core" "$sim_overlay" "$sim_fig9" | grep '^Benchmark'
+printf '%s\n%s\n%s\n' "$sim_core" "$sim_overlay" "$sim_fig9" | awk '
+    BEGIN {
+        print "{"
+        print "  \"baseline_pre_pr\": {"
+        print "    \"_comment\": \"measured at d6acfcb (before the zero-alloc/lazy-CAS/fan-out engine overhaul), single-core runner\","
+        print "    \"BenchmarkQueryHealthy\": {\"ns_per_op\": 111.8},"
+        print "    \"BenchmarkRouteHealthy50k\": {\"ns_per_op\": 943.0},"
+        print "    \"BenchmarkFig9Cell\": {\"ns_per_op\": 44631137, \"queries_per_s\": 89624}"
+        print "  },"
+        printf "  \"current\": {"
+    }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        if (n++) printf ","
+        printf "\n    \"%s\": {\"ns_per_op\": %s", name, $3
+        if ($6 == "queries/s") printf ", \"queries_per_s\": %s", $5
+        printf "}"
+    }
+    END { print "\n  }\n}" }
+' > BENCH_sim.json
+echo "    wrote BENCH_sim.json"
+
 echo "OK"
