@@ -15,10 +15,17 @@
 //
 // Query any node with cmd/hoursq. With -debug-addr, the daemon also
 // serves Prometheus metrics (/metrics), expvar-style JSON (/debug/vars),
-// and a liveness check (/healthz):
+// collected distributed traces (/debug/traces), Go runtime telemetry
+// (hours_go_* gauges inside /metrics), and a liveness check (/healthz):
 //
 //	hoursd -demo 4,3 -addr 127.0.0.1:7000 -debug-addr 127.0.0.1:9090
 //	curl -s 127.0.0.1:9090/metrics
+//	curl -s 127.0.0.1:9090/debug/traces
+//
+// -trace-sample sets the head-sampling probability for queries that
+// arrive without a trace context (hoursq -trace forces sampling end to
+// end regardless); -profile-dir turns on continuous profiling, rotating
+// pprof CPU/heap captures into the directory.
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 
 	"repro/internal/node"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/transport"
 )
 
@@ -66,6 +74,8 @@ func run(args []string) error {
 		suspicionK  = fs.Int("suspicion-k", 3, "consecutive failed probes before the CCW pointer is declared dead")
 		poolSize    = fs.Int("pool-size", 4, "persistent connections kept per peer (0 dials per call)")
 		maxInflight = fs.Int("max-inflight", 32, "concurrent requests multiplexed per pooled connection")
+		traceSample = fs.Float64("trace-sample", 0, "head-sampling probability for distributed traces (0 records only traces forced upstream, 1 traces every query)")
+		profileDir  = fs.String("profile-dir", "", "continuous profiling: rotate pprof CPU/heap captures into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,16 +86,29 @@ func run(args []string) error {
 	}
 	logger := obs.NewLogger(os.Stderr, level)
 	reg := obs.NewRegistry()
-	stopDebug, err := serveDebug(*debugAddr, reg, logger)
+	// The tracer exists even at -trace-sample 0 so traces forced upstream
+	// (hoursq -trace, or a peer's head decision) are still recorded and
+	// servable; only local head sampling is off then.
+	tracer := trace.New(trace.Config{SampleRate: *traceSample, Seed: *seed})
+	stopDebug, err := serveDebug(*debugAddr, reg, tracer, logger)
 	if err != nil {
 		return err
 	}
 	defer stopDebug()
+	if *profileDir != "" {
+		stopProf, err := obs.StartProfiler(obs.ProfileConfig{Dir: *profileDir})
+		if err != nil {
+			return err
+		}
+		defer stopProf()
+		logger.Info("continuous profiling", "dir", *profileDir)
+	}
 	if *demo != "" {
 		return runDemo(demoConfig{
 			spec: *demo, rootAddr: *addr, k: *k, q: *q, seed: *seed,
 			probe: *probe, retryAtt: *retryAtt, suspicionK: *suspicionK,
 			poolSize: *poolSize, maxInflight: *maxInflight,
+			tracer: tracer,
 		}, reg, logger)
 	}
 	if *name == "" {
@@ -93,10 +116,12 @@ func run(args []string) error {
 	}
 	base, pool := tcpBase(*poolSize, *maxInflight, 0, 0)
 	stacked, err := transport.Stack(transport.StackConfig{
-		Base:    base,
-		Pool:    pool,
-		Retry:   retryPolicy(*retryAtt, *seed),
-		Metrics: reg,
+		Base:       base,
+		Pool:       pool,
+		Retry:      retryPolicy(*retryAtt, *seed),
+		Metrics:    reg,
+		Tracer:     tracer,
+		TraceLocal: *name,
 	})
 	if err != nil {
 		return err
@@ -107,6 +132,7 @@ func run(args []string) error {
 		K: *k, Q: *q, Seed: *seed, ProbePeriod: *probe, Data: *data,
 		SuspicionK: *suspicionK,
 		Metrics:    reg, Logger: logger,
+		Tracer: tracer,
 	}, stacked)
 	if err != nil {
 		return err
@@ -134,10 +160,12 @@ func run(args []string) error {
 	return waitForSignal()
 }
 
-// serveDebug starts the observability HTTP endpoint (ISSUE: /metrics,
-// /debug/vars, /healthz) when addr is non-empty. The bound address is
-// recorded in debugBoundAddr so tests with ":0" can find it.
-func serveDebug(addr string, reg *obs.Registry, logger *slog.Logger) (func(), error) {
+// serveDebug starts the observability HTTP endpoint (/metrics,
+// /debug/vars, /healthz, /debug/traces) when addr is non-empty, along
+// with the runtime-telemetry collector feeding the hours_go_* gauges.
+// The bound address is recorded in debugBoundAddr so tests with ":0"
+// can find it.
+func serveDebug(addr string, reg *obs.Registry, tracer *trace.Tracer, logger *slog.Logger) (func(), error) {
 	if addr == "" {
 		return func() {}, nil
 	}
@@ -146,10 +174,19 @@ func serveDebug(addr string, reg *obs.Registry, logger *slog.Logger) (func(), er
 		return nil, fmt.Errorf("debug listener: %w", err)
 	}
 	debugBoundAddr = ln.Addr().String()
-	srv := &http.Server{Handler: obs.Handler(reg)}
+	stopRuntime := obs.StartRuntimeCollector(reg, 10*time.Second)
+	mux := http.NewServeMux()
+	th := trace.Handler(tracer)
+	mux.Handle("/debug/traces", th)
+	mux.Handle("/debug/traces/", th)
+	mux.Handle("/", obs.Handler(reg))
+	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
 	logger.Info("debug server listening", "addr", debugBoundAddr)
-	return func() { _ = srv.Close() }, nil
+	return func() {
+		_ = srv.Close()
+		stopRuntime()
+	}, nil
 }
 
 // debugBoundAddr is the resolved -debug-addr listen address (tests pass
@@ -199,6 +236,7 @@ type demoConfig struct {
 	suspicionK  int
 	poolSize    int
 	maxInflight int
+	tracer      *trace.Tracer
 }
 
 // runDemo spins up a whole hierarchy of TCP nodes in one process, all
@@ -214,6 +252,10 @@ func runDemo(dc demoConfig, reg *obs.Registry, logger *slog.Logger) error {
 		Pool:    pool,
 		Retry:   retryPolicy(dc.retryAtt, dc.seed),
 		Metrics: reg,
+		Tracer:  dc.tracer,
+		// One stack is shared by every demo node, so client spans carry
+		// no single node name; server spans still claim theirs.
+		TraceLocal: "-",
 	})
 	if err != nil {
 		return err
@@ -238,6 +280,7 @@ func runDemo(dc demoConfig, reg *obs.Registry, logger *slog.Logger) error {
 			K: dc.k, Q: dc.q, Seed: dc.seed + uint64(len(nodes)), ProbePeriod: dc.probe,
 			SuspicionK: dc.suspicionK,
 			Metrics:    reg, Logger: logger,
+			Tracer: dc.tracer,
 		}, stacked)
 		if err != nil {
 			return nil, "", err

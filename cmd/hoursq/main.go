@@ -5,6 +5,12 @@
 // The entry node can be any node in the hierarchy (§7 bootstrapping): if
 // ancestors of the target are under attack, the query detours across the
 // randomized overlays and still resolves.
+//
+// -trace stamps the query with a force-sampled distributed-trace
+// context, collects the spans every visited node recorded (walking peer
+// attributes breadth-first with trace_get RPCs), and renders the full
+// cross-node span tree. Against nodes too old to record spans it falls
+// back to the in-band hop trace.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -35,7 +42,7 @@ func run(args []string) error {
 		ttl     = fs.Int("ttl", 256, "forwarding TTL")
 		timeout = fs.Duration("timeout", 10*time.Second, "end-to-end timeout")
 		verbose = fs.Bool("v", false, "print the forwarding path")
-		trace   = fs.Bool("trace", false, "print a hop-by-hop trace (node, ring index, mode, per-hop time)")
+		traced  = fs.Bool("trace", false, "collect and render the cross-node span tree (falls back to the hop-by-hop trace)")
 		stats   = fs.Bool("stats", false, "fetch the node's operational counters instead of querying")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -55,13 +62,27 @@ func run(args []string) error {
 		Target: strings.TrimSuffix(*target, "."),
 		Mode:   wire.ModeHierarchical,
 		TTL:    *ttl,
-		Trace:  *trace,
+		Trace:  *traced,
 	})
 	if err != nil {
 		return err
 	}
+	// With -trace the client is the trace root: a force-sampled context
+	// rides the query so every node's Traced layer records its part.
+	var (
+		qt   *trace.Tracer
+		root *trace.ActiveSpan
+	)
+	if *traced {
+		qt = trace.New(trace.Config{SampleRate: 1, Seed: uint64(time.Now().UnixNano()), Capacity: 16})
+		root = qt.StartRoot("query", "hoursq")
+		root.SetAttr("target", *target)
+		root.SetAttr("peer", *addr)
+		req.TC = root.Context()
+	}
 	start := time.Now()
 	resp, err := tcp.Call(ctx, *addr, req)
+	root.Finish(err)
 	if err != nil {
 		return err
 	}
@@ -69,17 +90,78 @@ func run(args []string) error {
 	if err := resp.Decode(&qr); err != nil {
 		return err
 	}
-	if *trace {
-		printTrace(os.Stdout, qr)
+	if *traced {
+		spans := collectTrace(ctx, tcp, *addr, root.Context().TraceID, qt.Store().Snapshot())
+		if len(spans) > 1 {
+			fmt.Printf("trace %s (%d spans)\n", trace.FormatID(root.Context().TraceID), len(spans))
+			trace.RenderTree(os.Stdout, spans)
+		} else {
+			// v1 peer or tracing disabled server-side: in-band hops only.
+			printTrace(os.Stdout, qr)
+		}
 	}
 	if !qr.Found {
 		return fmt.Errorf("not resolved after %d hops: %s", qr.Hops, qr.Reason)
 	}
 	fmt.Printf("%s = %s (%d hops, %v)\n", *target, qr.Answer, qr.Hops, time.Since(start).Round(time.Millisecond))
-	if *verbose && !*trace {
+	if *verbose && !*traced {
 		fmt.Printf("path: %s\n", strings.Join(qr.Path, " -> "))
 	}
 	return nil
+}
+
+// collectTrace gathers the distributed trace: starting from the entry
+// node, it fetches every span the node stored for the trace, discovers
+// further nodes from client spans' peer attributes, and walks them
+// breadth-first. Seeded with the client's own spans; nodes that know
+// nothing about the trace (v1 peers, no tracer) just answer empty.
+func collectTrace(ctx context.Context, tr transport.Transport, entry string, traceID uint64, local []wire.SpanRecord) []wire.SpanRecord {
+	seen := make(map[uint64]wire.SpanRecord, len(local))
+	var order []uint64
+	add := func(s wire.SpanRecord) {
+		if _, ok := seen[s.SpanID]; !ok {
+			seen[s.SpanID] = s
+			order = append(order, s.SpanID)
+		}
+	}
+	for _, s := range local {
+		if s.TraceID == traceID {
+			add(s)
+		}
+	}
+	visited := map[string]bool{}
+	queue := []string{entry}
+	for len(queue) > 0 && len(visited) < 256 {
+		addr := queue[0]
+		queue = queue[1:]
+		if addr == "" || visited[addr] {
+			continue
+		}
+		visited[addr] = true
+		req, err := wire.New(wire.TypeTraceGet, wire.TraceGet{TraceID: traceID})
+		if err != nil {
+			continue
+		}
+		resp, err := tr.Call(ctx, addr, req)
+		if err != nil || resp.Type != wire.TypeTraceGetResult {
+			continue // unreachable or pre-tracing peer: keep what we have
+		}
+		var res wire.TraceGetResult
+		if resp.Decode(&res) != nil {
+			continue
+		}
+		for _, s := range res.Spans {
+			add(s)
+			if peer, ok := s.Attr("peer"); ok {
+				queue = append(queue, peer)
+			}
+		}
+	}
+	out := make([]wire.SpanRecord, 0, len(order))
+	for _, id := range order {
+		out = append(out, seen[id])
+	}
+	return out
 }
 
 // printTrace renders the per-hop records a traced query accumulated:

@@ -22,6 +22,7 @@ package hours
 
 import (
 	"context"
+	"io"
 	"net/http"
 
 	"repro/internal/analysis"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/overlay"
 	"repro/internal/wire"
 )
@@ -198,11 +200,33 @@ type (
 	MetricsSnapshot = obs.Snapshot
 	// HopRecord is one step of a distributed query trace.
 	HopRecord = wire.HopRecord
+	// Tracer samples, records, and stores distributed-trace spans; share
+	// one via ClusterConfig.Tracer to capture cross-node span trees.
+	Tracer = trace.Tracer
+	// TracerConfig parameterizes NewTracer (sampling rate, seed, span
+	// store capacity).
+	TracerConfig = trace.Config
+	// SpanRecord is one finished span as stored and shipped on the wire.
+	SpanRecord = wire.SpanRecord
+	// TraceContext is the trace identity propagated across RPCs (binary
+	// in mux frames, a JSON field in v1 envelopes).
+	TraceContext = wire.TraceContext
 )
 
 // NewMetricsRegistry returns an empty metrics registry. Pass it as
 // ClusterConfig.Metrics to aggregate a whole live cluster in one place.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer builds a distributed tracer. Rate 0 still records traces
+// forced by an upstream sampled context; rate 1 traces everything.
+func NewTracer(cfg TracerConfig) *Tracer { return trace.New(cfg) }
+
+// TraceHandler serves collected traces as JSON (plus an ASCII tree per
+// trace) — the handler cmd/hoursd mounts at /debug/traces.
+func TraceHandler(t *Tracer) http.Handler { return trace.Handler(t) }
+
+// RenderSpanTree writes the ASCII span tree for a collected trace.
+func RenderSpanTree(w io.Writer, spans []SpanRecord) { trace.RenderTree(w, spans) }
 
 // MetricsHandler serves /metrics (Prometheus text format 0.0.4),
 // /debug/vars (expvar-style JSON), and /healthz for a registry — the same

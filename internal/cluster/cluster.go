@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/node"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 	"repro/internal/xrand"
@@ -48,6 +49,11 @@ type Config struct {
 	// Note that per-node Stats legacy counters then also report the
 	// aggregate; leave Metrics nil for per-node registries.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, is shared by every node: all spans land in
+	// one store (the cluster is one process), QueryTraced stamps its
+	// query with a sampled trace context, and context-less requests get
+	// the head sampling decision at whichever node they reach first.
+	Tracer *trace.Tracer
 	// Logger receives every node's structured events (each node tags its
 	// records with a "node" attribute). Nil discards them.
 	Logger *slog.Logger
@@ -57,10 +63,11 @@ type Config struct {
 // Multi-process TCP deployments wire nodes up individually (see
 // cmd/hoursd).
 type Cluster struct {
-	tr    *transport.Mem
-	root  *node.Node
-	nodes map[string]*node.Node // by display name
-	order []string              // creation order, root first
+	tr     *transport.Mem
+	tracer *trace.Tracer
+	root   *node.Node
+	nodes  map[string]*node.Node // by display name
+	order  []string              // creation order, root first
 }
 
 // New builds, starts, joins, and wires up a full hierarchy.
@@ -74,7 +81,7 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 		}
 	}
 	tr := transport.NewMem()
-	c := &Cluster{tr: tr, nodes: make(map[string]*node.Node)}
+	c := &Cluster{tr: tr, tracer: cfg.Tracer, nodes: make(map[string]*node.Node)}
 
 	mk := func(name, parentAddr string) (*node.Node, error) {
 		addr := "mem://" + name
@@ -87,11 +94,13 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 			reg = obs.NewRegistry()
 		}
 		stacked, err := transport.Stack(transport.StackConfig{
-			Base:    tr,
-			Addr:    addr,
-			Faults:  cfg.Faults,
-			Retry:   cfg.Retry,
-			Metrics: reg,
+			Base:       tr,
+			Addr:       addr,
+			Faults:     cfg.Faults,
+			Retry:      cfg.Retry,
+			Metrics:    reg,
+			Tracer:     cfg.Tracer,
+			TraceLocal: name,
 		})
 		if err != nil {
 			return nil, err
@@ -108,6 +117,7 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 			SuspicionK:  cfg.SuspicionK,
 			Metrics:     reg,
 			Logger:      cfg.Logger,
+			Tracer:      cfg.Tracer,
 		}, stacked)
 		if err != nil {
 			return nil, err
@@ -190,6 +200,9 @@ func (c *Cluster) Size() int { return len(c.nodes) }
 // Transport exposes the underlying transport (e.g. to suppress addresses
 // directly).
 func (c *Cluster) Transport() *transport.Mem { return c.tr }
+
+// Tracer exposes the cluster-wide tracer (nil when tracing is off).
+func (c *Cluster) Tracer() *trace.Tracer { return c.tracer }
 
 // Suppress injects or lifts a DoS attack on the named node.
 func (c *Cluster) Suppress(name string, down bool) error {
@@ -274,12 +287,15 @@ func (c *Cluster) LookupDefault(target string, entries ...string) (wire.QueryRes
 
 // QueryTraced is Query with per-hop tracing enabled: the result's
 // HopTrace records every node the query visited, the forwarding mode it
-// arrived under, and how long each node spent on it.
+// arrived under, and how long each node spent on it. With a cluster
+// Tracer configured, the query additionally carries a force-sampled
+// distributed-trace context, so the full cross-node span tree lands in
+// the tracer's store (fetch it by the root span's trace ID).
 func (c *Cluster) QueryTraced(ctx context.Context, entry, target string) (wire.QueryResult, error) {
 	return c.query(ctx, entry, target, true)
 }
 
-func (c *Cluster) query(ctx context.Context, entry, target string, trace bool) (wire.QueryResult, error) {
+func (c *Cluster) query(ctx context.Context, entry, target string, withHops bool) (wire.QueryResult, error) {
 	n, ok := c.nodes[entry]
 	if !ok {
 		return wire.QueryResult{}, fmt.Errorf("cluster: no entry node %q", entry)
@@ -288,10 +304,20 @@ func (c *Cluster) query(ctx context.Context, entry, target string, trace bool) (
 		Target: strings.TrimSuffix(target, "."),
 		Mode:   wire.ModeHierarchical,
 		TTL:    4 * len(c.nodes),
-		Trace:  trace,
+		Trace:  withHops,
 	})
 	if err != nil {
 		return wire.QueryResult{}, err
+	}
+	if withHops && c.tracer != nil {
+		// The cluster client bypasses the node stacks (it calls the Mem
+		// base directly), so the root span and context injection happen
+		// here rather than in a Traced layer.
+		sp := c.tracer.StartRoot("query", "client")
+		sp.SetAttr("target", target)
+		sp.SetAttr("entry", entry)
+		req.TC = sp.Context()
+		defer func() { sp.Finish(nil) }()
 	}
 	resp, err := c.tr.Call(ctx, n.Addr(), req)
 	if err != nil {

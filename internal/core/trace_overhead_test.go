@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs/trace"
+	"repro/internal/xrand"
+)
+
+// The trace-overhead guard: the simulator's query hot path wrapped the
+// way a traced caller wraps it, in the three tracing regimes. The
+// sampled-out regime is the one that matters for production overhead —
+// every query pays it when tracing is configured but this query loses
+// the sampling draw — and it must stay allocation-free and within noise
+// of the untraced baseline (compare BenchmarkQueryHealthyTraceOff and
+// BenchmarkQueryHealthyTraceSampledOut; the delta is the per-query cost
+// of one sampling draw).
+
+func benchQuery(b *testing.B, t *trace.Tracer) {
+	tr := buildTree(b, 100, 20, 3)
+	s := buildSystem(b, tr, Config{K: 5, Seed: 30})
+	rng := xrand.New(31)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp, _ := t.StartRootMaybe("query", "bench")
+		_, err := s.Query("l3-1.l2-7.l1-42", QueryOptions{Rng: rng})
+		sp.Finish(err)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryHealthyTraceOff(b *testing.B) {
+	benchQuery(b, nil) // nil tracer: the true no-tracing baseline
+}
+
+func BenchmarkQueryHealthyTraceSampledOut(b *testing.B) {
+	// Rate low enough that no iteration samples, high enough that the
+	// sampling draw is exercised every time.
+	benchQuery(b, trace.New(trace.Config{SampleRate: 1e-12, Seed: 7}))
+}
+
+func BenchmarkQueryHealthyTraceSampledIn(b *testing.B) {
+	benchQuery(b, trace.New(trace.Config{SampleRate: 1, Seed: 7, Capacity: 1 << 12}))
+}
+
+// TestTraceSampledOutQueryZeroAlloc is the regression pin behind the
+// benchmarks: a query that loses the sampling draw must not allocate at
+// all on the tracing side.
+func TestTraceSampledOutQueryZeroAlloc(t *testing.T) {
+	tr := buildTree(t, 20, 4)
+	s := buildSystem(t, tr, Config{K: 3, Seed: 30})
+	rng := xrand.New(31)
+	tc := trace.New(trace.Config{SampleRate: 1e-12, Seed: 7})
+
+	// Baseline: what the query itself allocates, untraced.
+	target := "l2-1.l1-7"
+	base := testing.AllocsPerRun(500, func() {
+		if _, err := s.Query(target, QueryOptions{Rng: rng}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	traced := testing.AllocsPerRun(500, func() {
+		sp, _ := tc.StartRootMaybe("query", "bench")
+		_, err := s.Query(target, QueryOptions{Rng: rng})
+		sp.Finish(err)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if traced > base {
+		t.Fatalf("sampled-out tracing allocates: %.1f allocs/op traced vs %.1f untraced", traced, base)
+	}
+	if seq := tc.Store().Seq(); seq != 0 {
+		t.Fatalf("sampled-out run recorded %d spans", seq)
+	}
+}

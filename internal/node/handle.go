@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"repro/internal/idspace"
+	"repro/internal/obs/trace"
+	"repro/internal/transport"
 	"repro/internal/wire"
 	"repro/internal/xrand"
 )
@@ -19,6 +21,10 @@ func (n *Node) handle(ctx context.Context, req wire.Message) (wire.Message, erro
 		// suppressed address, but a TCP node must also refuse.
 		return wire.Message{}, fmt.Errorf("node %s: suppressed (under DoS)", n.Name())
 	}
+	// The transport's tracing layer opened the server span before it knew
+	// which node would serve the request (daemons share one listener
+	// across nodes); claim it.
+	trace.SpanFromContext(ctx).SetNode(n.Name())
 	switch req.Type {
 	case wire.TypeJoin:
 		return n.handleJoin(req)
@@ -38,6 +44,8 @@ func (n *Node) handle(ctx context.Context, req wire.Message) (wire.Message, erro
 		return n.handleRepair(ctx, req)
 	case wire.TypeStats:
 		return wire.New(wire.TypeStatsResult, n.Stats())
+	case wire.TypeTraceGet:
+		return n.handleTraceGet(req)
 	default:
 		return wire.Message{}, fmt.Errorf("node %s: unknown message type %q", n.Name(), req.Type)
 	}
@@ -111,6 +119,23 @@ func (n *Node) handleChildSample(req wire.Message) (wire.Message, error) {
 	return wire.New(wire.TypeChildSampleResult, wire.ChildSampleResult{Children: out})
 }
 
+// handleTraceGet serves the node's spans for one trace — the collection
+// side of distributed tracing, which hoursq -trace walks peer by peer to
+// reassemble the cross-node span tree. A node without a tracer answers
+// with no spans rather than an error, so mixed deployments collect what
+// exists.
+func (n *Node) handleTraceGet(req wire.Message) (wire.Message, error) {
+	var tg wire.TraceGet
+	if err := req.Decode(&tg); err != nil {
+		return wire.Message{}, err
+	}
+	var spans []wire.SpanRecord
+	if n.tracer != nil {
+		spans = n.tracer.Store().Trace(tg.TraceID)
+	}
+	return wire.New(wire.TypeTraceGetResult, wire.TraceGetResult{Spans: spans})
+}
+
 func (n *Node) handleNotifyCCW(req wire.Message) (wire.Message, error) {
 	var nc wire.NotifyCCW
 	if err := req.Decode(&nc); err != nil {
@@ -165,6 +190,11 @@ func (n *Node) handleQuery(ctx context.Context, req wire.Message) (wire.Message,
 	}
 	q.TTL--
 	q.Path = append(q.Path, n.Name())
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		sp.SetAttr("target", q.Target)
+		sp.SetAttr("q_mode", string(q.Mode))
+		sp.SetAttrInt("q_hops", q.Hops)
+	}
 	if q.Trace {
 		n.mu.Lock()
 		idx := n.index
@@ -263,7 +293,9 @@ func (n *Node) descend(ctx context.Context, q wire.Query, start time.Time) (wire
 
 	// The on-path child is down: hand the query to an alive child, whose
 	// sibling overlay detours around the failure (the receiver derives
-	// the OD node from the target name).
+	// the OD node from the target name). Each alternate is a numbered
+	// attempt so traces show the detour sequence.
+	attempt := 1
 	rng := xrand.Derive(n.cfg.Seed, uint64(q.Hops)*0x9e37+uint64(odIndex))
 	for _, off := range xrand.SampleDistinct(rng, len(kids), min(len(kids), 8)) {
 		i := int(off)
@@ -273,7 +305,8 @@ func (n *Node) descend(ctx context.Context, q wire.Query, start time.Time) (wire
 		fwd := q
 		fwd.Mode = wire.ModeForward
 		fwd.Hops++
-		if resp, err := n.forwardQuery(ctx, kids[i].addr, fwd, start); err == nil {
+		attempt++
+		if resp, err := n.forwardQuery(transport.WithAttempt(ctx, attempt), kids[i].addr, fwd, start); err == nil {
 			return resp, nil
 		}
 	}
@@ -325,6 +358,18 @@ func (n *Node) overlayForward(ctx context.Context, q wire.Query, start time.Time
 	odID := idspace.FromName(odName)
 	dist := idspace.Distance(selfID, odID)
 
+	// attempt numbers every forwarding try this handler makes, so traces
+	// show which alternates the node walked before one answered.
+	attempt := 0
+	tryForward := func(addr string, fwd wire.Query) (wire.Message, error) {
+		attempt++
+		cctx := ctx
+		if attempt > 1 {
+			cctx = transport.WithAttempt(ctx, attempt)
+		}
+		return n.forwardQuery(cctx, addr, fwd, start)
+	}
+
 	// Algorithm 3, lines 1-7: the OD node is in the routing table.
 	for _, e := range table {
 		if e.name != odName {
@@ -334,7 +379,7 @@ func (n *Node) overlayForward(ctx context.Context, q wire.Query, start time.Time
 		fwd := q
 		fwd.Mode = wire.ModeHierarchical
 		fwd.Hops++
-		if resp, err := n.forwardQuery(ctx, e.addr, fwd, start); err == nil {
+		if resp, err := tryForward(e.addr, fwd); err == nil {
 			return resp, nil
 		}
 		// The OD node is down: use its nephew pointers to descend into
@@ -344,7 +389,7 @@ func (n *Node) overlayForward(ctx context.Context, q wire.Query, start time.Time
 				fwd := q
 				fwd.Mode = wire.ModeNephew
 				fwd.Hops++
-				if resp, err := n.forwardQuery(ctx, nep.addr, fwd, start); err == nil {
+				if resp, err := tryForward(nep.addr, fwd); err == nil {
 					return resp, nil
 				}
 			}
@@ -386,7 +431,7 @@ func (n *Node) overlayForward(ctx context.Context, q wire.Query, start time.Time
 			fwd := q
 			fwd.Mode = wire.ModeForward
 			fwd.Hops++
-			if resp, err := n.forwardQuery(ctx, cands[best].addr, fwd, start); err == nil {
+			if resp, err := tryForward(cands[best].addr, fwd); err == nil {
 				return resp, nil
 			}
 			cands = append(cands[:best], cands[best+1:]...)
@@ -405,7 +450,7 @@ func (n *Node) overlayForward(ctx context.Context, q wire.Query, start time.Time
 	fwd := q
 	fwd.Mode = wire.ModeBackward
 	fwd.Hops++
-	if resp, err := n.forwardQuery(ctx, ccw.addr, fwd, start); err == nil {
+	if resp, err := tryForward(ccw.addr, fwd); err == nil {
 		return resp, nil
 	}
 	return n.failQuery(q, "counter-clockwise neighbor unreachable", start)
@@ -425,6 +470,11 @@ func (n *Node) forwardQuery(ctx context.Context, addr string, q wire.Query, star
 	req, err := wire.New(wire.TypeQuery, q)
 	if err != nil {
 		return wire.Message{}, err
+	}
+	if susp := n.suspicionOf(addr); susp > 0 {
+		// Surface on the call's span that forwarding knowingly consulted
+		// a degraded peer.
+		ctx = transport.WithPeerSuspicion(ctx, susp)
 	}
 	resp, err := n.callPeer(ctx, addr, req)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/idspace"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/overlay"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -73,6 +74,14 @@ type Config struct {
 	// shared registry to aggregate and scrape. The transport is wrapped
 	// with RPC instrumentation recording into the same registry.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, enables distributed tracing: the node serves
+	// its span store over the trace-collection RPC, annotates server
+	// spans with its name and query details, and — if the supplied
+	// transport does not already carry a tracing layer — wraps it so
+	// inbound and outbound trace context propagate. Callers assembling
+	// the transport with transport.Stack pass the same tracer in both
+	// places; the chain walk prevents double wrapping.
+	Tracer *trace.Tracer
 	// Logger receives structured events (probe verdicts, repairs,
 	// regeneration, admissions). Nil discards them.
 	Logger *slog.Logger
@@ -143,10 +152,12 @@ type Node struct {
 	suppressed bool
 
 	// Observability: registry-backed operational metrics (surfaced via
-	// the stats message and /metrics) and the structured event logger.
-	reg *obs.Registry
-	log *slog.Logger
-	m   nodeMetrics
+	// the stats message and /metrics), the structured event logger, and
+	// the distributed tracer (nil when tracing is off).
+	reg    *obs.Registry
+	log    *slog.Logger
+	m      nodeMetrics
+	tracer *trace.Tracer
 
 	// Maintenance goroutine lifecycle.
 	stop chan struct{}
@@ -251,10 +262,15 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 	// Callers that assemble the canonical chain with transport.Stack
 	// (cluster, hoursd) pass a ready-made stack and leave Retry nil: the
 	// chain is used as-is. Bare transports keep the legacy wrapping —
-	// Instrument(Retry(tr)), RPC metrics counting logical calls — so
-	// direct constructions stay instrumented. The chain walk prevents
-	// double instrumentation (and its doubled counters).
+	// Instrument(Retry(Trace(tr))), RPC metrics counting logical calls,
+	// tracing innermost so each physical attempt is a span — so direct
+	// constructions stay instrumented and traceable. The chain walks
+	// prevent double instrumentation (and its doubled counters) and
+	// double tracing (and its doubled spans).
 	inner := tr
+	if cfg.Tracer != nil && !hasTraced(inner) {
+		inner = transport.Trace(inner, cfg.Tracer, displayName(name))
+	}
 	if cfg.Retry != nil {
 		inner = transport.Retry(inner, *cfg.Retry, reg)
 	}
@@ -270,6 +286,7 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 		data:     data,
 		suspects: make(map[string]int),
 		reg:      reg,
+		tracer:   cfg.Tracer,
 		log:      log.With("node", displayName(name)),
 		m:        newNodeMetrics(reg),
 		stop:     make(chan struct{}),
@@ -283,6 +300,17 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 func hasInstrument(tr transport.Transport) bool {
 	for _, l := range transport.Layers(tr) {
 		if _, ok := l.(*transport.Instrumented); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// hasTraced walks the transport decorator chain looking for an existing
+// tracing layer.
+func hasTraced(tr transport.Transport) bool {
+	for _, l := range transport.Layers(tr) {
+		if _, ok := l.(*transport.Traced); ok {
 			return true
 		}
 	}
@@ -647,6 +675,11 @@ func (n *Node) Stats() wire.Stats {
 // Metrics exposes the node's registry (shared with Config.Metrics when
 // one was supplied).
 func (n *Node) Metrics() *obs.Registry { return n.reg }
+
+// Tracer exposes the node's distributed tracer (nil when tracing is
+// off). The span store behind it is what the trace-collection RPC and
+// /debug/traces serve.
+func (n *Node) Tracer() *trace.Tracer { return n.tracer }
 
 // RegenerateNow rebuilds the routing table from the parent's current
 // membership with fresh randomness — one §7 maintenance refresh. Between

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ProfileConfig parameterizes the continuous profiler.
+type ProfileConfig struct {
+	// Dir receives the rotating capture files (created if missing).
+	Dir string
+	// Interval is one capture cycle: the CPU profile covers the whole
+	// interval, and a heap snapshot is written at each rotation. Zero
+	// defaults to 60s.
+	Interval time.Duration
+	// Retain bounds how many files of each kind are kept; older captures
+	// are deleted at rotation. Zero defaults to 8.
+	Retain int
+}
+
+// StartProfiler runs continuous profiling: rotating CPU profiles
+// (cpu-<seq>.pprof, each covering one interval) and heap snapshots
+// (heap-<seq>.pprof, one per rotation) under cfg.Dir, keeping the most
+// recent Retain files of each kind. The returned stop function ends the
+// in-flight capture, writes the final files, and blocks until the
+// profiling goroutine exits.
+//
+// It is a post-mortem flight recorder for a daemon under attack-scale
+// load: when a latency spike lands, the last few intervals of CPU time
+// and heap shape are already on disk.
+func StartProfiler(cfg ProfileConfig) (stop func(), err error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("obs: profiler needs a directory")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 60 * time.Second
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = 8
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: profiler dir: %w", err)
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for seq := 1; ; seq++ {
+			if !captureCycle(cfg, seq, quit) {
+				return
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}, nil
+}
+
+// captureCycle runs one rotation: a CPU profile spanning the interval
+// (or until stop), then a heap snapshot, then retention pruning. It
+// reports whether another cycle should run.
+func captureCycle(cfg ProfileConfig, seq int, quit <-chan struct{}) bool {
+	cpuPath := filepath.Join(cfg.Dir, fmt.Sprintf("cpu-%06d.pprof", seq))
+	f, err := os.Create(cpuPath)
+	cpuOn := err == nil && pprof.StartCPUProfile(f) == nil
+	again := true
+	select {
+	case <-time.After(cfg.Interval):
+	case <-quit:
+		again = false
+	}
+	if cpuOn {
+		pprof.StopCPUProfile()
+	}
+	if f != nil {
+		f.Close()
+		if !cpuOn {
+			os.Remove(cpuPath) // a second profiler already owns the CPU profile
+		}
+	}
+	if hf, err := os.Create(filepath.Join(cfg.Dir, fmt.Sprintf("heap-%06d.pprof", seq))); err == nil {
+		pprof.Lookup("heap").WriteTo(hf, 0) //nolint:errcheck // best effort
+		hf.Close()
+	}
+	prune(cfg.Dir, "cpu-", cfg.Retain)
+	prune(cfg.Dir, "heap-", cfg.Retain)
+	return again
+}
+
+// prune deletes all but the newest keep files with the given prefix.
+func prune(dir, prefix string, keep int) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), prefix) && strings.HasSuffix(e.Name(), ".pprof") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // zero-padded sequence numbers sort chronologically
+	for len(names) > keep {
+		os.Remove(filepath.Join(dir, names[0]))
+		names = names[1:]
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden pins the exact exposition a scrape sees for
+// a small registry exercising every metric kind, byte for byte: type
+// headers, shortest-form bucket bounds (2.5e-05, not 0.000025), the
+// cumulative +Inf bucket, the float _sum / integer _count pair, and
+// sorted series order. Any rendering drift — which a Prometheus server
+// would tolerate silently while recording different series — fails here.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hours_test_requests_total").Add(3)
+	reg.Gauge("hours_test_queue_depth").Set(-2)
+	h := reg.Histogram("hours_rpc_latency_seconds", L("op", "query"))
+	h.Observe(50 * time.Microsecond) // le="0.0001" bucket
+	h.Observe(30 * time.Millisecond) // le="0.05" bucket
+	h.Observe(20 * time.Second)      // beyond every bound: +Inf only
+
+	const golden = `# TYPE hours_rpc_latency_seconds histogram
+hours_rpc_latency_seconds_bucket{le="2.5e-05",op="query"} 0
+hours_rpc_latency_seconds_bucket{le="0.0001",op="query"} 1
+hours_rpc_latency_seconds_bucket{le="0.00025",op="query"} 1
+hours_rpc_latency_seconds_bucket{le="0.0005",op="query"} 1
+hours_rpc_latency_seconds_bucket{le="0.001",op="query"} 1
+hours_rpc_latency_seconds_bucket{le="0.0025",op="query"} 1
+hours_rpc_latency_seconds_bucket{le="0.005",op="query"} 1
+hours_rpc_latency_seconds_bucket{le="0.01",op="query"} 1
+hours_rpc_latency_seconds_bucket{le="0.025",op="query"} 1
+hours_rpc_latency_seconds_bucket{le="0.05",op="query"} 2
+hours_rpc_latency_seconds_bucket{le="0.1",op="query"} 2
+hours_rpc_latency_seconds_bucket{le="0.25",op="query"} 2
+hours_rpc_latency_seconds_bucket{le="0.5",op="query"} 2
+hours_rpc_latency_seconds_bucket{le="1",op="query"} 2
+hours_rpc_latency_seconds_bucket{le="2.5",op="query"} 2
+hours_rpc_latency_seconds_bucket{le="5",op="query"} 2
+hours_rpc_latency_seconds_bucket{le="10",op="query"} 2
+hours_rpc_latency_seconds_bucket{le="+Inf",op="query"} 3
+hours_rpc_latency_seconds_sum{op="query"} 20.03005
+hours_rpc_latency_seconds_count{op="query"} 3
+# TYPE hours_test_queue_depth gauge
+hours_test_queue_depth -2
+# TYPE hours_test_requests_total counter
+hours_test_requests_total 3
+`
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != golden {
+		t.Fatalf("exposition drifted from golden.\ngot:\n%s\nwant:\n%s", sb.String(), golden)
+	}
+}
+
+// TestMetricsEndpointHistogramEdges scrapes /metrics over HTTP and
+// checks the contract edges a registry-level test cannot: the exact
+// exposition-format Content-Type, and the internal consistency rules
+// Prometheus relies on (+Inf bucket present and equal to _count,
+// cumulative buckets monotone, _sum consistent with observations).
+func TestMetricsEndpointHistogramEdges(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("hours_handle_latency_seconds")
+	for _, d := range []time.Duration{10 * time.Microsecond, time.Millisecond, 40 * time.Millisecond, time.Minute} {
+		h.Observe(d)
+	}
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q, want the 0.0.4 exposition type", ct)
+	}
+	series, err := ParsePrometheus(string(body))
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v\n%s", err, body)
+	}
+
+	inf, ok := series[`hours_handle_latency_seconds_bucket{le="+Inf"}`]
+	if !ok {
+		t.Fatalf("no +Inf bucket in scrape:\n%s", body)
+	}
+	count := series["hours_handle_latency_seconds_count"]
+	if inf != count || count != 4 {
+		t.Fatalf("+Inf bucket %v, _count %v, want both 4", inf, count)
+	}
+	wantSum := (10*time.Microsecond + time.Millisecond + 40*time.Millisecond + time.Minute).Seconds()
+	if sum := series["hours_handle_latency_seconds_sum"]; sum != wantSum {
+		t.Fatalf("_sum = %v, want %v", sum, wantSum)
+	}
+	// Cumulative buckets never decrease, and every bucket <= +Inf.
+	prev := -1.0
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, "hours_handle_latency_seconds_bucket") {
+			continue
+		}
+		id := line[:strings.LastIndexByte(line, ' ')]
+		v := series[id]
+		if v < prev {
+			t.Fatalf("bucket %s = %v below predecessor %v", id, v, prev)
+		}
+		if v > inf {
+			t.Fatalf("bucket %s = %v above +Inf %v", id, v, inf)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// runtimeGauges is the Go runtime telemetry set sampled by the runtime
+// collector: memory pressure, GC activity, and scheduler load — the
+// counters that explain a latency regression that application metrics
+// alone cannot (GC pauses under query load, goroutine leaks in the
+// transport, heap growth from span stores).
+type runtimeGauges struct {
+	goroutines  *Gauge
+	gomaxprocs  *Gauge
+	heapAlloc   *Gauge
+	heapSys     *Gauge
+	heapObjects *Gauge
+	nextGC      *Gauge
+	gcCycles    *Gauge
+	gcPauseNs   *Gauge
+	lastPauseNs *Gauge
+}
+
+// newRuntimeGauges registers the series in reg.
+func newRuntimeGauges(reg *Registry) runtimeGauges {
+	return runtimeGauges{
+		goroutines:  reg.Gauge("hours_go_goroutines"),
+		gomaxprocs:  reg.Gauge("hours_go_gomaxprocs"),
+		heapAlloc:   reg.Gauge("hours_go_heap_alloc_bytes"),
+		heapSys:     reg.Gauge("hours_go_heap_sys_bytes"),
+		heapObjects: reg.Gauge("hours_go_heap_objects"),
+		nextGC:      reg.Gauge("hours_go_next_gc_bytes"),
+		gcCycles:    reg.Gauge("hours_go_gc_cycles_total"),
+		gcPauseNs:   reg.Gauge("hours_go_gc_pause_total_ns"),
+		lastPauseNs: reg.Gauge("hours_go_gc_last_pause_ns"),
+	}
+}
+
+// sample reads the runtime and updates every gauge. ReadMemStats
+// stops the world briefly, so the collector samples on a ticker rather
+// than per scrape.
+func (g runtimeGauges) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	g.goroutines.Set(int64(runtime.NumGoroutine()))
+	g.gomaxprocs.Set(int64(runtime.GOMAXPROCS(0)))
+	g.heapAlloc.Set(int64(ms.HeapAlloc))
+	g.heapSys.Set(int64(ms.HeapSys))
+	g.heapObjects.Set(int64(ms.HeapObjects))
+	g.nextGC.Set(int64(ms.NextGC))
+	g.gcCycles.Set(int64(ms.NumGC))
+	g.gcPauseNs.Set(int64(ms.PauseTotalNs))
+	if ms.NumGC > 0 {
+		g.lastPauseNs.Set(int64(ms.PauseNs[(ms.NumGC+255)%256]))
+	}
+}
+
+// StartRuntimeCollector registers the hours_go_* runtime gauges in reg,
+// samples them immediately, and keeps re-sampling every period until the
+// returned stop function is called (stop blocks until the sampling
+// goroutine exits). Period zero defaults to 10s.
+func StartRuntimeCollector(reg *Registry, period time.Duration) (stop func()) {
+	if period <= 0 {
+		period = 10 * time.Second
+	}
+	g := newRuntimeGauges(reg)
+	g.sample()
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				g.sample()
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollectorSamples(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartRuntimeCollector(reg, time.Hour) // one immediate sample only
+	defer stop()
+
+	if v := reg.Gauge("hours_go_goroutines").Value(); v < 1 {
+		t.Fatalf("hours_go_goroutines = %d, want >= 1", v)
+	}
+	if v := reg.Gauge("hours_go_gomaxprocs").Value(); v < 1 {
+		t.Fatalf("hours_go_gomaxprocs = %d, want >= 1", v)
+	}
+	if v := reg.Gauge("hours_go_heap_alloc_bytes").Value(); v <= 0 {
+		t.Fatalf("hours_go_heap_alloc_bytes = %d, want > 0", v)
+	}
+	if v := reg.Gauge("hours_go_heap_sys_bytes").Value(); v <= 0 {
+		t.Fatalf("hours_go_heap_sys_bytes = %d, want > 0", v)
+	}
+}
+
+func TestRuntimeCollectorResamples(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartRuntimeCollector(reg, time.Millisecond)
+	defer stop()
+
+	// The goroutine gauge should eventually observe this burst of extra
+	// goroutines; all we assert is that resampling happens at all, by
+	// parking goroutines and watching the gauge move.
+	block := make(chan struct{})
+	defer close(block)
+	for i := 0; i < 64; i++ {
+		go func() { <-block }()
+	}
+	base := reg.Gauge("hours_go_goroutines").Value()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if reg.Gauge("hours_go_goroutines").Value() >= base+32 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("goroutine gauge never observed the burst (still %d, base %d)",
+		reg.Gauge("hours_go_goroutines").Value(), base)
+}
+
+func TestRuntimeCollectorStopIdempotentGauges(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartRuntimeCollector(reg, time.Millisecond)
+	stop() // must not deadlock, and gauges stay readable after
+	if v := reg.Gauge("hours_go_gomaxprocs").Value(); v < 1 {
+		t.Fatalf("gauge unreadable after stop: %d", v)
+	}
+}
+
+func TestProfilerRotatesAndRetains(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := StartProfiler(ProfileConfig{Dir: dir, Interval: 10 * time.Millisecond, Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let several cycles complete so retention has something to prune.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(profileFiles(t, dir, "heap-")) >= 2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+
+	heaps := profileFiles(t, dir, "heap-")
+	if len(heaps) == 0 {
+		t.Fatal("no heap profiles written")
+	}
+	if len(heaps) > 2 {
+		t.Fatalf("retention not enforced: %d heap profiles %v", len(heaps), heaps)
+	}
+	cpus := profileFiles(t, dir, "cpu-")
+	if len(cpus) > 2 {
+		t.Fatalf("retention not enforced: %d cpu profiles %v", len(cpus), cpus)
+	}
+	for _, name := range heaps {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("empty heap profile %s", name)
+		}
+	}
+}
+
+func TestProfilerRejectsEmptyDir(t *testing.T) {
+	if _, err := StartProfiler(ProfileConfig{}); err == nil {
+		t.Fatal("want error for empty dir")
+	}
+}
+
+func profileFiles(t *testing.T, dir, prefix string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), prefix) {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// BenchmarkSpanStartFinish measures the full sampled span lifecycle:
+// start, one attribute, finish into the ring. check.sh pins its
+// allocation count in BENCH_obs.json.
+func BenchmarkSpanStartFinish(b *testing.B) {
+	tr := New(Config{SampleRate: 1, Seed: 1, Capacity: 4096})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartRoot("serve query", "n")
+		sp.SetAttr("peer", "127.0.0.1:4100")
+		sp.Finish(nil)
+	}
+}
+
+// BenchmarkStoreAppend isolates the ring-buffer publish: two atomic ops,
+// zero allocations.
+func BenchmarkStoreAppend(b *testing.B) {
+	st := newStore(4096)
+	rec := &wire.SpanRecord{TraceID: 1, SpanID: 2, Name: "s"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.Append(rec)
+	}
+}
+
+// BenchmarkStartRootMaybeUnsampled measures the sampled-out head
+// decision — the cost every request pays at a production sampling rate.
+func BenchmarkStartRootMaybeUnsampled(b *testing.B) {
+	tr := New(Config{SampleRate: 1e-12, Seed: 2})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp, _ := tr.StartRootMaybe("serve query", "n")
+		if sp != nil {
+			sp.Finish(nil)
+		}
+	}
+}
+
+// BenchmarkStartChildUnsampled measures the inert-child path a rate-0
+// node pays per hop for a decided-unsampled inbound context.
+func BenchmarkStartChildUnsampled(b *testing.B) {
+	tr := New(Config{SampleRate: 0, Seed: 3})
+	tc := wire.TraceContext{TraceID: 5, SpanID: 6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if sp := tr.StartChild(tc, "serve query", "n"); sp != nil {
+			b.Fatal("sampled")
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"context"
+
+	"repro/internal/wire"
+)
+
+// Context plumbing: the active span (or the decided-unsampled marker)
+// rides the request context from the transport's Listen wrapper through
+// the node's handlers back into the transport's Call side, which is how
+// one inbound server span becomes the parent of every outbound RPC the
+// handler makes.
+
+type ctxKey int
+
+const (
+	spanKey ctxKey = iota
+	unsampledKey
+)
+
+// ContextWithSpan attaches a sampled active span. A nil span returns ctx
+// unchanged.
+func ContextWithSpan(ctx context.Context, sp *ActiveSpan) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey, sp)
+}
+
+// SpanFromContext returns the active span, or nil when the request is
+// untraced or unsampled.
+func SpanFromContext(ctx context.Context) *ActiveSpan {
+	sp, _ := ctx.Value(spanKey).(*ActiveSpan)
+	return sp
+}
+
+// ContextWithUnsampled attaches the decided-unsampled trace context, so
+// outbound calls propagate the decision instead of letting a downstream
+// head re-draw it. A zero context returns ctx unchanged.
+func ContextWithUnsampled(ctx context.Context, tc wire.TraceContext) context.Context {
+	if tc.IsZero() {
+		return ctx
+	}
+	return context.WithValue(ctx, unsampledKey, tc)
+}
+
+// UnsampledFromContext returns the decided-unsampled marker, if any.
+func UnsampledFromContext(ctx context.Context) (wire.TraceContext, bool) {
+	tc, ok := ctx.Value(unsampledKey).(wire.TraceContext)
+	return tc, ok
+}

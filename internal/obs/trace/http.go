@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// Handler serves the trace debug endpoints from a tracer's store. Mount
+// it at /debug/traces (and /debug/traces/ for the sub-paths):
+//
+//	GET /debug/traces                  JSON list of trace summaries
+//	GET /debug/traces?trace=<hex id>   one trace: spans + rendered tree
+//	GET /debug/traces/stream?since=N   spans appended since sequence N
+//
+// The stream endpoint is a poll: the response carries "next", the
+// sequence to pass as since on the following request. Spans evicted by
+// the ring between polls are lost, by design.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil || t.Store() == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		if strings.HasSuffix(r.URL.Path, "/stream") {
+			serveStream(w, r, t.Store())
+			return
+		}
+		if id := r.URL.Query().Get("trace"); id != "" {
+			serveTrace(w, t.Store(), id)
+			return
+		}
+		writeJSON(w, map[string]any{"traces": t.Store().Summaries()})
+	})
+}
+
+// serveTrace serves one trace's spans plus the rendered tree view.
+func serveTrace(w http.ResponseWriter, st *Store, idHex string) {
+	id, err := ParseID(idHex)
+	if err != nil {
+		http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	spans := st.Trace(id)
+	if len(spans) == 0 {
+		http.Error(w, "trace not found", http.StatusNotFound)
+		return
+	}
+	var tree strings.Builder
+	RenderTree(&tree, spans)
+	writeJSON(w, map[string]any{
+		"traceId": FormatID(id),
+		"spans":   spans,
+		"tree":    tree.String(),
+	})
+}
+
+// serveStream serves spans appended since the given sequence.
+func serveStream(w http.ResponseWriter, r *http.Request, st *Store) {
+	var since uint64
+	if s := r.URL.Query().Get("since"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	spans, next := st.Since(since)
+	if spans == nil {
+		spans = []wire.SpanRecord{}
+	}
+	writeJSON(w, map[string]any{"next": next, "spans": spans})
+}
+
+// writeJSON writes v as an indented JSON document.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best effort once headers are out
+}

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// defaultCapacity is the span store's default bound — enough for several
+// hundred recent traces at typical span counts while keeping the
+// steady-state memory of a node fixed.
+const defaultCapacity = 4096
+
+// Store is a bounded lock-free ring buffer of finished spans. Append is
+// two atomic operations (a cursor fetch-add and a slot pointer store), so
+// recording never contends across goroutines; the oldest spans are
+// overwritten once the ring wraps. Readers copy records out, tolerating
+// the benign race where a slot is overwritten mid-scan (they observe
+// either the old or the new record, both complete).
+type Store struct {
+	slots  []atomic.Pointer[wire.SpanRecord]
+	mask   uint64
+	cursor atomic.Uint64
+}
+
+// newStore builds a ring of at least the given capacity (power-of-two
+// rounded; zero or negative means defaultCapacity).
+func newStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = defaultCapacity
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &Store{
+		slots: make([]atomic.Pointer[wire.SpanRecord], size),
+		mask:  uint64(size - 1),
+	}
+}
+
+// Cap returns the ring capacity.
+func (st *Store) Cap() int {
+	if st == nil {
+		return 0
+	}
+	return len(st.slots)
+}
+
+// Append publishes one finished span and returns its sequence number.
+// The record must not be mutated after publication.
+func (st *Store) Append(rec *wire.SpanRecord) uint64 {
+	seq := st.cursor.Add(1) - 1
+	st.slots[seq&st.mask].Store(rec)
+	return seq
+}
+
+// Seq returns the number of spans ever appended — the sequence the next
+// Append will get, and the cursor /debug/traces/stream polls from.
+func (st *Store) Seq() uint64 {
+	if st == nil {
+		return 0
+	}
+	return st.cursor.Load()
+}
+
+// Since returns copies of the spans with sequence >= seq that are still
+// inside the ring window, oldest first, plus the sequence to poll from
+// next. Spans evicted by wrap-around are silently gone — the stream is
+// lossy by design, bounded memory being the point.
+func (st *Store) Since(seq uint64) ([]wire.SpanRecord, uint64) {
+	if st == nil {
+		return nil, 0
+	}
+	cur := st.cursor.Load()
+	lo := seq
+	if window := uint64(len(st.slots)); cur > window && lo < cur-window {
+		lo = cur - window
+	}
+	if lo >= cur {
+		return nil, cur
+	}
+	out := make([]wire.SpanRecord, 0, cur-lo)
+	for i := lo; i < cur; i++ {
+		if p := st.slots[i&st.mask].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out, cur
+}
+
+// Snapshot returns every span currently held, oldest first.
+func (st *Store) Snapshot() []wire.SpanRecord {
+	recs, _ := st.Since(0)
+	return recs
+}
+
+// Trace returns the spans of one trace, oldest first.
+func (st *Store) Trace(id uint64) []wire.SpanRecord {
+	var out []wire.SpanRecord
+	for _, r := range st.Snapshot() {
+		if r.TraceID == id {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Summary describes one trace held (at least partially) in a store.
+type Summary struct {
+	TraceID uint64 `json:"-"`
+	// TraceIDHex is the ID clients pass back to fetch the trace.
+	TraceIDHex string `json:"traceId"`
+	// Spans counts the spans of this trace in the store.
+	Spans int `json:"spans"`
+	// Name and Node identify the trace's earliest span (the local root).
+	Name string `json:"name"`
+	Node string `json:"node,omitempty"`
+	// StartUnixNano is the earliest span start; DurationNanos spans from
+	// it to the latest span end.
+	StartUnixNano int64 `json:"startUnixNano"`
+	DurationNanos int64 `json:"durationNanos"`
+}
+
+// Summaries groups the store's spans by trace, newest trace first.
+func (st *Store) Summaries() []Summary {
+	byID := make(map[uint64]*Summary)
+	for _, r := range st.Snapshot() {
+		s := byID[r.TraceID]
+		if s == nil {
+			s = &Summary{TraceID: r.TraceID, StartUnixNano: r.StartUnixNano}
+			byID[r.TraceID] = s
+		}
+		s.Spans++
+		if r.StartUnixNano <= s.StartUnixNano {
+			s.StartUnixNano = r.StartUnixNano
+			s.Name, s.Node = r.Name, r.Node
+		}
+		if end := r.StartUnixNano + r.DurationNanos - s.StartUnixNano; end > s.DurationNanos {
+			s.DurationNanos = end
+		}
+	}
+	out := make([]Summary, 0, len(byID))
+	for _, s := range byID {
+		s.TraceIDHex = FormatID(s.TraceID)
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartUnixNano > out[j].StartUnixNano })
+	return out
+}

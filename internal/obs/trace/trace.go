@@ -1,0 +1,206 @@
+// Package trace implements the live prototype's distributed tracing: a
+// per-process Tracer that makes the head sampling decision, hands out
+// span IDs from a seeded deterministic stream, and records finished spans
+// into a bounded lock-free ring buffer (Store).
+//
+// The design follows the propagation rules in internal/wire/trace.go:
+// the sampling decision is drawn exactly once — at the client or at the
+// first node a context-less request reaches — and travels with the
+// request, so one query yields one connected span tree regardless of how
+// many nodes it crosses. Unsampled requests carry a "decided, not
+// sampled" marker and pay no recording cost downstream.
+//
+// All span methods are nil-receiver safe: an unsampled path holds a nil
+// *ActiveSpan and every operation on it is a no-op, so call sites need no
+// branching and the sampled-out hot path allocates nothing.
+package trace
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Config parameterizes a Tracer.
+type Config struct {
+	// SampleRate is the head-sampling probability in [0, 1] applied to
+	// requests that arrive without a trace context. 0 disables local
+	// sampling decisions entirely (contexts stamped sampled by an
+	// upstream head are still honored and recorded); 1 samples every
+	// request.
+	SampleRate float64
+	// Seed drives the deterministic trace/span ID stream, so tests
+	// replay identical IDs and sampling decisions.
+	Seed uint64
+	// Capacity bounds the span store; it is rounded up to a power of
+	// two. Zero means 4096 spans.
+	Capacity int
+}
+
+// Tracer makes sampling decisions, generates IDs, and owns the span
+// store. All methods are safe for concurrent use; a nil *Tracer is inert.
+type Tracer struct {
+	// threshold is the 63-bit sampling cutoff: a fresh draw d samples
+	// the trace iff d>>1 < threshold. 0 disables local decisions.
+	threshold uint64
+	// state is the SplitMix64 ID stream: one atomic add per draw, so ID
+	// generation is lock-free and deterministic for a fixed seed and
+	// draw order.
+	state atomic.Uint64
+	store *Store
+}
+
+// New builds a tracer. Rates outside [0, 1] are clamped.
+func New(cfg Config) *Tracer {
+	t := &Tracer{store: newStore(cfg.Capacity)}
+	t.state.Store(cfg.Seed)
+	r := cfg.SampleRate
+	if r < 0 {
+		r = 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	t.threshold = uint64(r * (1 << 63))
+	return t
+}
+
+// Store returns the tracer's span store.
+func (t *Tracer) Store() *Store {
+	if t == nil {
+		return nil
+	}
+	return t.store
+}
+
+// SamplingEnabled reports whether this tracer ever samples on its own
+// (SampleRate > 0). When false, requests without an inbound context can
+// skip tracing entirely — the zero-overhead fast path.
+func (t *Tracer) SamplingEnabled() bool { return t != nil && t.threshold > 0 }
+
+// next draws one value from the SplitMix64 stream.
+func (t *Tracer) next() uint64 {
+	z := t.state.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// nextID draws a non-zero ID (zero is the wire encoding's "absent").
+func (t *Tracer) nextID() uint64 {
+	for {
+		if id := t.next(); id != 0 {
+			return id
+		}
+	}
+}
+
+// StartRoot starts a root span that is always sampled, regardless of
+// SampleRate — the client (hoursq -trace) forces its query's trace.
+func (t *Tracer) StartRoot(name, node string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return t.start(t.nextID(), 0, name, node)
+}
+
+// StartRootMaybe makes the head sampling decision for a request that
+// arrived without a trace context. It returns either an active root span
+// (sampled) or a non-zero "decided, not sampled" context that must be
+// propagated downstream so no later hop re-draws the decision. With
+// SampleRate 0 both results are zero — the request stays untraced.
+// The unsampled path performs no allocation.
+func (t *Tracer) StartRootMaybe(name, node string) (*ActiveSpan, wire.TraceContext) {
+	if t == nil || t.threshold == 0 {
+		return nil, wire.TraceContext{}
+	}
+	traceID := t.nextID()
+	if t.next()>>1 >= t.threshold {
+		return nil, wire.TraceContext{TraceID: traceID}
+	}
+	return t.start(traceID, 0, name, node), wire.TraceContext{}
+}
+
+// StartChild continues a sampled trace with a new child span. It returns
+// nil (inert) when the parent context is absent or unsampled — the
+// sampling decision is the head's alone, never re-drawn here.
+func (t *Tracer) StartChild(parent wire.TraceContext, name, node string) *ActiveSpan {
+	if t == nil || !parent.Sampled() {
+		return nil
+	}
+	return t.start(parent.TraceID, parent.SpanID, name, node)
+}
+
+// start builds the live span.
+func (t *Tracer) start(traceID, parentID uint64, name, node string) *ActiveSpan {
+	now := time.Now()
+	return &ActiveSpan{
+		t:     t,
+		start: now,
+		rec: wire.SpanRecord{
+			TraceID:       traceID,
+			SpanID:        t.nextID(),
+			ParentID:      parentID,
+			Name:          name,
+			Node:          node,
+			StartUnixNano: now.UnixNano(),
+		},
+	}
+}
+
+// ActiveSpan is one in-flight span. It is owned by the goroutine that
+// started it until Finish, which publishes the record to the store; the
+// record must not be mutated afterwards. All methods are nil-safe.
+type ActiveSpan struct {
+	t     *Tracer
+	start time.Time
+	rec   wire.SpanRecord
+}
+
+// Context returns the propagation context naming this span as parent.
+func (s *ActiveSpan) Context() wire.TraceContext {
+	if s == nil {
+		return wire.TraceContext{}
+	}
+	return wire.TraceContext{TraceID: s.rec.TraceID, SpanID: s.rec.SpanID, Flags: wire.FlagSampled}
+}
+
+// SetAttr appends one key/value annotation.
+func (s *ActiveSpan) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.rec.Attrs = append(s.rec.Attrs, wire.SpanAttr{Key: key, Value: value})
+}
+
+// SetAttrInt appends one integer annotation.
+func (s *ActiveSpan) SetAttrInt(key string, value int) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.Itoa(value))
+}
+
+// SetNode names the node the span ran on (for spans started before the
+// serving node was known, e.g. by a shared-transport Listen wrapper).
+func (s *ActiveSpan) SetNode(node string) {
+	if s == nil {
+		return
+	}
+	s.rec.Node = node
+}
+
+// Finish stamps the duration (and the error, if any) and publishes the
+// span to the tracer's store.
+func (s *ActiveSpan) Finish(err error) {
+	if s == nil {
+		return
+	}
+	s.rec.DurationNanos = int64(time.Since(s.start))
+	if err != nil {
+		s.rec.Err = err.Error()
+	}
+	s.t.store.Append(&s.rec)
+}

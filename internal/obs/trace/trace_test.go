@@ -1,0 +1,380 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestStartRootAlwaysSampled(t *testing.T) {
+	tr := New(Config{SampleRate: 0, Seed: 1})
+	sp := tr.StartRoot("query", "client")
+	if sp == nil {
+		t.Fatal("StartRoot returned nil")
+	}
+	tc := sp.Context()
+	if tc.IsZero() || !tc.Sampled() {
+		t.Fatalf("root context = %+v, want sampled non-zero", tc)
+	}
+	sp.SetAttr("target", "x")
+	sp.Finish(nil)
+	spans := tr.Store().Trace(tc.TraceID)
+	if len(spans) != 1 {
+		t.Fatalf("stored %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "query" || s.Node != "client" || s.ParentID != 0 {
+		t.Fatalf("span = %+v", s)
+	}
+	if v, ok := s.Attr("target"); !ok || v != "x" {
+		t.Fatalf("attr target = %q,%v", v, ok)
+	}
+	if s.DurationNanos < 0 {
+		t.Fatalf("duration = %d", s.DurationNanos)
+	}
+}
+
+func TestStartRootMaybeDeterministic(t *testing.T) {
+	// Same seed, same call sequence → identical decisions and IDs.
+	run := func() []wire.TraceContext {
+		tr := New(Config{SampleRate: 0.5, Seed: 42})
+		var out []wire.TraceContext
+		for i := 0; i < 64; i++ {
+			sp, utc := tr.StartRootMaybe("serve", "n")
+			if sp != nil {
+				sp.Finish(nil)
+				out = append(out, sp.Context())
+			} else {
+				out = append(out, utc)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	var sampled, unsampled int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].IsZero() {
+			t.Fatalf("decision %d: zero context at rate 0.5", i)
+		}
+		if a[i].Sampled() {
+			sampled++
+		} else {
+			unsampled++
+		}
+	}
+	// At rate 0.5 over 64 draws both outcomes must appear.
+	if sampled == 0 || unsampled == 0 {
+		t.Fatalf("sampled=%d unsampled=%d, want both non-zero", sampled, unsampled)
+	}
+}
+
+func TestStartRootMaybeRateZero(t *testing.T) {
+	tr := New(Config{SampleRate: 0, Seed: 3})
+	if tr.SamplingEnabled() {
+		t.Fatal("SamplingEnabled at rate 0")
+	}
+	sp, utc := tr.StartRootMaybe("serve", "n")
+	if sp != nil || !utc.IsZero() {
+		t.Fatalf("rate 0 drew a decision: sp=%v tc=%+v", sp, utc)
+	}
+}
+
+func TestStartChildHonorsHeadDecision(t *testing.T) {
+	// A rate-0 tracer must still record children of an upstream sampled
+	// context, and must stay inert for unsampled ones.
+	tr := New(Config{SampleRate: 0, Seed: 4})
+	sampled := wire.TraceContext{TraceID: 10, SpanID: 20, Flags: wire.FlagSampled}
+	child := tr.StartChild(sampled, "serve query", "n1")
+	if child == nil {
+		t.Fatal("StartChild(sampled) = nil")
+	}
+	if child.Context().TraceID != 10 {
+		t.Fatalf("child trace = %d, want 10", child.Context().TraceID)
+	}
+	child.Finish(errors.New("boom"))
+	got := tr.Store().Trace(10)
+	if len(got) != 1 || got[0].ParentID != 20 || got[0].Err != "boom" {
+		t.Fatalf("stored = %+v", got)
+	}
+
+	if sp := tr.StartChild(wire.TraceContext{TraceID: 11, SpanID: 21}, "serve", "n1"); sp != nil {
+		t.Fatal("StartChild(unsampled) != nil")
+	}
+	if sp := tr.StartChild(wire.TraceContext{}, "serve", "n1"); sp != nil {
+		t.Fatal("StartChild(zero) != nil")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.SamplingEnabled() {
+		t.Fatal("nil tracer SamplingEnabled")
+	}
+	if tr.Store() != nil {
+		t.Fatal("nil tracer Store != nil")
+	}
+	var sp *ActiveSpan
+	// All no-ops; must not panic.
+	sp.SetAttr("k", "v")
+	sp.SetAttrInt("k", 1)
+	sp.SetNode("n")
+	sp.Finish(errors.New("x"))
+	if !sp.Context().IsZero() {
+		t.Fatal("nil span context non-zero")
+	}
+	if sp := tr.StartChild(wire.TraceContext{TraceID: 1, Flags: wire.FlagSampled}, "a", "b"); sp != nil {
+		t.Fatal("nil tracer StartChild != nil")
+	}
+}
+
+func TestStoreWrapAround(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Seed: 5, Capacity: 8})
+	st := tr.Store()
+	if st.Cap() != 8 {
+		t.Fatalf("cap = %d, want 8", st.Cap())
+	}
+	for i := 0; i < 20; i++ {
+		sp := tr.StartRoot("s", "n")
+		sp.Finish(nil)
+	}
+	if got := len(st.Snapshot()); got != 8 {
+		t.Fatalf("snapshot holds %d spans, want 8 after wrap", got)
+	}
+	if st.Seq() != 20 {
+		t.Fatalf("seq = %d, want 20", st.Seq())
+	}
+}
+
+func TestStoreSince(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Seed: 6, Capacity: 64})
+	st := tr.Store()
+	for i := 0; i < 5; i++ {
+		tr.StartRoot("a", "n").Finish(nil)
+	}
+	recs, next := st.Since(0)
+	if len(recs) != 5 || next != 5 {
+		t.Fatalf("Since(0) = %d recs next=%d", len(recs), next)
+	}
+	recs, next2 := st.Since(next)
+	if len(recs) != 0 || next2 != next {
+		t.Fatalf("Since(next) = %d recs next=%d", len(recs), next2)
+	}
+	tr.StartRoot("b", "n").Finish(nil)
+	recs, _ = st.Since(next)
+	if len(recs) != 1 || recs[0].Name != "b" {
+		t.Fatalf("incremental poll = %+v", recs)
+	}
+}
+
+func TestStoreConcurrentAppend(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Seed: 7, Capacity: 256})
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 100
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sp := tr.StartRoot("s", "n")
+				sp.Finish(nil)
+				tr.Store().Snapshot() // concurrent reads
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Store().Seq(); got != goroutines*per {
+		t.Fatalf("seq = %d, want %d", got, goroutines*per)
+	}
+	if got := len(tr.Store().Snapshot()); got != 256 {
+		t.Fatalf("snapshot = %d spans, want full ring 256", got)
+	}
+}
+
+func TestBuildTreeAndRender(t *testing.T) {
+	spans := []wire.SpanRecord{
+		{TraceID: 1, SpanID: 100, Name: "query", Node: "client", StartUnixNano: 10, DurationNanos: 5000},
+		{TraceID: 1, SpanID: 101, ParentID: 100, Name: "rpc query", Node: "client", StartUnixNano: 20,
+			Attrs: []wire.SpanAttr{{Key: "peer", Value: "a:1"}}},
+		{TraceID: 1, SpanID: 102, ParentID: 101, Name: "serve query", Node: ".", StartUnixNano: 30},
+		{TraceID: 1, SpanID: 103, ParentID: 102, Name: "rpc query", Node: ".", StartUnixNano: 40, Err: "unreachable",
+			Attrs: []wire.SpanAttr{{Key: "error_class", Value: "unreachable"}}},
+		{TraceID: 1, SpanID: 104, ParentID: 102, Name: "rpc query", Node: ".", StartUnixNano: 50,
+			Attrs: []wire.SpanAttr{{Key: "attempt", Value: "2"}}},
+		{TraceID: 1, SpanID: 102, ParentID: 101, Name: "serve query", Node: ".", StartUnixNano: 30}, // duplicate
+		{TraceID: 1, SpanID: 105, ParentID: 999, Name: "serve query", Node: "far", StartUnixNano: 60},
+	}
+	roots := BuildTree(spans)
+	if len(roots) != 2 {
+		t.Fatalf("roots = %d, want 2 (true root + orphan)", len(roots))
+	}
+	if roots[0].Span.SpanID != 100 || roots[1].Span.SpanID != 105 {
+		t.Fatalf("root order = %d,%d", roots[0].Span.SpanID, roots[1].Span.SpanID)
+	}
+	if !roots[1].Orphan {
+		t.Fatal("span 105 not marked orphan")
+	}
+	serve := roots[0].Children[0].Children[0]
+	if serve.Span.SpanID != 102 || len(serve.Children) != 2 {
+		t.Fatalf("serve subtree = %+v", serve)
+	}
+	if serve.Children[0].Span.SpanID != 103 || serve.Children[1].Span.SpanID != 104 {
+		t.Fatal("children not ordered by start time")
+	}
+
+	var b strings.Builder
+	RenderTree(&b, spans)
+	out := b.String()
+	for _, want := range []string{
+		"query (client)", "serve query (.)", "✗ unreachable", "attempt=2",
+		"peer=a:1", "[parent not collected]", "└─", "├─",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Seed: 8})
+	ctx := context.Background()
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("empty ctx has span")
+	}
+	if _, ok := UnsampledFromContext(ctx); ok {
+		t.Fatal("empty ctx has unsampled marker")
+	}
+	sp := tr.StartRoot("q", "c")
+	ctx2 := ContextWithSpan(ctx, sp)
+	if SpanFromContext(ctx2) != sp {
+		t.Fatal("span not retrieved")
+	}
+	if ContextWithSpan(ctx, nil) != ctx {
+		t.Fatal("nil span changed ctx")
+	}
+	utc := wire.TraceContext{TraceID: 9}
+	ctx3 := ContextWithUnsampled(ctx, utc)
+	if got, ok := UnsampledFromContext(ctx3); !ok || got != utc {
+		t.Fatalf("unsampled marker = %+v,%v", got, ok)
+	}
+	if ContextWithUnsampled(ctx, wire.TraceContext{}) != ctx {
+		t.Fatal("zero marker changed ctx")
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Seed: 9})
+	root := tr.StartRoot("query", "client")
+	child := tr.StartChild(root.Context(), "serve query", ".")
+	child.Finish(nil)
+	root.Finish(nil)
+	id := root.Context().TraceID
+
+	h := Handler(tr)
+
+	// List.
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rr.Code != 200 {
+		t.Fatalf("list status = %d", rr.Code)
+	}
+	var list struct {
+		Traces []Summary `json:"traces"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].TraceIDHex != FormatID(id) || list.Traces[0].Spans != 2 {
+		t.Fatalf("list = %+v", list.Traces)
+	}
+
+	// Single trace with tree view.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?trace="+FormatID(id), nil))
+	if rr.Code != 200 {
+		t.Fatalf("trace status = %d", rr.Code)
+	}
+	var one struct {
+		TraceID string            `json:"traceId"`
+		Spans   []wire.SpanRecord `json:"spans"`
+		Tree    string            `json:"tree"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &one); err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Spans) != 2 || !strings.Contains(one.Tree, "serve query (.)") {
+		t.Fatalf("trace view = %+v", one)
+	}
+
+	// Unknown trace.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?trace="+FormatID(id+1), nil))
+	if rr.Code != 404 {
+		t.Fatalf("missing trace status = %d", rr.Code)
+	}
+
+	// Stream poll.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces/stream?since=0", nil))
+	var stream struct {
+		Next  uint64            `json:"next"`
+		Spans []wire.SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &stream); err != nil {
+		t.Fatal(err)
+	}
+	if stream.Next != 2 || len(stream.Spans) != 2 {
+		t.Fatalf("stream = next %d, %d spans", stream.Next, len(stream.Spans))
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces/stream?since=2", nil))
+	if err := json.Unmarshal(rr.Body.Bytes(), &stream); err != nil {
+		t.Fatal(err)
+	}
+	if len(stream.Spans) != 0 {
+		t.Fatalf("caught-up stream returned %d spans", len(stream.Spans))
+	}
+
+	// Disabled tracer.
+	rr = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rr.Code != 404 {
+		t.Fatalf("nil tracer status = %d", rr.Code)
+	}
+}
+
+func TestIDFormatRoundTrip(t *testing.T) {
+	id := uint64(0x0000beefcafe0042)
+	s := FormatID(id)
+	if len(s) != 16 {
+		t.Fatalf("FormatID length = %d", len(s))
+	}
+	back, err := ParseID(s)
+	if err != nil || back != id {
+		t.Fatalf("ParseID(%q) = %d, %v", s, back, err)
+	}
+}
+
+// The sampled-out decision path must not allocate: it runs on every
+// request when sampling is rare (the production configuration).
+func TestStartRootMaybeUnsampledZeroAlloc(t *testing.T) {
+	tr := New(Config{SampleRate: 1e-12, Seed: 10})
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp, utc := tr.StartRootMaybe("serve query", "n")
+		if sp != nil {
+			sp.Finish(nil) // astronomically unlikely; keep the store sane
+		}
+		_ = utc
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled StartRootMaybe allocates %v per run, want 0", allocs)
+	}
+}

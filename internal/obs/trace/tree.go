@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// FormatID renders a trace or span ID the way the HTTP endpoints and
+// hoursq expect it: fixed-width lowercase hex.
+func FormatID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ParseID parses a FormatID-rendered ID.
+func ParseID(s string) (uint64, error) { return strconv.ParseUint(s, 16, 64) }
+
+// TreeNode is one span with its children, as assembled by BuildTree.
+type TreeNode struct {
+	Span     wire.SpanRecord `json:"span"`
+	Children []*TreeNode     `json:"children,omitempty"`
+	// Orphan marks a non-root span whose parent is not among the
+	// collected spans — it ran on an uncollected or pre-tracing peer.
+	Orphan bool `json:"orphan,omitempty"`
+}
+
+// BuildTree assembles collected spans into parent/child trees, returning
+// the roots (true roots plus orphans) ordered by start time. Duplicate
+// span IDs — the same span collected from two directions — are dropped.
+func BuildTree(spans []wire.SpanRecord) []*TreeNode {
+	nodes := make(map[uint64]*TreeNode, len(spans))
+	order := make([]*TreeNode, 0, len(spans))
+	for _, s := range spans {
+		if _, dup := nodes[s.SpanID]; dup {
+			continue
+		}
+		tn := &TreeNode{Span: s}
+		nodes[s.SpanID] = tn
+		order = append(order, tn)
+	}
+	var roots []*TreeNode
+	for _, tn := range order {
+		if tn.Span.ParentID != 0 {
+			if p := nodes[tn.Span.ParentID]; p != nil && p != tn {
+				p.Children = append(p.Children, tn)
+				continue
+			}
+			tn.Orphan = true
+		}
+		roots = append(roots, tn)
+	}
+	byStart := func(ns []*TreeNode) {
+		sort.SliceStable(ns, func(i, j int) bool {
+			return ns[i].Span.StartUnixNano < ns[j].Span.StartUnixNano
+		})
+	}
+	byStart(roots)
+	for _, tn := range order {
+		byStart(tn.Children)
+	}
+	return roots
+}
+
+// RenderTree writes an indented text rendering of one trace's spans —
+// the view hoursq -trace prints and /debug/traces?trace=… embeds:
+//
+//	query l1-5.example (client) 3.1ms
+//	└─ rpc query (client) 3.0ms peer=127.0.0.1:4100
+//	   └─ serve query (.) 2.9ms target=l1-5.example
+func RenderTree(w io.Writer, spans []wire.SpanRecord) {
+	for _, root := range BuildTree(spans) {
+		fmt.Fprintln(w, spanLine(root))
+		renderChildren(w, root, "")
+	}
+}
+
+// renderChildren renders tn's subtree with box-drawing connectors.
+func renderChildren(w io.Writer, tn *TreeNode, prefix string) {
+	for i, c := range tn.Children {
+		glyph, cont := "├─ ", "│  "
+		if i == len(tn.Children)-1 {
+			glyph, cont = "└─ ", "   "
+		}
+		fmt.Fprintf(w, "%s%s%s\n", prefix, glyph, spanLine(c))
+		renderChildren(w, c, prefix+cont)
+	}
+}
+
+// spanLine renders one span: name, node, duration, attributes, error.
+func spanLine(tn *TreeNode) string {
+	s := tn.Span
+	var b strings.Builder
+	b.WriteString(s.Name)
+	if s.Node != "" {
+		fmt.Fprintf(&b, " (%s)", s.Node)
+	}
+	fmt.Fprintf(&b, " %s", formatDuration(s.DurationNanos))
+	for _, a := range s.Attrs {
+		fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+	}
+	if s.Err != "" {
+		fmt.Fprintf(&b, " ✗ %s", s.Err)
+	}
+	if tn.Orphan {
+		b.WriteString(" [parent not collected]")
+	}
+	return b.String()
+}
+
+// formatDuration renders a span duration at readable precision.
+func formatDuration(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(10 * time.Nanosecond).String()
+	default:
+		return d.String()
+	}
+}

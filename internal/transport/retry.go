@@ -78,15 +78,16 @@ func Retryable(c ErrorClass) bool {
 
 // Idempotent reports whether a message type may be re-sent when its
 // response is lost. Probes, table reads (table info, resolve, child
-// sample), stats, and CCW notifications (last-writer-wins with the same
-// value) are idempotent. Join (admission), Query (re-executes the whole
+// sample), stats, trace reads, and CCW notifications (last-writer-wins
+// with the same value) are idempotent. Join (admission), Query (re-executes the whole
 // downstream forwarding chain), and Repair (may create table entries and
 // re-route per hop) are not: a lost response must not trigger their side
 // effects twice.
 func Idempotent(t wire.Type) bool {
 	switch t {
 	case wire.TypeProbe, wire.TypeTableInfo, wire.TypeResolve,
-		wire.TypeChildSample, wire.TypeStats, wire.TypeNotifyCCW:
+		wire.TypeChildSample, wire.TypeStats, wire.TypeNotifyCCW,
+		wire.TypeTraceGet:
 		return true
 	}
 	return false
@@ -239,7 +240,13 @@ func (r *Retrier) Call(ctx context.Context, addr string, req wire.Message) (wire
 				r.counter(r.attempts, "hours_retry_attempts_total", req.Type).Inc()
 			}
 		}
-		resp, err := r.inner.Call(ctx, addr, req)
+		callCtx := ctx
+		if attempt > 0 {
+			// Annotate the retry ordinal so an inner tracing layer tags
+			// this attempt's span.
+			callCtx = withRetryAttempt(ctx, attempt+1)
+		}
+		resp, err := r.inner.Call(callCtx, addr, req)
 		if err == nil {
 			if attempt > 0 && r.reg != nil {
 				r.counter(r.recovered, "hours_retry_recovered_total", req.Type).Inc()

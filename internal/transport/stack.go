@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // StackConfig selects the layers of a canonical transport stack. One
@@ -29,6 +30,14 @@ type StackConfig struct {
 	// client/server instrumentation, retry counters, fault-injection
 	// counters, and the pool's connection metrics.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, adds the distributed-tracing layer: outbound
+	// calls become child spans of the caller's active span and inbound
+	// requests open server spans (see Traced).
+	Tracer *trace.Tracer
+	// TraceLocal names this process in spans recorded by the tracing
+	// layer; empty defaults to Addr. Shared multi-node transports pass
+	// "-" to leave spans unnamed (each node annotates its own name).
+	TraceLocal string
 }
 
 // Stacked is an assembled transport chain. It implements Transport by
@@ -60,14 +69,17 @@ func (s *Stacked) Close() error {
 
 // Stack assembles the canonical decorator chain
 //
-//	Retry → Faulty → Instrument → base (pooled TCP or the supplied Base)
+//	Retry → Traced → Faulty → Instrument → base (pooled TCP or the
+//	supplied Base)
 //
 // outermost first. The order is deliberate: retries must traverse the
-// fault layer so chaos runs exercise them, and the instrument layer sits
-// innermost so RPC metrics count physical attempts (the retry layer's
-// own series account for the logical-vs-physical difference). Layers
-// whose config is absent are skipped, so the chain is exactly as thick
-// as asked for.
+// fault layer so chaos runs exercise them; the tracing layer sits inside
+// retry so each physical attempt is its own span, and outside the fault
+// layer so injected faults surface inside spans; and the instrument
+// layer sits innermost so RPC metrics count physical attempts (the retry
+// layer's own series account for the logical-vs-physical difference).
+// Layers whose config is absent are skipped, so the chain is exactly as
+// thick as asked for.
 func Stack(cfg StackConfig) (*Stacked, error) {
 	base := cfg.Base
 	if base == nil {
@@ -81,6 +93,16 @@ func Stack(cfg StackConfig) (*Stacked, error) {
 			return nil, fmt.Errorf("transport: stack with faults needs Addr (the fault layer's call source)")
 		}
 		t = cfg.Faults.Bind(cfg.Addr, t)
+	}
+	if cfg.Tracer != nil {
+		local := cfg.TraceLocal
+		switch local {
+		case "":
+			local = cfg.Addr
+		case "-":
+			local = ""
+		}
+		t = Trace(t, cfg.Tracer, local)
 	}
 	if cfg.Retry != nil {
 		t = Retry(t, *cfg.Retry, cfg.Metrics)

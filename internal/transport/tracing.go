@@ -1,0 +1,158 @@
+package transport
+
+import (
+	"context"
+	"io"
+	"strconv"
+
+	"repro/internal/obs/trace"
+	"repro/internal/wire"
+)
+
+// Traced is the distributed-tracing decorator. On the Call side it turns
+// every physical RPC attempt into a child span of the caller's active
+// span and injects the propagation context into the outgoing message; on
+// the Listen side it extracts the inbound context and opens the server
+// span the handler (and its own outbound calls) run under.
+//
+// Its canonical slot in the stack is Retry → Traced → Faulty →
+// Instrument → base: outside the fault layer so injected faults surface
+// inside spans (as errors with an error_class attribute), inside the
+// retry layer so each retry attempt is its own span.
+type Traced struct {
+	inner  Transport
+	tracer *trace.Tracer
+	local  string
+}
+
+var _ Transport = (*Traced)(nil)
+
+// Trace wraps t so calls and served requests carry distributed-tracing
+// context. local names the process in spans recorded here (a node name
+// or client label; leave empty for shared multi-node transports — the
+// node annotates its name onto the server span instead). A nil tracer
+// returns t unchanged.
+func Trace(t Transport, tr *trace.Tracer, local string) Transport {
+	if tr == nil {
+		return t
+	}
+	return &Traced{inner: t, tracer: tr, local: local}
+}
+
+// Underlying returns the wrapped transport (see Unwrap in stack.go).
+func (t *Traced) Underlying() Transport { return t.inner }
+
+// Call implements Transport. With an active span in ctx the attempt gets
+// a child span — annotated with the peer address, node-level alternate
+// attempt number, retry-layer attempt number, peer suspicion, and error
+// class — whose context rides the request. A decided-unsampled marker is
+// propagated without recording; an untraced context passes through at
+// zero cost beyond the context lookups.
+func (t *Traced) Call(ctx context.Context, addr string, req wire.Message) (wire.Message, error) {
+	sp := trace.SpanFromContext(ctx)
+	if sp == nil {
+		if tc, ok := trace.UnsampledFromContext(ctx); ok {
+			req.TC = tc
+		}
+		return t.inner.Call(ctx, addr, req)
+	}
+	child := t.tracer.StartChild(sp.Context(), "rpc "+string(req.Type), t.local)
+	child.SetAttr("peer", addr)
+	if k, ok := AttemptFromContext(ctx); ok {
+		child.SetAttr("attempt", strconv.Itoa(k))
+	}
+	if k, ok := retryAttemptFromContext(ctx); ok {
+		child.SetAttr("retry", strconv.Itoa(k))
+	}
+	if s, ok := PeerSuspicionFromContext(ctx); ok {
+		child.SetAttr("suspicion", strconv.Itoa(s))
+	}
+	req.TC = child.Context()
+	resp, err := t.inner.Call(ctx, addr, req)
+	if err != nil {
+		child.SetAttr("error_class", Classify(err).String())
+	}
+	child.Finish(err)
+	return resp, err
+}
+
+// Listen implements Transport: the handler is wrapped to extract the
+// inbound trace context. A sampled context opens a server span; a
+// decided-unsampled context is propagated untouched; a request with no
+// context gets the head sampling decision here — unless this tracer
+// never samples, in which case the handler runs undisturbed.
+func (t *Traced) Listen(addr string, h Handler) (io.Closer, error) {
+	wrapped := func(ctx context.Context, req wire.Message) (wire.Message, error) {
+		tc := req.TC
+		req.TC = wire.TraceContext{} // consumed here; handlers see a clean message
+		var sp *trace.ActiveSpan
+		switch {
+		case tc.IsZero():
+			if !t.tracer.SamplingEnabled() {
+				return h(ctx, req)
+			}
+			var utc wire.TraceContext
+			sp, utc = t.tracer.StartRootMaybe("serve "+string(req.Type), t.local)
+			if sp == nil {
+				return h(trace.ContextWithUnsampled(ctx, utc), req)
+			}
+		case !tc.Sampled():
+			return h(trace.ContextWithUnsampled(ctx, tc), req)
+		default:
+			sp = t.tracer.StartChild(tc, "serve "+string(req.Type), t.local)
+		}
+		resp, err := h(trace.ContextWithSpan(ctx, sp), req)
+		sp.Finish(err)
+		return resp, err
+	}
+	return t.inner.Listen(addr, wrapped)
+}
+
+// Per-call annotations the Traced layer folds into span attributes. They
+// ride the context because the layers that know them (the node's
+// forwarding loops, the retry decorator) sit outside the Traced layer.
+type tracingCtxKey int
+
+const (
+	attemptKey tracingCtxKey = iota
+	retryAttemptKey
+	suspicionKey
+)
+
+// WithAttempt marks ctx as the k-th alternate-peer attempt (k >= 2) of a
+// node-level forwarding decision — the node tried k-1 peers before this
+// one. The span of the call gets an "attempt" attribute.
+func WithAttempt(ctx context.Context, k int) context.Context {
+	return context.WithValue(ctx, attemptKey, k)
+}
+
+// AttemptFromContext returns the node-level attempt number, if set.
+func AttemptFromContext(ctx context.Context) (int, bool) {
+	k, ok := ctx.Value(attemptKey).(int)
+	return k, ok
+}
+
+// withRetryAttempt marks ctx as the k-th physical attempt (k >= 2) of
+// the retry layer's logical call; the span gets a "retry" attribute.
+func withRetryAttempt(ctx context.Context, k int) context.Context {
+	return context.WithValue(ctx, retryAttemptKey, k)
+}
+
+// retryAttemptFromContext returns the retry attempt number, if set.
+func retryAttemptFromContext(ctx context.Context) (int, bool) {
+	k, ok := ctx.Value(retryAttemptKey).(int)
+	return k, ok
+}
+
+// WithPeerSuspicion records the caller's suspicion level for the callee
+// at call time; the span gets a "suspicion" attribute, showing when
+// forwarding consulted a degraded peer.
+func WithPeerSuspicion(ctx context.Context, level int) context.Context {
+	return context.WithValue(ctx, suspicionKey, level)
+}
+
+// PeerSuspicionFromContext returns the suspicion annotation, if set.
+func PeerSuspicionFromContext(ctx context.Context) (int, bool) {
+	s, ok := ctx.Value(suspicionKey).(int)
+	return s, ok
+}

@@ -61,14 +61,24 @@ const (
 	TypeStats Type = "stats"
 	// TypeStatsResult carries the counters.
 	TypeStatsResult Type = "stats_result"
+	// TypeTraceGet asks a node for the spans it holds for one trace
+	// (collection side of distributed tracing; see trace.go).
+	TypeTraceGet Type = "trace_get"
+	// TypeTraceGetResult carries the spans.
+	TypeTraceGetResult Type = "trace_get_result"
 	// TypeError reports a request failure.
 	TypeError Type = "error"
 )
 
-// Message is one framed protocol message.
+// Message is one framed protocol message. TC, when non-zero, is the
+// distributed-tracing context the request travels under: over v1 framing
+// it is an ordinary envelope field old peers ignore; over v2 mux framing
+// it is stripped here and carried as a binary frame header instead (see
+// WriteMuxFrame). Responses never carry a context.
 type Message struct {
 	Type    Type            `json:"type"`
 	Payload json.RawMessage `json:"payload,omitempty"`
+	TC      TraceContext    `json:"tc,omitzero"`
 }
 
 // New encodes payload into a Message of the given type.

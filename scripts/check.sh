@@ -82,4 +82,29 @@ printf '%s\n%s\n%s\n' "$sim_core" "$sim_overlay" "$sim_fig9" | awk '
 ' > BENCH_sim.json
 echo "    wrote BENCH_sim.json"
 
+# Distributed-tracing acceptance: the mixed-version e2e (v1 root + pooled
+# children, injected fault, span-tree/sim-route equivalence) runs in the
+# suite above too; this explicit -race pass keeps the tracing gate visible.
+echo "==> trace propagation e2e (-race, mixed v1/mux wire)"
+go test -race -run 'TestTracedQueryMixedVersion' -v ./internal/node/ | grep -E 'TracedQueryMixedVersion|ok|FAIL'
+
+# Tracing bench smoke: span lifecycle and ring-store append, with
+# allocations reported. The numbers land in BENCH_obs.json; the
+# allocs_per_op columns are the regression guard (sampled-out span starts
+# must stay at 0, the full lifecycle at its pinned count).
+echo "==> obs/trace bench smoke (span lifecycle + ring append)"
+obs_out=$(go test -run '^$' -bench 'BenchmarkSpanStartFinish$|BenchmarkStoreAppend$|BenchmarkStartRootMaybeUnsampled$|BenchmarkStartChildUnsampled$' -benchtime 0.2s ./internal/obs/trace/)
+echo "$obs_out" | grep '^Benchmark'
+echo "$obs_out" | awk '
+    BEGIN { print "{" }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        if (n++) printf ",\n"
+        printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7
+    }
+    END { print "\n}" }
+' > BENCH_obs.json
+echo "    wrote BENCH_obs.json"
+
 echo "OK"
