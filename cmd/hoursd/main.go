@@ -45,6 +45,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
+	"repro/internal/overload"
 	"repro/internal/transport"
 )
 
@@ -76,6 +77,9 @@ func run(args []string) error {
 		maxInflight = fs.Int("max-inflight", 32, "concurrent requests multiplexed per pooled connection")
 		traceSample = fs.Float64("trace-sample", 0, "head-sampling probability for distributed traces (0 records only traces forced upstream, 1 traces every query)")
 		profileDir  = fs.String("profile-dir", "", "continuous profiling: rotate pprof CPU/heap captures into this directory")
+		rateLimit   = fs.Float64("rate-limit", 0, "per-client admitted queries/second (token bucket; 0 disables admission control)")
+		maxConc     = fs.Int("max-concurrency", 0, "adaptive in-flight handler ceiling (AIMD; 0 disables the concurrency limit)")
+		breakerThr  = fs.Int("breaker-threshold", 0, "consecutive overloaded/timeout failures before a peer's circuit breaker opens (0 disables the breaker)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,6 +112,7 @@ func run(args []string) error {
 			spec: *demo, rootAddr: *addr, k: *k, q: *q, seed: *seed,
 			probe: *probe, retryAtt: *retryAtt, suspicionK: *suspicionK,
 			poolSize: *poolSize, maxInflight: *maxInflight,
+			rateLimit: *rateLimit, maxConc: *maxConc, breakerThr: *breakerThr,
 			tracer: tracer,
 		}, reg, logger)
 	}
@@ -119,6 +124,7 @@ func run(args []string) error {
 		Base:       base,
 		Pool:       pool,
 		Retry:      retryPolicy(*retryAtt, *seed),
+		Breaker:    breakerPolicy(*breakerThr),
 		Metrics:    reg,
 		Tracer:     tracer,
 		TraceLocal: *name,
@@ -132,7 +138,8 @@ func run(args []string) error {
 		K: *k, Q: *q, Seed: *seed, ProbePeriod: *probe, Data: *data,
 		SuspicionK: *suspicionK,
 		Metrics:    reg, Logger: logger,
-		Tracer: tracer,
+		Tracer:   tracer,
+		Overload: overloadConfig(*rateLimit, *maxConc),
 	}, stacked)
 	if err != nil {
 		return err
@@ -193,6 +200,28 @@ func serveDebug(addr string, reg *obs.Registry, tracer *trace.Tracer, logger *sl
 // ":0" and read the bound port from here).
 var debugBoundAddr string
 
+// overloadConfig maps the -rate-limit / -max-concurrency flags onto a
+// node overload config; both zero leaves the control plane off (nil).
+func overloadConfig(rate float64, maxConc int) *overload.Config {
+	if rate <= 0 && maxConc <= 0 {
+		return nil
+	}
+	return &overload.Config{
+		Admission:   overload.AdmissionConfig{Rate: rate},
+		Concurrency: overload.AIMDConfig{Max: maxConc},
+	}
+}
+
+// breakerPolicy maps -breaker-threshold onto a circuit-breaker policy
+// for the transport stack; 0 disables the layer (nil policy). Other
+// knobs (cooldown, half-open probes) keep the transport defaults.
+func breakerPolicy(threshold int) *transport.BreakerPolicy {
+	if threshold <= 0 {
+		return nil
+	}
+	return &transport.BreakerPolicy{Threshold: threshold}
+}
+
 // retryPolicy builds the daemon's retry policy: attempts <= 1 keeps the
 // single-shot behavior (nil policy), anything more retries idempotent
 // RPCs with jittered exponential backoff sized for WAN-ish latencies.
@@ -236,6 +265,9 @@ type demoConfig struct {
 	suspicionK  int
 	poolSize    int
 	maxInflight int
+	rateLimit   float64
+	maxConc     int
+	breakerThr  int
 	tracer      *trace.Tracer
 }
 
@@ -251,6 +283,7 @@ func runDemo(dc demoConfig, reg *obs.Registry, logger *slog.Logger) error {
 		Base:    base,
 		Pool:    pool,
 		Retry:   retryPolicy(dc.retryAtt, dc.seed),
+		Breaker: breakerPolicy(dc.breakerThr),
 		Metrics: reg,
 		Tracer:  dc.tracer,
 		// One stack is shared by every demo node, so client spans carry
@@ -280,7 +313,8 @@ func runDemo(dc demoConfig, reg *obs.Registry, logger *slog.Logger) error {
 			K: dc.k, Q: dc.q, Seed: dc.seed + uint64(len(nodes)), ProbePeriod: dc.probe,
 			SuspicionK: dc.suspicionK,
 			Metrics:    reg, Logger: logger,
-			Tracer: dc.tracer,
+			Tracer:   dc.tracer,
+			Overload: overloadConfig(dc.rateLimit, dc.maxConc),
 		}, stacked)
 		if err != nil {
 			return nil, "", err

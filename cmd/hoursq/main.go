@@ -44,6 +44,7 @@ func run(args []string) error {
 		verbose = fs.Bool("v", false, "print the forwarding path")
 		traced  = fs.Bool("trace", false, "collect and render the cross-node span tree (falls back to the hop-by-hop trace)")
 		stats   = fs.Bool("stats", false, "fetch the node's operational counters instead of querying")
+		from    = fs.String("from", "hoursq", "client identity charged by the entry node's per-client admission control")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +68,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	req.From = *from
 	// With -trace the client is the trace root: a force-sampled context
 	// rides the query so every node's Traced layer records its part.
 	var (
@@ -84,6 +86,11 @@ func run(args []string) error {
 	resp, err := tcp.Call(ctx, *addr, req)
 	root.Finish(err)
 	if err != nil {
+		// An overload shed carries the server's backoff hint; surface it
+		// so callers (and scripts) know when a retry is worthwhile.
+		if hint := transport.RetryAfterHint(err); hint > 0 {
+			return fmt.Errorf("%w (server overloaded; retry after %v)", err, hint)
+		}
 		return err
 	}
 	var qr wire.QueryResult

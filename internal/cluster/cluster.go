@@ -7,14 +7,17 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/node"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
+	"repro/internal/overload"
 	"repro/internal/transport"
 	"repro/internal/wire"
 	"repro/internal/xrand"
@@ -41,6 +44,21 @@ type Config struct {
 	// Retry, when non-nil, gives every node the retry policy; it is
 	// assembled into each node's transport stack (see transport.Stack).
 	Retry *transport.RetryPolicy
+	// Breaker, when non-nil, gives every node's stack a per-peer circuit
+	// breaker: a peer that keeps answering overloaded (or timing out)
+	// fails fast until a cooldown passes (see transport.Break).
+	Breaker *transport.BreakerPolicy
+	// Overload, when non-nil, gives every node the overload-control
+	// plane: per-client admission and the adaptive concurrency limit
+	// (see node.Config.Overload).
+	Overload *overload.Config
+	// AnswerCache bounds the cluster client's answer cache. When > 0,
+	// found query results are remembered (FIFO eviction at the cap) and
+	// served — marked Cached — when a later query for the same target
+	// fails because the entry node is overloaded or its breaker is open:
+	// the paper's graceful-degradation stance, a stale answer beats no
+	// answer while the hierarchy sheds load. Zero disables the cache.
+	AnswerCache int
 	// SuspicionK sets every node's failure-suspicion threshold (see
 	// node.Config.SuspicionK; 0 means the default of 1).
 	SuspicionK int
@@ -68,6 +86,14 @@ type Cluster struct {
 	root   *node.Node
 	nodes  map[string]*node.Node // by display name
 	order  []string              // creation order, root first
+
+	// Client-side answer cache (see Config.AnswerCache): found results by
+	// target, FIFO-evicted at cacheCap. Guarded by cacheMu — cluster
+	// clients query concurrently (Lookup's fan-out, soak tests).
+	cacheMu    sync.Mutex
+	cache      map[string]wire.QueryResult
+	cacheOrder []string
+	cacheCap   int
 }
 
 // New builds, starts, joins, and wires up a full hierarchy.
@@ -82,6 +108,10 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 	}
 	tr := transport.NewMem()
 	c := &Cluster{tr: tr, tracer: cfg.Tracer, nodes: make(map[string]*node.Node)}
+	if cfg.AnswerCache > 0 {
+		c.cacheCap = cfg.AnswerCache
+		c.cache = make(map[string]wire.QueryResult, cfg.AnswerCache)
+	}
 
 	mk := func(name, parentAddr string) (*node.Node, error) {
 		addr := "mem://" + name
@@ -98,6 +128,7 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 			Addr:       addr,
 			Faults:     cfg.Faults,
 			Retry:      cfg.Retry,
+			Breaker:    cfg.Breaker,
 			Metrics:    reg,
 			Tracer:     cfg.Tracer,
 			TraceLocal: name,
@@ -118,6 +149,7 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 			Metrics:     reg,
 			Logger:      cfg.Logger,
 			Tracer:      cfg.Tracer,
+			Overload:    cfg.Overload,
 		}, stacked)
 		if err != nil {
 			return nil, err
@@ -226,7 +258,15 @@ func (c *Cluster) MaintainAll(ctx context.Context) {
 // Query issues a lookup for target starting at the named entry node and
 // returns the result. Canceling ctx aborts the in-flight RPC chain.
 func (c *Cluster) Query(ctx context.Context, entry, target string) (wire.QueryResult, error) {
-	return c.query(ctx, entry, target, false)
+	return c.queryAs(ctx, "", entry, target, false)
+}
+
+// QueryAs is Query under an explicit client identity: the entry node's
+// per-client admission control charges this identity's token bucket.
+// Overload soaks use distinct identities so one aggressor exhausts only
+// its own budget.
+func (c *Cluster) QueryAs(ctx context.Context, client, entry, target string) (wire.QueryResult, error) {
+	return c.queryAs(ctx, client, entry, target, false)
 }
 
 // QueryDefault is Query with a background context — a thin context-free
@@ -258,7 +298,7 @@ func (c *Cluster) Lookup(ctx context.Context, target string, entries ...string) 
 	results := make(chan outcome, len(entries))
 	for _, e := range entries {
 		go func(entry string) {
-			qr, err := c.query(fctx, entry, target, false)
+			qr, err := c.queryAs(fctx, "", entry, target, false)
 			results <- outcome{qr, err}
 		}(e)
 	}
@@ -292,16 +332,20 @@ func (c *Cluster) LookupDefault(target string, entries ...string) (wire.QueryRes
 // distributed-trace context, so the full cross-node span tree lands in
 // the tracer's store (fetch it by the root span's trace ID).
 func (c *Cluster) QueryTraced(ctx context.Context, entry, target string) (wire.QueryResult, error) {
-	return c.query(ctx, entry, target, true)
+	return c.queryAs(ctx, "", entry, target, true)
 }
 
-func (c *Cluster) query(ctx context.Context, entry, target string, withHops bool) (wire.QueryResult, error) {
+func (c *Cluster) queryAs(ctx context.Context, client, entry, target string, withHops bool) (wire.QueryResult, error) {
 	n, ok := c.nodes[entry]
 	if !ok {
 		return wire.QueryResult{}, fmt.Errorf("cluster: no entry node %q", entry)
 	}
+	if client == "" {
+		client = "client"
+	}
+	target = strings.TrimSuffix(target, ".")
 	req, err := wire.New(wire.TypeQuery, wire.Query{
-		Target: strings.TrimSuffix(target, "."),
+		Target: target,
 		Mode:   wire.ModeHierarchical,
 		TTL:    4 * len(c.nodes),
 		Trace:  withHops,
@@ -309,6 +353,7 @@ func (c *Cluster) query(ctx context.Context, entry, target string, withHops bool
 	if err != nil {
 		return wire.QueryResult{}, err
 	}
+	req.From = client
 	if withHops && c.tracer != nil {
 		// The cluster client bypasses the node stacks (it calls the Mem
 		// base directly), so the root span and context injection happen
@@ -321,6 +366,12 @@ func (c *Cluster) query(ctx context.Context, entry, target string, withHops bool
 	}
 	resp, err := c.tr.Call(ctx, n.Addr(), req)
 	if err != nil {
+		// Overload-class failures degrade to the answer cache: a
+		// remembered answer, marked stale, beats failing the caller while
+		// the hierarchy sheds load.
+		if qr, ok := c.cachedAnswer(target, err); ok {
+			return qr, nil
+		}
 		return wire.QueryResult{}, err
 	}
 	if resp.Type != wire.TypeQueryResult {
@@ -330,7 +381,49 @@ func (c *Cluster) query(ctx context.Context, entry, target string, withHops bool
 	if err := resp.Decode(&qr); err != nil {
 		return wire.QueryResult{}, err
 	}
+	if qr.Found {
+		c.rememberAnswer(target, qr)
+	}
 	return qr, nil
+}
+
+// rememberAnswer stores a found result in the client answer cache,
+// FIFO-evicting the oldest target at the cap.
+func (c *Cluster) rememberAnswer(target string, qr wire.QueryResult) {
+	if c.cacheCap <= 0 {
+		return
+	}
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	if _, ok := c.cache[target]; !ok {
+		if len(c.cacheOrder) >= c.cacheCap {
+			delete(c.cache, c.cacheOrder[0])
+			c.cacheOrder = c.cacheOrder[1:]
+		}
+		c.cacheOrder = append(c.cacheOrder, target)
+	}
+	c.cache[target] = qr
+}
+
+// cachedAnswer serves a remembered result for target when err is an
+// overload-class failure (shed by admission, or fast-failed by an open
+// breaker). The returned copy is marked Cached so callers can tell a
+// fresh delivery from a degraded one.
+func (c *Cluster) cachedAnswer(target string, err error) (wire.QueryResult, bool) {
+	if c.cacheCap <= 0 {
+		return wire.QueryResult{}, false
+	}
+	if !errors.Is(err, transport.ErrOverloaded) && !errors.Is(err, transport.ErrBreakerOpen) {
+		return wire.QueryResult{}, false
+	}
+	c.cacheMu.Lock()
+	qr, ok := c.cache[target]
+	c.cacheMu.Unlock()
+	if !ok {
+		return wire.QueryResult{}, false
+	}
+	qr.Cached = true
+	return qr, true
 }
 
 // StatsAll returns each node's operational counters keyed by name.

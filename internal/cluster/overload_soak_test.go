@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/overload"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// soakClocks are the hand-advanced clocks behind the admission limiter
+// (nanosecond scale) and the circuit breaker (wall scale). Ticking them
+// together, instead of sleeping, keeps the soak deterministic: token
+// refills and breaker cooldowns happen exactly when the scenario says
+// they do, independent of scheduler speed or -race overhead.
+type soakClocks struct {
+	mu    sync.Mutex
+	nanos int64
+	wall  time.Time
+}
+
+func newSoakClocks() *soakClocks {
+	return &soakClocks{wall: time.Unix(1_000_000, 0)}
+}
+
+func (c *soakClocks) nowNanos() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nanos
+}
+
+func (c *soakClocks) nowWall() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wall
+}
+
+func (c *soakClocks) tick(d time.Duration) {
+	c.mu.Lock()
+	c.nanos += int64(d)
+	c.wall = c.wall.Add(d)
+	c.mu.Unlock()
+}
+
+// TestOverloadSoak drives a full cluster through a deterministic
+// overload scenario — the live counterpart of the paper's Figure 1
+// domino-effect argument. One aggressor floods a single entry node at
+// 20x its fair share; well-behaved clients keep querying throughout.
+// The soak asserts the whole control plane end to end:
+//
+//   - per-client admission isolates the flood: the aggressor is shed
+//     with typed, hinted rejections while well-behaved delivery stays
+//     >= 0.9;
+//   - a multi-identity (Sybil) flood cannot launder itself through a
+//     forwarding node: the downstream per-node budget sheds the
+//     forwarder, whose circuit breaker trips instead of piling on;
+//   - a client that bursts past its own budget degrades gracefully to
+//     cached answers rather than failing;
+//   - once the flood stops, breakers half-open, probe, and recover, and
+//     fresh answers flow again;
+//   - the shed/admitted/breaker counters and the shed span attribute
+//     are all observable on the shared registry and tracer.
+func TestOverloadSoak(t *testing.T) {
+	ctx := context.Background()
+	clk := newSoakClocks()
+	reg := obs.NewRegistry()
+	tracer := trace.New(trace.Config{SampleRate: 0, Seed: 11, Capacity: 1 << 12})
+
+	// Rate 200/s = 2 query tokens per 10ms round; burst 10 on top. The
+	// aggressor's 40 requests/round are 20x its sustained fair share.
+	c, err := New(ctx, Config{
+		Fanouts: []int{4}, K: 2, Q: 2, Seed: 7,
+		Overload: &overload.Config{
+			Admission: overload.AdmissionConfig{Rate: 200, Burst: 10, Now: clk.nowNanos},
+		},
+		Breaker: &transport.BreakerPolicy{
+			Threshold: 3, Cooldown: 500 * time.Millisecond,
+			HalfOpenProbes: 2, SuccessesToClose: 2, Now: clk.nowWall,
+		},
+		AnswerCache: 16,
+		Metrics:     reg,
+		Tracer:      tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	// Well-behaved clients: one per first-level node, each querying a
+	// sibling so every query crosses at least one forwarding hop. None
+	// of them targets n1-0, so the aggressor's target is never cached
+	// and its sheds stay visible as errors.
+	goodTargets := map[string]string{
+		"gc-0": "n1-1", "gc-1": "n1-2", "gc-2": "n1-3", "gc-3": "n1-2",
+	}
+	goodEntries := map[string]string{
+		"gc-0": "n1-0", "gc-1": "n1-1", "gc-2": "n1-2", "gc-3": "n1-3",
+	}
+	var goodAttempts, goodDelivered, cachedServed int
+	goodRound := func() {
+		for _, gc := range []string{"gc-0", "gc-1", "gc-2", "gc-3"} {
+			goodAttempts++
+			qr, err := c.QueryAs(ctx, gc, goodEntries[gc], goodTargets[gc])
+			if err != nil {
+				continue
+			}
+			if qr.Found {
+				goodDelivered++
+			}
+			if qr.Cached {
+				cachedServed++
+			}
+		}
+	}
+	const round = 10 * time.Millisecond
+
+	// Phase 0 — warm: everything delivers, answers get cached.
+	for r := 0; r < 5; r++ {
+		clk.tick(round)
+		goodRound()
+	}
+	if goodDelivered != goodAttempts {
+		t.Fatalf("warm phase delivered %d/%d", goodDelivered, goodAttempts)
+	}
+
+	// Phase 1 — single-identity flood: 40 queries/round against n1-0.
+	// The target is a nonexistent child of n1-0, so admitted queries are
+	// answered (not-found) locally — the flood cannot spill downstream —
+	// and nothing lands in the answer cache to mask the sheds. Admission
+	// must pin the aggressor near its fair share and shed the rest with
+	// retry-after hints.
+	var floodSent, floodShed, floodAdmitted, hinted int
+	for r := 0; r < 25; r++ {
+		clk.tick(round)
+		for i := 0; i < 40; i++ {
+			floodSent++
+			_, err := c.QueryAs(ctx, "aggressor", "n1-0", "nope.n1-0")
+			switch {
+			case err == nil:
+				floodAdmitted++
+			case errors.Is(err, transport.ErrOverloaded):
+				floodShed++
+				if transport.RetryAfterHint(err) > 0 {
+					hinted++
+				}
+			default:
+				t.Fatalf("aggressor got a non-overload error: %v", err)
+			}
+		}
+		goodRound()
+	}
+	if floodShed < floodSent*8/10 {
+		t.Errorf("flood shed %d of %d, want >= 80%%", floodShed, floodSent)
+	}
+	// Burst (10) plus 25 refill rounds at 2 tokens: the admitted slice
+	// stays near fair share, nowhere near the offered 1000.
+	if floodAdmitted < 10 || floodAdmitted > 120 {
+		t.Errorf("flood admitted %d of %d, want fair-share-ish [10, 120]", floodAdmitted, floodSent)
+	}
+	if hinted == 0 {
+		t.Error("no shed rejection carried a retry-after hint")
+	}
+
+	// The shed decision is visible on the span of a traced flood query.
+	sp := tracer.StartRoot("query", "client")
+	shedReq, err := wire.New(wire.TypeQuery, wire.Query{Target: "n1-0", Mode: wire.ModeHierarchical, TTL: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shedReq.From = "aggressor"
+	shedReq.TC = sp.Context()
+	entry, _ := c.Node("n1-0")
+	_, err = c.Transport().Call(ctx, entry.Addr(), shedReq)
+	sp.Finish(err)
+	if !errors.Is(err, transport.ErrOverloaded) {
+		t.Fatalf("traced flood query err = %v, want ErrOverloaded", err)
+	}
+	var shedAttr string
+	for _, rec := range tracer.Store().Trace(sp.Context().TraceID) {
+		if rec.Node == "n1-0" {
+			shedAttr, _ = rec.Attr("shed")
+		}
+	}
+	if shedAttr != "rate" {
+		t.Errorf("entry span shed attr = %q, want \"rate\"", shedAttr)
+	}
+
+	// Phase 2 — Sybil flood: fresh identities every request defeat the
+	// per-client buckets at the entry, but the forwarded calls all carry
+	// the entry node's own identity, so the downstream budget sheds the
+	// forwarder and its breaker trips instead of the flood cascading.
+	tripsBefore := reg.Counter("hours_breaker_trips_total").Value()
+	for r := 0; r < 6; r++ {
+		clk.tick(round)
+		for i := 0; i < 30; i++ {
+			_, _ = c.QueryAs(ctx, fmt.Sprintf("syb-%d-%d", r, i), "n1-0", "n1-1")
+		}
+		goodRound()
+	}
+	if got := reg.Counter("hours_breaker_trips_total").Value(); got <= tripsBefore {
+		t.Errorf("breaker trips = %d (was %d), want an increase from the Sybil flood", got, tripsBefore)
+	}
+	if got := reg.Counter("hours_breaker_fastfails_total").Value(); got == 0 {
+		t.Error("no call was fast-failed by an open breaker")
+	}
+
+	// Phase 3 — graceful degradation: a client bursting past its own
+	// budget on a previously-answered target is served from the answer
+	// cache instead of failing outright.
+	var burstDelivered int
+	for i := 0; i < 30; i++ {
+		goodAttempts++
+		qr, err := c.QueryAs(ctx, "gc-1", "n1-1", "n1-2")
+		if err != nil {
+			continue
+		}
+		if qr.Found {
+			goodDelivered++
+			burstDelivered++
+		}
+		if qr.Cached {
+			cachedServed++
+		}
+	}
+	if burstDelivered < 28 {
+		t.Errorf("burst delivered %d/30 despite the answer cache", burstDelivered)
+	}
+	if cachedServed == 0 {
+		t.Error("no answer was served from the cache during the burst")
+	}
+
+	// Phase 4 — recovery: the flood stops, buckets refill, cooldowns
+	// elapse. Queries across the previously-broken path become half-open
+	// probes, succeed, and close the breaker; fresh answers flow.
+	clk.tick(time.Second)
+	for r := 0; r < 4; r++ {
+		clk.tick(round)
+		goodRound()
+	}
+	qr, err := c.QueryAs(ctx, "gc-0", "n1-0", "n1-1")
+	goodAttempts++
+	if err != nil {
+		t.Fatalf("post-recovery query: %v", err)
+	}
+	if !qr.Found || qr.Cached {
+		t.Fatalf("post-recovery result = found=%v cached=%v, want a fresh delivery", qr.Found, qr.Cached)
+	}
+	goodDelivered++
+	if got := reg.Counter("hours_breaker_half_opens_total").Value(); got == 0 {
+		t.Error("no breaker ever half-opened")
+	}
+	if got := reg.Counter("hours_breaker_recoveries_total").Value(); got == 0 {
+		t.Error("no breaker ever recovered")
+	}
+
+	// The whole soak long, well-behaved clients kept being served.
+	ratio := float64(goodDelivered) / float64(goodAttempts)
+	if ratio < 0.9 {
+		t.Errorf("well-behaved delivery ratio = %.3f (%d/%d), want >= 0.9",
+			ratio, goodDelivered, goodAttempts)
+	}
+	// One machine-parseable summary line: scripts/check.sh lifts it into
+	// BENCH_overload.json.
+	t.Logf("overload soak: goodput=%.3f good_delivered=%d good_attempts=%d admitted=%d shed=%d cached=%d breaker_trips=%d",
+		ratio, goodDelivered, goodAttempts, floodAdmitted, floodShed, cachedServed,
+		reg.Counter("hours_breaker_trips_total").Value())
+
+	// The admission counters landed on the shared registry.
+	if v := reg.Counter("hours_overload_shed_total", obs.L("reason", "rate")).Value(); v == 0 {
+		t.Error("hours_overload_shed_total{reason=rate} = 0")
+	}
+	if v := reg.Counter("hours_overload_admitted_total", obs.L("class", "query")).Value(); v == 0 {
+		t.Error("hours_overload_admitted_total{class=query} = 0")
+	}
+}

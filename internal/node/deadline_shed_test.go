@@ -1,0 +1,139 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// slowServeTransport delays every inbound request before invoking the
+// real handler, modeling a node that is slow to schedule work. The
+// delay runs under the handler's context, so a propagated deadline that
+// expires during the wait is visible to the handler on entry.
+type slowServeTransport struct {
+	transport.Transport
+	delay time.Duration
+}
+
+func (s *slowServeTransport) Listen(addr string, h transport.Handler) (io.Closer, error) {
+	return s.Transport.Listen(addr, func(ctx context.Context, m wire.Message) (wire.Message, error) {
+		timer := time.NewTimer(s.delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+		}
+		return h(ctx, m)
+	})
+}
+
+// TestExpiredDeadlineShedsAtSecondHop runs a mixed-version two-hop
+// chain — v1 client → pooled (v2) root → one-shot (v1) child — and
+// checks the client's budget survives both wire formats and kills the
+// forwarded work at hop 2: the child is too slow to handle the request
+// inside the propagated budget, so it sheds instead of serving, and the
+// shed is visible in its metrics. Without propagation the child would
+// happily burn its 5s IO timeout on work nobody is waiting for.
+func TestExpiredDeadlineShedsAtSecondHop(t *testing.T) {
+	ctx := context.Background()
+	pooled := transport.NewPooledTCP(transport.PoolConfig{
+		DialTimeout: 300 * time.Millisecond,
+		IOTimeout:   5 * time.Second,
+	})
+	t.Cleanup(func() { _ = pooled.Close() })
+	v1 := &transport.TCP{DialTimeout: 300 * time.Millisecond, IOTimeout: 5 * time.Second}
+	// The child answers inbound requests only after 900ms — far past the
+	// client's 300ms budget, well inside every IO timeout.
+	slowV1 := &slowServeTransport{Transport: v1, delay: 900 * time.Millisecond}
+
+	bind := func(tr transport.Transport) string {
+		t.Helper()
+		probe, err := tr.Listen("127.0.0.1:0", func(ctx context.Context, m wire.Message) (wire.Message, error) {
+			return wire.Message{}, fmt.Errorf("placeholder")
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var addr string
+		switch l := probe.(type) {
+		case *transport.TCPListener:
+			addr = l.Addr()
+		case *transport.PooledListener:
+			addr = l.Addr()
+		default:
+			t.Fatalf("listener type %T", probe)
+		}
+		if err := probe.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return addr
+	}
+	mk := func(tr transport.Transport, name, parentAddr string, seed uint64, reg *obs.Registry) *Node {
+		t.Helper()
+		nd, err := New(Config{
+			Name: name, Addr: bind(tr), ParentAddr: parentAddr,
+			K: 1, Q: 2, Seed: seed, CallTimeout: 5 * time.Second,
+			Metrics: reg,
+		}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = nd.Stop() })
+		return nd
+	}
+
+	root := mk(pooled, ".", "", 1, nil)
+	childReg := obs.NewRegistry()
+	// The child binds on the raw v1 transport (instant) but serves
+	// through the slow wrapper.
+	child := mk(slowV1, "c0", root.Addr(), 2, childReg)
+	// Join and table building run without client deadlines, so the
+	// child's slow serving merely delays them.
+	if err := child.Join(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.BuildTable(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	shed := childReg.Counter("hours_overload_shed_total", obs.L("reason", "deadline"))
+	if got := shed.Value(); got != 0 {
+		t.Fatalf("deadline sheds before the query = %d", got)
+	}
+
+	// Hop 1: v1 client → v2 root, 300ms budget. Hop 2: root forwards to
+	// the v1 child with the residual budget stamped on the wire. The
+	// child sleeps 900ms, finds the budget spent, and sheds.
+	q, err := wire.New(wire.TypeQuery, wire.Query{Target: "c0", Mode: wire.ModeHierarchical, TTL: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qctx, cancel := context.WithTimeout(ctx, 300*time.Millisecond)
+	defer cancel()
+	resp, err := v1.Call(qctx, root.Addr(), q)
+	if err == nil {
+		var qr wire.QueryResult
+		if derr := resp.Decode(&qr); derr == nil && qr.Found {
+			t.Fatalf("query served despite a spent budget at hop 2: %+v", qr)
+		}
+	}
+
+	// The shed happens after the client's deadline fires, so wait out
+	// the child's serving delay before asserting the counter.
+	deadline := time.Now().Add(3 * time.Second)
+	for shed.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("child never counted a deadline shed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

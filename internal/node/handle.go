@@ -13,8 +13,8 @@ import (
 	"repro/internal/xrand"
 )
 
-// handle is the node's transport handler: it dispatches every inbound
-// message type of the live protocol.
+// handle is the node's transport handler: admission control first, then
+// dispatch of every inbound message type of the live protocol.
 func (n *Node) handle(ctx context.Context, req wire.Message) (wire.Message, error) {
 	if n.isSuppressed() {
 		// Defense in depth: the Mem transport already fails calls to a
@@ -24,7 +24,39 @@ func (n *Node) handle(ctx context.Context, req wire.Message) (wire.Message, erro
 	// The transport's tracing layer opened the server span before it knew
 	// which node would serve the request (daemons share one listener
 	// across nodes); claim it.
-	trace.SpanFromContext(ctx).SetNode(n.Name())
+	sp := trace.SpanFromContext(ctx)
+	sp.SetNode(n.Name())
+	// Deadline shedding, always on: the transport folded the request's
+	// propagated deadline budget into ctx, so a budget spent in upstream
+	// queues is visible here before any work happens. Answering a caller
+	// that already gave up wastes exactly the capacity an overloaded
+	// hierarchy is short of.
+	if err := ctx.Err(); err != nil {
+		n.m.shedDeadline.Inc()
+		sp.SetAttr("shed", "deadline")
+		return wire.Message{}, fmt.Errorf("node %s: deadline spent before handling: %w", n.Name(), err)
+	}
+	// Guarded admission: token buckets per client identity, then the
+	// adaptive concurrency limit. Sheds reply with the typed overloaded
+	// rejection so callers back off for the hinted duration instead of
+	// retrying blind.
+	if n.guard != nil {
+		tk, v := n.guard.Admit(req.From, req.Type)
+		if !v.OK {
+			sp.SetAttr("shed", v.Reason)
+			sp.SetAttr("shed_priority", v.Priority.String())
+			sp.SetAttrInt("retry_after_ms", int(v.RetryAfter/time.Millisecond))
+			return wire.Message{}, fmt.Errorf("node %s: %w",
+				n.Name(), &transport.OverloadedError{RetryAfter: v.RetryAfter})
+		}
+		start := time.Now()
+		defer func() { tk.Done(time.Since(start)) }()
+	}
+	return n.dispatch(ctx, req)
+}
+
+// dispatch routes an admitted request to its handler.
+func (n *Node) dispatch(ctx context.Context, req wire.Message) (wire.Message, error) {
 	switch req.Type {
 	case wire.TypeJoin:
 		return n.handleJoin(req)

@@ -20,6 +20,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/overlay"
+	"repro/internal/overload"
 	"repro/internal/transport"
 	"repro/internal/wire"
 	"repro/internal/xrand"
@@ -69,6 +70,13 @@ type Config struct {
 	// Data is the answer this node serves for its own name. Defaults to
 	// the node's address.
 	Data string
+	// Overload, when non-nil, enables the node's overload-control plane:
+	// per-client token-bucket admission and the adaptive concurrency
+	// limit run before every handler, shedding excess work with a typed
+	// overloaded rejection that carries a retry-after hint (§2, §5 —
+	// self-protection is what stops the Figure 1 domino effect). Expired
+	// deadlines are always shed, with or without a guard.
+	Overload *overload.Config
 	// Metrics receives the node's operational metrics. Nil creates a
 	// private registry (still readable through Stats); daemons pass a
 	// shared registry to aggregate and scrape. The transport is wrapped
@@ -159,6 +167,10 @@ type Node struct {
 	m      nodeMetrics
 	tracer *trace.Tracer
 
+	// guard is the overload-control plane (nil when Config.Overload is
+	// nil: no admission, no concurrency limit).
+	guard *overload.Guard
+
 	// Maintenance goroutine lifecycle.
 	stop chan struct{}
 	done chan struct{}
@@ -185,6 +197,11 @@ type nodeMetrics struct {
 	suppressed       *obs.Gauge
 	ccwSuspicion     *obs.Gauge
 	handleLatency    *obs.Histogram
+	// shedDeadline counts requests dropped because their propagated
+	// deadline budget was already spent on arrival — always-on shedding,
+	// independent of the overload guard (doing work nobody is waiting for
+	// is what cascades load up the hierarchy).
+	shedDeadline *obs.Counter
 }
 
 // newNodeMetrics registers (or re-binds) the node metric series in reg.
@@ -214,6 +231,7 @@ func newNodeMetrics(reg *obs.Registry) nodeMetrics {
 		suppressed:       reg.Gauge("hours_node_suppressed"),
 		ccwSuspicion:     reg.Gauge("hours_ccw_suspicion"),
 		handleLatency:    reg.Histogram("hours_query_handle_seconds"),
+		shedDeadline:     reg.Counter("hours_overload_shed_total", obs.L("reason", "deadline")),
 	}
 }
 
@@ -291,6 +309,9 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 		m:        newNodeMetrics(reg),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+	}
+	if cfg.Overload != nil {
+		n.guard = overload.NewGuard(*cfg.Overload, reg)
 	}
 	return n, nil
 }
@@ -444,8 +465,13 @@ func (n *Node) ownLabel() string {
 	return n.name
 }
 
-// call performs one outbound RPC with the configured timeout.
+// call performs one outbound RPC with the configured timeout. Each hop
+// stamps its own address as the caller identity, so the next node's
+// admission control charges this node's bucket, not the original
+// client's — a flood entering at one node cannot spend its victims'
+// downstream budgets under the client's name.
 func (n *Node) call(ctx context.Context, addr string, req wire.Message) (wire.Message, error) {
+	req.From = n.cfg.Addr
 	cctx, cancel := context.WithTimeout(ctx, n.cfg.CallTimeout)
 	defer cancel()
 	return n.tr.Call(cctx, addr, req)

@@ -1,0 +1,186 @@
+package overload
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// classScale is the per-class token rate multiplier relative to
+// AdmissionConfig.Rate (which is the query-class rate): control traffic
+// is cheap, rare, and load-bearing, so it gets generous headroom;
+// diagnostic reads are throttled hardest.
+var classScale = [numClasses]float64{
+	ClassControl: 4,
+	ClassQuery:   1,
+	ClassRead:    0.25,
+}
+
+// AdmissionConfig parameterizes the token-bucket admission limiter.
+type AdmissionConfig struct {
+	// Rate is the sustained admitted requests/second per client for
+	// query-class traffic (other classes scale by classScale). <= 0
+	// disables admission control entirely.
+	Rate float64
+	// Burst is the bucket capacity in tokens — the instantaneous excess
+	// a client may spend above the sustained rate. Default max(8,
+	// 2*Rate).
+	Burst float64
+	// MaxClients bounds the live (client, class) buckets; the least
+	// recently used bucket is recycled when a new client arrives at the
+	// cap. Default 1024.
+	MaxClients int
+	// Now returns the current time in nanoseconds on some monotonic
+	// scale. Nil uses the wall clock; tests inject a fake for
+	// determinism.
+	Now func() int64
+}
+
+// normalize fills defaults.
+func (c AdmissionConfig) normalize() AdmissionConfig {
+	if c.Burst <= 0 {
+		c.Burst = 2 * c.Rate
+		if c.Burst < 8 {
+			c.Burst = 8
+		}
+	}
+	if c.MaxClients <= 0 {
+		c.MaxClients = 1024
+	}
+	if c.Now == nil {
+		start := time.Now()
+		c.Now = func() int64 { return int64(time.Since(start)) }
+	}
+	return c
+}
+
+// bucketKey identifies one client's bucket for one class.
+type bucketKey struct {
+	client string
+	class  Class
+}
+
+// bucket is one token bucket, intrusively linked into the LRU list
+// (most recently used at head.next). Intrusive links keep Admit free of
+// allocations: touching a bucket is four pointer writes, not a
+// container/list element.
+type bucket struct {
+	key        bucketKey
+	tokens     float64
+	last       int64 // Now() at the previous refill
+	prev, next *bucket
+}
+
+// Limiter is the per-client token-bucket admission limiter. The zero
+// value is not usable; call NewLimiter.
+type Limiter struct {
+	cfg AdmissionConfig
+
+	mu      sync.Mutex
+	buckets map[bucketKey]*bucket
+	head    bucket // LRU sentinel: head.next is most recent, head.prev least
+
+	clients   atomic.Int64 // live buckets, for gauges
+	evictions atomic.Int64 // LRU recycles, for counters
+
+	// onEvict, when set, fires on each LRU recycle (under mu; keep it
+	// cheap — the Guard points it at a metrics counter).
+	onEvict func()
+}
+
+// NewLimiter returns a limiter for the config. A Rate <= 0 yields a
+// limiter that admits everything.
+func NewLimiter(cfg AdmissionConfig) *Limiter {
+	l := &Limiter{cfg: cfg.normalize(), buckets: make(map[bucketKey]*bucket)}
+	l.head.next = &l.head
+	l.head.prev = &l.head
+	return l
+}
+
+// Clients reports the live bucket count.
+func (l *Limiter) Clients() int64 { return l.clients.Load() }
+
+// Evictions reports how many buckets were recycled at the LRU cap.
+func (l *Limiter) Evictions() int64 { return l.evictions.Load() }
+
+// unlink removes b from the LRU list.
+func (b *bucket) unlink() {
+	b.prev.next = b.next
+	b.next.prev = b.prev
+}
+
+// pushFront inserts b as most recently used.
+func (l *Limiter) pushFront(b *bucket) {
+	b.prev = &l.head
+	b.next = l.head.next
+	l.head.next.prev = b
+	l.head.next = b
+}
+
+// Admit spends one token from the client's bucket for the class,
+// reporting whether the request is admitted and, when it is not, how
+// long until the bucket will hold a full token again (the retry-after
+// hint). The steady-state path — known client, token available —
+// performs zero allocations.
+func (l *Limiter) Admit(client string, class Class) (bool, time.Duration) {
+	if l.cfg.Rate <= 0 {
+		return true, 0
+	}
+	rate := l.cfg.Rate * classScale[class]
+	burst := l.cfg.Burst * classScale[class]
+	now := l.cfg.Now()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[bucketKey{client, class}]
+	if b == nil {
+		b = l.newBucket(bucketKey{client, class}, burst, now)
+	} else {
+		// Refill for the time elapsed since the bucket was last touched.
+		if dt := now - b.last; dt > 0 {
+			b.tokens += float64(dt) * rate / float64(time.Second)
+			if b.tokens > burst {
+				b.tokens = burst
+			}
+		}
+		b.last = now
+		b.unlink()
+	}
+	l.pushFront(b)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	// Deficit until the next whole token, at this class's refill rate.
+	wait := time.Duration((1 - b.tokens) / rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// newBucket creates (or recycles, at the cap) a bucket for key, charged
+// nothing yet; the caller spends the first token. Caller holds l.mu.
+func (l *Limiter) newBucket(key bucketKey, burst float64, now int64) *bucket {
+	var b *bucket
+	if len(l.buckets) >= l.cfg.MaxClients {
+		// Recycle the least recently used bucket. The evicted client
+		// starts fresh if it returns — with a full burst, so recycling
+		// never punishes, it only forgets.
+		b = l.head.prev
+		b.unlink()
+		delete(l.buckets, b.key)
+		l.evictions.Add(1)
+		if l.onEvict != nil {
+			l.onEvict()
+		}
+	} else {
+		b = new(bucket)
+	}
+	b.key = key
+	b.tokens = burst
+	b.last = now
+	l.buckets[key] = b
+	l.clients.Store(int64(len(l.buckets)))
+	return b
+}

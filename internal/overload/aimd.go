@@ -1,0 +1,184 @@
+package overload
+
+import (
+	"math"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AIMDConfig parameterizes the adaptive concurrency limiter.
+type AIMDConfig struct {
+	// Start is the initial in-flight limit (default Max).
+	Start int
+	// Min / Max bound the adaptive limit. Max <= 0 disables the
+	// concurrency limiter. Min defaults to max(2, Max/16).
+	Min, Max int
+	// Backoff is the multiplicative-decrease factor applied when the
+	// window's p50 latency degrades past Tolerance × baseline (default
+	// 0.75).
+	Backoff float64
+	// Tolerance is how far the window p50 may exceed the moving baseline
+	// before the limit shrinks (default 2.0).
+	Tolerance float64
+	// Window is the latency samples per adjustment round (default 64).
+	Window int
+	// BaselineAlpha is the EWMA weight folding each healthy window's p50
+	// into the long-run baseline (default 0.1).
+	BaselineAlpha float64
+}
+
+// normalize fills defaults.
+func (c AIMDConfig) normalize() AIMDConfig {
+	if c.Min <= 0 {
+		c.Min = c.Max / 16
+		if c.Min < 2 {
+			c.Min = 2
+		}
+	}
+	if c.Min > c.Max {
+		c.Min = c.Max
+	}
+	if c.Start <= 0 || c.Start > c.Max {
+		c.Start = c.Max
+	}
+	if c.Start < c.Min {
+		c.Start = c.Min
+	}
+	if c.Backoff <= 0 || c.Backoff >= 1 {
+		c.Backoff = 0.75
+	}
+	if c.Tolerance <= 1 {
+		c.Tolerance = 2.0
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.BaselineAlpha <= 0 || c.BaselineAlpha > 1 {
+		c.BaselineAlpha = 0.1
+	}
+	return c
+}
+
+// AIMD bounds in-flight handlers with an adaptive limit: additive
+// increase (+1 per healthy window) while observed latency holds near the
+// moving p50 baseline, multiplicative decrease when a window's p50
+// degrades past Tolerance × baseline — the gradient signal that queuing
+// has started. Acquire/Release are the hot path and perform no
+// allocations; window accounting reuses preallocated sample buffers.
+type AIMD struct {
+	cfg AIMDConfig
+
+	inflight  atomic.Int64
+	limitBits atomic.Uint64 // float64 limit, readable without the mutex
+
+	mu       sync.Mutex
+	samples  []int64 // latency nanos, filling toward cfg.Window
+	scratch  []int64 // sort buffer, reused
+	baseline float64 // EWMA of healthy-window p50 latency, nanos
+}
+
+// NewAIMD returns a limiter for the config, or nil if Max <= 0
+// (disabled). A nil *AIMD is safe: Acquire admits everything.
+func NewAIMD(cfg AIMDConfig) *AIMD {
+	if cfg.Max <= 0 {
+		return nil
+	}
+	cfg = cfg.normalize()
+	a := &AIMD{
+		cfg:     cfg,
+		samples: make([]int64, 0, cfg.Window),
+		scratch: make([]int64, cfg.Window),
+	}
+	a.limitBits.Store(math.Float64bits(float64(cfg.Start)))
+	return a
+}
+
+// Limit reports the current adaptive limit.
+func (a *AIMD) Limit() int {
+	if a == nil {
+		return 0
+	}
+	return int(math.Float64frombits(a.limitBits.Load()))
+}
+
+// Inflight reports the current in-flight count.
+func (a *AIMD) Inflight() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.inflight.Load()
+}
+
+// Acquire claims an in-flight slot at the given priority, reporting
+// whether the request may proceed. Priorities see different effective
+// limits: high-priority maintenance may use the whole limit, normal
+// traffic stops one-eighth short (reserving headroom so probes and
+// repair always get through), and low-priority diagnostics only half.
+// On false, nothing is held.
+func (a *AIMD) Acquire(pr Priority) bool {
+	if a == nil {
+		return true
+	}
+	in := a.inflight.Add(1)
+	limit := int64(math.Float64frombits(a.limitBits.Load()))
+	threshold := limit
+	switch pr {
+	case PriorityNormal:
+		if reserve := limit / 8; reserve > 0 {
+			threshold = limit - reserve
+		}
+	case PriorityLow:
+		threshold = limit / 2
+	}
+	if threshold < 1 {
+		threshold = 1
+	}
+	if in > threshold {
+		a.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+// Release returns a slot, feeding the handler's observed latency into
+// the window. Every full window adjusts the limit: AI if the window's
+// p50 stayed within Tolerance × baseline, MD otherwise.
+func (a *AIMD) Release(observed time.Duration) {
+	if a == nil {
+		return
+	}
+	a.inflight.Add(-1)
+	a.mu.Lock()
+	a.samples = append(a.samples, int64(observed))
+	if len(a.samples) < a.cfg.Window {
+		a.mu.Unlock()
+		return
+	}
+	n := copy(a.scratch, a.samples)
+	a.samples = a.samples[:0]
+	slices.Sort(a.scratch[:n])
+	p50 := float64(a.scratch[n/2])
+	limit := math.Float64frombits(a.limitBits.Load())
+	switch {
+	case a.baseline == 0:
+		a.baseline = p50
+	case p50 > a.baseline*a.cfg.Tolerance:
+		// Latency detached from the baseline: queuing has begun.
+		limit *= a.cfg.Backoff
+	default:
+		limit++
+		// Only healthy windows move the baseline, so a slow ramp of
+		// degradation cannot normalize itself into the reference.
+		a.baseline = (1-a.cfg.BaselineAlpha)*a.baseline + a.cfg.BaselineAlpha*p50
+	}
+	if limit < float64(a.cfg.Min) {
+		limit = float64(a.cfg.Min)
+	}
+	if limit > float64(a.cfg.Max) {
+		limit = float64(a.cfg.Max)
+	}
+	a.limitBits.Store(math.Float64bits(limit))
+	a.mu.Unlock()
+}

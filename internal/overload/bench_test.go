@@ -1,0 +1,42 @@
+package overload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// BenchmarkLimiterAdmit measures the token-bucket fast path: known
+// client, token available. The allocs/op column is the regression
+// guard — the intrusive LRU keeps it at zero.
+func BenchmarkLimiterAdmit(b *testing.B) {
+	l := NewLimiter(AdmissionConfig{Rate: 1e9, Burst: 1e9})
+	l.Admit("steady", ClassQuery)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := l.Admit("steady", ClassQuery); !ok {
+			b.Fatal("unthrottled admit refused")
+		}
+	}
+}
+
+// BenchmarkGuardAdmit measures the full guarded admission — bucket spend,
+// AIMD acquire, ticket release — per request.
+func BenchmarkGuardAdmit(b *testing.B) {
+	g := NewGuard(Config{
+		Admission:   AdmissionConfig{Rate: 1e9, Burst: 1e9},
+		Concurrency: AIMDConfig{Max: 1 << 20},
+	}, nil)
+	g.Admit("steady", wire.TypeQuery)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk, v := g.Admit("steady", wire.TypeQuery)
+		if !v.OK {
+			b.Fatal("unthrottled admit refused")
+		}
+		tk.Done(time.Microsecond)
+	}
+}

@@ -1,0 +1,129 @@
+package overload
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// Config selects the overload-control mechanisms for one node.
+type Config struct {
+	// Admission parameterizes per-client token-bucket admission;
+	// Admission.Rate <= 0 disables it.
+	Admission AdmissionConfig
+	// Concurrency parameterizes the adaptive in-flight limit;
+	// Concurrency.Max <= 0 disables it.
+	Concurrency AIMDConfig
+	// RetryAfterHint is the backoff hint attached to concurrency sheds,
+	// which have no token-deficit to derive one from (default 25ms).
+	RetryAfterHint time.Duration
+}
+
+// Verdict is the outcome of one admission decision.
+type Verdict struct {
+	// OK means the request was admitted.
+	OK bool
+	// Reason labels a shed: "rate" (token bucket empty) or
+	// "concurrency" (adaptive limit reached).
+	Reason string
+	// Priority is the request's shedding tier (always set).
+	Priority Priority
+	// RetryAfter is the backoff hint to return to the caller on a shed.
+	RetryAfter time.Duration
+}
+
+// Ticket is an admitted request's hold on the concurrency limiter. The
+// zero Ticket (from a shed) is safe to Done.
+type Ticket struct {
+	g    *Guard
+	conc bool
+}
+
+// Done releases the ticket, feeding the handler's observed latency into
+// the adaptive limiter.
+func (t Ticket) Done(observed time.Duration) {
+	if t.g == nil || !t.conc {
+		return
+	}
+	t.g.aimd.Release(observed)
+	t.g.m.inflight.Set(t.g.aimd.Inflight())
+	t.g.m.limit.Set(int64(t.g.aimd.Limit()))
+}
+
+// guardMetrics is the guard's hours_overload_* series.
+type guardMetrics struct {
+	admitted  [numClasses]*obs.Counter
+	shedRate  *obs.Counter
+	shedConc  *obs.Counter
+	evictions *obs.Counter
+	inflight  *obs.Gauge
+	limit     *obs.Gauge
+	buckets   *obs.Gauge
+}
+
+// Guard is a node's assembled overload-control plane: admission first
+// (cheap, per-client fairness), then the concurrency limit (global
+// self-protection). Both checks run before any handler work, so a shed
+// request costs the node almost nothing — the property that lets it keep
+// answering well-behaved clients while flooded.
+type Guard struct {
+	lim            *Limiter
+	aimd           *AIMD
+	retryAfterHint time.Duration
+	m              *guardMetrics
+}
+
+// NewGuard builds the guard and registers its metrics in reg (a nil reg
+// gets a private registry so the hot path never branches on metrics).
+func NewGuard(cfg Config, reg *obs.Registry) *Guard {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if cfg.RetryAfterHint <= 0 {
+		cfg.RetryAfterHint = 25 * time.Millisecond
+	}
+	g := &Guard{
+		lim:            NewLimiter(cfg.Admission),
+		aimd:           NewAIMD(cfg.Concurrency),
+		retryAfterHint: cfg.RetryAfterHint,
+		m: &guardMetrics{
+			shedRate:  reg.Counter("hours_overload_shed_total", obs.L("reason", "rate")),
+			shedConc:  reg.Counter("hours_overload_shed_total", obs.L("reason", "concurrency")),
+			evictions: reg.Counter("hours_overload_bucket_evictions_total"),
+			inflight:  reg.Gauge("hours_overload_inflight"),
+			limit:     reg.Gauge("hours_overload_concurrency_limit"),
+			buckets:   reg.Gauge("hours_overload_client_buckets"),
+		},
+	}
+	for c := Class(0); c < numClasses; c++ {
+		g.m.admitted[c] = reg.Counter("hours_overload_admitted_total", obs.L("class", c.String()))
+	}
+	g.lim.onEvict = g.m.evictions.Inc
+	g.m.limit.Set(int64(g.aimd.Limit()))
+	return g
+}
+
+// Admit runs the admission pipeline for one inbound request: the
+// client's token bucket, then the adaptive concurrency limit. On
+// admission the returned Ticket must be Done()d with the handler's
+// observed latency; on a shed the Verdict carries the reason and the
+// retry-after hint to send back. The admitted fast path performs zero
+// allocations.
+func (g *Guard) Admit(client string, t wire.Type) (Ticket, Verdict) {
+	class := ClassOf(t)
+	pr := PriorityOf(t)
+	if ok, after := g.lim.Admit(client, class); !ok {
+		g.m.shedRate.Inc()
+		g.m.buckets.Set(g.lim.Clients())
+		return Ticket{}, Verdict{Reason: "rate", Priority: pr, RetryAfter: after}
+	}
+	if !g.aimd.Acquire(pr) {
+		g.m.shedConc.Inc()
+		return Ticket{}, Verdict{Reason: "concurrency", Priority: pr, RetryAfter: g.retryAfterHint}
+	}
+	g.m.admitted[class].Inc()
+	g.m.buckets.Set(g.lim.Clients())
+	g.m.inflight.Set(g.aimd.Inflight())
+	return Ticket{g: g, conc: true}, Verdict{OK: true, Priority: pr}
+}

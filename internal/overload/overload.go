@@ -1,0 +1,113 @@
+// Package overload is the server-side overload-control plane of a live
+// HOURS node. The paper's premise (§2, §5) is that an open service
+// hierarchy survives DoS only if every node keeps answering *some*
+// queries while under direct attack; a node that accepts unbounded work
+// collapses and takes its subtree's resolution with it (the Figure 1
+// domino effect). This package supplies the two self-protection
+// mechanisms a node applies before doing any work:
+//
+//   - Admission (token buckets): each client identity gets a per-class
+//     token bucket; a flooding client exhausts only its own bucket and is
+//     shed with a retry-after hint while everyone else's tokens — and the
+//     node's capacity — survive. Buckets live in a bounded intrusive LRU
+//     so an attacker minting identities recycles bucket memory instead of
+//     growing it.
+//
+//   - Concurrency (AIMD): an adaptive limit on in-flight handlers,
+//     steered by observed latency against a moving p50 baseline —
+//     additive increase while latency holds, multiplicative decrease when
+//     the window degrades (gradient-style congestion control applied to
+//     the server side). Under pressure, shedding is by priority: overlay
+//     maintenance (probes, repair) outranks queries, which outrank
+//     diagnostics — keeping the ring alive is what lets the subtree
+//     recover at all.
+//
+// The package is pure mechanism over wire message types: it does not
+// know about transports. The node layer maps verdicts to the typed
+// transport.ErrOverloaded rejection that rides the wire.
+package overload
+
+import "repro/internal/wire"
+
+// Class buckets RPC kinds for admission: overlay-maintenance control
+// traffic, query forwarding, and diagnostic reads get separate buckets
+// (and rate multipliers) per client, so a query flood cannot starve the
+// probes that keep the ring alive.
+type Class int8
+
+const (
+	// ClassControl is overlay maintenance and membership: join, table
+	// reads, probes, CCW notifications, repair.
+	ClassControl Class = iota
+	// ClassQuery is lookup forwarding — the workload the hierarchy
+	// exists for, and the one floods ride on.
+	ClassQuery
+	// ClassRead is diagnostics: stats and trace collection.
+	ClassRead
+
+	numClasses = 3
+)
+
+// String renders the class for metrics labels.
+func (c Class) String() string {
+	switch c {
+	case ClassControl:
+		return "control"
+	case ClassRead:
+		return "read"
+	default:
+		return "query"
+	}
+}
+
+// ClassOf maps a message type to its admission class.
+func ClassOf(t wire.Type) Class {
+	switch t {
+	case wire.TypeJoin, wire.TypeTableInfo, wire.TypeResolve,
+		wire.TypeChildSample, wire.TypeProbe, wire.TypeNotifyCCW,
+		wire.TypeRepair:
+		return ClassControl
+	case wire.TypeStats, wire.TypeTraceGet:
+		return ClassRead
+	default:
+		return ClassQuery
+	}
+}
+
+// Priority orders requests for concurrency shedding: when the adaptive
+// limit bites, low tiers are shed first.
+type Priority int8
+
+const (
+	// PriorityHigh: probes and repair — losing them partitions the ring,
+	// which costs far more capacity than any single query.
+	PriorityHigh Priority = iota
+	// PriorityNormal: queries and membership traffic.
+	PriorityNormal
+	// PriorityLow: diagnostics (stats, trace_get) — first overboard.
+	PriorityLow
+)
+
+// String renders the priority for span attributes.
+func (p Priority) String() string {
+	switch p {
+	case PriorityHigh:
+		return "high"
+	case PriorityLow:
+		return "low"
+	default:
+		return "normal"
+	}
+}
+
+// PriorityOf maps a message type to its shedding priority.
+func PriorityOf(t wire.Type) Priority {
+	switch t {
+	case wire.TypeProbe, wire.TypeRepair, wire.TypeNotifyCCW:
+		return PriorityHigh
+	case wire.TypeStats, wire.TypeTraceGet:
+		return PriorityLow
+	default:
+		return PriorityNormal
+	}
+}

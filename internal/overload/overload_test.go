@@ -1,0 +1,319 @@
+package overload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// fakeClock is a hand-advanced nanosecond clock for deterministic bucket
+// refills.
+type fakeClock struct{ now int64 }
+
+func (c *fakeClock) Now() int64              { return c.now }
+func (c *fakeClock) advance(d time.Duration) { c.now += int64(d) }
+
+func TestClassAndPriorityMapping(t *testing.T) {
+	cases := []struct {
+		typ   wire.Type
+		class Class
+		pr    Priority
+	}{
+		{wire.TypeJoin, ClassControl, PriorityNormal},
+		{wire.TypeProbe, ClassControl, PriorityHigh},
+		{wire.TypeRepair, ClassControl, PriorityHigh},
+		{wire.TypeNotifyCCW, ClassControl, PriorityHigh},
+		{wire.TypeQuery, ClassQuery, PriorityNormal},
+		{wire.TypeStats, ClassRead, PriorityLow},
+		{wire.TypeTraceGet, ClassRead, PriorityLow},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.typ); got != c.class {
+			t.Errorf("ClassOf(%s) = %v, want %v", c.typ, got, c.class)
+		}
+		if got := PriorityOf(c.typ); got != c.pr {
+			t.Errorf("PriorityOf(%s) = %v, want %v", c.typ, got, c.pr)
+		}
+	}
+}
+
+func TestLimiterAdmitsWithinRateShedsBeyond(t *testing.T) {
+	clk := &fakeClock{}
+	l := NewLimiter(AdmissionConfig{Rate: 10, Burst: 5, Now: clk.Now})
+	// The burst drains first...
+	for i := 0; i < 5; i++ {
+		if ok, _ := l.Admit("alice", ClassQuery); !ok {
+			t.Fatalf("burst admit %d refused", i)
+		}
+	}
+	// ...then the empty bucket sheds, with a positive retry-after hint.
+	ok, after := l.Admit("alice", ClassQuery)
+	if ok {
+		t.Fatal("admit beyond burst should shed")
+	}
+	if after <= 0 {
+		t.Fatalf("retry-after hint = %v, want > 0", after)
+	}
+	// At 10/s one token refills every 100ms.
+	clk.advance(100 * time.Millisecond)
+	if ok, _ := l.Admit("alice", ClassQuery); !ok {
+		t.Fatal("refilled token refused")
+	}
+	if ok, _ := l.Admit("alice", ClassQuery); ok {
+		t.Fatal("second request on one refilled token admitted")
+	}
+}
+
+func TestLimiterIsolatesClients(t *testing.T) {
+	clk := &fakeClock{}
+	l := NewLimiter(AdmissionConfig{Rate: 10, Burst: 4, Now: clk.Now})
+	for i := 0; i < 50; i++ {
+		l.Admit("aggressor", ClassQuery) // flood one identity dry
+	}
+	if ok, _ := l.Admit("aggressor", ClassQuery); ok {
+		t.Fatal("flooded client still admitted")
+	}
+	// A different identity's bucket is untouched.
+	if ok, _ := l.Admit("bob", ClassQuery); !ok {
+		t.Fatal("well-behaved client shed by someone else's flood")
+	}
+}
+
+func TestLimiterClassesAreSeparateBuckets(t *testing.T) {
+	clk := &fakeClock{}
+	l := NewLimiter(AdmissionConfig{Rate: 10, Burst: 4, Now: clk.Now})
+	for i := 0; i < 50; i++ {
+		l.Admit("c", ClassQuery)
+	}
+	// Query bucket is dry; control traffic from the same client flows.
+	if ok, _ := l.Admit("c", ClassControl); !ok {
+		t.Fatal("control class starved by query flood from the same client")
+	}
+}
+
+func TestLimiterLRUBoundsClients(t *testing.T) {
+	clk := &fakeClock{}
+	l := NewLimiter(AdmissionConfig{Rate: 10, MaxClients: 8, Now: clk.Now})
+	for i := 0; i < 100; i++ {
+		l.Admit(string(rune('a'+i%26))+string(rune('0'+i/26)), ClassQuery)
+	}
+	if got := l.Clients(); got > 8 {
+		t.Errorf("live buckets = %d, want <= 8", got)
+	}
+	if l.Evictions() == 0 {
+		t.Error("identity churn past the cap should recycle buckets")
+	}
+}
+
+func TestLimiterDisabledAdmitsAll(t *testing.T) {
+	l := NewLimiter(AdmissionConfig{Rate: 0})
+	for i := 0; i < 1000; i++ {
+		if ok, _ := l.Admit("anyone", ClassQuery); !ok {
+			t.Fatal("disabled limiter shed a request")
+		}
+	}
+}
+
+// TestLimiterAdmitZeroAlloc pins the admission fast path at zero
+// allocations: an unthrottled request from a known client must not
+// allocate (regression guard for the intrusive LRU).
+func TestLimiterAdmitZeroAlloc(t *testing.T) {
+	clk := &fakeClock{}
+	l := NewLimiter(AdmissionConfig{Rate: 1e9, Burst: 1e9, Now: clk.Now})
+	l.Admit("steady", ClassQuery) // create the bucket outside the measurement
+	got := testing.AllocsPerRun(200, func() {
+		clk.advance(time.Microsecond)
+		if ok, _ := l.Admit("steady", ClassQuery); !ok {
+			t.Fatal("unthrottled admit refused")
+		}
+	})
+	if got != 0 {
+		t.Errorf("Limiter.Admit allocations/op = %v, want 0", got)
+	}
+}
+
+func TestAIMDNilIsDisabled(t *testing.T) {
+	var a *AIMD
+	if a2 := NewAIMD(AIMDConfig{Max: 0}); a2 != nil {
+		t.Fatal("Max <= 0 should return nil")
+	}
+	if !a.Acquire(PriorityNormal) {
+		t.Fatal("nil AIMD must admit")
+	}
+	a.Release(time.Millisecond) // must not panic
+	if a.Limit() != 0 || a.Inflight() != 0 {
+		t.Fatal("nil AIMD accessors should be zero")
+	}
+}
+
+func TestAIMDBoundsInflight(t *testing.T) {
+	a := NewAIMD(AIMDConfig{Max: 8, Start: 8, Min: 2})
+	held := 0
+	for a.Acquire(PriorityHigh) {
+		held++
+		if held > 8 {
+			t.Fatal("acquired past the limit")
+		}
+	}
+	if held != 8 {
+		t.Fatalf("held = %d, want 8 at priority high", held)
+	}
+	for i := 0; i < held; i++ {
+		a.Release(time.Millisecond)
+	}
+	if a.Inflight() != 0 {
+		t.Fatalf("inflight = %d after full release", a.Inflight())
+	}
+}
+
+func TestAIMDPriorityThresholds(t *testing.T) {
+	a := NewAIMD(AIMDConfig{Max: 16, Start: 16, Min: 2})
+	// Fill to the low-priority threshold (limit/2 = 8).
+	for i := 0; i < 8; i++ {
+		if !a.Acquire(PriorityLow) {
+			t.Fatalf("low-priority acquire %d refused below threshold", i)
+		}
+	}
+	if a.Acquire(PriorityLow) {
+		t.Fatal("low priority admitted past limit/2")
+	}
+	// Normal still has room up to limit - limit/8 = 14.
+	for i := 8; i < 14; i++ {
+		if !a.Acquire(PriorityNormal) {
+			t.Fatalf("normal acquire at inflight=%d refused", i)
+		}
+	}
+	if a.Acquire(PriorityNormal) {
+		t.Fatal("normal priority admitted into the high-priority reserve")
+	}
+	// The reserve is for high-priority maintenance only.
+	for i := 14; i < 16; i++ {
+		if !a.Acquire(PriorityHigh) {
+			t.Fatalf("high acquire at inflight=%d refused", i)
+		}
+	}
+	if a.Acquire(PriorityHigh) {
+		t.Fatal("high priority admitted past the limit")
+	}
+}
+
+func TestAIMDBacksOffOnLatencyAndRecovers(t *testing.T) {
+	a := NewAIMD(AIMDConfig{Max: 100, Start: 100, Min: 4, Window: 8, Tolerance: 2, Backoff: 0.5})
+	window := func(lat time.Duration) {
+		for i := 0; i < 8; i++ {
+			if !a.Acquire(PriorityHigh) {
+				t.Fatal("acquire refused in quiet test")
+			}
+			a.Release(lat)
+		}
+	}
+	window(time.Millisecond) // seeds the baseline
+	if got := a.Limit(); got != 100 {
+		t.Fatalf("limit after baseline window = %d", got)
+	}
+	window(10 * time.Millisecond) // p50 detached: multiplicative decrease
+	if got := a.Limit(); got != 50 {
+		t.Fatalf("limit after degraded window = %d, want 50", got)
+	}
+	window(10 * time.Millisecond)
+	if got := a.Limit(); got != 25 {
+		t.Fatalf("limit after second degraded window = %d, want 25", got)
+	}
+	// Healthy windows claw back additively.
+	window(time.Millisecond)
+	if got := a.Limit(); got != 26 {
+		t.Fatalf("limit after healthy window = %d, want 26", got)
+	}
+	// Long degradation bottoms out at Min, never below.
+	for i := 0; i < 20; i++ {
+		window(50 * time.Millisecond)
+	}
+	if got := a.Limit(); got != 4 {
+		t.Fatalf("limit floor = %d, want Min=4", got)
+	}
+}
+
+func TestGuardVerdictsAndMetrics(t *testing.T) {
+	clk := &fakeClock{}
+	reg := obs.NewRegistry()
+	g := NewGuard(Config{
+		Admission:   AdmissionConfig{Rate: 10, Burst: 2, Now: clk.Now},
+		Concurrency: AIMDConfig{Max: 4, Start: 4, Min: 2},
+	}, reg)
+
+	tk, v := g.Admit("alice", wire.TypeQuery)
+	if !v.OK || v.Priority != PriorityNormal {
+		t.Fatalf("first admit verdict = %+v", v)
+	}
+	tk.Done(time.Millisecond)
+
+	// Drain the bucket: rate shed with a hint.
+	g.Admit("alice", wire.TypeQuery)
+	_, v = g.Admit("alice", wire.TypeQuery)
+	for v.OK {
+		_, v = g.Admit("alice", wire.TypeQuery)
+	}
+	if v.Reason != "rate" || v.RetryAfter <= 0 {
+		t.Fatalf("rate-shed verdict = %+v", v)
+	}
+
+	// Concurrency shed: park tickets until the AIMD limit bites.
+	var held []Ticket
+	for i := 0; ; i++ {
+		tk, v := g.Admit("fresh", wire.TypeProbe) // control class, high priority
+		if !v.OK {
+			if v.Reason != "concurrency" || v.RetryAfter <= 0 {
+				t.Fatalf("concurrency-shed verdict = %+v", v)
+			}
+			break
+		}
+		held = append(held, tk)
+		if i > 100 {
+			t.Fatal("concurrency limit never bit")
+		}
+	}
+	for _, tk := range held {
+		tk.Done(time.Millisecond)
+	}
+
+	wantCounter := func(name, labelK, labelV string) {
+		t.Helper()
+		if v := reg.Counter(name, obs.L(labelK, labelV)).Value(); v <= 0 {
+			t.Errorf("counter %s{%s=%s} = %d, want > 0", name, labelK, labelV, v)
+		}
+	}
+	wantCounter("hours_overload_shed_total", "reason", "rate")
+	wantCounter("hours_overload_shed_total", "reason", "concurrency")
+	wantCounter("hours_overload_admitted_total", "class", "query")
+	wantCounter("hours_overload_admitted_total", "class", "control")
+}
+
+func TestZeroTicketDoneIsSafe(t *testing.T) {
+	var tk Ticket
+	tk.Done(time.Millisecond) // must not panic
+}
+
+// TestGuardAdmitZeroAlloc pins the full guarded fast path — token bucket
+// plus AIMD acquire plus ticket release — at zero allocations per
+// admitted request.
+func TestGuardAdmitZeroAlloc(t *testing.T) {
+	clk := &fakeClock{}
+	g := NewGuard(Config{
+		Admission:   AdmissionConfig{Rate: 1e9, Burst: 1e9, Now: clk.Now},
+		Concurrency: AIMDConfig{Max: 1 << 20},
+	}, nil)
+	g.Admit("steady", wire.TypeQuery) // warm the bucket
+	got := testing.AllocsPerRun(200, func() {
+		clk.advance(time.Microsecond)
+		tk, v := g.Admit("steady", wire.TypeQuery)
+		if !v.OK {
+			t.Fatal("unthrottled admit refused")
+		}
+		tk.Done(time.Microsecond)
+	})
+	if got != 0 {
+		t.Errorf("Guard.Admit+Done allocations/op = %v, want 0", got)
+	}
+}

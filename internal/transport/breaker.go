@@ -1,0 +1,298 @@
+package transport
+
+// Client-side circuit breaking. A flooded HOURS node sheds load with
+// typed overload rejections (see ErrOverloaded); a well-behaved caller
+// must not answer that by piling retries onto the sick peer. The Breaker
+// decorator tracks per-peer failure runs and, once a peer looks
+// overloaded, fails calls to it fast and locally — the node layer then
+// falls back to alternate children, overlay detours, or cached answers
+// instead of waiting out another timeout (the paper's §2 requirement
+// that the hierarchy keeps answering around a node under attack).
+//
+// State machine, per peer:
+//
+//	closed ──(Threshold consecutive overload/timeout failures)──▶ open
+//	open ──(Cooldown elapsed; next call becomes a probe)──▶ half-open
+//	half-open ──(SuccessesToClose probe successes)──▶ closed
+//	half-open ──(any tripping failure)──▶ open (cooldown restarts)
+//
+// Half-open admits up to HalfOpenProbes concurrent trial calls — hedged
+// probes: a single lost probe does not condemn a recovered peer to
+// another full cooldown.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/wire"
+)
+
+// ErrBreakerOpen is returned for calls the breaker failed fast: the peer
+// recently looked overloaded and the cooldown has not elapsed. It is
+// deliberately NOT retryable — the whole point is to stop hammering the
+// peer — so callers must degrade (alternate route, cached answer)
+// instead.
+var ErrBreakerOpen = errors.New("transport: circuit breaker open")
+
+// BreakerPolicy parameterizes the Breaker decorator. The zero value gets
+// sensible defaults.
+type BreakerPolicy struct {
+	// Threshold is the consecutive overload/timeout failures that trip
+	// the breaker open (default 5).
+	Threshold int
+	// Cooldown is how long an open breaker rejects before half-opening
+	// (default 1s).
+	Cooldown time.Duration
+	// HalfOpenProbes bounds the concurrent trial calls admitted while
+	// half-open (default 2).
+	HalfOpenProbes int
+	// SuccessesToClose is the probe successes needed to close again
+	// (default 2).
+	SuccessesToClose int
+	// Now is the clock (default time.Now); tests inject a fake.
+	Now func() time.Time
+}
+
+// normalize fills defaults.
+func (p BreakerPolicy) normalize() BreakerPolicy {
+	if p.Threshold <= 0 {
+		p.Threshold = 5
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = time.Second
+	}
+	if p.HalfOpenProbes <= 0 {
+		p.HalfOpenProbes = 2
+	}
+	if p.SuccessesToClose <= 0 {
+		p.SuccessesToClose = 2
+	}
+	if p.Now == nil {
+		p.Now = time.Now
+	}
+	return p
+}
+
+// breakerState is one peer's position in the state machine.
+type breakerState int8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String renders the state for metrics and span attributes.
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerPeer is the per-peer record.
+type breakerPeer struct {
+	state    breakerState
+	fails    int       // consecutive tripping failures while closed
+	openedAt time.Time // when the breaker last opened
+	probes   int       // in-flight half-open trial calls
+	succ     int       // successful probes this half-open episode
+}
+
+// breakerMetrics is the layer's series (nil without a registry).
+type breakerMetrics struct {
+	trips     *obs.Counter
+	fastfails *obs.Counter
+	halfOpens *obs.Counter
+	recovered *obs.Counter
+	openPeers *obs.Gauge
+}
+
+// Breaker decorates a Transport with per-peer circuit breaking. Use
+// Break to construct it.
+type Breaker struct {
+	inner Transport
+	p     BreakerPolicy
+
+	mu    sync.Mutex
+	peers map[string]*breakerPeer
+
+	m *breakerMetrics
+}
+
+var _ Transport = (*Breaker)(nil)
+
+// Break wraps t with the policy; reg may be nil to skip metrics. In the
+// canonical stack the breaker sits just inside the retry layer, so every
+// physical retry attempt consults it — once a peer trips, the remaining
+// attempts fail fast instead of waiting out more timeouts.
+func Break(t Transport, p BreakerPolicy, reg *obs.Registry) *Breaker {
+	b := &Breaker{inner: t, p: p.normalize(), peers: make(map[string]*breakerPeer)}
+	if reg != nil {
+		b.m = &breakerMetrics{
+			trips:     reg.Counter("hours_breaker_trips_total"),
+			fastfails: reg.Counter("hours_breaker_fastfails_total"),
+			halfOpens: reg.Counter("hours_breaker_half_opens_total"),
+			recovered: reg.Counter("hours_breaker_recoveries_total"),
+			openPeers: reg.Gauge("hours_breaker_open_peers"),
+		}
+	}
+	return b
+}
+
+// Underlying returns the wrapped transport (see Unwrap).
+func (b *Breaker) Underlying() Transport { return b.inner }
+
+// Listen implements Transport by delegating; breaking is a caller-side
+// concern.
+func (b *Breaker) Listen(addr string, h Handler) (io.Closer, error) {
+	return b.inner.Listen(addr, h)
+}
+
+// State reports the current breaker state for addr (closed for unknown
+// peers).
+func (b *Breaker) State(addr string) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if pr := b.peers[addr]; pr != nil {
+		return pr.state.String()
+	}
+	return breakerClosed.String()
+}
+
+// tripping reports whether a failure counts toward opening the breaker:
+// overload rejections and timeouts are the overloaded-peer signature.
+// Unreachable/transient faults are routing problems, not load problems —
+// the retry and suspicion layers own those.
+func tripping(err error) bool {
+	if err == nil {
+		return false
+	}
+	switch Classify(err) {
+	case ClassOverloaded, ClassTimeout:
+		return true
+	}
+	return false
+}
+
+// admit runs the pre-call state step: whether the call may proceed and
+// whether it counts as a half-open probe.
+func (b *Breaker) admit(addr string) (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	pr := b.peers[addr]
+	if pr == nil {
+		pr = &breakerPeer{}
+		b.peers[addr] = pr
+	}
+	switch pr.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if b.p.Now().Sub(pr.openedAt) < b.p.Cooldown {
+			return false, false
+		}
+		pr.state = breakerHalfOpen
+		pr.probes = 1
+		pr.succ = 0
+		if b.m != nil {
+			b.m.halfOpens.Inc()
+			b.m.openPeers.Add(-1)
+		}
+		return true, true
+	default: // half-open
+		if pr.probes >= b.p.HalfOpenProbes {
+			return false, false
+		}
+		pr.probes++
+		return true, true
+	}
+}
+
+// record runs the post-call state step.
+func (b *Breaker) record(addr string, probe bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	pr := b.peers[addr]
+	if pr == nil {
+		return
+	}
+	if probe && pr.state == breakerHalfOpen {
+		pr.probes--
+	}
+	switch {
+	case err == nil:
+		switch pr.state {
+		case breakerClosed:
+			pr.fails = 0
+		case breakerHalfOpen:
+			if pr.succ++; pr.succ >= b.p.SuccessesToClose {
+				pr.state = breakerClosed
+				pr.fails = 0
+				if b.m != nil {
+					b.m.recovered.Inc()
+				}
+			}
+		}
+	case tripping(err):
+		switch pr.state {
+		case breakerClosed:
+			if pr.fails++; pr.fails >= b.p.Threshold {
+				b.open(pr)
+			}
+		case breakerHalfOpen:
+			// The peer is still sick: a failed probe restarts the
+			// cooldown rather than counting toward a fresh threshold.
+			b.open(pr)
+		}
+	default:
+		// Unreachable/transient/remote failures neither trip nor heal a
+		// closed breaker; a half-open probe lost to them ends the episode
+		// conservatively (back to open) since the peer gave no evidence
+		// of recovery.
+		if pr.state == breakerHalfOpen {
+			b.open(pr)
+		}
+	}
+}
+
+// open transitions pr to the open state (caller holds b.mu).
+func (b *Breaker) open(pr *breakerPeer) {
+	pr.state = breakerOpen
+	pr.fails = 0
+	pr.openedAt = b.p.Now()
+	if b.m != nil {
+		b.m.trips.Inc()
+		b.m.openPeers.Add(1)
+	}
+}
+
+// Call implements Transport: calls to peers whose breaker is open fail
+// fast with ErrBreakerOpen; everything else passes through and feeds the
+// state machine. Fast-fails annotate the caller's active span
+// (breaker=open) so traces show where degradation kicked in.
+func (b *Breaker) Call(ctx context.Context, addr string, req wire.Message) (wire.Message, error) {
+	ok, probe := b.admit(addr)
+	if !ok {
+		if b.m != nil {
+			b.m.fastfails.Inc()
+		}
+		sp := trace.SpanFromContext(ctx)
+		sp.SetAttr("breaker", "open")
+		sp.SetAttr("breaker_peer", addr)
+		return wire.Message{}, fmt.Errorf("call %s: %w", addr, ErrBreakerOpen)
+	}
+	resp, err := b.inner.Call(ctx, addr, req)
+	b.record(addr, probe, err)
+	return resp, err
+}

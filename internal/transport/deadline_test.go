@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// deadlineProbe is a handler that records the remaining budget its
+// context carried on entry.
+type deadlineProbe struct {
+	mu        sync.Mutex
+	remaining []time.Duration
+}
+
+func (p *deadlineProbe) handler(ctx context.Context, req wire.Message) (wire.Message, error) {
+	var rem time.Duration
+	if d, ok := ctx.Deadline(); ok {
+		rem = time.Until(d)
+	}
+	p.mu.Lock()
+	p.remaining = append(p.remaining, rem)
+	p.mu.Unlock()
+	return wire.Message{Type: wire.TypeProbeResult}, nil
+}
+
+func (p *deadlineProbe) last(t *testing.T) time.Duration {
+	t.Helper()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.remaining) == 0 {
+		t.Fatal("handler never ran")
+	}
+	return p.remaining[len(p.remaining)-1]
+}
+
+// checkBudget asserts the handler-side remaining budget reflects the
+// client's deadline (well under the transport's own IO timeout) rather
+// than the IO timeout default.
+func checkBudget(t *testing.T, rem, clientBudget time.Duration) {
+	t.Helper()
+	if rem <= 0 {
+		t.Fatal("handler context carried no deadline")
+	}
+	if rem > clientBudget {
+		t.Errorf("handler budget %v exceeds the client's %v — deadline not propagated", rem, clientBudget)
+	}
+	if rem < clientBudget/4 {
+		t.Errorf("handler budget %v is far below the client's %v — budget mangled in transit", rem, clientBudget)
+	}
+}
+
+// TestDeadlinePropagationV1 checks the client's context deadline rides
+// the v1 length-prefixed envelope ("dl" field) and bounds the server
+// handler's context.
+func TestDeadlinePropagationV1(t *testing.T) {
+	probe := &deadlineProbe{}
+	tcp := &TCP{IOTimeout: 30 * time.Second}
+	closer, err := tcp.Listen("127.0.0.1:0", probe.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	addr := closer.(*TCPListener).Addr()
+
+	const budget = 500 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	if _, err := tcp.Call(ctx, addr, wire.Message{Type: wire.TypeProbe}); err != nil {
+		t.Fatal(err)
+	}
+	checkBudget(t, probe.last(t), budget)
+}
+
+// TestDeadlinePropagationV2 checks the same budget rides the v2 mux
+// header's deadline prefix.
+func TestDeadlinePropagationV2(t *testing.T) {
+	probe := &deadlineProbe{}
+	p, addr := poolPair(t, PoolConfig{IOTimeout: 30 * time.Second}, probe.handler)
+
+	const budget = 500 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	if _, err := p.Call(ctx, addr, wire.Message{Type: wire.TypeProbe}); err != nil {
+		t.Fatal(err)
+	}
+	checkBudget(t, probe.last(t), budget)
+}
+
+// TestDeadlinePropagationMixedVersions pins the interop matrix: a v1
+// client against the sniffing pooled listener, and a pooled client
+// against a v1-only listener (preface rejected, dial-per-call fallback).
+// The budget must survive both wire formats.
+func TestDeadlinePropagationMixedVersions(t *testing.T) {
+	const budget = 500 * time.Millisecond
+
+	t.Run("v1-client-to-v2-listener", func(t *testing.T) {
+		probe := &deadlineProbe{}
+		_, addr := poolPair(t, PoolConfig{IOTimeout: 30 * time.Second}, probe.handler)
+		cli := &TCP{IOTimeout: 30 * time.Second}
+		ctx, cancel := context.WithTimeout(context.Background(), budget)
+		defer cancel()
+		if _, err := cli.Call(ctx, addr, wire.Message{Type: wire.TypeProbe}); err != nil {
+			t.Fatal(err)
+		}
+		checkBudget(t, probe.last(t), budget)
+	})
+
+	t.Run("v2-client-to-v1-listener", func(t *testing.T) {
+		probe := &deadlineProbe{}
+		srv := &TCP{IOTimeout: 30 * time.Second}
+		closer, err := srv.Listen("127.0.0.1:0", probe.handler)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer closer.Close()
+		addr := closer.(*TCPListener).Addr()
+		cli := NewPooledTCP(PoolConfig{IOTimeout: 30 * time.Second})
+		defer cli.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), budget)
+		defer cancel()
+		if _, err := cli.Call(ctx, addr, wire.Message{Type: wire.TypeProbe}); err != nil {
+			t.Fatal(err)
+		}
+		checkBudget(t, probe.last(t), budget)
+	})
+}
+
+// TestDeadlineNotStampedWithoutOne checks a context without a deadline
+// leaves the envelope's DL field zero, so the server falls back to its
+// own IO timeout.
+func TestDeadlineNotStampedWithoutOne(t *testing.T) {
+	probe := &deadlineProbe{}
+	p, addr := poolPair(t, PoolConfig{IOTimeout: 3 * time.Second}, probe.handler)
+	if _, err := p.Call(context.Background(), addr, wire.Message{Type: wire.TypeProbe}); err != nil {
+		t.Fatal(err)
+	}
+	rem := probe.last(t)
+	// The handler still runs under the listener's IO timeout.
+	if rem <= 0 || rem > 3*time.Second {
+		t.Errorf("handler budget without client deadline = %v, want (0, 3s]", rem)
+	}
+	if rem < 2*time.Second {
+		t.Errorf("handler budget %v suggests a phantom propagated deadline", rem)
+	}
+}
+
+// TestServerShedsExpiredBudget checks the server side refuses to start a
+// handler whose propagated budget is already spent: the handler context
+// arrives pre-expired and typed work can notice before doing anything.
+func TestServerShedsExpiredBudget(t *testing.T) {
+	ran := make(chan time.Duration, 1)
+	p, addr := poolPair(t, PoolConfig{IOTimeout: 30 * time.Second}, func(ctx context.Context, req wire.Message) (wire.Message, error) {
+		if err := ctx.Err(); err != nil {
+			return wire.Message{}, err
+		}
+		var rem time.Duration
+		if d, ok := ctx.Deadline(); ok {
+			rem = time.Until(d)
+		}
+		ran <- rem
+		return wire.Message{Type: wire.TypeProbeResult}, nil
+	})
+	// A request stamped with the minimum 1ms budget: by the time the
+	// server derives the handler context and schedules the handler, the
+	// budget is gone (or nearly so) — either the handler observes an
+	// expired context, or it sees at most the tiny stamped budget. What
+	// must NOT happen is the handler running under the 30s IO timeout.
+	req := wire.Message{Type: wire.TypeProbe, DL: 1}
+	_, err := p.Call(context.Background(), addr, req)
+	select {
+	case rem := <-ran:
+		if rem > 5*time.Millisecond {
+			t.Errorf("handler budget = %v for a 1ms stamped request", rem)
+		}
+	default:
+		if err == nil {
+			t.Error("handler shed but the call still succeeded")
+		}
+	}
+}
+
+// TestOverloadErrorRoundTripsTCP checks a typed overload rejection —
+// code and retry-after hint — survives the v1 and v2 wire encodings.
+func TestOverloadErrorRoundTripsTCP(t *testing.T) {
+	shed := func(ctx context.Context, req wire.Message) (wire.Message, error) {
+		return wire.Message{}, &OverloadedError{RetryAfter: 35 * time.Millisecond}
+	}
+	t.Run("v2", func(t *testing.T) {
+		p, addr := poolPair(t, PoolConfig{}, shed)
+		_, err := p.Call(context.Background(), addr, wire.Message{Type: wire.TypeQuery})
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("err = %v, want ErrOverloaded", err)
+		}
+		if hint := RetryAfterHint(err); hint != 35*time.Millisecond {
+			t.Errorf("hint = %v, want 35ms", hint)
+		}
+	})
+	t.Run("v1", func(t *testing.T) {
+		tcp := &TCP{}
+		closer, err := tcp.Listen("127.0.0.1:0", shed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer closer.Close()
+		_, err = tcp.Call(context.Background(), closer.(*TCPListener).Addr(), wire.Message{Type: wire.TypeQuery})
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("err = %v, want ErrOverloaded", err)
+		}
+		if hint := RetryAfterHint(err); hint != 35*time.Millisecond {
+			t.Errorf("hint = %v, want 35ms", hint)
+		}
+	})
+}

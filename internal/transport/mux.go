@@ -54,6 +54,32 @@ type muxConn struct {
 	// it died or started draining.
 	onRetire   func(*muxConn)
 	retireOnce sync.Once
+
+	// spawn, when set, runs the read loop on a pool-tracked goroutine so
+	// the pool's Close can await its exit; nil means a plain go.
+	spawn func(func())
+	// onDead fires exactly once when the conn dies — it will never read
+	// or write again — so the pool can drop its registration.
+	onDead   func(*muxConn)
+	deadOnce sync.Once
+}
+
+// run starts f on a background goroutine, tracked when spawn is set.
+func (c *muxConn) run(f func()) {
+	if c.spawn != nil {
+		c.spawn(f)
+		return
+	}
+	go f()
+}
+
+// died fires the one-time dead notification.
+func (c *muxConn) died() {
+	c.deadOnce.Do(func() {
+		if c.onDead != nil {
+			c.onDead(c)
+		}
+	})
 }
 
 // newMuxConn returns a conn in the dialing state.
@@ -117,7 +143,7 @@ func (c *muxConn) dial(ctx context.Context, dialTimeout time.Duration) {
 		conn.Close()
 		return
 	}
-	go c.readLoop()
+	c.run(c.readLoop)
 }
 
 // readLoop demultiplexes response frames until the connection breaks.
@@ -167,6 +193,7 @@ func (c *muxConn) markDead(err error) {
 	c.dead = true
 	c.deadErr = err
 	c.mu.Unlock()
+	c.died()
 	c.retire()
 }
 
@@ -190,6 +217,7 @@ func (c *muxConn) fail(err error) {
 	for _, ch := range pending {
 		ch <- muxResult{err: err}
 	}
+	c.died()
 	c.retire()
 }
 

@@ -102,6 +102,20 @@ type PooledTCP struct {
 
 	calls sync.WaitGroup // in-flight Call tracking, for draining Close
 
+	// bg tracks every background goroutine the pool spawns — the idle
+	// janitor, dials, and connection read loops — so Close can await
+	// their exit instead of leaking them. baseCtx parents the dials;
+	// cancelBg aborts ones still in flight at Close.
+	bg       sync.WaitGroup
+	baseCtx  context.Context
+	cancelBg context.CancelFunc
+
+	// allConns registers every live connection, including ones detached
+	// from their peer list (GoAway-drained, mid-retire): their read loops
+	// outlive the listing, so Close must find and close them here.
+	connMu   sync.Mutex
+	allConns map[*muxConn]struct{}
+
 	m *poolMetrics
 }
 
@@ -110,13 +124,40 @@ var _ Transport = (*PooledTCP)(nil)
 // NewPooledTCP returns a pooled transport with the given configuration.
 func NewPooledTCP(cfg PoolConfig) *PooledTCP {
 	cfg = cfg.withDefaults()
-	return &PooledTCP{
-		cfg:     cfg,
-		oneShot: TCP{DialTimeout: cfg.DialTimeout, IOTimeout: cfg.IOTimeout},
-		peers:   make(map[string]*peerPool),
-		v1:      make(map[string]bool),
-		stop:    make(chan struct{}),
+	p := &PooledTCP{
+		cfg:      cfg,
+		oneShot:  TCP{DialTimeout: cfg.DialTimeout, IOTimeout: cfg.IOTimeout},
+		peers:    make(map[string]*peerPool),
+		v1:       make(map[string]bool),
+		stop:     make(chan struct{}),
+		allConns: make(map[*muxConn]struct{}),
 	}
+	p.baseCtx, p.cancelBg = context.WithCancel(context.Background())
+	return p
+}
+
+// goBg runs f on a tracked goroutine so Close can await it.
+func (p *PooledTCP) goBg(f func()) {
+	p.bg.Add(1)
+	go func() {
+		defer p.bg.Done()
+		f()
+	}()
+}
+
+// trackConn registers a freshly created connection.
+func (p *PooledTCP) trackConn(c *muxConn) {
+	p.connMu.Lock()
+	p.allConns[c] = struct{}{}
+	p.connMu.Unlock()
+}
+
+// forgetConn drops a dead connection (its read loop has exited or will
+// never start).
+func (p *PooledTCP) forgetConn(c *muxConn) {
+	p.connMu.Lock()
+	delete(p.allConns, c)
+	p.connMu.Unlock()
 }
 
 // SetMetrics registers the pool's own series (dials, reuse, evictions,
@@ -228,6 +269,9 @@ func (p *PooledTCP) acquire(ctx context.Context, addr string) (*muxConn, func(),
 				p.m.connsOpen.Add(-1)
 			}
 		})
+		pick.spawn = p.goBg
+		pick.onDead = p.forgetConn
+		p.trackConn(pick)
 		pp.conns = append(pp.conns, pick)
 		dialed = true
 	}
@@ -241,7 +285,9 @@ func (p *PooledTCP) acquire(ctx context.Context, addr string) (*muxConn, func(),
 			p.m.dials.Inc()
 			p.m.connsOpen.Add(1)
 		}
-		go pick.dial(context.Background(), p.cfg.DialTimeout)
+		// The dial descends from the pool's context, so Close aborts
+		// dials still in flight instead of waiting out their timeout.
+		p.goBg(func() { pick.dial(p.baseCtx, p.cfg.DialTimeout) })
 	} else if p.m != nil {
 		p.m.reuse.Inc()
 	}
@@ -307,10 +353,12 @@ func (p *PooledTCP) Call(ctx context.Context, addr string, req wire.Message) (wi
 	isV1 := p.v1[addr]
 	if !p.janitor {
 		p.janitor = true
-		go p.janitorLoop()
+		p.goBg(p.janitorLoop)
 	}
 	p.mu.Unlock()
 	defer p.calls.Done()
+
+	req = stampDeadline(ctx, req)
 
 	if isV1 {
 		if p.m != nil {
@@ -359,15 +407,18 @@ func (p *PooledTCP) finish(addr string, resp wire.Message) (wire.Message, error)
 		if err := resp.Decode(&e); err != nil {
 			return wire.Message{}, fmt.Errorf("call %s: undecodable error response: %w", addr, err)
 		}
-		return wire.Message{}, fmt.Errorf("call %s: remote error: %s", addr, e.Reason)
+		return wire.Message{}, remoteError(addr, e)
 	}
 	return resp, nil
 }
 
 // Close gracefully drains the pool: new calls fail with ErrClosed,
 // in-flight calls run to completion (bounded by IOTimeout), then every
-// pooled connection closes. Listeners are closed separately via their
-// own closers.
+// connection closes — including ones detached from their peer list
+// (GoAway-drained) whose read loops would otherwise linger — and Close
+// waits for the janitor, dial, and read-loop goroutines to exit, so a
+// closed pool leaves nothing behind. Listeners are closed separately via
+// their own closers.
 func (p *PooledTCP) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -393,6 +444,17 @@ func (p *PooledTCP) Close() error {
 			c.close()
 		}
 	}
+	p.connMu.Lock()
+	remaining := make([]*muxConn, 0, len(p.allConns))
+	for c := range p.allConns {
+		remaining = append(remaining, c)
+	}
+	p.connMu.Unlock()
+	for _, c := range remaining {
+		c.close()
+	}
+	p.cancelBg()
+	p.bg.Wait()
 	return nil
 }
 
@@ -592,11 +654,12 @@ func (l *muxListener) serveOneShot(conn net.Conn, hdr [4]byte) {
 	if err != nil {
 		return
 	}
-	ctx, cancel := context.WithTimeout(l.baseCtx, l.io)
+	ctx, cancel := handlerContext(l.baseCtx, l.io, req.DL)
 	defer cancel()
+	req.DL = 0
 	resp, err := l.h(ctx, req)
 	if err != nil {
-		errMsg, encErr := wire.New(wire.TypeError, wire.Error{Reason: err.Error()})
+		errMsg, encErr := errorMessage(err)
 		if encErr != nil {
 			return
 		}
@@ -641,11 +704,12 @@ func (l *muxListener) serveMux(conn net.Conn) {
 			defer handlers.Done()
 			defer l.wg.Done()
 			defer func() { <-sem }()
-			ctx, cancel := context.WithTimeout(l.baseCtx, l.io)
+			ctx, cancel := handlerContext(l.baseCtx, l.io, req.DL)
 			defer cancel()
+			req.DL = 0
 			resp, err := l.h(ctx, req)
 			if err != nil {
-				errMsg, encErr := wire.New(wire.TypeError, wire.Error{Reason: err.Error()})
+				errMsg, encErr := errorMessage(err)
 				if encErr != nil {
 					return
 				}

@@ -309,15 +309,14 @@ func TestPooledContextCancel(t *testing.T) {
 	defer close(block)
 	var first sync.Once
 	p, addr := poolPair(t, PoolConfig{IOTimeout: 10 * time.Second}, func(ctx context.Context, req wire.Message) (wire.Message, error) {
-		// Only the first request hangs; the post-cancel call must sail
-		// through on the same (still healthy) connection.
+		// Only the first request hangs — until test cleanup, ignoring even
+		// the propagated deadline, like a truly wedged server; the
+		// post-cancel call must sail through on the same (still healthy)
+		// connection.
 		hung := false
 		first.Do(func() { hung = true })
 		if hung {
-			select {
-			case <-block:
-			case <-ctx.Done():
-			}
+			<-block
 		}
 		return wire.Message{Type: wire.TypeProbeResult}, nil
 	})

@@ -33,6 +33,13 @@ const (
 	// ClassTimeout means the attempt ran out of time (context deadline or
 	// an I/O timeout).
 	ClassTimeout
+	// ClassOverloaded means the peer deliberately shed the request
+	// before doing any work (admission control, see ErrOverloaded). It
+	// is the one class that is retryable even for non-idempotent
+	// requests: no handler effect exists to duplicate. Retries should
+	// honor the server's retry-after hint rather than the generic
+	// backoff schedule.
+	ClassOverloaded
 )
 
 // String renders the class for logs and metrics.
@@ -44,17 +51,22 @@ func (c ErrorClass) String() string {
 		return "transient"
 	case ClassTimeout:
 		return "timeout"
+	case ClassOverloaded:
+		return "overloaded"
 	default:
 		return "remote"
 	}
 }
 
-// Classify maps a Call error to its ErrorClass. Order matters: transient
-// and timeout markers win over the generic unreachable wrapping.
+// Classify maps a Call error to its ErrorClass. Order matters: the
+// overload, transient, and timeout markers win over the generic
+// unreachable wrapping.
 func Classify(err error) ErrorClass {
 	switch {
 	case err == nil:
 		return ClassRemote
+	case errors.Is(err, ErrOverloaded):
+		return ClassOverloaded
 	case errors.Is(err, ErrTransient):
 		return ClassTransient
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -73,7 +85,8 @@ func Classify(err error) ErrorClass {
 // (for an idempotent request): the handler's effect is either absent or
 // safe to repeat. Remote errors are deliberate answers and are final.
 func Retryable(c ErrorClass) bool {
-	return c == ClassUnreachable || c == ClassTransient || c == ClassTimeout
+	return c == ClassUnreachable || c == ClassTransient || c == ClassTimeout ||
+		c == ClassOverloaded
 }
 
 // Idempotent reports whether a message type may be re-sent when its
@@ -140,6 +153,7 @@ type Retrier struct {
 	attempts  map[wire.Type]*obs.Counter // physical attempts beyond the first
 	recovered map[wire.Type]*obs.Counter
 	exhausted map[wire.Type]*obs.Counter
+	hinted    map[wire.Type]*obs.Counter // retries that waited the server's hint
 	backoff   *obs.Histogram
 	reg       *obs.Registry
 	metricsMu sync.Mutex
@@ -164,6 +178,7 @@ func Retry(t Transport, p RetryPolicy, reg *obs.Registry) *Retrier {
 		r.attempts = make(map[wire.Type]*obs.Counter)
 		r.recovered = make(map[wire.Type]*obs.Counter)
 		r.exhausted = make(map[wire.Type]*obs.Counter)
+		r.hinted = make(map[wire.Type]*obs.Counter)
 		r.backoff = reg.Histogram("hours_retry_backoff_seconds")
 	}
 	return r
@@ -204,21 +219,28 @@ func (r *Retrier) jitter(d time.Duration) time.Duration {
 // Call implements Transport: idempotent requests are retried on retryable
 // failures with capped exponential backoff until the attempt, time, or
 // context budget runs out. Non-idempotent requests get exactly one
-// attempt.
+// attempt — except on overload rejections, which happen before any
+// handler work and are therefore safe to retry for every type; those
+// retries wait out the server's retry-after hint instead of the jitter
+// schedule.
 func (r *Retrier) Call(ctx context.Context, addr string, req wire.Message) (wire.Message, error) {
-	attempts := r.p.MaxAttempts
-	if !Idempotent(req.Type) {
-		attempts = 1
-	}
 	var deadline time.Time
 	if r.p.Budget > 0 {
 		deadline = time.Now().Add(r.p.Budget)
 	}
 	backoff := r.p.BaseBackoff
 	var lastErr error
-	for attempt := 0; attempt < attempts; attempt++ {
+	for attempt := 0; attempt < r.p.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			d := backoff + r.jitter(backoff)
+			if hint := RetryAfterHint(lastErr); hint > 0 {
+				// The server told us when admission has a chance again;
+				// guessing earlier only feeds the overload.
+				d = hint
+				if r.reg != nil {
+					r.counter(r.hinted, "hours_retry_after_honored_total", req.Type).Inc()
+				}
+			}
 			if backoff < r.p.MaxBackoff {
 				backoff *= 2
 				if backoff > r.p.MaxBackoff {
@@ -257,14 +279,19 @@ func (r *Retrier) Call(ctx context.Context, addr string, req wire.Message) (wire
 		if ctx.Err() != nil {
 			break // the logical call's own clock ran out; do not spin on it
 		}
-		if !Retryable(Classify(err)) {
+		class := Classify(err)
+		if !Retryable(class) {
 			break
+		}
+		if !Idempotent(req.Type) && class != ClassOverloaded {
+			break // a lost response may have had its effect; never re-send
 		}
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			break
 		}
 	}
-	if r.reg != nil && Retryable(Classify(lastErr)) && Idempotent(req.Type) {
+	if last := Classify(lastErr); r.reg != nil && Retryable(last) &&
+		(Idempotent(req.Type) || last == ClassOverloaded) {
 		r.counter(r.exhausted, "hours_retry_exhausted_total", req.Type).Inc()
 	}
 	return wire.Message{}, lastErr

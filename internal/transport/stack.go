@@ -26,6 +26,10 @@ type StackConfig struct {
 	Faults *FaultPlan
 	// Retry, when non-nil, retries idempotent calls per the policy.
 	Retry *RetryPolicy
+	// Breaker, when non-nil, adds per-peer circuit breaking: calls to a
+	// peer that keeps answering overloaded (or timing out) fail fast
+	// with ErrBreakerOpen until a cooldown passes (see Break).
+	Breaker *BreakerPolicy
 	// Metrics, when non-nil, receives every layer's series: RPC
 	// client/server instrumentation, retry counters, fault-injection
 	// counters, and the pool's connection metrics.
@@ -69,17 +73,20 @@ func (s *Stacked) Close() error {
 
 // Stack assembles the canonical decorator chain
 //
-//	Retry → Traced → Faulty → Instrument → base (pooled TCP or the
-//	supplied Base)
+//	Retry → Breaker → Traced → Faulty → Instrument → base (pooled TCP
+//	or the supplied Base)
 //
 // outermost first. The order is deliberate: retries must traverse the
-// fault layer so chaos runs exercise them; the tracing layer sits inside
-// retry so each physical attempt is its own span, and outside the fault
-// layer so injected faults surface inside spans; and the instrument
-// layer sits innermost so RPC metrics count physical attempts (the retry
-// layer's own series account for the logical-vs-physical difference).
-// Layers whose config is absent are skipped, so the chain is exactly as
-// thick as asked for.
+// fault layer so chaos runs exercise them; the breaker sits inside retry
+// so every physical attempt consults it (once a peer trips, the
+// remaining retry attempts fail fast instead of stacking more timeouts
+// onto a sick peer); the tracing layer sits inside retry so each
+// physical attempt is its own span, and outside the fault layer so
+// injected faults surface inside spans; and the instrument layer sits
+// innermost so RPC metrics count physical attempts (the retry layer's
+// own series account for the logical-vs-physical difference). Layers
+// whose config is absent are skipped, so the chain is exactly as thick
+// as asked for.
 func Stack(cfg StackConfig) (*Stacked, error) {
 	base := cfg.Base
 	if base == nil {
@@ -104,6 +111,9 @@ func Stack(cfg StackConfig) (*Stacked, error) {
 		}
 		t = Trace(t, cfg.Tracer, local)
 	}
+	if cfg.Breaker != nil {
+		t = Break(t, *cfg.Breaker, cfg.Metrics)
+	}
 	if cfg.Retry != nil {
 		t = Retry(t, *cfg.Retry, cfg.Metrics)
 	}
@@ -112,8 +122,8 @@ func Stack(cfg StackConfig) (*Stacked, error) {
 
 // Layers returns the decorator chain of t from outermost to innermost,
 // including t itself: every layer exposing Underlying is walked, so the
-// result covers Stacked, Retrier, Faulty, and Instrumented wrappers down
-// to the base transport.
+// result covers Stacked, Retrier, Breaker, Faulty, and Instrumented
+// wrappers down to the base transport.
 func Layers(t Transport) []Transport {
 	var out []Transport
 	for {

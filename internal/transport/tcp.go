@@ -143,12 +143,14 @@ func (l *tcpListener) serveConn(conn net.Conn) {
 	}
 	// The handler context descends from the listener's, so Close cancels
 	// in-flight handlers instead of letting them outlive the listener
-	// until their IO timeout.
-	ctx, cancel := context.WithTimeout(l.baseCtx, l.io)
+	// until their IO timeout. The caller's propagated deadline budget, if
+	// tighter, bounds it further.
+	ctx, cancel := handlerContext(l.baseCtx, l.io, req.DL)
 	defer cancel()
+	req.DL = 0 // consumed into the context; handlers never see wire budgets
 	resp, err := l.h(ctx, req)
 	if err != nil {
-		errMsg, encErr := wire.New(wire.TypeError, wire.Error{Reason: err.Error()})
+		errMsg, encErr := errorMessage(err)
 		if encErr != nil {
 			return
 		}
@@ -196,7 +198,7 @@ func (t *TCP) Call(ctx context.Context, addr string, req wire.Message) (wire.Mes
 		}
 		return fmt.Errorf("call %s: %w: %v", addr, ErrUnreachable, err)
 	}
-	if err := wire.WriteFrame(conn, req); err != nil {
+	if err := wire.WriteFrame(conn, stampDeadline(ctx, req)); err != nil {
 		return wire.Message{}, callErr(err)
 	}
 	resp, err := wire.ReadFrame(conn)
@@ -208,7 +210,7 @@ func (t *TCP) Call(ctx context.Context, addr string, req wire.Message) (wire.Mes
 		if err := resp.Decode(&e); err != nil {
 			return wire.Message{}, fmt.Errorf("call %s: undecodable error response: %w", addr, err)
 		}
-		return wire.Message{}, fmt.Errorf("call %s: remote error: %s", addr, e.Reason)
+		return wire.Message{}, remoteError(addr, e)
 	}
 	return resp, nil
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -27,6 +28,46 @@ var ErrUnreachable = errors.New("transport: peer unreachable")
 // policies treat it as retryable; unlike ErrUnreachable it carries no
 // implication that the peer is down.
 var ErrTransient = errors.New("transport: transient failure")
+
+// ErrOverloaded marks a deliberate admission-control rejection (§2): the
+// peer is up and answering but shed this request to protect itself.
+// Match with errors.Is; the concrete error in the chain is usually an
+// *OverloadedError carrying the server's retry-after hint. Unlike
+// ErrTransient it is safe to retry even non-idempotent requests — the
+// rejection happened before any work.
+var ErrOverloaded = errors.New("transport: peer overloaded")
+
+// OverloadedError is the typed admission rejection. It rides the wire as
+// a wire.Error with Code "overloaded" and is reconstructed on the caller
+// side, so errors.Is(err, ErrOverloaded) works across process boundaries
+// exactly as it does in-process.
+type OverloadedError struct {
+	// RetryAfter is the server's backoff hint: the earliest moment a
+	// retry has a chance of being admitted. Zero means "unspecified".
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadedError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("transport: peer overloaded (retry after %v)", e.RetryAfter)
+	}
+	return "transport: peer overloaded"
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match the typed rejection.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// RetryAfterHint extracts the server's retry-after hint from an error
+// chain, or zero if the error is not an overload rejection (or carries
+// no hint).
+func RetryAfterHint(err error) time.Duration {
+	var oe *OverloadedError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter
+	}
+	return 0
+}
 
 // Handler serves one request message and returns the response.
 type Handler func(ctx context.Context, req wire.Message) (wire.Message, error)

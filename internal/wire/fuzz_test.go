@@ -18,6 +18,12 @@ func FuzzReadFrame(f *testing.F) {
 			`"hopTrace":[{"node":".","index":-1,"mode":"hierarchical","durationMicros":12}]}`)},
 		{Type: TypeStatsResult, Payload: []byte(`{"name":"a","metrics":{"counters":{"q_total":3},` +
 			`"histograms":{"h_seconds":{"count":1,"sumNanos":1000,"bounds":[0.001],"counts":[1,0]}}}}`)},
+		// Envelope fields added for overload protection: the caller's
+		// admission identity and the propagated deadline budget.
+		{Type: TypeQuery, From: "client-7", DL: 1234,
+			Payload: []byte(`{"target":"a.b","mode":"forward","ttl":9}`)},
+		{Type: TypeError, From: "n2", DL: 1,
+			Payload: []byte(`{"reason":"overloaded","code":"overloaded","retryAfterMillis":25}`)},
 	}
 	for _, m := range seedMsgs {
 		var buf bytes.Buffer
@@ -48,6 +54,10 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if m2.Type != m.Type || !bytes.Equal(m2.Payload, m.Payload) {
 			t.Fatalf("round trip mismatch: %+v vs %+v", m, m2)
+		}
+		if m2.From != m.From || m2.DL != m.DL {
+			t.Fatalf("envelope round trip mismatch: from=%q dl=%d vs from=%q dl=%d",
+				m.From, m.DL, m2.From, m2.DL)
 		}
 	})
 }

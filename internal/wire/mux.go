@@ -52,12 +52,43 @@ const (
 	// the message holds a context, and ReadMuxFrame normalizes it back to
 	// FrameRequest with Message.TC restored, so transports never see it.
 	FrameRequestTraced FrameKind = 4
+	// FrameRequestDeadline is a request carrying a propagated deadline
+	// budget: its body is [deadline millis:4][json]. Like the trace
+	// context, WriteMuxFrame upgrades FrameRequest automatically when the
+	// message carries a deadline and ReadMuxFrame normalizes it back with
+	// Message.DL restored.
+	FrameRequestDeadline FrameKind = 5
+	// FrameRequestTracedDeadline carries both binary prefixes:
+	// [trace context:17][deadline millis:4][json].
+	FrameRequestTracedDeadline FrameKind = 6
 )
 
 // valid reports whether the kind is one this build understands.
 func (k FrameKind) valid() bool {
 	return k == FrameRequest || k == FrameResponse || k == FrameGoAway ||
-		k == FrameRequestTraced
+		k == FrameRequestTraced || k == FrameRequestDeadline ||
+		k == FrameRequestTracedDeadline
+}
+
+// isRequest reports whether the kind is any request variant.
+func (k FrameKind) isRequest() bool {
+	return k == FrameRequest || k == FrameRequestTraced ||
+		k == FrameRequestDeadline || k == FrameRequestTracedDeadline
+}
+
+// requestKind picks the request frame kind for the binary prefixes the
+// message needs.
+func requestKind(traced, deadline bool) FrameKind {
+	switch {
+	case traced && deadline:
+		return FrameRequestTracedDeadline
+	case traced:
+		return FrameRequestTraced
+	case deadline:
+		return FrameRequestDeadline
+	default:
+		return FrameRequest
+	}
 }
 
 // String renders the kind for errors and logs.
@@ -71,6 +102,10 @@ func (k FrameKind) String() string {
 		return "goaway"
 	case FrameRequestTraced:
 		return "request_traced"
+	case FrameRequestDeadline:
+		return "request_deadline"
+	case FrameRequestTracedDeadline:
+		return "request_traced_deadline"
 	default:
 		return fmt.Sprintf("kind(%d)", byte(k))
 	}
@@ -123,20 +158,36 @@ func IsMuxPreface(hdr [4]byte) bool {
 // muxHeaderLen is the per-frame header: kind, request ID, body length.
 const muxHeaderLen = 1 + 8 + 4
 
+// deadlineLen is the binary deadline prefix: remaining millis, uint32.
+const deadlineLen = 4
+
+// maxDeadlineMillis caps the encodable budget (~49.7 days); larger
+// budgets are clamped rather than wrapped.
+const maxDeadlineMillis = int64(^uint32(0))
+
 // WriteMuxFrame writes one multiplexed frame. GoAway frames carry no
 // body; every other kind carries the JSON-encoded message. A request
-// whose message holds a trace context is written as FrameRequestTraced:
-// the context rides as a 17-byte binary prefix ahead of the JSON body
-// (which is encoded without its "tc" field), keeping the hot-path cost
-// fixed instead of ~60 bytes of JSON per hop.
+// whose message holds a trace context and/or a deadline budget is
+// written as the matching prefixed kind (FrameRequestTraced,
+// FrameRequestDeadline, FrameRequestTracedDeadline): the context rides
+// as a 17-byte binary prefix and the deadline as a 4-byte millisecond
+// count ahead of the JSON body (which is encoded without its "tc"/"dl"
+// fields), keeping the hot-path cost fixed instead of extra JSON per
+// hop.
 func WriteMuxFrame(w io.Writer, kind FrameKind, id uint64, m Message) error {
 	if !kind.valid() {
 		return fmt.Errorf("wire: write frame of unknown kind %d", byte(kind))
 	}
 	var tc TraceContext
-	if (kind == FrameRequest || kind == FrameRequestTraced) && !m.TC.IsZero() {
-		kind = FrameRequestTraced
-		tc, m.TC = m.TC, TraceContext{}
+	var dl int64
+	if kind.isRequest() {
+		if !m.TC.IsZero() {
+			tc, m.TC = m.TC, TraceContext{}
+		}
+		if m.DL > 0 {
+			dl, m.DL = min(m.DL, maxDeadlineMillis), 0
+		}
+		kind = requestKind(!tc.IsZero(), dl > 0)
 	}
 	var body []byte
 	if kind != FrameGoAway {
@@ -147,17 +198,26 @@ func WriteMuxFrame(w io.Writer, kind FrameKind, id uint64, m Message) error {
 		}
 	}
 	prefix := 0
-	if kind == FrameRequestTraced {
-		prefix = TraceContextLen
+	if !tc.IsZero() {
+		prefix += TraceContextLen
+	}
+	if dl > 0 {
+		prefix += deadlineLen
 	}
 	buf := make([]byte, muxHeaderLen+prefix+len(body))
 	buf[0] = byte(kind)
 	binary.BigEndian.PutUint64(buf[1:9], id)
 	binary.BigEndian.PutUint32(buf[9:13], uint32(prefix+len(body)))
-	if prefix != 0 {
-		tc.AppendBinary(buf[muxHeaderLen : muxHeaderLen : muxHeaderLen+prefix])
+	off := muxHeaderLen
+	if !tc.IsZero() {
+		tc.AppendBinary(buf[off : off : off+TraceContextLen])
+		off += TraceContextLen
 	}
-	copy(buf[muxHeaderLen+prefix:], body)
+	if dl > 0 {
+		binary.BigEndian.PutUint32(buf[off:off+deadlineLen], uint32(dl))
+		off += deadlineLen
+	}
+	copy(buf[off:], body)
 	// One Write keeps the frame contiguous under concurrent writers that
 	// serialize on a mutex but must not interleave partial frames.
 	if _, err := w.Write(buf); err != nil {
@@ -167,10 +227,10 @@ func WriteMuxFrame(w io.Writer, kind FrameKind, id uint64, m Message) error {
 }
 
 // ReadMuxFrame reads one multiplexed frame: its kind, request ID, and
-// message (zero Message for bodyless kinds). FrameRequestTraced is
-// normalized: the binary trace-context prefix is decoded into Message.TC
-// and the kind is reported as FrameRequest, so serving loops handle
-// traced and untraced requests identically.
+// message (zero Message for bodyless kinds). Prefixed request kinds are
+// normalized: the binary trace-context and deadline prefixes are decoded
+// into Message.TC / Message.DL and the kind is reported as FrameRequest,
+// so serving loops handle every request variant identically.
 func ReadMuxFrame(r io.Reader) (FrameKind, uint64, Message, error) {
 	var hdr [muxHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -186,6 +246,10 @@ func ReadMuxFrame(r io.Reader) (FrameKind, uint64, Message, error) {
 		return 0, 0, Message{}, fmt.Errorf("wire: mux frame of %d bytes exceeds limit %d", n, maxFrame)
 	}
 	if n == 0 {
+		if kind.isRequest() && kind != FrameRequest {
+			// Prefixed request kinds promise at least their binary prefix.
+			return 0, 0, Message{}, fmt.Errorf("wire: bodyless %s frame lacks its binary prefix", kind)
+		}
 		return kind, id, Message{}, nil
 	}
 	body := make([]byte, n)
@@ -193,13 +257,23 @@ func ReadMuxFrame(r io.Reader) (FrameKind, uint64, Message, error) {
 		return 0, 0, Message{}, fmt.Errorf("wire: read mux body: %w", err)
 	}
 	var tc TraceContext
-	if kind == FrameRequestTraced {
+	var dl int64
+	if kind == FrameRequestTraced || kind == FrameRequestTracedDeadline {
 		var err error
 		tc, err = ParseTraceContext(body)
 		if err != nil {
 			return 0, 0, Message{}, err
 		}
 		body = body[TraceContextLen:]
+	}
+	if kind == FrameRequestDeadline || kind == FrameRequestTracedDeadline {
+		if len(body) < deadlineLen {
+			return 0, 0, Message{}, fmt.Errorf("wire: %s frame of %d bytes lacks deadline prefix", kind, len(body))
+		}
+		dl = int64(binary.BigEndian.Uint32(body[:deadlineLen]))
+		body = body[deadlineLen:]
+	}
+	if kind.isRequest() {
 		kind = FrameRequest
 	}
 	m, err := decodeFrame(body)
@@ -208,6 +282,9 @@ func ReadMuxFrame(r io.Reader) (FrameKind, uint64, Message, error) {
 	}
 	if !tc.IsZero() {
 		m.TC = tc
+	}
+	if dl > 0 {
+		m.DL = dl
 	}
 	return kind, id, m, nil
 }

@@ -104,6 +104,141 @@ func TestMuxFrameRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMuxFrameDeadlinePrefix pins the wire format of the deadline-
+// carrying request kinds: a message with a budget is written as
+// FrameRequestDeadline (or FrameRequestTracedDeadline when it also
+// carries a trace context), the budget rides as a 4-byte binary prefix
+// rather than JSON, and the reader normalizes the kind back to
+// FrameRequest with Message.DL restored.
+func TestMuxFrameDeadlinePrefix(t *testing.T) {
+	t.Run("deadline only", func(t *testing.T) {
+		msg := Message{Type: TypeQuery, DL: 1234}
+		var buf bytes.Buffer
+		if err := WriteMuxFrame(&buf, FrameRequest, 42, msg); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+		if FrameKind(raw[0]) != FrameRequestDeadline {
+			t.Fatalf("wire kind = %v, want %v", FrameKind(raw[0]), FrameRequestDeadline)
+		}
+		if got := binary.BigEndian.Uint32(raw[muxHeaderLen : muxHeaderLen+deadlineLen]); got != 1234 {
+			t.Errorf("binary deadline prefix = %d, want 1234", got)
+		}
+		if bytes.Contains(raw[muxHeaderLen+deadlineLen:], []byte(`"dl"`)) {
+			t.Error("deadline leaked into the JSON body alongside the binary prefix")
+		}
+		k, id, m, err := ReadMuxFrame(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != FrameRequest || id != 42 {
+			t.Errorf("kind/id = %v/%d, want request/42", k, id)
+		}
+		if m.DL != 1234 {
+			t.Errorf("restored DL = %d, want 1234", m.DL)
+		}
+	})
+
+	t.Run("traced and deadline", func(t *testing.T) {
+		msg := Message{
+			Type: TypeQuery,
+			TC:   TraceContext{TraceID: 7, SpanID: 9, Flags: FlagSampled},
+			DL:   555,
+		}
+		var buf bytes.Buffer
+		if err := WriteMuxFrame(&buf, FrameRequest, 8, msg); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+		if FrameKind(raw[0]) != FrameRequestTracedDeadline {
+			t.Fatalf("wire kind = %v, want %v", FrameKind(raw[0]), FrameRequestTracedDeadline)
+		}
+		// Prefix order is trace context first, then deadline.
+		off := muxHeaderLen + TraceContextLen
+		if got := binary.BigEndian.Uint32(raw[off : off+deadlineLen]); got != 555 {
+			t.Errorf("binary deadline prefix = %d, want 555", got)
+		}
+		k, _, m, err := ReadMuxFrame(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != FrameRequest {
+			t.Errorf("kind = %v, want normalized request", k)
+		}
+		if m.TC != msg.TC {
+			t.Errorf("restored TC = %+v, want %+v", m.TC, msg.TC)
+		}
+		if m.DL != 555 {
+			t.Errorf("restored DL = %d, want 555", m.DL)
+		}
+	})
+
+	t.Run("huge budget clamps", func(t *testing.T) {
+		msg := Message{Type: TypeQuery, DL: maxDeadlineMillis + 99}
+		var buf bytes.Buffer
+		if err := WriteMuxFrame(&buf, FrameRequest, 1, msg); err != nil {
+			t.Fatal(err)
+		}
+		_, _, m, err := ReadMuxFrame(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.DL != maxDeadlineMillis {
+			t.Errorf("clamped DL = %d, want %d", m.DL, maxDeadlineMillis)
+		}
+	})
+
+	t.Run("responses keep deadline in json", func(t *testing.T) {
+		// Only request kinds use the binary prefix; a response carrying DL
+		// (unusual but legal) stays plain.
+		msg := Message{Type: TypeQueryResult, DL: 777}
+		var buf bytes.Buffer
+		if err := WriteMuxFrame(&buf, FrameResponse, 3, msg); err != nil {
+			t.Fatal(err)
+		}
+		if FrameKind(buf.Bytes()[0]) != FrameResponse {
+			t.Fatalf("wire kind = %v, want response", FrameKind(buf.Bytes()[0]))
+		}
+		k, _, m, err := ReadMuxFrame(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != FrameResponse || m.DL != 777 {
+			t.Errorf("response round trip kind=%v DL=%d, want response/777", k, m.DL)
+		}
+	})
+}
+
+// TestMuxFrameDeadlineTruncatedPrefix rejects deadline-kind frames whose
+// body is too short to hold the binary prefix.
+func TestMuxFrameDeadlineTruncatedPrefix(t *testing.T) {
+	build := func(kind FrameKind, body []byte) []byte {
+		raw := make([]byte, muxHeaderLen+len(body))
+		raw[0] = byte(kind)
+		binary.BigEndian.PutUint64(raw[1:9], 5)
+		binary.BigEndian.PutUint32(raw[9:13], uint32(len(body)))
+		copy(raw[muxHeaderLen:], body)
+		return raw
+	}
+	t.Run("deadline kind short body", func(t *testing.T) {
+		raw := build(FrameRequestDeadline, []byte{0x01, 0x02}) // < deadlineLen
+		_, _, _, err := ReadMuxFrame(bytes.NewReader(raw))
+		if err == nil || !strings.Contains(err.Error(), "deadline prefix") {
+			t.Errorf("truncated deadline prefix err = %v", err)
+		}
+	})
+	t.Run("traced deadline kind missing deadline", func(t *testing.T) {
+		// A full trace context but nothing after it: the deadline prefix
+		// is still mandatory for this kind.
+		tc := TraceContext{TraceID: 1, SpanID: 2}
+		body := tc.AppendBinary(nil)
+		raw := build(FrameRequestTracedDeadline, body)
+		if _, _, _, err := ReadMuxFrame(bytes.NewReader(raw)); err == nil {
+			t.Error("traced-deadline frame without deadline prefix accepted")
+		}
+	})
+}
+
 func TestMuxGoAwayBodyless(t *testing.T) {
 	var buf bytes.Buffer
 	// Any message passed with GoAway is ignored: the frame has no body.
@@ -225,6 +360,12 @@ func FuzzReadMuxFrame(f *testing.F) {
 	seed(FrameResponse, 1<<40, Message{Type: TypeQuery,
 		Payload: []byte(`{"target":"a.b","mode":"forward","ttl":9}`)})
 	seed(FrameGoAway, 0, Message{})
+	// Prefixed request variants: deadline only (kind 5), trace context
+	// plus deadline (kind 6), and the envelope's From identity.
+	seed(FrameRequest, 2, Message{Type: TypeQuery, From: "client-7", DL: 1234,
+		Payload: []byte(`{"target":"a.b","mode":"forward","ttl":9}`)})
+	seed(FrameRequest, 3, Message{Type: TypeQuery,
+		TC: TraceContext{TraceID: 7, SpanID: 9, Flags: FlagSampled}, DL: 88})
 
 	// Malformed seeds: unknown kind, oversized length, truncations.
 	bad := make([]byte, muxHeaderLen)
@@ -236,6 +377,11 @@ func FuzzReadMuxFrame(f *testing.F) {
 	f.Add(over)
 	f.Add([]byte{byte(FrameRequest), 0, 0})
 	f.Add([]byte{})
+	// A deadline-kind frame whose body is shorter than the prefix.
+	short := make([]byte, muxHeaderLen+2)
+	short[0] = byte(FrameRequestDeadline)
+	binary.BigEndian.PutUint32(short[9:13], 2)
+	f.Add(short)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		kind, id, m, err := ReadMuxFrame(bytes.NewReader(data))
@@ -252,6 +398,20 @@ func FuzzReadMuxFrame(f *testing.F) {
 		}
 		if k2 != kind || id2 != id || m2.Type != m.Type || !bytes.Equal(m2.Payload, m.Payload) {
 			t.Fatalf("round trip mismatch: (%v,%d,%+v) vs (%v,%d,%+v)", kind, id, m, k2, id2, m2)
+		}
+		// The binary prefixes must survive the round trip too. A trace
+		// context the encoder considers zero is dropped by omitzero, and a
+		// request's oversized budget is clamped on re-encode, so only the
+		// representable values are compared.
+		if !m.TC.IsZero() && m2.TC != m.TC {
+			t.Fatalf("trace context round trip mismatch: %+v vs %+v", m.TC, m2.TC)
+		}
+		wantDL := m.DL
+		if kind == FrameRequest && wantDL > maxDeadlineMillis {
+			wantDL = maxDeadlineMillis
+		}
+		if m.DL > 0 && m2.DL != wantDL {
+			t.Fatalf("deadline round trip mismatch: %d vs %d (want %d)", m.DL, m2.DL, wantDL)
 		}
 	})
 }

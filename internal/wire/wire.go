@@ -75,10 +75,24 @@ const (
 // it is an ordinary envelope field old peers ignore; over v2 mux framing
 // it is stripped here and carried as a binary frame header instead (see
 // WriteMuxFrame). Responses never carry a context.
+//
+// From identifies the caller for per-client admission control (§2/§3.1):
+// clients stamp a stable identity of their choosing, forwarding nodes
+// stamp their own address per hop. Peers that predate admission control
+// ignore it; a missing From shares the anonymous bucket.
+//
+// DL is the remaining end-to-end deadline budget in milliseconds at the
+// moment the request was written — wire-level deadline propagation, so a
+// downstream hop can shed work whose deadline already expired instead of
+// computing a dead answer. Over v1 framing it is an envelope field old
+// peers ignore; over v2 mux framing it is stripped and carried as a
+// binary frame prefix (see WriteMuxFrame). Responses never carry one.
 type Message struct {
 	Type    Type            `json:"type"`
 	Payload json.RawMessage `json:"payload,omitempty"`
 	TC      TraceContext    `json:"tc,omitzero"`
+	From    string          `json:"from,omitempty"`
+	DL      int64           `json:"dl,omitzero"`
 }
 
 // New encodes payload into a Message of the given type.
@@ -203,13 +217,16 @@ type Query struct {
 	HopTrace []HopRecord `json:"hopTrace,omitempty"`
 }
 
-// QueryResult carries the outcome of a query.
+// QueryResult carries the outcome of a query. Cached marks an answer
+// served from a client-side cache because the hierarchy was overloaded —
+// possibly stale, but better than amplifying the overload with retries.
 type QueryResult struct {
 	Found  bool     `json:"found"`
 	Answer string   `json:"answer,omitempty"`
 	Hops   int      `json:"hops"`
 	Path   []string `json:"path,omitempty"`
 	Reason string   `json:"reason,omitempty"`
+	Cached bool     `json:"cached,omitempty"`
 	// HopTrace carries the per-hop records of a traced query.
 	HopTrace []HopRecord `json:"hopTrace,omitempty"`
 }
@@ -250,9 +267,19 @@ type Stats struct {
 	Metrics           *obs.Snapshot `json:"metrics,omitempty"`
 }
 
-// Error carries a request failure.
+// ErrCodeOverloaded marks a deliberate admission-control rejection: the
+// server shed the request to protect itself and the caller should back
+// off for RetryAfterMillis before retrying (§2 admission control).
+const ErrCodeOverloaded = "overloaded"
+
+// Error carries a request failure. Code, when set, classifies the
+// failure machine-readably so typed errors survive the wire; peers that
+// predate codes ignore it and fall back to the Reason string.
 type Error struct {
 	Reason string `json:"reason"`
+	Code   string `json:"code,omitempty"`
+	// RetryAfterMillis is the server's backoff hint for ErrCodeOverloaded.
+	RetryAfterMillis int64 `json:"retryAfterMillis,omitempty"`
 }
 
 // maxFrame bounds decoded frames; prototype messages are small, so a large

@@ -82,6 +82,44 @@ printf '%s\n%s\n%s\n' "$sim_core" "$sim_overlay" "$sim_fig9" | awk '
 ' > BENCH_sim.json
 echo "    wrote BENCH_sim.json"
 
+# Overload-control acceptance: the deterministic soak (aggressor at 20x
+# fair share, Sybil flood, breaker trip/half-open/recover, cached
+# degradation) under the race detector. Its summary counters plus the
+# admission fast-path bench land in BENCH_overload.json; the zero-alloc
+# pins are the hot-path regression guard.
+echo "==> overload soak (-race, deterministic clocks)"
+soak_out=$(go test -race -run 'TestOverloadSoak' -v ./internal/cluster/)
+echo "$soak_out" | grep -E 'overload soak:|^ok|FAIL'
+
+echo "==> overload zero-alloc pins + admission bench smoke"
+go test -run 'ZeroAlloc' -v ./internal/overload/ | grep -E 'ZeroAlloc|^ok|FAIL'
+ovl_bench=$(go test -run '^$' -bench 'BenchmarkLimiterAdmit$|BenchmarkGuardAdmit$' -benchmem -benchtime 0.2s ./internal/overload/)
+echo "$ovl_bench" | grep '^Benchmark'
+{
+    echo "$soak_out" | grep 'overload soak:'
+    echo "$ovl_bench" | grep '^Benchmark'
+} | awk '
+    BEGIN { print "{" }
+    /overload soak:/ {
+        printf "  \"soak\": {"
+        k = 0
+        for (i = 1; i <= NF; i++) {
+            if (split($i, kv, "=") == 2) {
+                if (k++) printf ", "
+                printf "\"%s\": %s", kv[1], kv[2]
+            }
+        }
+        printf "}"
+    }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        printf ",\n  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7
+    }
+    END { print "\n}" }
+' > BENCH_overload.json
+echo "    wrote BENCH_overload.json"
+
 # Distributed-tracing acceptance: the mixed-version e2e (v1 root + pooled
 # children, injected fault, span-tree/sim-route equivalence) runs in the
 # suite above too; this explicit -race pass keeps the tracing gate visible.
