@@ -80,6 +80,9 @@ func run(args []string) error {
 		rateLimit   = fs.Float64("rate-limit", 0, "per-client admitted queries/second (token bucket; 0 disables admission control)")
 		maxConc     = fs.Int("max-concurrency", 0, "adaptive in-flight handler ceiling (AIMD; 0 disables the concurrency limit)")
 		breakerThr  = fs.Int("breaker-threshold", 0, "consecutive overloaded/timeout failures before a peer's circuit breaker opens (0 disables the breaker)")
+		batchLinger = fs.Duration("batch-linger", transport.DefaultBatchLinger, "max adaptive write-coalescing linger per pooled connection (scales with in-flight load; negative never lingers)")
+		batchBytes  = fs.Int("batch-bytes", 64<<10, "write-coalescing flush threshold in bytes per pooled connection")
+		coalesce    = fs.Bool("coalesce", true, "coalesce concurrent frames into batched writes on pooled connections (false: one write syscall per frame)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,22 +116,18 @@ func run(args []string) error {
 			probe: *probe, retryAtt: *retryAtt, suspicionK: *suspicionK,
 			poolSize: *poolSize, maxInflight: *maxInflight,
 			rateLimit: *rateLimit, maxConc: *maxConc, breakerThr: *breakerThr,
+			batchLinger: *batchLinger, batchBytes: *batchBytes, coalesce: *coalesce,
 			tracer: tracer,
 		}, reg, logger)
 	}
 	if *name == "" {
 		return fmt.Errorf("missing -name (or use -demo)")
 	}
-	base, pool := tcpBase(*poolSize, *maxInflight, 0, 0)
-	stacked, err := transport.Stack(transport.StackConfig{
-		Base:       base,
-		Pool:       pool,
-		Retry:      retryPolicy(*retryAtt, *seed),
-		Breaker:    breakerPolicy(*breakerThr),
-		Metrics:    reg,
-		Tracer:     tracer,
-		TraceLocal: *name,
-	})
+	stacked, err := transport.NewStack(stackOptions(
+		*poolSize, *maxInflight, 0, 0,
+		*batchLinger, *batchBytes, *coalesce,
+		retryPolicy(*retryAtt, *seed), breakerPolicy(*breakerThr),
+		reg, tracer, *name)...)
 	if err != nil {
 		return err
 	}
@@ -237,21 +236,41 @@ func retryPolicy(attempts int, seed uint64) *transport.RetryPolicy {
 	}
 }
 
-// tcpBase maps the pool flags onto a StackConfig base: the pooled
-// multiplexing transport by default (nil base + pool config, so Stack
-// wires the pool metrics), or the one-shot dial-per-call TCP when
-// -pool-size 0 asks for the v1 baseline. Zero timeouts keep the
-// transport defaults.
-func tcpBase(poolSize, maxInflight int, dialTimeout, ioTimeout time.Duration) (transport.Transport, transport.PoolConfig) {
+// stackOptions maps the daemon flags onto transport stack options: the
+// pooled multiplexing transport by default (with the write-coalescing
+// knobs), or the one-shot dial-per-call TCP when -pool-size 0 asks for
+// the v1 baseline. Zero timeouts keep the transport defaults; nil
+// policies skip their layers.
+func stackOptions(poolSize, maxInflight int, dialTimeout, ioTimeout time.Duration,
+	batchLinger time.Duration, batchBytes int, coalesce bool,
+	retry *transport.RetryPolicy, breaker *transport.BreakerPolicy,
+	reg *obs.Registry, tracer *trace.Tracer, local string) []transport.StackOption {
+	opts := []transport.StackOption{
+		transport.WithMetrics(reg),
+		transport.WithTracing(tracer, local),
+	}
 	if poolSize <= 0 {
-		return &transport.TCP{DialTimeout: dialTimeout, IOTimeout: ioTimeout}, transport.PoolConfig{}
+		opts = append(opts, transport.WithBase(&transport.TCP{DialTimeout: dialTimeout, IOTimeout: ioTimeout}))
+	} else {
+		opts = append(opts, transport.WithPool(transport.PoolConfig{
+			MaxConnsPerPeer:    poolSize,
+			MaxInflightPerConn: maxInflight,
+			DialTimeout:        dialTimeout,
+			IOTimeout:          ioTimeout,
+		}))
+		if coalesce {
+			opts = append(opts, transport.WithBatching(batchLinger, batchBytes))
+		} else {
+			opts = append(opts, transport.WithoutBatching())
+		}
 	}
-	return nil, transport.PoolConfig{
-		MaxConnsPerPeer:    poolSize,
-		MaxInflightPerConn: maxInflight,
-		DialTimeout:        dialTimeout,
-		IOTimeout:          ioTimeout,
+	if retry != nil {
+		opts = append(opts, transport.WithRetry(*retry))
 	}
+	if breaker != nil {
+		opts = append(opts, transport.WithBreaker(*breaker))
+	}
+	return opts
 }
 
 // demoConfig bundles the -demo hierarchy parameters.
@@ -268,6 +287,9 @@ type demoConfig struct {
 	rateLimit   float64
 	maxConc     int
 	breakerThr  int
+	batchLinger time.Duration
+	batchBytes  int
+	coalesce    bool
 	tracer      *trace.Tracer
 }
 
@@ -278,18 +300,13 @@ func runDemo(dc demoConfig, reg *obs.Registry, logger *slog.Logger) error {
 	if err != nil {
 		return err
 	}
-	base, pool := tcpBase(dc.poolSize, dc.maxInflight, time.Second, 3*time.Second)
-	stacked, err := transport.Stack(transport.StackConfig{
-		Base:    base,
-		Pool:    pool,
-		Retry:   retryPolicy(dc.retryAtt, dc.seed),
-		Breaker: breakerPolicy(dc.breakerThr),
-		Metrics: reg,
-		Tracer:  dc.tracer,
-		// One stack is shared by every demo node, so client spans carry
-		// no single node name; server spans still claim theirs.
-		TraceLocal: "-",
-	})
+	// One stack is shared by every demo node, so client spans carry no
+	// single node name ("-"); server spans still claim theirs.
+	stacked, err := transport.NewStack(stackOptions(
+		dc.poolSize, dc.maxInflight, time.Second, 3*time.Second,
+		dc.batchLinger, dc.batchBytes, dc.coalesce,
+		retryPolicy(dc.retryAtt, dc.seed), breakerPolicy(dc.breakerThr),
+		reg, dc.tracer, "-")...)
 	if err != nil {
 		return err
 	}

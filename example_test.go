@@ -1,6 +1,7 @@
 package hours_test
 
 import (
+	"context"
 	"fmt"
 
 	hours "repro"
@@ -68,6 +69,32 @@ func ExampleNewOverlay() {
 	fmt.Println("outcome:", res.Outcome)
 	// Output:
 	// outcome: delivered
+}
+
+// ExampleCluster_Query runs a lookup against a live in-process cluster
+// with the v2 query API: functional options pick the entry node and the
+// client identity charged by admission control. Identical concurrent
+// queries are coalesced into one upstream RPC by default.
+func ExampleCluster_Query() {
+	ctx := context.Background()
+	c, err := hours.NewCluster(ctx, hours.ClusterConfig{
+		Fanouts: []int{4, 2}, K: 2, Q: 2, Seed: 3,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer c.Stop()
+
+	res, err := c.Query(ctx, "n2-1.n1-3",
+		hours.WithEntry("n1-0"), hours.As("alice"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("found:", res.Found)
+	// Output:
+	// found: true
 }
 
 // ExampleNeighborAttackSuccess evaluates Equation (2) at the paper's

@@ -38,7 +38,7 @@ func run() error {
 
 	const target = "n2-2.n1-6"
 	show := func(tag string) error {
-		res, err := c.Query(ctx, ".", target)
+		res, err := c.Query(ctx, target)
 		if err != nil {
 			return err
 		}

@@ -22,8 +22,10 @@ package hours
 
 import (
 	"context"
+	"errors"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/attack"
@@ -36,6 +38,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/overlay"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -173,20 +176,70 @@ func NewChordRing(n int) (*ChordRing, error) { return chord.New(n) }
 // Live layer: the goroutine/TCP prototype.
 type (
 	// Cluster is a running live hierarchy in one process. Its query entry
-	// points are context-aware — Query and Lookup take a context.Context
-	// that cancels the in-flight RPC fan-out — with QueryDefault and
-	// LookupDefault as thin context-free wrappers.
+	// point is Cluster.Query(ctx, target, ...QueryOption): options pick
+	// the entry node, client identity, hop tracing, a timeout, or opt out
+	// of query coalescing; Lookup fans a query out over several entries.
+	// Identical concurrent queries share one upstream RPC by default (see
+	// ClusterConfig.NoCoalescing), with every caller still charged its own
+	// admission tokens.
 	Cluster = cluster.Cluster
 	// ClusterConfig parameterizes NewCluster.
 	ClusterConfig = cluster.Config
+	// QueryOption configures one Cluster.Query call (see WithEntry, As,
+	// WithHopTrace, WithQueryTimeout, WithoutCoalescing).
+	QueryOption = cluster.QueryOption
 	// LiveQueryResult is the answer a live cluster query returns (the
 	// wire-level result carried back through Cluster.Query and Lookup).
 	LiveQueryResult = wire.QueryResult
 )
 
+// Query options for Cluster.Query.
+var (
+	// WithEntry starts the query at the named entry node instead of the
+	// root.
+	WithEntry = cluster.WithEntry
+	// As sets the client identity the entry node's per-client admission
+	// control charges.
+	As = cluster.As
+	// WithHopTrace records every node the query visits (and, with a
+	// cluster Tracer, captures the cross-node span tree).
+	WithHopTrace = cluster.WithHopTrace
+	// WithQueryTimeout bounds the whole query, including any coalesced
+	// flight it starts or joins.
+	WithQueryTimeout = cluster.WithTimeout
+	// WithoutCoalescing makes this call always issue its own RPC, never
+	// sharing an in-flight identical query.
+	WithoutCoalescing = cluster.WithoutCoalescing
+)
+
 // NewCluster builds, starts, and wires up a live hierarchy.
 func NewCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	return cluster.New(ctx, cfg)
+}
+
+// Error taxonomy of the live layer. Both socket wire encodings (the v1
+// JSON envelope and the v2 multiplexed framing) carry typed overload
+// rejections across process boundaries, so errors.Is/As classification
+// works against a remote peer exactly as it does in-process.
+var (
+	// ErrOverloaded marks a deliberate admission-control rejection: the
+	// peer is alive and chose to shed this request. Match with errors.Is.
+	ErrOverloaded = transport.ErrOverloaded
+	// ErrBreakerOpen marks a call the client-side circuit breaker failed
+	// fast without touching the network. Match with errors.Is.
+	ErrBreakerOpen = transport.ErrBreakerOpen
+)
+
+// RetryAfter reports whether err is (or wraps) a typed overload
+// rejection, and if so the server's backoff hint — the earliest moment a
+// retry has a chance of being admitted. A zero hint with ok == true
+// means the peer shed the request without suggesting a backoff.
+func RetryAfter(err error) (time.Duration, bool) {
+	var oe *transport.OverloadedError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter, true
+	}
+	return 0, false
 }
 
 // Observability layer: the dependency-free metrics/logging/tracing kit

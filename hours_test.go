@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
+	"repro/internal/transport"
+	"repro/internal/wire"
 	"repro/internal/xrand"
 )
 
@@ -83,9 +86,67 @@ func TestFacadeCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Stop()
-	res, err := c.Query(context.Background(), ".", "n2-1.n1-3")
+	res, err := c.Query(context.Background(), "n2-1.n1-3")
 	if err != nil || !res.Found {
 		t.Fatalf("live query: %v %+v", err, res)
+	}
+}
+
+// TestFacadeErrorTaxonomy pins the exported error classification across
+// both socket wire encodings: a typed overload rejection thrown by a
+// remote handler must match hours.ErrOverloaded via errors.Is and
+// surface its backoff hint through hours.RetryAfter, whether it crossed
+// the v1 one-shot JSON envelope or the v2 multiplexed framing.
+func TestFacadeErrorTaxonomy(t *testing.T) {
+	const hint = 40 * time.Millisecond
+	shed := func(ctx context.Context, req wire.Message) (wire.Message, error) {
+		return wire.Message{}, &transport.OverloadedError{RetryAfter: hint}
+	}
+	req, err := wire.New(wire.TypeQuery, wire.Query{Target: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(t *testing.T, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatal("shed call succeeded")
+		}
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("errors.Is(%v, ErrOverloaded) = false", err)
+		}
+		if after, ok := RetryAfter(err); !ok || after != hint {
+			t.Fatalf("RetryAfter = %v, %v, want %v, true", after, ok, hint)
+		}
+	}
+
+	t.Run("v1 envelope", func(t *testing.T) {
+		tr := &transport.TCP{}
+		ln, err := tr.Listen("127.0.0.1:0", shed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		_, err = tr.Call(context.Background(), ln.(*transport.TCPListener).Addr(), req)
+		check(t, err)
+	})
+	t.Run("v2 mux", func(t *testing.T) {
+		p := transport.NewPooledTCP(transport.PoolConfig{})
+		defer p.Close()
+		ln, err := p.Listen("127.0.0.1:0", shed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		_, err = p.Call(context.Background(), ln.(*transport.PooledListener).Addr(), req)
+		check(t, err)
+	})
+
+	if after, ok := RetryAfter(errors.New("plain failure")); ok || after != 0 {
+		t.Errorf("RetryAfter(plain) = %v, %v, want 0, false", after, ok)
+	}
+	breaker := errors.Join(errors.New("call n: "), ErrBreakerOpen)
+	if !errors.Is(breaker, ErrBreakerOpen) {
+		t.Error("wrapped ErrBreakerOpen must match via errors.Is")
 	}
 }
 

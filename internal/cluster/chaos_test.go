@@ -134,7 +134,7 @@ func TestChaosSoak(t *testing.T) {
 	for i := 0; i < queries; i++ {
 		entry := entries[rng.IntN(len(entries))]
 		target := alive[rng.IntN(len(alive))]
-		res, err := c.Query(ctx, entry, target)
+		res, err := c.Query(ctx, target, WithEntry(entry))
 		if err == nil && res.Found {
 			delivered++
 		}
@@ -180,7 +180,7 @@ func TestChaosSoak(t *testing.T) {
 	t.Logf("chaos soak: ring fully repaired %d probe period(s) after attack end", repairedAfter)
 
 	// And the restored network serves queries to the former victims.
-	res, err := c.Query(ctx, alive[0], "n2-2.n1-0")
+	res, err := c.Query(ctx, "n2-2.n1-0", WithEntry(alive[0]))
 	if err != nil || !res.Found {
 		t.Errorf("former victim unreachable after repair: %v %+v", err, res)
 	}

@@ -35,7 +35,7 @@ func TestLateJoinerBecomesRoutable(t *testing.T) {
 
 	// Direct resolution through the root works immediately (the parent
 	// admitted it).
-	res, err := c.Query(ctx, ".", "latecomer")
+	res, err := c.Query(ctx, "latecomer")
 	if err != nil || !res.Found {
 		t.Fatalf("direct resolution failed: %v %+v", err, res)
 	}
@@ -60,7 +60,7 @@ func TestLateJoinerBecomesRoutable(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	res, err = c.Query(ctx, "n1-0", "latecomer")
+	res, err = c.Query(ctx, "latecomer", WithEntry("n1-0"))
 	if err != nil {
 		t.Fatal(err)
 	}

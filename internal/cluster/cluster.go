@@ -10,7 +10,6 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
-	"strings"
 	"sync"
 	"time"
 
@@ -52,6 +51,15 @@ type Config struct {
 	// plane: per-client admission and the adaptive concurrency limit
 	// (see node.Config.Overload).
 	Overload *overload.Config
+	// NoCoalescing disables client-side query coalescing. By default,
+	// identical concurrent lookups (same entry node, target, and hop-trace
+	// flag) share one in-flight RPC: followers wait for the leader's
+	// answer instead of issuing duplicate upstream work. Every coalesced
+	// caller is still charged its own admission tokens at the entry node
+	// (see node.ChargeAdmission), so sharing a flight never launders
+	// overload budget. Callers can also opt out per query with
+	// WithoutCoalescing.
+	NoCoalescing bool
 	// AnswerCache bounds the cluster client's answer cache. When > 0,
 	// found query results are remembered (FIFO eviction at the cap) and
 	// served — marked Cached — when a later query for the same target
@@ -94,6 +102,20 @@ type Cluster struct {
 	cache      map[string]wire.QueryResult
 	cacheOrder []string
 	cacheCap   int
+
+	// Singleflight query coalescing (see Config.NoCoalescing): in-flight
+	// queries by (entry, target, hop-trace) key.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+	coalesce bool
+}
+
+// flight is one in-flight coalesced query: the leader closes done after
+// storing the outcome, and every joined caller reads it.
+type flight struct {
+	done chan struct{}
+	qr   wire.QueryResult
+	err  error
 }
 
 // New builds, starts, joins, and wires up a full hierarchy.
@@ -107,7 +129,13 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 		}
 	}
 	tr := transport.NewMem()
-	c := &Cluster{tr: tr, tracer: cfg.Tracer, nodes: make(map[string]*node.Node)}
+	c := &Cluster{
+		tr:       tr,
+		tracer:   cfg.Tracer,
+		nodes:    make(map[string]*node.Node),
+		flights:  make(map[string]*flight),
+		coalesce: !cfg.NoCoalescing,
+	}
 	if cfg.AnswerCache > 0 {
 		c.cacheCap = cfg.AnswerCache
 		c.cache = make(map[string]wire.QueryResult, cfg.AnswerCache)
@@ -123,16 +151,22 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 		if reg == nil {
 			reg = obs.NewRegistry()
 		}
-		stacked, err := transport.Stack(transport.StackConfig{
-			Base:       tr,
-			Addr:       addr,
-			Faults:     cfg.Faults,
-			Retry:      cfg.Retry,
-			Breaker:    cfg.Breaker,
-			Metrics:    reg,
-			Tracer:     cfg.Tracer,
-			TraceLocal: name,
-		})
+		opts := []transport.StackOption{
+			transport.WithBase(tr),
+			transport.WithAddr(addr),
+			transport.WithMetrics(reg),
+			transport.WithTracing(cfg.Tracer, name),
+		}
+		if cfg.Faults != nil {
+			opts = append(opts, transport.WithFaults(cfg.Faults))
+		}
+		if cfg.Retry != nil {
+			opts = append(opts, transport.WithRetry(*cfg.Retry))
+		}
+		if cfg.Breaker != nil {
+			opts = append(opts, transport.WithBreaker(*cfg.Breaker))
+		}
+		stacked, err := transport.NewStack(opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -253,138 +287,6 @@ func (c *Cluster) MaintainAll(ctx context.Context) {
 	for _, name := range c.order {
 		c.nodes[name].MaintainOnce(ctx)
 	}
-}
-
-// Query issues a lookup for target starting at the named entry node and
-// returns the result. Canceling ctx aborts the in-flight RPC chain.
-func (c *Cluster) Query(ctx context.Context, entry, target string) (wire.QueryResult, error) {
-	return c.queryAs(ctx, "", entry, target, false)
-}
-
-// QueryAs is Query under an explicit client identity: the entry node's
-// per-client admission control charges this identity's token bucket.
-// Overload soaks use distinct identities so one aggressor exhausts only
-// its own budget.
-func (c *Cluster) QueryAs(ctx context.Context, client, entry, target string) (wire.QueryResult, error) {
-	return c.queryAs(ctx, client, entry, target, false)
-}
-
-// QueryDefault is Query with a background context — a thin context-free
-// wrapper kept for callers (REPLs, examples) with no context to thread.
-func (c *Cluster) QueryDefault(entry, target string) (wire.QueryResult, error) {
-	return c.Query(context.Background(), entry, target)
-}
-
-// Lookup fans the query for target out from several entry nodes
-// concurrently and returns the first delivered result, canceling the
-// remaining in-flight RPC fan-out. With no entries it starts at the
-// root. If no entry delivers, the first failure (a completed-but-empty
-// result or an error) is returned.
-func (c *Cluster) Lookup(ctx context.Context, target string, entries ...string) (wire.QueryResult, error) {
-	if len(entries) == 0 {
-		entries = []string{c.root.Name()}
-	}
-	for _, e := range entries {
-		if _, ok := c.nodes[e]; !ok {
-			return wire.QueryResult{}, fmt.Errorf("cluster: no entry node %q", e)
-		}
-	}
-	fctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	type outcome struct {
-		qr  wire.QueryResult
-		err error
-	}
-	results := make(chan outcome, len(entries))
-	for _, e := range entries {
-		go func(entry string) {
-			qr, err := c.queryAs(fctx, "", entry, target, false)
-			results <- outcome{qr, err}
-		}(e)
-	}
-	var firstLoss *outcome
-	for range entries {
-		select {
-		case out := <-results:
-			if out.err == nil && out.qr.Found {
-				return out.qr, nil // cancel (deferred) aborts the rest
-			}
-			if firstLoss == nil {
-				firstLoss = &out
-			}
-		case <-ctx.Done():
-			return wire.QueryResult{}, ctx.Err()
-		}
-	}
-	return firstLoss.qr, firstLoss.err
-}
-
-// LookupDefault is Lookup with a background context (context-free
-// compatibility wrapper).
-func (c *Cluster) LookupDefault(target string, entries ...string) (wire.QueryResult, error) {
-	return c.Lookup(context.Background(), target, entries...)
-}
-
-// QueryTraced is Query with per-hop tracing enabled: the result's
-// HopTrace records every node the query visited, the forwarding mode it
-// arrived under, and how long each node spent on it. With a cluster
-// Tracer configured, the query additionally carries a force-sampled
-// distributed-trace context, so the full cross-node span tree lands in
-// the tracer's store (fetch it by the root span's trace ID).
-func (c *Cluster) QueryTraced(ctx context.Context, entry, target string) (wire.QueryResult, error) {
-	return c.queryAs(ctx, "", entry, target, true)
-}
-
-func (c *Cluster) queryAs(ctx context.Context, client, entry, target string, withHops bool) (wire.QueryResult, error) {
-	n, ok := c.nodes[entry]
-	if !ok {
-		return wire.QueryResult{}, fmt.Errorf("cluster: no entry node %q", entry)
-	}
-	if client == "" {
-		client = "client"
-	}
-	target = strings.TrimSuffix(target, ".")
-	req, err := wire.New(wire.TypeQuery, wire.Query{
-		Target: target,
-		Mode:   wire.ModeHierarchical,
-		TTL:    4 * len(c.nodes),
-		Trace:  withHops,
-	})
-	if err != nil {
-		return wire.QueryResult{}, err
-	}
-	req.From = client
-	if withHops && c.tracer != nil {
-		// The cluster client bypasses the node stacks (it calls the Mem
-		// base directly), so the root span and context injection happen
-		// here rather than in a Traced layer.
-		sp := c.tracer.StartRoot("query", "client")
-		sp.SetAttr("target", target)
-		sp.SetAttr("entry", entry)
-		req.TC = sp.Context()
-		defer func() { sp.Finish(nil) }()
-	}
-	resp, err := c.tr.Call(ctx, n.Addr(), req)
-	if err != nil {
-		// Overload-class failures degrade to the answer cache: a
-		// remembered answer, marked stale, beats failing the caller while
-		// the hierarchy sheds load.
-		if qr, ok := c.cachedAnswer(target, err); ok {
-			return qr, nil
-		}
-		return wire.QueryResult{}, err
-	}
-	if resp.Type != wire.TypeQueryResult {
-		return wire.QueryResult{}, fmt.Errorf("cluster: unexpected reply %s", resp.Type)
-	}
-	var qr wire.QueryResult
-	if err := resp.Decode(&qr); err != nil {
-		return wire.QueryResult{}, err
-	}
-	if qr.Found {
-		c.rememberAnswer(target, qr)
-	}
-	return qr, nil
 }
 
 // rememberAnswer stores a found result in the client answer cache,

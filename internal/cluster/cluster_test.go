@@ -54,7 +54,7 @@ func TestHealthyQueries(t *testing.T) {
 	c := newCluster(t, Config{Fanouts: []int{5, 4}, K: 2, Q: 3, Seed: 2})
 	ctx := context.Background()
 	for _, target := range []string{"n1-3", "n2-2.n1-0", "n2-0.n1-4"} {
-		res, err := c.Query(ctx, ".", target)
+		res, err := c.Query(ctx, target)
 		if err != nil {
 			t.Fatalf("query %s: %v", target, err)
 		}
@@ -66,7 +66,7 @@ func TestHealthyQueries(t *testing.T) {
 		}
 	}
 	// Query to the root itself.
-	res, err := c.Query(ctx, ".", ".")
+	res, err := c.Query(ctx, ".")
 	if err != nil || !res.Found {
 		t.Errorf("root query: %v %+v", err, res)
 	}
@@ -75,10 +75,10 @@ func TestHealthyQueries(t *testing.T) {
 func TestQueryValidation(t *testing.T) {
 	c := newCluster(t, Config{Fanouts: []int{2}, Seed: 3})
 	ctx := context.Background()
-	if _, err := c.Query(ctx, "nope", "n1-0"); err == nil {
+	if _, err := c.Query(ctx, "n1-0", WithEntry("nope")); err == nil {
 		t.Error("unknown entry: want error")
 	}
-	res, err := c.Query(ctx, ".", "ghost.n1-0")
+	res, err := c.Query(ctx, "ghost.n1-0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestDoSDetourInLiveCluster(t *testing.T) {
 	ctx := context.Background()
 	const target = "n2-1.n1-2"
 
-	before, err := c.Query(ctx, ".", target)
+	before, err := c.Query(ctx, target)
 	if err != nil || !before.Found {
 		t.Fatalf("pre-attack query: %v %+v", err, before)
 	}
@@ -102,7 +102,7 @@ func TestDoSDetourInLiveCluster(t *testing.T) {
 	if err := c.Suppress("n1-2", true); err != nil {
 		t.Fatal(err)
 	}
-	after, err := c.Query(ctx, ".", target)
+	after, err := c.Query(ctx, target)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestDoSDetourInLiveCluster(t *testing.T) {
 	if err := c.Suppress("n1-2", false); err != nil {
 		t.Fatal(err)
 	}
-	healed, err := c.Query(ctx, ".", target)
+	healed, err := c.Query(ctx, target)
 	if err != nil || !healed.Found {
 		t.Fatalf("post-attack query: %v %+v", err, healed)
 	}
@@ -161,7 +161,7 @@ func TestNeighborAttackWithLiveRecovery(t *testing.T) {
 
 	target := victims[0] // query a child of the suppressed OD node
 	child := "n2-0." + target
-	res, err := c.Query(ctx, ".", child)
+	res, err := c.Query(ctx, child)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestRootDeadBootstrapFromSibling(t *testing.T) {
 	}
 	// Entry at a level-1 node that is NOT on the target's path: the
 	// query crosses the level-1 overlay.
-	res, err := c.Query(ctx, "n1-0", "n2-1.n1-5")
+	res, err := c.Query(ctx, "n2-1.n1-5", WithEntry("n1-0"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestStopIdempotent(t *testing.T) {
 func TestStatsAll(t *testing.T) {
 	c := newCluster(t, Config{Fanouts: []int{4}, K: 2, Q: 2, Seed: 9})
 	ctx := context.Background()
-	if _, err := c.Query(ctx, ".", "n1-2"); err != nil {
+	if _, err := c.Query(ctx, "n1-2"); err != nil {
 		t.Fatal(err)
 	}
 	stats := c.StatsAll()

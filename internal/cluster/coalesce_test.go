@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/overload"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestQueryCoalescing pins the singleflight contract: N concurrent
+// identical traced lookups share ONE upstream RPC (the target node
+// answers once), yet each caller is charged its own admission tokens at
+// the entry node and gets its own trace span — coalescing shares work,
+// never admission budget or observability.
+func TestQueryCoalescing(t *testing.T) {
+	const callers = 8
+	ctx := context.Background()
+	plan := transport.NewFaultPlan(11)
+	tracer := trace.New(trace.Config{SampleRate: 1, Seed: 11})
+	c, err := New(ctx, Config{
+		Fanouts: []int{8, 2}, K: 2, Q: 3, Seed: 6,
+		Faults: plan,
+		Tracer: tracer,
+		Overload: &overload.Config{
+			Admission: overload.AdmissionConfig{Rate: 1000, Burst: 100},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	const entry, target = "n1-0", "n2-1.n1-5"
+	entryNode, _ := c.Node(entry)
+	targetNode, _ := c.Node(target)
+	admitted := entryNode.Metrics().Counter("hours_overload_admitted_total",
+		obs.L("class", overload.ClassOf(wire.TypeQuery).String()))
+	admittedBefore := admitted.Value()
+	answeredBefore := targetNode.Stats().QueriesAnswered
+	spansBefore := countClientQuerySpans(tracer)
+
+	// Slow every inter-node hop down so the flight stays open long enough
+	// for the followers to join it deterministically. The plan is set
+	// after the build so joins and table construction stay fast; the
+	// client's own entry RPC bypasses the fault layer (it calls the Mem
+	// base directly), but each forwarding hop of the leader's query pays
+	// the injected latency.
+	plan.SetDefault(transport.Rule{LatencyMin: 50 * time.Millisecond, LatencyMax: 50 * time.Millisecond})
+
+	results := make([]wire.QueryResult, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	run := func(i int) {
+		defer wg.Done()
+		results[i], errs[i] = c.Query(ctx, target,
+			WithEntry(entry), As(fmt.Sprintf("caller-%d", i)), WithHopTrace())
+	}
+	wg.Add(1)
+	go run(0) // flight leader
+	time.Sleep(20 * time.Millisecond)
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go run(i)
+	}
+	wg.Wait()
+
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !results[i].Found {
+			t.Fatalf("caller %d: not found: %s", i, results[i].Reason)
+		}
+		if results[i].Answer != results[0].Answer {
+			t.Fatalf("caller %d answer %q differs from leader's %q", i, results[i].Answer, results[0].Answer)
+		}
+	}
+
+	// One RPC: the target node answered exactly once.
+	if got := targetNode.Stats().QueriesAnswered - answeredBefore; got != 1 {
+		t.Errorf("target answered %d queries, want 1 (coalesced)", got)
+	}
+	// N admissions at the entry: the leader server-side (its request
+	// carries its From identity), every follower via ChargeAdmission.
+	if got := admitted.Value() - admittedBefore; got != callers {
+		t.Errorf("entry admitted %d query-class requests, want %d", got, callers)
+	}
+	// N spans: every caller keeps its own observability.
+	if got := countClientQuerySpans(tracer) - spansBefore; got != callers {
+		t.Errorf("tracer recorded %d client query spans, want %d", got, callers)
+	}
+
+	// And a WithoutCoalescing caller issues its own RPC even while no
+	// flight is open: the target answers again.
+	if _, err := c.Query(ctx, target, WithEntry(entry), As("solo"), WithoutCoalescing()); err != nil {
+		t.Fatal(err)
+	}
+	if got := targetNode.Stats().QueriesAnswered - answeredBefore; got != 2 {
+		t.Errorf("target answered %d queries after solo re-query, want 2", got)
+	}
+}
+
+// countClientQuerySpans counts the per-caller root spans in the store.
+func countClientQuerySpans(tracer *trace.Tracer) int {
+	n := 0
+	for _, r := range tracer.Store().Snapshot() {
+		if r.Name == "query" && r.Node == "client" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestQueryCoalescingChargesFollowers proves a follower joining a flight
+// cannot ride for free: when its own admission bucket is empty it is
+// shed with the typed overload error even though the leader's flight is
+// still running.
+func TestQueryCoalescingChargesFollowers(t *testing.T) {
+	ctx := context.Background()
+	plan := transport.NewFaultPlan(12)
+	c, err := New(ctx, Config{
+		Fanouts: []int{8, 2}, K: 2, Q: 3, Seed: 6,
+		Faults: plan,
+		Overload: &overload.Config{
+			// Burst 1: each client identity has exactly one token to spend.
+			Admission: overload.AdmissionConfig{Rate: 0.0001, Burst: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	const entry, target = "n1-0", "n2-1.n1-5"
+	plan.SetDefault(transport.Rule{LatencyMin: 50 * time.Millisecond, LatencyMax: 50 * time.Millisecond})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var leaderErr error
+	go func() {
+		defer wg.Done()
+		_, leaderErr = c.Query(ctx, target, WithEntry(entry), As("leader"))
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	// First follower call under a fresh identity: one token, admitted.
+	// (It joins the still-running flight and shares its answer.)
+	if _, err := c.Query(ctx, target, WithEntry(entry), As("greedy")); err != nil {
+		t.Fatalf("first follower query: %v", err)
+	}
+	wg.Wait()
+	if leaderErr != nil {
+		t.Fatalf("leader: %v", leaderErr)
+	}
+
+	// Same identity again, bucket now empty: shed, even though query
+	// coalescing would have answered from a shared flight for free.
+	var wg2 sync.WaitGroup
+	wg2.Add(1)
+	go func() {
+		defer wg2.Done()
+		_, _ = c.Query(ctx, target, WithEntry(entry), As("leader2"))
+	}()
+	time.Sleep(20 * time.Millisecond)
+	_, err = c.Query(ctx, target, WithEntry(entry), As("greedy"))
+	wg2.Wait()
+	if err == nil {
+		t.Fatal("drained follower was admitted")
+	}
+	var oe *transport.OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("drained follower got %v, want OverloadedError", err)
+	}
+}

@@ -58,7 +58,7 @@ func TestMetricsEndpointMonotonic(t *testing.T) {
 
 	queries := 0
 	for _, entry := range []string{".", "n1-0", "n1-3"} {
-		qr, err := c.Query(ctx, entry, "n2-1.n1-5")
+		qr, err := c.Query(ctx, "n2-1.n1-5", WithEntry(entry))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -119,7 +119,7 @@ func TestQueryTraced(t *testing.T) {
 		}
 	}
 	// Untraced queries stay clean.
-	plain, err := c.Query(ctx, "n1-0", "n2-1.n1-5")
+	plain, err := c.Query(ctx, "n2-1.n1-5", WithEntry("n1-0"))
 	if err != nil {
 		t.Fatal(err)
 	}

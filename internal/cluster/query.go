@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/obs/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// flightTimeout bounds a coalesced flight's detached RPC when the
+// initiating caller set no WithTimeout: the leader's context is
+// decoupled from its own cancellation (so a canceled leader does not
+// poison the followers sharing the flight), and this keeps such a
+// flight from outliving every caller indefinitely.
+const flightTimeout = 10 * time.Second
+
+// queryOptions is the resolved per-call configuration of Query.
+type queryOptions struct {
+	entry      string
+	client     string
+	withHops   bool
+	timeout    time.Duration
+	noCoalesce bool
+}
+
+// QueryOption configures one Cluster.Query call.
+type QueryOption func(*queryOptions)
+
+// WithEntry starts the query at the named entry node instead of the
+// root.
+func WithEntry(name string) QueryOption {
+	return func(q *queryOptions) { q.entry = name }
+}
+
+// As sets the client identity the entry node's per-client admission
+// control charges (default "client"). Overload soaks use distinct
+// identities so one aggressor exhausts only its own budget.
+func As(client string) QueryOption {
+	return func(q *queryOptions) { q.client = client }
+}
+
+// WithHopTrace records every node the query visits in the result's
+// HopTrace (forwarding mode and per-node latency). With a cluster
+// Tracer configured, the query additionally carries a force-sampled
+// distributed-trace context, so the full cross-node span tree lands in
+// the tracer's store (fetch it by the root span's trace ID).
+func WithHopTrace() QueryOption {
+	return func(q *queryOptions) { q.withHops = true }
+}
+
+// WithTimeout bounds the whole query, including any coalesced flight it
+// starts or joins.
+func WithTimeout(d time.Duration) QueryOption {
+	return func(q *queryOptions) { q.timeout = d }
+}
+
+// WithoutCoalescing opts this call out of singleflight coalescing: it
+// always issues its own RPC, never sharing or starting a flight.
+func WithoutCoalescing() QueryOption {
+	return func(q *queryOptions) { q.noCoalesce = true }
+}
+
+// Query issues a lookup for target, starting at the root unless
+// WithEntry picks another entry node, and returns the result. Canceling
+// ctx abandons the wait (a coalesced flight keeps running for the other
+// callers sharing it).
+//
+// Identical concurrent queries — same entry, target, and hop-trace flag
+// — are coalesced into one upstream RPC unless disabled (see
+// Config.NoCoalescing, WithoutCoalescing). Every caller of a shared
+// flight is charged its own admission tokens and gets its own trace
+// span; only the upstream work is shared.
+func (c *Cluster) Query(ctx context.Context, target string, opts ...QueryOption) (wire.QueryResult, error) {
+	q := queryOptions{entry: c.root.Name(), client: "client"}
+	for _, o := range opts {
+		o(&q)
+	}
+	n, ok := c.nodes[q.entry]
+	if !ok {
+		return wire.QueryResult{}, fmt.Errorf("cluster: no entry node %q", q.entry)
+	}
+	if q.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, q.timeout)
+		defer cancel()
+	}
+	target = strings.TrimSuffix(target, ".")
+
+	if !c.coalesce || q.noCoalesce {
+		sp, tc := c.startQuerySpan(q, target, false)
+		qr, err := c.doQuery(ctx, n, q, target, tc)
+		if sp != nil {
+			sp.Finish(err)
+		}
+		return c.degrade(target, qr, err)
+	}
+
+	key := q.entry + "\x00" + target
+	if q.withHops {
+		key += "\x00hops"
+	}
+	c.flightMu.Lock()
+	if f := c.flights[key]; f != nil {
+		c.flightMu.Unlock()
+		return c.joinFlight(ctx, f, n, q, target)
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.flightMu.Unlock()
+
+	// Flight leader: its own admission charge happens server-side (the
+	// request carries its client identity in From). The RPC runs on a
+	// context detached from this caller's cancellation so a canceled
+	// leader cannot poison the followers awaiting the flight.
+	sp, tc := c.startQuerySpan(q, target, false)
+	lt := q.timeout
+	if lt <= 0 {
+		lt = flightTimeout
+	}
+	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), lt)
+	go func() {
+		defer cancel()
+		qr, err := c.doQuery(dctx, n, q, target, tc)
+		f.qr, f.err = qr, err
+		c.flightMu.Lock()
+		delete(c.flights, key)
+		c.flightMu.Unlock()
+		close(f.done)
+	}()
+	select {
+	case <-f.done:
+		if sp != nil {
+			sp.Finish(f.err)
+		}
+		return c.degrade(target, f.qr, f.err)
+	case <-ctx.Done():
+		if sp != nil {
+			sp.Finish(ctx.Err())
+		}
+		return wire.QueryResult{}, ctx.Err()
+	}
+}
+
+// joinFlight attaches one caller to an in-flight identical query: it
+// charges the caller's own admission budget at the entry node, opens the
+// caller's own trace span (marked coalesced), and waits for the leader's
+// outcome.
+func (c *Cluster) joinFlight(ctx context.Context, f *flight, n *node.Node, q queryOptions, target string) (wire.QueryResult, error) {
+	if ok, after := n.ChargeAdmission(q.client, wire.TypeQuery); !ok {
+		err := fmt.Errorf("cluster: %s: %w", q.entry, &transport.OverloadedError{RetryAfter: after})
+		if qr, ok := c.cachedAnswer(target, err); ok {
+			return qr, nil
+		}
+		return wire.QueryResult{}, err
+	}
+	sp, _ := c.startQuerySpan(q, target, true)
+	select {
+	case <-f.done:
+		if sp != nil {
+			sp.Finish(f.err)
+		}
+		return c.degrade(target, f.qr, f.err)
+	case <-ctx.Done():
+		if sp != nil {
+			sp.Finish(ctx.Err())
+		}
+		return wire.QueryResult{}, ctx.Err()
+	}
+}
+
+// startQuerySpan opens the per-caller root span for a hop-traced query
+// (the cluster client bypasses the node stacks — it calls the Mem base
+// directly — so root spans happen here rather than in a Traced layer).
+// It returns nil without a tracer or hop tracing.
+func (c *Cluster) startQuerySpan(q queryOptions, target string, coalesced bool) (*trace.ActiveSpan, wire.TraceContext) {
+	if !q.withHops || c.tracer == nil {
+		return nil, wire.TraceContext{}
+	}
+	sp := c.tracer.StartRoot("query", "client")
+	sp.SetAttr("target", target)
+	sp.SetAttr("entry", q.entry)
+	if coalesced {
+		sp.SetAttr("coalesced", "true")
+	}
+	return sp, sp.Context()
+}
+
+// doQuery performs the actual lookup RPC against the entry node and
+// decodes the result. Cache degradation is left to the caller (degrade),
+// so every coalesced caller maps the shared error individually.
+func (c *Cluster) doQuery(ctx context.Context, n *node.Node, q queryOptions, target string, tc wire.TraceContext) (wire.QueryResult, error) {
+	req, err := wire.New(wire.TypeQuery, wire.Query{
+		Target: target,
+		Mode:   wire.ModeHierarchical,
+		TTL:    4 * len(c.nodes),
+		Trace:  q.withHops,
+	})
+	if err != nil {
+		return wire.QueryResult{}, err
+	}
+	req.From = q.client
+	req.TC = tc
+	resp, err := c.tr.Call(ctx, n.Addr(), req)
+	if err != nil {
+		return wire.QueryResult{}, err
+	}
+	if resp.Type != wire.TypeQueryResult {
+		return wire.QueryResult{}, fmt.Errorf("cluster: unexpected reply %s", resp.Type)
+	}
+	var qr wire.QueryResult
+	if err := resp.Decode(&qr); err != nil {
+		return wire.QueryResult{}, err
+	}
+	if qr.Found {
+		c.rememberAnswer(target, qr)
+	}
+	return qr, nil
+}
+
+// degrade maps a query outcome through the answer cache: overload-class
+// failures are served a remembered (stale, marked Cached) answer when
+// one exists — a stale answer beats failing the caller while the
+// hierarchy sheds load.
+func (c *Cluster) degrade(target string, qr wire.QueryResult, err error) (wire.QueryResult, error) {
+	if err == nil {
+		return qr, nil
+	}
+	if cached, ok := c.cachedAnswer(target, err); ok {
+		return cached, nil
+	}
+	return wire.QueryResult{}, err
+}
+
+// Lookup fans the query for target out from several entry nodes
+// concurrently and returns the first delivered result, canceling the
+// remaining in-flight fan-out. With no entries it starts at the root.
+// If no entry delivers, the first failure (a completed-but-empty result
+// or an error) is returned.
+func (c *Cluster) Lookup(ctx context.Context, target string, entries ...string) (wire.QueryResult, error) {
+	if len(entries) == 0 {
+		entries = []string{c.root.Name()}
+	}
+	for _, e := range entries {
+		if _, ok := c.nodes[e]; !ok {
+			return wire.QueryResult{}, fmt.Errorf("cluster: no entry node %q", e)
+		}
+	}
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		qr  wire.QueryResult
+		err error
+	}
+	results := make(chan outcome, len(entries))
+	for _, e := range entries {
+		go func(entry string) {
+			qr, err := c.Query(fctx, target, WithEntry(entry))
+			results <- outcome{qr, err}
+		}(e)
+	}
+	var firstLoss *outcome
+	for range entries {
+		select {
+		case out := <-results:
+			if out.err == nil && out.qr.Found {
+				return out.qr, nil // cancel (deferred) aborts the rest
+			}
+			if firstLoss == nil {
+				firstLoss = &out
+			}
+		case <-ctx.Done():
+			return wire.QueryResult{}, ctx.Err()
+		}
+	}
+	return firstLoss.qr, firstLoss.err
+}
+
+// QueryAs issues a lookup from the named entry node under an explicit
+// client identity.
+//
+// Deprecated: use Query with As and WithEntry.
+func (c *Cluster) QueryAs(ctx context.Context, client, entry, target string) (wire.QueryResult, error) {
+	return c.Query(ctx, target, As(client), WithEntry(entry))
+}
+
+// QueryDefault is a context-free lookup from the named entry node.
+//
+// Deprecated: use Query with WithEntry.
+func (c *Cluster) QueryDefault(entry, target string) (wire.QueryResult, error) {
+	return c.Query(context.Background(), target, WithEntry(entry))
+}
+
+// QueryTraced issues a hop-traced lookup from the named entry node.
+//
+// Deprecated: use Query with WithHopTrace and WithEntry.
+func (c *Cluster) QueryTraced(ctx context.Context, entry, target string) (wire.QueryResult, error) {
+	return c.Query(ctx, target, WithEntry(entry), WithHopTrace())
+}
+
+// LookupDefault is Lookup with a background context.
+//
+// Deprecated: use Lookup.
+func (c *Cluster) LookupDefault(target string, entries ...string) (wire.QueryResult, error) {
+	return c.Lookup(context.Background(), target, entries...)
+}

@@ -55,6 +55,21 @@ func (n *Node) handle(ctx context.Context, req wire.Message) (wire.Message, erro
 	return n.dispatch(ctx, req)
 }
 
+// ChargeAdmission charges client's admission budget (token bucket only)
+// for one request of type t without dispatching any work. The cluster's
+// query coalescer calls it for every caller that joins an in-flight
+// identical query: the node answers once, but each coalesced caller
+// spends its own tokens, so shared flights cannot launder admission. No
+// concurrency slot is taken — there is no extra work to bound. A node
+// without a guard admits everything.
+func (n *Node) ChargeAdmission(client string, t wire.Type) (bool, time.Duration) {
+	if n.guard == nil {
+		return true, 0
+	}
+	v := n.guard.Charge(client, t)
+	return v.OK, v.RetryAfter
+}
+
 // dispatch routes an admitted request to its handler.
 func (n *Node) dispatch(ctx context.Context, req wire.Message) (wire.Message, error) {
 	switch req.Type {

@@ -147,7 +147,16 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 // Histogram returns the latency histogram for (name, labels) with the
 // default buckets, registering it on first use.
 func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
-	s := r.lookup(name, labels, func(s *series) { s.hist = NewHistogram(nil) })
+	return r.HistogramWith(name, nil, labels...)
+}
+
+// HistogramWith returns the histogram for (name, labels), registering it
+// on first use with the given ascending bucket upper bounds (nil means
+// DefaultBuckets). Bounds of an already-registered series are not
+// changed: the first registration wins, and later merges with different
+// bounds fail loudly in MergeSnapshot.
+func (r *Registry) HistogramWith(name string, bounds []float64, labels ...Label) *Histogram {
+	s := r.lookup(name, labels, func(s *series) { s.hist = NewHistogram(bounds) })
 	if s.hist == nil {
 		panic(fmt.Sprintf("obs: series %s registered as a different kind", s.id))
 	}
@@ -224,7 +233,10 @@ func (r *Registry) Merge(s Snapshot) error {
 		if err != nil {
 			return err
 		}
-		if err := r.Histogram(name, labels...).MergeSnapshot(hs); err != nil {
+		// Adopt the snapshot's bounds when the series is new here, so
+		// custom-bucket histograms aggregate across nodes; an existing
+		// series with different bounds still fails the merge below.
+		if err := r.HistogramWith(name, hs.Bounds, labels...).MergeSnapshot(hs); err != nil {
 			return fmt.Errorf("obs: merge %s: %w", id, err)
 		}
 	}

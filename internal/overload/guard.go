@@ -127,3 +127,22 @@ func (g *Guard) Admit(client string, t wire.Type) (Ticket, Verdict) {
 	g.m.inflight.Set(g.aimd.Inflight())
 	return Ticket{g: g, conc: true}, Verdict{OK: true, Priority: pr}
 }
+
+// Charge runs the per-client token-bucket admission only, without taking
+// a concurrency ticket: the accounting half of Admit for requests whose
+// work is shared with another in-flight request (query coalescing).
+// Every caller joining a coalesced flight is charged its own tokens —
+// sharing a flight must not launder admission budget — but takes no
+// concurrency slot because the node does the work once.
+func (g *Guard) Charge(client string, t wire.Type) Verdict {
+	class := ClassOf(t)
+	pr := PriorityOf(t)
+	if ok, after := g.lim.Admit(client, class); !ok {
+		g.m.shedRate.Inc()
+		g.m.buckets.Set(g.lim.Clients())
+		return Verdict{Reason: "rate", Priority: pr, RetryAfter: after}
+	}
+	g.m.admitted[class].Inc()
+	g.m.buckets.Set(g.lim.Clients())
+	return Verdict{OK: true, Priority: pr}
+}

@@ -26,20 +26,33 @@ type muxResult struct {
 	err error
 }
 
+// batchSettings parameterizes a connection's write coalescer; nil
+// disables batching (one write+flush per frame, the pre-batching
+// behavior).
+type batchSettings struct {
+	linger   time.Duration // adaptive linger ceiling (0: natural batching only)
+	maxBytes int           // flush threshold
+	onFlush  func(frames, bytes int, linger time.Duration)
+}
+
 // muxConn is one multiplexed client connection: concurrent calls write
 // request frames tagged with fresh IDs, a single reader goroutine
 // dispatches response frames to the per-request channels. A muxConn
 // starts in the dialing state (ready open); callers may be assigned to it
-// before the dial finishes and block on ready.
+// before the dial finishes and block on ready. With batching enabled,
+// request frames are enqueued on a per-connection write coalescer that
+// packs concurrent requests into single flushes (see wire.Coalescer).
 type muxConn struct {
-	addr string
-	io   time.Duration
+	addr  string
+	io    time.Duration
+	batch *batchSettings
 
 	ready   chan struct{} // closed once dial+hello completed (or failed)
 	dialErr error         // set before ready closes
 
 	conn net.Conn
-	wmu  sync.Mutex // serializes frame writes
+	wmu  sync.Mutex      // serializes frame writes (unbatched mode)
+	co   *wire.Coalescer // batched write path (nil when batching is off)
 
 	mu       sync.Mutex
 	pending  map[uint64]chan muxResult
@@ -83,15 +96,25 @@ func (c *muxConn) died() {
 }
 
 // newMuxConn returns a conn in the dialing state.
-func newMuxConn(addr string, ioTimeout time.Duration, onRetire func(*muxConn)) *muxConn {
+func newMuxConn(addr string, ioTimeout time.Duration, batch *batchSettings, onRetire func(*muxConn)) *muxConn {
 	return &muxConn{
 		addr:     addr,
 		io:       ioTimeout,
+		batch:    batch,
 		ready:    make(chan struct{}),
 		pending:  make(map[uint64]chan muxResult),
 		idleAt:   time.Now(),
 		onRetire: onRetire,
 	}
+}
+
+// inflightCount samples the number of exchanges awaiting responses; it
+// drives the coalescer's adaptive linger.
+func (c *muxConn) inflightCount() int {
+	c.mu.Lock()
+	n := len(c.pending)
+	c.mu.Unlock()
+	return n
 }
 
 // dial establishes the connection and negotiates the mux protocol. On a
@@ -135,21 +158,56 @@ func (c *muxConn) dial(ctx context.Context, dialTimeout time.Duration) {
 		c.markDead(c.dialErr)
 		return
 	}
+	var co *wire.Coalescer
+	if c.batch != nil {
+		co = wire.NewCoalescer(wire.CoalescerConfig{
+			Write: func(b []byte) error {
+				if err := conn.SetWriteDeadline(time.Now().Add(c.io)); err != nil {
+					return err
+				}
+				_, err := conn.Write(b)
+				return err
+			},
+			MaxBytes:  c.batch.maxBytes,
+			MaxLinger: c.batch.linger,
+			Inflight:  c.inflightCount,
+			OnFlush:   c.batch.onFlush,
+			OnError: func(err error) {
+				// Runs on the flusher goroutine: fail calls Shutdown (not
+				// Close), so this cannot deadlock.
+				c.fail(fmt.Errorf("%w: %v", ErrUnreachable, err))
+			},
+		})
+	}
 	c.mu.Lock()
 	c.conn = conn
+	c.co = co
 	dead := c.dead
 	c.mu.Unlock()
 	if dead { // lost a race with fail (e.g. pool closed mid-dial)
+		if co != nil {
+			co.Shutdown() // never ran; just marks it closed
+		}
 		conn.Close()
 		return
+	}
+	if co != nil {
+		c.run(co.Run)
 	}
 	c.run(c.readLoop)
 }
 
 // readLoop demultiplexes response frames until the connection breaks.
+// The scratch buffer is reused across frames: decoded payloads are
+// copied out by the JSON layer, so the next read may clobber it.
 func (c *muxConn) readLoop() {
+	var scratch []byte
 	for {
-		kind, id, msg, err := wire.ReadMuxFrame(c.conn)
+		var kind wire.FrameKind
+		var id uint64
+		var msg wire.Message
+		var err error
+		kind, id, msg, scratch, err = wire.ReadMuxFrameBuffer(c.conn, scratch)
 		if err != nil {
 			c.fail(fmt.Errorf("%w: %v", ErrUnreachable, err))
 			return
@@ -210,7 +268,13 @@ func (c *muxConn) fail(err error) {
 	pending := c.pending
 	c.pending = make(map[uint64]chan muxResult)
 	conn := c.conn
+	co := c.co
 	c.mu.Unlock()
+	if co != nil {
+		// Async shutdown: fail may be running on the flusher goroutine
+		// itself (flush failure), which Close would deadlock awaiting.
+		co.Shutdown()
+	}
 	if conn != nil {
 		conn.Close()
 	}
@@ -273,14 +337,23 @@ func (c *muxConn) call(ctx context.Context, req wire.Message) (wire.Message, err
 	ch := make(chan muxResult, 1)
 	c.pending[id] = ch
 	conn := c.conn
+	co := c.co
 	c.mu.Unlock()
 
-	c.wmu.Lock()
-	err := conn.SetWriteDeadline(time.Now().Add(c.io))
-	if err == nil {
-		err = wire.WriteMuxFrame(conn, wire.FrameRequest, id, req)
+	var err error
+	if co != nil {
+		// Batched path: enqueue on the coalescer. An error here means the
+		// frame was never buffered (a failed flush can only involve frames
+		// enqueued before it), so redialing stays safe.
+		err = co.WriteMuxFrame(wire.FrameRequest, id, req)
+	} else {
+		c.wmu.Lock()
+		err = conn.SetWriteDeadline(time.Now().Add(c.io))
+		if err == nil {
+			err = wire.WriteMuxFrame(conn, wire.FrameRequest, id, req)
+		}
+		c.wmu.Unlock()
 	}
-	c.wmu.Unlock()
 	if err != nil {
 		c.forget(id)
 		c.fail(fmt.Errorf("%w: %v", ErrUnreachable, err))

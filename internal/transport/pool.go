@@ -34,7 +34,25 @@ type PoolConfig struct {
 	DialTimeout time.Duration
 	// IOTimeout bounds each request/response exchange; zero means 5s.
 	IOTimeout time.Duration
+	// BatchLinger bounds the adaptive write-coalescing linger per
+	// connection (see wire.Coalescer): zero means DefaultBatchLinger, a
+	// negative value disables lingering while keeping natural batching.
+	BatchLinger time.Duration
+	// BatchMaxBytes flushes a batch once it reaches this size; zero means
+	// 64 KiB.
+	BatchMaxBytes int
+	// NoBatching disables the write coalescer entirely: every frame is
+	// its own write syscall (the pre-batching behavior).
+	NoBatching bool
 }
+
+// DefaultBatchLinger is the default ceiling of the adaptive per-flush
+// linger on batched connections. 50µs measured best on the loopback
+// echo benchmark (BenchmarkTCPCall pooled/c64): enough to collect a
+// pipelined burst into one flush, short enough to stay off the
+// round-trip critical path — 250µs there costs more latency than the
+// saved syscalls repay.
+const DefaultBatchLinger = 50 * time.Microsecond
 
 // withDefaults fills zero fields.
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -53,6 +71,14 @@ func (c PoolConfig) withDefaults() PoolConfig {
 	if c.IOTimeout <= 0 {
 		c.IOTimeout = 5 * time.Second
 	}
+	if c.BatchLinger == 0 {
+		c.BatchLinger = DefaultBatchLinger
+	} else if c.BatchLinger < 0 {
+		c.BatchLinger = 0
+	}
+	if c.BatchMaxBytes <= 0 {
+		c.BatchMaxBytes = 64 << 10
+	}
 	return c
 }
 
@@ -65,6 +91,54 @@ type poolMetrics struct {
 	retired   *obs.Counter
 	redials   *obs.Counter
 	connsOpen *obs.Gauge
+
+	client batchMetrics // flushes of request frames (this side dials)
+	server batchMetrics // flushes of response frames (this side listens)
+}
+
+// batchMetrics observes one side's write coalescing: how many flushes
+// happened, how many frames and bytes they carried, how many write
+// syscalls batching saved, and the distribution of batch sizes and
+// lingers.
+type batchMetrics struct {
+	flushes     *obs.Counter
+	frames      *obs.Counter
+	bytes       *obs.Counter
+	writesSaved *obs.Counter
+	perFlush    *obs.Histogram // frames per flush (unitless, bounds 1..64)
+	linger      *obs.Histogram // linger applied before each flush
+}
+
+// framesPerFlushBuckets are the bucket bounds for the frames-per-flush
+// histogram: batch sizes, not latencies.
+var framesPerFlushBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// newBatchMetrics registers one side's hours_batch_* series.
+func newBatchMetrics(reg *obs.Registry, side string) batchMetrics {
+	l := obs.L("side", side)
+	return batchMetrics{
+		flushes:     reg.Counter("hours_batch_flushes_total", l),
+		frames:      reg.Counter("hours_batch_frames_total", l),
+		bytes:       reg.Counter("hours_batch_bytes_total", l),
+		writesSaved: reg.Counter("hours_batch_writes_saved_total", l),
+		perFlush:    reg.HistogramWith("hours_batch_frames_per_flush", framesPerFlushBuckets, l),
+		linger:      reg.Histogram("hours_batch_linger_seconds", l),
+	}
+}
+
+// record observes one completed flush.
+func (b *batchMetrics) record(frames, bytes int, linger time.Duration) {
+	if b.flushes == nil {
+		return
+	}
+	b.flushes.Inc()
+	b.frames.Add(int64(frames))
+	b.bytes.Add(int64(bytes))
+	b.writesSaved.Add(int64(frames - 1))
+	// The per-flush histogram reuses the duration-based Observe: one
+	// "second" per frame in the batch.
+	b.perFlush.Observe(time.Duration(frames) * time.Second)
+	b.linger.Observe(linger)
 }
 
 // peerPool is the bounded connection set for one destination address.
@@ -174,6 +248,36 @@ func (p *PooledTCP) SetMetrics(reg *obs.Registry) {
 		retired:   reg.Counter("hours_pool_conns_retired_total"),
 		redials:   reg.Counter("hours_pool_redials_total"),
 		connsOpen: reg.Gauge("hours_pool_conns_open"),
+		client:    newBatchMetrics(reg, "client"),
+		server:    newBatchMetrics(reg, "server"),
+	}
+}
+
+// recordClientFlush observes a request-side coalesced flush; it reads
+// p.m at call time so SetMetrics may run after connections exist.
+func (p *PooledTCP) recordClientFlush(frames, bytes int, linger time.Duration) {
+	if m := p.m; m != nil {
+		m.client.record(frames, bytes, linger)
+	}
+}
+
+// recordServerFlush observes a response-side coalesced flush.
+func (p *PooledTCP) recordServerFlush(frames, bytes int, linger time.Duration) {
+	if m := p.m; m != nil {
+		m.server.record(frames, bytes, linger)
+	}
+}
+
+// batchSettingsFor returns the per-connection coalescer parameters for
+// one side, or nil when batching is disabled.
+func (p *PooledTCP) batchSettingsFor(onFlush func(int, int, time.Duration)) *batchSettings {
+	if p.cfg.NoBatching {
+		return nil
+	}
+	return &batchSettings{
+		linger:   p.cfg.BatchLinger,
+		maxBytes: p.cfg.BatchMaxBytes,
+		onFlush:  onFlush,
 	}
 }
 
@@ -262,7 +366,7 @@ func (p *PooledTCP) acquire(ctx context.Context, addr string) (*muxConn, func(),
 		// Every listed conn is full, dead, or draining; the semaphore
 		// guarantees a slot is free (dead/draining conns are detached by
 		// onRetire, so the list holds only usable-or-full conns).
-		pick = newMuxConn(addr, p.cfg.IOTimeout, func(c *muxConn) {
+		pick = newMuxConn(addr, p.cfg.IOTimeout, p.batchSettingsFor(p.recordClientFlush), func(c *muxConn) {
 			pp.detach(c)
 			if p.m != nil {
 				p.m.retired.Inc()
@@ -476,6 +580,7 @@ func (p *PooledTCP) Listen(addr string, h Handler) (io.Closer, error) {
 		io:          p.cfg.IOTimeout,
 		idle:        2 * p.cfg.IdleTimeout,
 		maxInflight: p.cfg.MaxInflightPerConn,
+		batch:       p.batchSettingsFor(p.recordServerFlush),
 		stop:        make(chan struct{}),
 		conns:       make(map[net.Conn]struct{}),
 	}
@@ -516,6 +621,7 @@ type muxListener struct {
 	io          time.Duration
 	idle        time.Duration
 	maxInflight int
+	batch       *batchSettings // response coalescing (nil: one write per frame)
 
 	wg      sync.WaitGroup
 	once    sync.Once
@@ -676,13 +782,54 @@ func (l *muxListener) serveMux(conn net.Conn) {
 	wmu := l.track(conn)
 	defer l.untrack(conn)
 	sem := make(chan struct{}, l.maxInflight)
+
+	// Response coalescing: handler goroutines enqueue response frames and
+	// a per-connection flusher batches them onto the socket, so a node
+	// answering a pipelined burst pays one write syscall for many
+	// responses. The semaphore occupancy doubles as the in-flight signal
+	// for the adaptive linger.
+	var co *wire.Coalescer
+	if l.batch != nil {
+		co = wire.NewCoalescer(wire.CoalescerConfig{
+			Write: func(b []byte) error {
+				wmu.Lock()
+				defer wmu.Unlock()
+				if err := conn.SetWriteDeadline(time.Now().Add(l.io)); err != nil {
+					return err
+				}
+				_, err := conn.Write(b)
+				return err
+			},
+			MaxBytes:  l.batch.maxBytes,
+			MaxLinger: l.batch.linger,
+			Inflight:  func() int { return len(sem) },
+			OnFlush:   l.batch.onFlush,
+			// A failed flush kills the socket, which breaks the read loop;
+			// Shutdown semantics are implicit (the flusher exits itself).
+			OnError: func(error) { conn.Close() },
+		})
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			co.Run()
+		}()
+		// Runs after handlers.Wait below: flush the final responses before
+		// serveConn closes the socket.
+		defer co.Close()
+	}
+
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
+	var scratch []byte
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(l.idle + l.io)); err != nil {
 			return
 		}
-		kind, id, req, err := wire.ReadMuxFrame(conn)
+		var kind wire.FrameKind
+		var id uint64
+		var req wire.Message
+		var err error
+		kind, id, req, scratch, err = wire.ReadMuxFrameBuffer(conn, scratch)
 		if err != nil {
 			return
 		}
@@ -714,6 +861,10 @@ func (l *muxListener) serveMux(conn net.Conn) {
 					return
 				}
 				resp = errMsg
+			}
+			if co != nil {
+				_ = co.WriteMuxFrame(wire.FrameResponse, id, resp)
+				return
 			}
 			wmu.Lock()
 			defer wmu.Unlock()

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
@@ -11,6 +12,9 @@ import (
 // StackConfig selects the layers of a canonical transport stack. One
 // options struct replaces the hand-nested decorator construction that
 // used to be duplicated across cluster and daemon wiring.
+//
+// Prefer NewStack with StackOption values; StackConfig remains as the
+// underlying representation the options mutate.
 type StackConfig struct {
 	// Base is the innermost transport (e.g. *Mem for in-process
 	// clusters). Nil builds a pooled, multiplexed TCP transport from
@@ -42,6 +46,91 @@ type StackConfig struct {
 	// layer; empty defaults to Addr. Shared multi-node transports pass
 	// "-" to leave spans unnamed (each node annotates its own name).
 	TraceLocal string
+}
+
+// StackOption configures one aspect of a transport stack built by
+// NewStack. Options compose in any order; absent layers are skipped.
+type StackOption func(*StackConfig)
+
+// WithBase sets the innermost transport (e.g. *Mem for in-process
+// clusters). Without it, NewStack builds a pooled TCP base.
+func WithBase(t Transport) StackOption {
+	return func(c *StackConfig) { c.Base = t }
+}
+
+// WithPool parameterizes the pooled TCP base built when no WithBase is
+// given. Later batching options override the batch fields.
+func WithPool(cfg PoolConfig) StackOption {
+	return func(c *StackConfig) { c.Pool = cfg }
+}
+
+// WithAddr sets the local address the fault layer binds as its call
+// source; required with WithFaults.
+func WithAddr(addr string) StackOption {
+	return func(c *StackConfig) { c.Addr = addr }
+}
+
+// WithFaults injects the plan's faults into every call.
+func WithFaults(p *FaultPlan) StackOption {
+	return func(c *StackConfig) { c.Faults = p }
+}
+
+// WithRetry retries idempotent calls per the policy.
+func WithRetry(p RetryPolicy) StackOption {
+	return func(c *StackConfig) { c.Retry = &p }
+}
+
+// WithBreaker adds per-peer circuit breaking (see Break).
+func WithBreaker(p BreakerPolicy) StackOption {
+	return func(c *StackConfig) { c.Breaker = &p }
+}
+
+// WithMetrics registers every layer's series in reg.
+func WithMetrics(reg *obs.Registry) StackOption {
+	return func(c *StackConfig) { c.Metrics = reg }
+}
+
+// WithTracing adds the distributed-tracing layer. local names this
+// process in recorded spans; empty defaults to the stack's Addr, "-"
+// leaves spans unnamed (shared multi-node transports).
+func WithTracing(tr *trace.Tracer, local string) StackOption {
+	return func(c *StackConfig) {
+		c.Tracer = tr
+		c.TraceLocal = local
+	}
+}
+
+// WithBatching tunes the pooled base's write coalescing: linger bounds
+// the adaptive flush delay (negative disables lingering, zero keeps
+// DefaultBatchLinger) and maxBytes the batch size (zero keeps 64 KiB).
+// Only meaningful without WithBase.
+func WithBatching(linger time.Duration, maxBytes int) StackOption {
+	return func(c *StackConfig) {
+		c.Pool.NoBatching = false
+		c.Pool.BatchLinger = linger
+		c.Pool.BatchMaxBytes = maxBytes
+	}
+}
+
+// WithoutBatching disables write coalescing on the pooled base: every
+// frame is its own write syscall.
+func WithoutBatching() StackOption {
+	return func(c *StackConfig) { c.Pool.NoBatching = true }
+}
+
+// NewStack assembles the canonical decorator chain from options:
+//
+//	Retry → Breaker → Traced → Faulty → Instrument → base (pooled TCP
+//	or the transport given via WithBase)
+//
+// See Stack for why the order is fixed. Layers whose option is absent
+// are skipped, so the chain is exactly as thick as asked for.
+func NewStack(opts ...StackOption) (*Stacked, error) {
+	var cfg StackConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return Stack(cfg)
 }
 
 // Stacked is an assembled transport chain. It implements Transport by
@@ -87,6 +176,9 @@ func (s *Stacked) Close() error {
 // own series account for the logical-vs-physical difference). Layers
 // whose config is absent are skipped, so the chain is exactly as thick
 // as asked for.
+//
+// Most callers should prefer NewStack with options; Stack remains for
+// code that already holds a StackConfig.
 func Stack(cfg StackConfig) (*Stacked, error) {
 	base := cfg.Base
 	if base == nil {

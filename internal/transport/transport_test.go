@@ -261,20 +261,24 @@ func BenchmarkMemCall(b *testing.B) {
 }
 
 // BenchmarkTCPCall contrasts the v1 dial-per-call client with the
-// pooled, multiplexed client at 1 and 64 concurrent callers. Both run
-// against the same sniffing pooled listener, so only the client-side
-// strategy differs. scripts/check.sh smoke-runs this pair and records
-// the numbers in BENCH_transport.json.
+// pooled, multiplexed client — batched (default) and unbatched — at 1
+// and 64 concurrent callers. Each client variant runs against a server
+// with the matching batching config, so the pooled-vs-nobatch delta is
+// the full (client+server) effect of write coalescing. scripts/check.sh
+// smoke-runs these and records the numbers in BENCH_transport.json and
+// BENCH_batch.json.
 func BenchmarkTCPCall(b *testing.B) {
-	server := NewPooledTCP(PoolConfig{})
-	closer, err := server.Listen("127.0.0.1:0", echoHandler)
-	if err != nil {
-		b.Fatal(err)
+	listen := func(cfg PoolConfig) string {
+		server := NewPooledTCP(cfg)
+		closer, err := server.Listen("127.0.0.1:0", echoHandler)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { closer.Close() })
+		return closer.(*PooledListener).Addr()
 	}
-	defer closer.Close()
-	addr := closer.(*PooledListener).Addr()
 
-	bench := func(tr Transport, callers int) func(*testing.B) {
+	bench := func(tr Transport, addr string, callers int) func(*testing.B) {
 		return func(b *testing.B) {
 			ctx := context.Background()
 			msg := wire.Message{Type: wire.TypeProbe}
@@ -305,11 +309,19 @@ func BenchmarkTCPCall(b *testing.B) {
 		}
 	}
 
+	batched := listen(PoolConfig{})
+	raw := listen(PoolConfig{NoBatching: true})
+
 	dial := &TCP{}
 	pooled := NewPooledTCP(PoolConfig{})
 	defer pooled.Close()
-	b.Run("dial/c1", bench(dial, 1))
-	b.Run("dial/c64", bench(dial, 64))
-	b.Run("pooled/c1", bench(pooled, 1))
-	b.Run("pooled/c64", bench(pooled, 64))
+	nobatch := NewPooledTCP(PoolConfig{NoBatching: true})
+	defer nobatch.Close()
+
+	b.Run("dial/c1", bench(dial, raw, 1))
+	b.Run("dial/c64", bench(dial, raw, 64))
+	b.Run("pooled/c1", bench(pooled, batched, 1))
+	b.Run("pooled/c64", bench(pooled, batched, 64))
+	b.Run("nobatch/c1", bench(nobatch, raw, 1))
+	b.Run("nobatch/c64", bench(nobatch, raw, 64))
 }

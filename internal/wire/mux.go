@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // MuxMagic opens every multiplexed connection ("HRS2" big-endian). Its
@@ -165,18 +166,22 @@ const deadlineLen = 4
 // budgets are clamped rather than wrapped.
 const maxDeadlineMillis = int64(^uint32(0))
 
-// WriteMuxFrame writes one multiplexed frame. GoAway frames carry no
-// body; every other kind carries the JSON-encoded message. A request
-// whose message holds a trace context and/or a deadline budget is
-// written as the matching prefixed kind (FrameRequestTraced,
-// FrameRequestDeadline, FrameRequestTracedDeadline): the context rides
-// as a 17-byte binary prefix and the deadline as a 4-byte millisecond
-// count ahead of the JSON body (which is encoded without its "tc"/"dl"
-// fields), keeping the hot-path cost fixed instead of extra JSON per
-// hop.
-func WriteMuxFrame(w io.Writer, kind FrameKind, id uint64, m Message) error {
+// AppendMuxFrame appends one encoded multiplexed frame to dst and
+// returns the extended slice. GoAway frames carry no body; every other
+// kind carries the JSON-encoded message. A request whose message holds a
+// trace context and/or a deadline budget is written as the matching
+// prefixed kind (FrameRequestTraced, FrameRequestDeadline,
+// FrameRequestTracedDeadline): the context rides as a 17-byte binary
+// prefix and the deadline as a 4-byte millisecond count ahead of the
+// JSON body (which is encoded without its "tc"/"dl" fields), keeping the
+// hot-path cost fixed instead of extra JSON per hop.
+//
+// Because it appends, callers can pack several frames into one buffer
+// and hand them to the kernel in a single write — the primitive under
+// the Coalescer's batched flushes.
+func AppendMuxFrame(dst []byte, kind FrameKind, id uint64, m Message) ([]byte, error) {
 	if !kind.valid() {
-		return fmt.Errorf("wire: write frame of unknown kind %d", byte(kind))
+		return dst, fmt.Errorf("wire: write frame of unknown kind %d", byte(kind))
 	}
 	var tc TraceContext
 	var dl int64
@@ -194,7 +199,7 @@ func WriteMuxFrame(w io.Writer, kind FrameKind, id uint64, m Message) error {
 		var err error
 		body, err = encodeFrame(m)
 		if err != nil {
-			return err
+			return dst, err
 		}
 	}
 	prefix := 0
@@ -204,26 +209,49 @@ func WriteMuxFrame(w io.Writer, kind FrameKind, id uint64, m Message) error {
 	if dl > 0 {
 		prefix += deadlineLen
 	}
-	buf := make([]byte, muxHeaderLen+prefix+len(body))
-	buf[0] = byte(kind)
-	binary.BigEndian.PutUint64(buf[1:9], id)
-	binary.BigEndian.PutUint32(buf[9:13], uint32(prefix+len(body)))
+	start := len(dst)
+	dst = append(dst, make([]byte, muxHeaderLen+prefix)...)
+	hdr := dst[start:]
+	hdr[0] = byte(kind)
+	binary.BigEndian.PutUint64(hdr[1:9], id)
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(prefix+len(body)))
 	off := muxHeaderLen
 	if !tc.IsZero() {
-		tc.AppendBinary(buf[off : off : off+TraceContextLen])
+		tc.AppendBinary(hdr[off : off : off+TraceContextLen])
 		off += TraceContextLen
 	}
 	if dl > 0 {
-		binary.BigEndian.PutUint32(buf[off:off+deadlineLen], uint32(dl))
-		off += deadlineLen
+		binary.BigEndian.PutUint32(hdr[off:off+deadlineLen], uint32(dl))
 	}
-	copy(buf[off:], body)
-	// One Write keeps the frame contiguous under concurrent writers that
-	// serialize on a mutex but must not interleave partial frames.
-	if _, err := w.Write(buf); err != nil {
-		return fmt.Errorf("wire: write mux frame: %w", err)
+	return append(dst, body...), nil
+}
+
+// frameBufPool recycles the scratch buffers WriteMuxFrame assembles
+// frames in, so the steady-state frame write allocates only its JSON
+// body. Oversized buffers are dropped instead of pooled.
+var frameBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// pooledBufMax caps the capacity of buffers returned to frameBufPool; a
+// rare giant frame must not pin its memory forever.
+const pooledBufMax = 64 << 10
+
+// WriteMuxFrame writes one multiplexed frame, assembled in a pooled
+// buffer (see AppendMuxFrame for the encoding).
+func WriteMuxFrame(w io.Writer, kind FrameKind, id uint64, m Message) error {
+	bp := frameBufPool.Get().(*[]byte)
+	buf, err := AppendMuxFrame((*bp)[:0], kind, id, m)
+	if err == nil {
+		// One Write keeps the frame contiguous under concurrent writers
+		// that serialize on a mutex but must not interleave partial frames.
+		if _, werr := w.Write(buf); werr != nil {
+			err = fmt.Errorf("wire: write mux frame: %w", werr)
+		}
 	}
-	return nil
+	if cap(buf) <= pooledBufMax {
+		*bp = buf[:0]
+		frameBufPool.Put(bp)
+	}
+	return err
 }
 
 // ReadMuxFrame reads one multiplexed frame: its kind, request ID, and
@@ -232,29 +260,44 @@ func WriteMuxFrame(w io.Writer, kind FrameKind, id uint64, m Message) error {
 // into Message.TC / Message.DL and the kind is reported as FrameRequest,
 // so serving loops handle every request variant identically.
 func ReadMuxFrame(r io.Reader) (FrameKind, uint64, Message, error) {
+	kind, id, m, _, err := ReadMuxFrameBuffer(r, nil)
+	return kind, id, m, err
+}
+
+// ReadMuxFrameBuffer is ReadMuxFrame with a caller-owned scratch buffer:
+// the frame body is read into scratch (grown as needed) and the possibly
+// larger buffer is returned for the next call, so a long-lived read loop
+// amortizes its body allocations to zero. The decoded Message owns its
+// memory — JSON decoding and the binary-prefix parsers copy out of the
+// scratch — so reusing the buffer immediately is safe.
+func ReadMuxFrameBuffer(r io.Reader, scratch []byte) (FrameKind, uint64, Message, []byte, error) {
 	var hdr [muxHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, Message{}, fmt.Errorf("wire: read mux header: %w", err)
+		return 0, 0, Message{}, scratch, fmt.Errorf("wire: read mux header: %w", err)
 	}
 	kind := FrameKind(hdr[0])
 	if !kind.valid() {
-		return 0, 0, Message{}, fmt.Errorf("wire: unknown frame kind %d", hdr[0])
+		return 0, 0, Message{}, scratch, fmt.Errorf("wire: unknown frame kind %d", hdr[0])
 	}
 	id := binary.BigEndian.Uint64(hdr[1:9])
 	n := binary.BigEndian.Uint32(hdr[9:13])
 	if n > maxFrame {
-		return 0, 0, Message{}, fmt.Errorf("wire: mux frame of %d bytes exceeds limit %d", n, maxFrame)
+		return 0, 0, Message{}, scratch, fmt.Errorf("wire: mux frame of %d bytes exceeds limit %d", n, maxFrame)
 	}
 	if n == 0 {
 		if kind.isRequest() && kind != FrameRequest {
 			// Prefixed request kinds promise at least their binary prefix.
-			return 0, 0, Message{}, fmt.Errorf("wire: bodyless %s frame lacks its binary prefix", kind)
+			return 0, 0, Message{}, scratch, fmt.Errorf("wire: bodyless %s frame lacks its binary prefix", kind)
 		}
-		return kind, id, Message{}, nil
+		return kind, id, Message{}, scratch, nil
 	}
-	body := make([]byte, n)
+	if uint32(cap(scratch)) < n {
+		scratch = make([]byte, n)
+	}
+	scratch = scratch[:cap(scratch)]
+	body := scratch[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, 0, Message{}, fmt.Errorf("wire: read mux body: %w", err)
+		return 0, 0, Message{}, scratch, fmt.Errorf("wire: read mux body: %w", err)
 	}
 	var tc TraceContext
 	var dl int64
@@ -262,13 +305,13 @@ func ReadMuxFrame(r io.Reader) (FrameKind, uint64, Message, error) {
 		var err error
 		tc, err = ParseTraceContext(body)
 		if err != nil {
-			return 0, 0, Message{}, err
+			return 0, 0, Message{}, scratch, err
 		}
 		body = body[TraceContextLen:]
 	}
 	if kind == FrameRequestDeadline || kind == FrameRequestTracedDeadline {
 		if len(body) < deadlineLen {
-			return 0, 0, Message{}, fmt.Errorf("wire: %s frame of %d bytes lacks deadline prefix", kind, len(body))
+			return 0, 0, Message{}, scratch, fmt.Errorf("wire: %s frame of %d bytes lacks deadline prefix", kind, len(body))
 		}
 		dl = int64(binary.BigEndian.Uint32(body[:deadlineLen]))
 		body = body[deadlineLen:]
@@ -278,7 +321,7 @@ func ReadMuxFrame(r io.Reader) (FrameKind, uint64, Message, error) {
 	}
 	m, err := decodeFrame(body)
 	if err != nil {
-		return 0, 0, Message{}, err
+		return 0, 0, Message{}, scratch, err
 	}
 	if !tc.IsZero() {
 		m.TC = tc
@@ -286,5 +329,5 @@ func ReadMuxFrame(r io.Reader) (FrameKind, uint64, Message, error) {
 	if dl > 0 {
 		m.DL = dl
 	}
-	return kind, id, m, nil
+	return kind, id, m, scratch, nil
 }

@@ -29,12 +29,12 @@ go test -race ./...
 echo "==> chaos soak (-race, fixed seed)"
 go test -race -short -run 'TestChaosSoak' -v ./internal/cluster/ | grep -E 'chaos soak|ok|FAIL'
 
-# Transport benchmark smoke: pooled vs dial-per-call at 1 and 64
-# concurrent callers. The numbers land in BENCH_transport.json so a
-# regression (pooled dropping under ~3x dial-per-call at c64) is visible
-# in review diffs.
-echo "==> transport bench smoke (pooled vs dial-per-call)"
-bench_out=$(go test -run '^$' -bench 'BenchmarkTCPCall' -benchtime 0.2s ./internal/transport/)
+# Transport benchmark smoke: pooled (batched), unbatched, and
+# dial-per-call at 1 and 64 concurrent callers. The numbers land in
+# BENCH_transport.json so a regression (pooled dropping under ~3x
+# dial-per-call at c64) is visible in review diffs.
+echo "==> transport bench smoke (pooled vs nobatch vs dial-per-call)"
+bench_out=$(go test -run '^$' -bench 'BenchmarkTCPCall' -benchmem -benchtime 0.2s ./internal/transport/)
 echo "$bench_out" | grep 'BenchmarkTCPCall'
 echo "$bench_out" | awk '
     BEGIN { print "{" }
@@ -48,6 +48,38 @@ echo "$bench_out" | awk '
     END { print "\n}" }
 ' > BENCH_transport.json
 echo "    wrote BENCH_transport.json"
+
+# Frame-batching acceptance (DESIGN.md §12): the write coalescer must
+# hold >= 1.3x throughput (or >= 30% fewer allocs) on pooled/c64 against
+# the frozen pre-batching baseline. The batched-vs-unbatched numbers
+# land in BENCH_batch.json next to that baseline so the win (and any
+# regression) is visible in review diffs.
+echo "$bench_out" | awk '
+    BEGIN {
+        print "{"
+        print "  \"baseline_pre_pr\": {"
+        print "    \"_comment\": \"pooled/c64 before write coalescing (frozen from BENCH_transport.json at 0704c63; allocs remeasured locally with -benchmem)\","
+        print "    \"pooled/c64\": {\"ns_per_op\": 14831, \"bytes_per_op\": 1976, \"allocs_per_op\": 34}"
+        print "  },"
+        printf "  \"current\": {"
+    }
+    /^BenchmarkTCPCall\/(pooled|nobatch)\// {
+        split($1, parts, "/")
+        name = parts[2] "/" parts[3]
+        sub(/-[0-9]+$/, "", name)
+        if (n++) printf ","
+        printf "\n    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7
+    }
+    END { print "\n  }\n}" }
+' > BENCH_batch.json
+echo "    wrote BENCH_batch.json"
+
+# Query-coalescing acceptance: the singleflight contract (N identical
+# concurrent lookups -> 1 upstream RPC, N admission charges, N spans;
+# drained followers shed) under the race detector. Runs in the suite
+# above too; this explicit pass keeps the gate visible.
+echo "==> query coalescing (-race, singleflight contract)"
+go test -race -run 'TestQueryCoalescing' -v ./internal/cluster/ | grep -E 'QueryCoalescing|^ok|FAIL'
 
 # Simulation bench smoke: the intra-overlay and end-to-end query hot paths
 # plus a fig9-shaped sweep cell (system build + attack + sharded Monte-Carlo
