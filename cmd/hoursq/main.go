@@ -45,11 +45,23 @@ func run(args []string) error {
 		traced  = fs.Bool("trace", false, "collect and render the cross-node span tree (falls back to the hop-by-hop trace)")
 		stats   = fs.Bool("stats", false, "fetch the node's operational counters instead of querying")
 		from    = fs.String("from", "hoursq", "client identity charged by the entry node's per-client admission control")
+		codec   = fs.String("codec", "", "wire codec: binary (default) negotiates the HRS3 mux encoding, json pins HRS2/JSON, v1 uses one-shot dial-per-call framing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tcp := &transport.TCP{IOTimeout: *timeout}
+	var tcp transport.Transport
+	switch *codec {
+	case "v1":
+		tcp = &transport.TCP{IOTimeout: *timeout}
+	default:
+		if _, err := wire.CodecByName(*codec); err != nil {
+			return err
+		}
+		p := transport.NewPooledTCP(transport.PoolConfig{IOTimeout: *timeout, Codec: *codec})
+		defer func() { _ = p.Close() }()
+		tcp = p
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	if *stats {
@@ -59,15 +71,12 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("missing -target")
 	}
-	req, err := wire.New(wire.TypeQuery, wire.Query{
+	req := wire.Typed(wire.TypeQuery, &wire.Query{
 		Target: strings.TrimSuffix(*target, "."),
 		Mode:   wire.ModeHierarchical,
 		TTL:    *ttl,
 		Trace:  *traced,
 	})
-	if err != nil {
-		return err
-	}
 	req.From = *from
 	// With -trace the client is the trace root: a force-sampled context
 	// rides the query so every node's Traced layer records its part.
@@ -145,10 +154,7 @@ func collectTrace(ctx context.Context, tr transport.Transport, entry string, tra
 			continue
 		}
 		visited[addr] = true
-		req, err := wire.New(wire.TypeTraceGet, wire.TraceGet{TraceID: traceID})
-		if err != nil {
-			continue
-		}
+		req := wire.Typed(wire.TypeTraceGet, &wire.TraceGet{TraceID: traceID})
 		resp, err := tr.Call(ctx, addr, req)
 		if err != nil || resp.Type != wire.TypeTraceGetResult {
 			continue // unreachable or pre-tracing peer: keep what we have
@@ -187,7 +193,7 @@ func printTrace(w io.Writer, qr wire.QueryResult) {
 }
 
 // fetchStats prints a node's operational counters.
-func fetchStats(ctx context.Context, tcp *transport.TCP, addr string) error {
+func fetchStats(ctx context.Context, tcp transport.Transport, addr string) error {
 	resp, err := tcp.Call(ctx, addr, wire.Message{Type: wire.TypeStats})
 	if err != nil {
 		return err

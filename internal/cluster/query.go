@@ -194,15 +194,12 @@ func (c *Cluster) startQuerySpan(q queryOptions, target string, coalesced bool) 
 // decodes the result. Cache degradation is left to the caller (degrade),
 // so every coalesced caller maps the shared error individually.
 func (c *Cluster) doQuery(ctx context.Context, n *node.Node, q queryOptions, target string, tc wire.TraceContext) (wire.QueryResult, error) {
-	req, err := wire.New(wire.TypeQuery, wire.Query{
+	req := wire.Typed(wire.TypeQuery, &wire.Query{
 		Target: target,
 		Mode:   wire.ModeHierarchical,
 		TTL:    4 * len(c.nodes),
 		Trace:  q.withHops,
 	})
-	if err != nil {
-		return wire.QueryResult{}, err
-	}
 	req.From = q.client
 	req.TC = tc
 	resp, err := c.tr.Call(ctx, n.Addr(), req)

@@ -1,0 +1,247 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs/trace"
+	"repro/internal/overlay"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestMixedCodecHierarchyE2E is the codec-interop acceptance test: one
+// live hierarchy whose nodes are deliberately spread across all three
+// wire generations — v1 one-shot peers, v2 pooled peers pinned to the
+// HRS2 JSON encoding, and v2 pooled peers negotiating the HRS3 binary
+// codec. Every query must return the identical result no matter which
+// generation the client speaks, every live route must match the
+// simulated route for the same (N, K, Seed), and one traced query
+// crossing all three encodings must still assemble a single connected
+// trace tree.
+func TestMixedCodecHierarchyE2E(t *testing.T) {
+	const (
+		nChildren = 9
+		k         = 2
+		seed      = 41
+	)
+	ctx := context.Background()
+
+	tracer := trace.New(trace.Config{SampleRate: 0, Seed: 7, Capacity: 1 << 12})
+
+	v1 := &transport.TCP{DialTimeout: 300 * time.Millisecond, IOTimeout: 2 * time.Second}
+	jsonPool := transport.NewPooledTCP(transport.PoolConfig{
+		DialTimeout: 300 * time.Millisecond, IOTimeout: 2 * time.Second,
+		Codec: "json",
+	})
+	binPool := transport.NewPooledTCP(transport.PoolConfig{
+		DialTimeout: 300 * time.Millisecond, IOTimeout: 2 * time.Second,
+	})
+	t.Cleanup(func() {
+		_ = jsonPool.Close()
+		_ = binPool.Close()
+	})
+	generations := []transport.Transport{v1, jsonPool, binPool}
+	genName := []string{"v1", "v2-json", "v2-binary"}
+
+	bind := func(tr transport.Transport) string {
+		t.Helper()
+		probe, err := tr.Listen("127.0.0.1:0", func(ctx context.Context, m wire.Message) (wire.Message, error) {
+			return wire.Message{}, fmt.Errorf("placeholder")
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var addr string
+		switch l := probe.(type) {
+		case *transport.TCPListener:
+			addr = l.Addr()
+		case *transport.PooledListener:
+			addr = l.Addr()
+		default:
+			t.Fatalf("listener type %T", probe)
+		}
+		if err := probe.(io.Closer).Close(); err != nil {
+			t.Fatal(err)
+		}
+		return addr
+	}
+	mk := func(base transport.Transport, name, parentAddr string) *Node {
+		t.Helper()
+		addr := bind(base)
+		stacked, err := transport.Stack(transport.StackConfig{
+			Base: base, Addr: addr, Tracer: tracer, TraceLocal: name,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd, err := New(Config{
+			Name: name, Addr: addr, ParentAddr: parentAddr,
+			K: k, Q: 2, Seed: seed, CallTimeout: 2 * time.Second,
+			Tracer: tracer,
+		}, stacked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = nd.Stop() })
+		return nd
+	}
+
+	// Root negotiates binary; children cycle v1 → json → binary, so every
+	// overlay edge crosses codec generations somewhere in the table.
+	root := mk(binPool, ".", "")
+	children := make([]*Node, 0, nChildren)
+	for i := 0; i < nChildren; i++ {
+		c := mk(generations[i%len(generations)], fmt.Sprintf("c%d", i), root.Addr())
+		if err := c.Join(ctx); err != nil {
+			t.Fatalf("join %s over %s: %v", c.Name(), genName[i%len(generations)], err)
+		}
+		children = append(children, c)
+	}
+	for _, c := range children {
+		if err := c.BuildTable(ctx); err != nil {
+			t.Fatalf("build table %s: %v", c.Name(), err)
+		}
+	}
+	byIndex := make(map[int]*Node, nChildren)
+	indexOf := make(map[string]int, nChildren)
+	for _, c := range children {
+		byIndex[c.Index()] = c
+		indexOf[c.Name()] = c.Index()
+	}
+
+	query := func(tr transport.Transport, target string) wire.QueryResult {
+		t.Helper()
+		req := wire.Typed(wire.TypeQuery, &wire.Query{
+			Target: target, Mode: wire.ModeHierarchical, TTL: 64, Trace: true,
+		})
+		resp, err := tr.Call(ctx, root.Addr(), req)
+		if err != nil {
+			t.Fatalf("query %s via %T: %v", target, tr, err)
+		}
+		var qr wire.QueryResult
+		if err := resp.Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		return qr
+	}
+
+	// Every child, from every client generation: identical results.
+	sim, err := overlay.New(overlay.Config{N: nChildren, K: k, Seed: seed, Design: overlay.Enhanced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range children {
+		ref := query(generations[0], target.Name())
+		if !ref.Found {
+			t.Fatalf("query %s not found: %s (path %v)", target.Name(), ref.Reason, ref.Path)
+		}
+		for g := 1; g < len(generations); g++ {
+			got := query(generations[g], target.Name())
+			if got.Found != ref.Found || got.Answer != ref.Answer ||
+				got.Hops != ref.Hops || !reflect.DeepEqual(got.Path, ref.Path) {
+				t.Fatalf("%s client disagrees with %s client on %s:\n%s: %+v\n%s: %+v",
+					genName[g], genName[0], target.Name(), genName[0], ref, genName[g], got)
+			}
+		}
+		// The live overlay segment (after the root's handoff) must match
+		// the simulated route for the same (N, K, Seed).
+		if len(ref.Path) >= 2 {
+			entry := ref.Path[1]
+			res, err := sim.Route(indexOf[entry], indexOf[target.Name()], overlay.RouteOptions{TracePath: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Outcome != overlay.Delivered {
+				t.Fatalf("sim route %s->%s outcome %v", entry, target.Name(), res.Outcome)
+			}
+			live := ref.Path[1:]
+			if len(live) != len(res.Path) {
+				t.Fatalf("overlay segment %v != sim route %v for %s", live, res.Path, target.Name())
+			}
+			for i, idx := range res.Path {
+				if live[i] != byIndex[int(idx)].Name() {
+					t.Fatalf("overlay hop %d: live %q != sim %q (live %v, sim %v)",
+						i, live[i], byIndex[int(idx)].Name(), live, res.Path)
+				}
+			}
+		}
+	}
+
+	// One traced query through the binary client: pick the target with
+	// the longest path so the trace crosses the most codec boundaries,
+	// then demand one connected tree with the server-span sequence equal
+	// to the live path.
+	longest := children[0].Name()
+	hops := 0
+	for _, c := range children {
+		if qr := query(v1, c.Name()); len(qr.Path) > hops {
+			hops, longest = len(qr.Path), c.Name()
+		}
+	}
+	clientSpan := tracer.StartRoot("query", "client")
+	req := wire.Typed(wire.TypeQuery, &wire.Query{
+		Target: longest, Mode: wire.ModeHierarchical, TTL: 64, Trace: true,
+	})
+	req.TC = clientSpan.Context()
+	resp, err := binPool.Call(ctx, root.Addr(), req)
+	clientSpan.Finish(err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr wire.QueryResult
+	if err := resp.Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Found {
+		t.Fatalf("traced query failed: %s", qr.Reason)
+	}
+
+	spans := tracer.Store().Trace(clientSpan.Context().TraceID)
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	roots := trace.BuildTree(spans)
+	if len(roots) != 1 {
+		t.Fatalf("trace has %d roots, want 1 connected tree across codec generations", len(roots))
+	}
+	total, orphans := 0, 0
+	var walk func(*trace.TreeNode)
+	walk = func(tn *trace.TreeNode) {
+		total++
+		if tn.Orphan {
+			orphans++
+		}
+		for _, c := range tn.Children {
+			walk(c)
+		}
+	}
+	walk(roots[0])
+	if orphans != 0 || total != len(spans) {
+		t.Fatalf("tree holds %d spans (%d orphans), store has %d", total, orphans, len(spans))
+	}
+	var serve []wire.SpanRecord
+	for _, s := range spans {
+		if strings.HasPrefix(s.Name, "serve ") && s.Name == "serve query" {
+			serve = append(serve, s)
+		}
+	}
+	sort.Slice(serve, func(i, j int) bool { return serve[i].StartUnixNano < serve[j].StartUnixNano })
+	if len(serve) != len(qr.Path) {
+		t.Fatalf("%d server spans, path has %d hops: %v", len(serve), len(qr.Path), qr.Path)
+	}
+	for i, s := range serve {
+		if s.Node != qr.Path[i] {
+			t.Fatalf("server span %d on %q, path hop is %q (path %v)", i, s.Node, qr.Path[i], qr.Path)
+		}
+	}
+}

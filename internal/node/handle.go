@@ -90,7 +90,8 @@ func (n *Node) dispatch(ctx context.Context, req wire.Message) (wire.Message, er
 	case wire.TypeRepair:
 		return n.handleRepair(ctx, req)
 	case wire.TypeStats:
-		return wire.New(wire.TypeStatsResult, n.Stats())
+		stats := n.Stats()
+		return wire.Typed(wire.TypeStatsResult, &stats), nil
 	case wire.TypeTraceGet:
 		return n.handleTraceGet(req)
 	default:
@@ -109,7 +110,7 @@ func (n *Node) handleJoin(req wire.Message) (wire.Message, error) {
 		return wire.Message{}, err
 	}
 	n.log.Info("child admitted", "child", name, "addr", j.Addr)
-	return wire.New(wire.TypeJoinResult, wire.JoinResult{Name: name})
+	return wire.Typed(wire.TypeJoinResult, &wire.JoinResult{Name: name}), nil
 }
 
 func (n *Node) handleTableInfo(req wire.Message) (wire.Message, error) {
@@ -124,7 +125,7 @@ func (n *Node) handleTableInfo(req wire.Message) (wire.Message, error) {
 	n.mu.Lock()
 	size := len(n.children)
 	n.mu.Unlock()
-	return wire.New(wire.TypeTableInfoResult, wire.TableInfoResult{N: size, Index: idx})
+	return wire.Typed(wire.TypeTableInfoResult, &wire.TableInfoResult{N: size, Index: idx}), nil
 }
 
 func (n *Node) handleResolve(req wire.Message) (wire.Message, error) {
@@ -140,7 +141,7 @@ func (n *Node) handleResolve(req wire.Message) (wire.Message, error) {
 		}
 		peers = append(peers, wire.Peer{Index: idx, Name: kids[idx].name, Addr: kids[idx].addr})
 	}
-	return wire.New(wire.TypeResolveResult, wire.ResolveResult{Peers: peers})
+	return wire.Typed(wire.TypeResolveResult, &wire.ResolveResult{Peers: peers}), nil
 }
 
 func (n *Node) handleChildSample(req wire.Message) (wire.Message, error) {
@@ -163,7 +164,7 @@ func (n *Node) handleChildSample(req wire.Message) (wire.Message, error) {
 			out = append(out, wire.Peer{Index: int(i), Name: kids[i].name, Addr: kids[i].addr})
 		}
 	}
-	return wire.New(wire.TypeChildSampleResult, wire.ChildSampleResult{Children: out})
+	return wire.Typed(wire.TypeChildSampleResult, &wire.ChildSampleResult{Children: out}), nil
 }
 
 // handleTraceGet serves the node's spans for one trace — the collection
@@ -180,7 +181,7 @@ func (n *Node) handleTraceGet(req wire.Message) (wire.Message, error) {
 	if n.tracer != nil {
 		spans = n.tracer.Store().Trace(tg.TraceID)
 	}
-	return wire.New(wire.TypeTraceGetResult, wire.TraceGetResult{Spans: spans})
+	return wire.Typed(wire.TypeTraceGetResult, &wire.TraceGetResult{Spans: spans}), nil
 }
 
 func (n *Node) handleNotifyCCW(req wire.Message) (wire.Message, error) {
@@ -230,10 +231,10 @@ func (n *Node) handleQuery(ctx context.Context, req wire.Message) (wire.Message,
 	}
 	if q.TTL <= 0 {
 		n.m.queryFailures.Inc()
-		return wire.New(wire.TypeQueryResult, wire.QueryResult{
+		return wire.Typed(wire.TypeQueryResult, &wire.QueryResult{
 			Found: false, Hops: q.Hops, Path: q.Path, Reason: "ttl exhausted",
 			HopTrace: q.HopTrace,
-		})
+		}), nil
 	}
 	q.TTL--
 	q.Path = append(q.Path, n.Name())
@@ -258,10 +259,10 @@ func (n *Node) handleQuery(ctx context.Context, req wire.Message) (wire.Message,
 		n.mu.Unlock()
 		n.m.queriesAnswered.Inc()
 		finishTrace(q.HopTrace, start)
-		return wire.New(wire.TypeQueryResult, wire.QueryResult{
+		return wire.Typed(wire.TypeQueryResult, &wire.QueryResult{
 			Found: true, Answer: answer, Hops: q.Hops, Path: q.Path,
 			HopTrace: q.HopTrace,
-		})
+		}), nil
 	}
 	n.m.queriesForwarded.Inc()
 
@@ -367,10 +368,10 @@ func (n *Node) failQuery(q wire.Query, reason string, start time.Time) (wire.Mes
 	n.m.queryFailures.Inc()
 	n.log.Debug("query failed", "target", q.Target, "reason", reason, "hops", q.Hops)
 	finishTrace(q.HopTrace, start)
-	return wire.New(wire.TypeQueryResult, wire.QueryResult{
+	return wire.Typed(wire.TypeQueryResult, &wire.QueryResult{
 		Found: false, Hops: q.Hops, Path: q.Path, Reason: reason,
 		HopTrace: q.HopTrace,
-	})
+	}), nil
 }
 
 // odNameFor derives the overlay-destination node at this node's level: the
@@ -514,10 +515,7 @@ func (n *Node) forwardQuery(ctx context.Context, addr string, q wire.Query, star
 	if q.Trace {
 		finishTrace(q.HopTrace, start)
 	}
-	req, err := wire.New(wire.TypeQuery, q)
-	if err != nil {
-		return wire.Message{}, err
-	}
+	req := wire.Typed(wire.TypeQuery, &q)
 	if susp := n.suspicionOf(addr); susp > 0 {
 		// Surface on the call's span that forwarding knowingly consulted
 		// a degraded peer.

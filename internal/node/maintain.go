@@ -71,12 +71,9 @@ func (n *Node) MaintainOnce(ctx context.Context) {
 
 	// Step 1: tell the nearest alive clockwise neighbor (within the k
 	// guaranteed entries) that we are its counter-clockwise neighbor.
-	notify, err := wire.New(wire.TypeNotifyCCW, wire.NotifyCCW{
+	notify := wire.Typed(wire.TypeNotifyCCW, &wire.NotifyCCW{
 		Index: selfIndex, Name: n.Name(), Addr: n.cfg.Addr,
 	})
-	if err != nil {
-		return
-	}
 	sort.Slice(table, func(i, j int) bool {
 		return idspace.Distance(selfID, table[i].id).Less(idspace.Distance(selfID, table[j].id))
 	})
@@ -154,10 +151,7 @@ func (n *Node) MaintainOnce(ctx context.Context) {
 		OriginIndex: selfIndex, OriginName: n.Name(), OriginAddr: n.cfg.Addr,
 		TTL: overlayN,
 	}
-	msg, err := wire.New(wire.TypeRepair, repair)
-	if err != nil {
-		return
-	}
+	msg := wire.Typed(wire.TypeRepair, &repair)
 	// Launch clockwise around the full circle: try entries from the
 	// largest distance down, deprioritizing suspects so the launch does
 	// not burn its first attempts on peers that just failed.
@@ -224,10 +218,7 @@ func (n *Node) handleRepair(ctx context.Context, req wire.Message) (wire.Message
 			break
 		}
 	}
-	fwd, err := wire.New(wire.TypeRepair, r)
-	if err != nil {
-		return wire.Message{}, err
-	}
+	fwd := wire.Typed(wire.TypeRepair, &r)
 	// Rule: holders of the origin use the second-best choice (strictly
 	// closer than the direct pointer); non-holders forward greedily.
 	// Either way the candidate set is "strictly before the origin going
@@ -286,12 +277,9 @@ func (n *Node) handleRepair(ctx context.Context, req wire.Message) (wire.Message
 		n.m.tableEntries.Set(int64(entries))
 		n.log.Info("repair bridged", "origin", r.OriginName, "hops", r.Hops)
 	}
-	notify, err := wire.New(wire.TypeNotifyCCW, wire.NotifyCCW{
+	notify := wire.Typed(wire.TypeNotifyCCW, &wire.NotifyCCW{
 		Index: selfIndex, Name: n.Name(), Addr: n.cfg.Addr,
 	})
-	if err != nil {
-		return wire.Message{}, err
-	}
 	// Best effort: the origin is alive (it originated the repair).
 	if _, err := n.call(ctx, r.OriginAddr, notify); err != nil {
 		return wire.Message{}, err

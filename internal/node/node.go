@@ -441,10 +441,7 @@ func (n *Node) Join(ctx context.Context) error {
 		return fmt.Errorf("node %s: root has no parent to join", n.Name())
 	}
 	label := n.ownLabel()
-	req, err := wire.New(wire.TypeJoin, wire.Join{Label: label, Addr: n.cfg.Addr})
-	if err != nil {
-		return err
-	}
+	req := wire.Typed(wire.TypeJoin, &wire.Join{Label: label, Addr: n.cfg.Addr})
 	resp, err := n.call(ctx, n.cfg.ParentAddr, req)
 	if err != nil {
 		return fmt.Errorf("node %s: join: %w", n.Name(), err)
@@ -554,10 +551,7 @@ func (n *Node) BuildTable(ctx context.Context) error {
 		return nil // roots keep no sibling table
 	}
 	// Step 1: overlay size and own index.
-	req, err := wire.New(wire.TypeTableInfo, wire.TableInfo{Name: n.name})
-	if err != nil {
-		return err
-	}
+	req := wire.Typed(wire.TypeTableInfo, &wire.TableInfo{Name: n.name})
 	resp, err := n.call(ctx, n.cfg.ParentAddr, req)
 	if err != nil {
 		return fmt.Errorf("node %s: table info: %w", n.Name(), err)
@@ -591,10 +585,7 @@ func (n *Node) BuildTable(ctx context.Context) error {
 	indices = append(indices, ccwIndex)
 
 	// Step 6: resolve addresses through the parent.
-	req, err = wire.New(wire.TypeResolve, wire.Resolve{Indices: indices})
-	if err != nil {
-		return err
-	}
+	req = wire.Typed(wire.TypeResolve, &wire.Resolve{Indices: indices})
 	resp, err = n.call(ctx, n.cfg.ParentAddr, req)
 	if err != nil {
 		return fmt.Errorf("node %s: resolve: %w", n.Name(), err)
@@ -650,10 +641,7 @@ func (n *Node) refreshNephews(ctx context.Context) {
 	q := n.cfg.Q
 	n.mu.Unlock()
 	for i := range entries {
-		req, err := wire.New(wire.TypeChildSample, wire.ChildSample{Count: q})
-		if err != nil {
-			continue
-		}
+		req := wire.Typed(wire.TypeChildSample, &wire.ChildSample{Count: q})
 		resp, err := n.call(ctx, entries[i].addr, req)
 		if err != nil {
 			continue

@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// queryHandler answers queries with a typed result, so codec tests
+// exercise a hot-type body in both directions.
+func queryHandler(ctx context.Context, req wire.Message) (wire.Message, error) {
+	var q wire.Query
+	if err := req.Decode(&q); err != nil {
+		return wire.Message{}, err
+	}
+	return wire.Typed(wire.TypeQueryResult, &wire.QueryResult{
+		Found: true, Answer: "ans:" + q.Target, Hops: q.Hops,
+	}), nil
+}
+
+// listenPair starts a server pool with sCfg and returns a separate
+// client pool with cCfg dialing it — unlike poolPair, the two ends get
+// independent codec configurations.
+func listenPair(t *testing.T, cCfg, sCfg PoolConfig) (*PooledTCP, string, *obs.Registry, *obs.Registry) {
+	t.Helper()
+	server := NewPooledTCP(sCfg)
+	sReg := obs.NewRegistry()
+	server.SetMetrics(sReg)
+	closer, err := server.Listen("127.0.0.1:0", queryHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewPooledTCP(cCfg)
+	cReg := obs.NewRegistry()
+	client.SetMetrics(cReg)
+	t.Cleanup(func() {
+		_ = client.Close()
+		_ = closer.Close()
+		_ = server.Close()
+	})
+	return client, closer.(*PooledListener).Addr(), cReg, sReg
+}
+
+func callQuery(t *testing.T, p *PooledTCP, addr, target string) {
+	t.Helper()
+	resp, err := p.Call(context.Background(), addr, wire.Typed(wire.TypeQuery, &wire.Query{Target: target, TTL: 4}))
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	var qr wire.QueryResult
+	if err := resp.Decode(&qr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !qr.Found || qr.Answer != "ans:"+target {
+		t.Fatalf("result = %+v, want found ans:%s", qr, target)
+	}
+}
+
+// TestCodecNegotiationBinaryDefault pins the happy path: two current
+// builds negotiate the binary codec without configuration, and the
+// hours_codec_* series record it on both sides.
+func TestCodecNegotiationBinaryDefault(t *testing.T) {
+	client, addr, cReg, sReg := listenPair(t, PoolConfig{}, PoolConfig{})
+	callQuery(t, client, addr, "n2-1.n1-0")
+
+	cBin := obs.L("codec", "binary")
+	if got := cReg.Counter("hours_codec_negotiated_total", cBin, obs.L("side", "client")).Value(); got != 1 {
+		t.Errorf("client negotiated binary = %d, want 1", got)
+	}
+	if got := sReg.Counter("hours_codec_negotiated_total", cBin, obs.L("side", "server")).Value(); got != 1 {
+		t.Errorf("server negotiated binary = %d, want 1", got)
+	}
+	if got := cReg.Counter("hours_codec_encode_bytes_total", cBin, obs.L("side", "client")).Value(); got == 0 {
+		t.Error("client wrote no counted binary bytes")
+	}
+	if got := cReg.Counter("hours_codec_decode_bytes_total", cBin, obs.L("side", "client")).Value(); got == 0 {
+		t.Error("client read no counted binary bytes")
+	}
+}
+
+// TestCodecDowngradeToJSONListener pins the downgrade ladder's first
+// rung: a binary-preferring client dialing a json-pinned listener (which
+// closes HRS3 prefaces unacked, exactly like a pre-binary build) lands
+// on HRS2/JSON, the downgrade is sticky per addr, and calls succeed
+// throughout.
+func TestCodecDowngradeToJSONListener(t *testing.T) {
+	client, addr, cReg, sReg := listenPair(t, PoolConfig{}, PoolConfig{Codec: "json"})
+	callQuery(t, client, addr, "a.b")
+	callQuery(t, client, addr, "c.d")
+
+	cJSON := obs.L("codec", "json")
+	if got := cReg.Counter("hours_codec_negotiated_total", cJSON, obs.L("side", "client")).Value(); got != 1 {
+		t.Errorf("client negotiated json = %d, want 1 (sticky downgrade should not renegotiate)", got)
+	}
+	if got := cReg.Counter("hours_codec_negotiated_total", obs.L("codec", "binary"), obs.L("side", "client")).Value(); got != 0 {
+		t.Errorf("client negotiated binary = %d, want 0 against a json listener", got)
+	}
+	if got := sReg.Counter("hours_codec_negotiated_total", cJSON, obs.L("side", "server")).Value(); got != 1 {
+		t.Errorf("server negotiated json = %d, want 1", got)
+	}
+	// The declined HRS3 dial costs exactly one extra dial, once: the
+	// sticky noBin mark keeps later dials on HRS2 from the start.
+	if got := cReg.Counter("hours_pool_dials_total").Value(); got != 2 {
+		t.Errorf("dials = %d, want 2 (one declined HRS3 + one HRS2)", got)
+	}
+	if !client.noBin[addr] {
+		t.Error("addr not marked noBin after a declined binary preface")
+	}
+}
+
+// TestCodecJSONPinnedClient pins the other direction: a json-pinned
+// client never offers HRS3, and a binary-capable listener serves it
+// JSON.
+func TestCodecJSONPinnedClient(t *testing.T) {
+	client, addr, cReg, _ := listenPair(t, PoolConfig{Codec: "json"}, PoolConfig{})
+	callQuery(t, client, addr, "x.y")
+
+	if got := cReg.Counter("hours_codec_negotiated_total", obs.L("codec", "json"), obs.L("side", "client")).Value(); got != 1 {
+		t.Errorf("client negotiated json = %d, want 1", got)
+	}
+	if got := cReg.Counter("hours_pool_dials_total").Value(); got != 1 {
+		t.Errorf("dials = %d, want 1 (no downgrade dance when pinned)", got)
+	}
+}
+
+// TestCodecFallbackToOneShot pins the ladder's bottom rung: a
+// binary-preferring pooled client against a v1 one-shot server walks
+// HRS3 → HRS2 → one-shot and still gets its answer.
+func TestCodecFallbackToOneShot(t *testing.T) {
+	v1 := &TCP{}
+	closer, err := v1.Listen("127.0.0.1:0", queryHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	addr := closer.(*TCPListener).Addr()
+
+	client := NewPooledTCP(PoolConfig{IOTimeout: 2 * time.Second})
+	defer client.Close()
+	callQuery(t, client, addr, "v.w")
+	client.mu.Lock()
+	isV1 := client.v1[addr]
+	client.mu.Unlock()
+	if !isV1 {
+		t.Error("addr not marked v1 after one-shot fallback")
+	}
+	// Later calls go straight to the one-shot path.
+	callQuery(t, client, addr, "v.w2")
+}
+
+// TestCodecTypedBodyOverMem pins the in-process transport: a Typed
+// message delivered by Mem decodes correctly (deep-copied slices, no
+// wire encode at all).
+func TestCodecTypedBodyOverMem(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Listen("a", queryHandler); err != nil {
+		t.Fatal(err)
+	}
+	req := wire.Typed(wire.TypeQuery, &wire.Query{Target: "t.a", TTL: 2, Path: []string{"x"}})
+	resp, err := m.Call(context.Background(), "a", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr wire.QueryResult
+	if err := resp.Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Answer != "ans:t.a" {
+		t.Errorf("answer = %q", qr.Answer)
+	}
+}

@@ -51,13 +51,16 @@ func handlerContext(base context.Context, ioTimeout time.Duration, dlMillis int6
 // preserving typed admission rejections (code + retry-after hint) so the
 // caller can reconstruct them.
 func errorMessage(err error) (wire.Message, error) {
-	e := wire.Error{Reason: err.Error()}
+	e := &wire.Error{Reason: err.Error()}
 	var oe *OverloadedError
 	if errors.As(err, &oe) {
 		e.Code = wire.ErrCodeOverloaded
 		e.RetryAfterMillis = oe.RetryAfter.Milliseconds()
 	}
-	return wire.New(wire.TypeError, e)
+	// Typed: the serving connection's codec encodes it — binary on the
+	// hot shed path, where overload responses are exactly the traffic
+	// that must stay cheap.
+	return wire.Typed(wire.TypeError, e), nil
 }
 
 // remoteError reconstructs a typed error from a decoded wire error

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -15,6 +16,51 @@ import (
 // speaks the one-shot v1 framing and calls must fall back to
 // dial-per-call.
 var errPeerIsV1 = errors.New("transport: peer speaks one-shot framing")
+
+// errPeerNoBinary reports that the dialed peer did not ack the HRS3
+// (binary-codec) preface: an HRS2-only mux build or a v1 peer — the two
+// are indistinguishable from a closed connection, so the downgrade
+// ladder tries HRS2 next (sticky per addr) and only then falls to
+// one-shot framing.
+var errPeerNoBinary = errors.New("transport: peer speaks no binary codec")
+
+// codecHooks observe a connection's codec negotiation and wire bytes —
+// the hours_codec_* series. All fields are optional.
+type codecHooks struct {
+	negotiated func(c wire.Codec)
+	readBytes  func(c wire.Codec, n int)
+	wroteBytes func(c wire.Codec, n int)
+}
+
+// countingReader counts bytes read off a negotiated connection.
+type countingReader struct {
+	r     io.Reader
+	codec wire.Codec
+	f     func(wire.Codec, int)
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 && c.f != nil {
+		c.f(c.codec, n)
+	}
+	return n, err
+}
+
+// countingWriter counts bytes written to a negotiated connection.
+type countingWriter struct {
+	w     io.Writer
+	codec wire.Codec
+	f     func(wire.Codec, int)
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	if n > 0 && c.f != nil {
+		c.f(c.codec, n)
+	}
+	return n, err
+}
 
 // errConnDraining reports that the peer announced GoAway for this
 // connection; the frame was never sent, so redialing is safe.
@@ -47,10 +93,20 @@ type muxConn struct {
 	io    time.Duration
 	batch *batchSettings
 
+	// preferBinary offers the HRS3 (binary codec) preface on dial; a
+	// peer that does not ack it fails the dial with errPeerNoBinary and
+	// the pool redials with HRS2 (sticky per addr).
+	preferBinary bool
+	// codec is the negotiated body encoding, set before ready closes.
+	codec wire.Codec
+	// hooks observe negotiation and wire bytes (hours_codec_*); may be nil.
+	hooks *codecHooks
+
 	ready   chan struct{} // closed once dial+hello completed (or failed)
 	dialErr error         // set before ready closes
 
 	conn net.Conn
+	wc   io.Writer       // conn, wrapped for byte counting (unbatched writes)
 	wmu  sync.Mutex      // serializes frame writes (unbatched mode)
 	co   *wire.Coalescer // batched write path (nil when batching is off)
 
@@ -135,20 +191,38 @@ func (c *muxConn) dial(ctx context.Context, dialTimeout time.Duration) {
 		c.markDead(c.dialErr)
 		return
 	}
-	if err := wire.WriteHello(conn); err != nil {
+	magic, version := wire.MuxMagic, wire.MuxVersion
+	if c.preferBinary {
+		magic, version = wire.MuxMagicBinary, wire.MuxVersionBinary
+	}
+	if err := wire.WriteHelloMagic(conn, magic, version); err != nil {
 		conn.Close()
 		c.dialErr = fmt.Errorf("%w: %v", ErrUnreachable, err)
 		c.markDead(c.dialErr)
 		return
 	}
-	if _, err := wire.ReadHello(conn); err != nil {
-		// The TCP dial succeeded but the peer did not ack the preface: a
-		// v1 server read the magic as an oversized length and closed the
-		// connection. Fall back to one-shot framing.
+	if ack, _, err := wire.ReadHelloMagic(conn); err != nil || ack != magic {
+		// The TCP dial succeeded but the peer did not ack the offered
+		// preface. After an HRS3 offer that means "no binary codec here"
+		// (an HRS2-only build or a v1 server — both just close), so the
+		// pool redials with HRS2; after an HRS2 offer it means a v1
+		// server read the magic as an oversized length, so calls fall
+		// back to one-shot framing.
 		conn.Close()
-		c.dialErr = errPeerIsV1
-		c.markDead(errPeerIsV1)
+		refusal := errPeerIsV1
+		if c.preferBinary {
+			refusal = errPeerNoBinary
+		}
+		c.dialErr = refusal
+		c.markDead(refusal)
 		return
+	}
+	c.codec = wire.JSON
+	if magic == wire.MuxMagicBinary {
+		c.codec = wire.Binary
+	}
+	if c.hooks != nil && c.hooks.negotiated != nil {
+		c.hooks.negotiated(c.codec)
 	}
 	// Clear the handshake deadline; per-exchange bounds are enforced by
 	// the callers' timers and the write deadlines.
@@ -158,6 +232,10 @@ func (c *muxConn) dial(ctx context.Context, dialTimeout time.Duration) {
 		c.markDead(c.dialErr)
 		return
 	}
+	var wc io.Writer = conn
+	if c.hooks != nil && c.hooks.wroteBytes != nil {
+		wc = &countingWriter{w: conn, codec: c.codec, f: c.hooks.wroteBytes}
+	}
 	var co *wire.Coalescer
 	if c.batch != nil {
 		co = wire.NewCoalescer(wire.CoalescerConfig{
@@ -165,7 +243,7 @@ func (c *muxConn) dial(ctx context.Context, dialTimeout time.Duration) {
 				if err := conn.SetWriteDeadline(time.Now().Add(c.io)); err != nil {
 					return err
 				}
-				_, err := conn.Write(b)
+				_, err := wc.Write(b)
 				return err
 			},
 			MaxBytes:  c.batch.maxBytes,
@@ -177,10 +255,12 @@ func (c *muxConn) dial(ctx context.Context, dialTimeout time.Duration) {
 				// Close), so this cannot deadlock.
 				c.fail(fmt.Errorf("%w: %v", ErrUnreachable, err))
 			},
+			Codec: c.codec,
 		})
 	}
 	c.mu.Lock()
 	c.conn = conn
+	c.wc = wc
 	c.co = co
 	dead := c.dead
 	c.mu.Unlock()
@@ -201,13 +281,17 @@ func (c *muxConn) dial(ctx context.Context, dialTimeout time.Duration) {
 // The scratch buffer is reused across frames: decoded payloads are
 // copied out by the JSON layer, so the next read may clobber it.
 func (c *muxConn) readLoop() {
+	var r io.Reader = c.conn
+	if c.hooks != nil && c.hooks.readBytes != nil {
+		r = &countingReader{r: c.conn, codec: c.codec, f: c.hooks.readBytes}
+	}
 	var scratch []byte
 	for {
 		var kind wire.FrameKind
 		var id uint64
 		var msg wire.Message
 		var err error
-		kind, id, msg, scratch, err = wire.ReadMuxFrameBuffer(c.conn, scratch)
+		kind, id, msg, scratch, err = wire.ReadMuxFrameBufferCodec(r, scratch, c.codec)
 		if err != nil {
 			c.fail(fmt.Errorf("%w: %v", ErrUnreachable, err))
 			return
@@ -337,6 +421,7 @@ func (c *muxConn) call(ctx context.Context, req wire.Message) (wire.Message, err
 	ch := make(chan muxResult, 1)
 	c.pending[id] = ch
 	conn := c.conn
+	wc := c.wc
 	co := c.co
 	c.mu.Unlock()
 
@@ -350,7 +435,7 @@ func (c *muxConn) call(ctx context.Context, req wire.Message) (wire.Message, err
 		c.wmu.Lock()
 		err = conn.SetWriteDeadline(time.Now().Add(c.io))
 		if err == nil {
-			err = wire.WriteMuxFrame(conn, wire.FrameRequest, id, req)
+			err = wire.WriteMuxFrameCodec(wc, wire.FrameRequest, id, req, c.codec)
 		}
 		c.wmu.Unlock()
 	}

@@ -44,6 +44,13 @@ type PoolConfig struct {
 	// NoBatching disables the write coalescer entirely: every frame is
 	// its own write syscall (the pre-batching behavior).
 	NoBatching bool
+	// Codec selects the preferred frame-body encoding: "binary" (or
+	// empty, the default) offers the HRS3 preface and falls back to JSON
+	// per peer when it is not acked; "json" pins the HRS2/JSON encoding —
+	// dials never offer binary and the listener declines HRS3 prefaces
+	// (exactly like a pre-binary build), forcing binary-preferring
+	// dialers down the ladder.
+	Codec string
 }
 
 // DefaultBatchLinger is the default ceiling of the adaptive per-flush
@@ -94,6 +101,45 @@ type poolMetrics struct {
 
 	client batchMetrics // flushes of request frames (this side dials)
 	server batchMetrics // flushes of response frames (this side listens)
+
+	codecClient codecMetrics // negotiation + wire bytes, dialing side
+	codecServer codecMetrics // negotiation + wire bytes, listening side
+}
+
+// codecMetrics is one side's hours_codec_* series: which codec each mux
+// connection negotiated and how many encoded/decoded wire bytes flowed
+// under it.
+type codecMetrics struct {
+	binary codecSeries
+	json   codecSeries
+}
+
+// codecSeries is the per-codec triple.
+type codecSeries struct {
+	negotiated *obs.Counter
+	encBytes   *obs.Counter
+	decBytes   *obs.Counter
+}
+
+// newCodecMetrics registers one side's hours_codec_* series.
+func newCodecMetrics(reg *obs.Registry, side string) codecMetrics {
+	series := func(codec string) codecSeries {
+		c, s := obs.L("codec", codec), obs.L("side", side)
+		return codecSeries{
+			negotiated: reg.Counter("hours_codec_negotiated_total", c, s),
+			encBytes:   reg.Counter("hours_codec_encode_bytes_total", c, s),
+			decBytes:   reg.Counter("hours_codec_decode_bytes_total", c, s),
+		}
+	}
+	return codecMetrics{binary: series("binary"), json: series("json")}
+}
+
+// series picks the triple for a negotiated codec.
+func (c *codecMetrics) series(codec wire.Codec) *codecSeries {
+	if codec == wire.Binary {
+		return &c.binary
+	}
+	return &c.json
 }
 
 // batchMetrics observes one side's write coalescing: how many flushes
@@ -170,6 +216,7 @@ type PooledTCP struct {
 	mu      sync.Mutex
 	peers   map[string]*peerPool
 	v1      map[string]bool // peers that rejected the mux preface
+	noBin   map[string]bool // mux peers that declined the binary codec
 	closed  bool
 	stop    chan struct{}
 	janitor bool
@@ -203,6 +250,7 @@ func NewPooledTCP(cfg PoolConfig) *PooledTCP {
 		oneShot:  TCP{DialTimeout: cfg.DialTimeout, IOTimeout: cfg.IOTimeout},
 		peers:    make(map[string]*peerPool),
 		v1:       make(map[string]bool),
+		noBin:    make(map[string]bool),
 		stop:     make(chan struct{}),
 		allConns: make(map[*muxConn]struct{}),
 	}
@@ -241,15 +289,61 @@ func (p *PooledTCP) SetMetrics(reg *obs.Registry) {
 		return
 	}
 	p.m = &poolMetrics{
-		dials:     reg.Counter("hours_pool_dials_total"),
-		reuse:     reg.Counter("hours_pool_conn_reuse_total"),
-		fallbacks: reg.Counter("hours_pool_fallback_calls_total"),
-		evictions: reg.Counter("hours_pool_idle_evictions_total"),
-		retired:   reg.Counter("hours_pool_conns_retired_total"),
-		redials:   reg.Counter("hours_pool_redials_total"),
-		connsOpen: reg.Gauge("hours_pool_conns_open"),
-		client:    newBatchMetrics(reg, "client"),
-		server:    newBatchMetrics(reg, "server"),
+		dials:       reg.Counter("hours_pool_dials_total"),
+		reuse:       reg.Counter("hours_pool_conn_reuse_total"),
+		fallbacks:   reg.Counter("hours_pool_fallback_calls_total"),
+		evictions:   reg.Counter("hours_pool_idle_evictions_total"),
+		retired:     reg.Counter("hours_pool_conns_retired_total"),
+		redials:     reg.Counter("hours_pool_redials_total"),
+		connsOpen:   reg.Gauge("hours_pool_conns_open"),
+		client:      newBatchMetrics(reg, "client"),
+		server:      newBatchMetrics(reg, "server"),
+		codecClient: newCodecMetrics(reg, "client"),
+		codecServer: newCodecMetrics(reg, "server"),
+	}
+}
+
+// clientCodecHooks observes dial-side codec negotiation and wire bytes;
+// p.m is read at call time so SetMetrics may run after connections
+// exist.
+func (p *PooledTCP) clientCodecHooks() *codecHooks {
+	return &codecHooks{
+		negotiated: func(c wire.Codec) {
+			if m := p.m; m != nil {
+				m.codecClient.series(c).negotiated.Inc()
+			}
+		},
+		readBytes: func(c wire.Codec, n int) {
+			if m := p.m; m != nil {
+				m.codecClient.series(c).decBytes.Add(int64(n))
+			}
+		},
+		wroteBytes: func(c wire.Codec, n int) {
+			if m := p.m; m != nil {
+				m.codecClient.series(c).encBytes.Add(int64(n))
+			}
+		},
+	}
+}
+
+// serverCodecHooks is the listening-side counterpart.
+func (p *PooledTCP) serverCodecHooks() *codecHooks {
+	return &codecHooks{
+		negotiated: func(c wire.Codec) {
+			if m := p.m; m != nil {
+				m.codecServer.series(c).negotiated.Inc()
+			}
+		},
+		readBytes: func(c wire.Codec, n int) {
+			if m := p.m; m != nil {
+				m.codecServer.series(c).decBytes.Add(int64(n))
+			}
+		},
+		wroteBytes: func(c wire.Codec, n int) {
+			if m := p.m; m != nil {
+				m.codecServer.series(c).encBytes.Add(int64(n))
+			}
+		},
 	}
 }
 
@@ -373,6 +467,8 @@ func (p *PooledTCP) acquire(ctx context.Context, addr string) (*muxConn, func(),
 				p.m.connsOpen.Add(-1)
 			}
 		})
+		pick.preferBinary = p.preferBinary(addr)
+		pick.hooks = p.clientCodecHooks()
 		pick.spawn = p.goBg
 		pick.onDead = p.forgetConn
 		p.trackConn(pick)
@@ -439,6 +535,25 @@ func (p *PooledTCP) markV1(addr string) {
 	p.mu.Unlock()
 }
 
+// markNoBinary records that addr declined the HRS3 preface; subsequent
+// dials there offer HRS2 directly (sticky downgrade).
+func (p *PooledTCP) markNoBinary(addr string) {
+	p.mu.Lock()
+	p.noBin[addr] = true
+	p.mu.Unlock()
+}
+
+// preferBinary reports whether a fresh dial to addr should offer the
+// binary codec: the pool is configured for it and addr never declined.
+func (p *PooledTCP) preferBinary(addr string) bool {
+	if p.cfg.Codec == "json" {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !p.noBin[addr]
+}
+
 // Call implements Transport: it multiplexes the request over a pooled
 // connection to addr, transparently redialing once when the pooled
 // connection broke before the request could be written, and falling back
@@ -473,8 +588,12 @@ func (p *PooledTCP) Call(ctx context.Context, addr string, req wire.Message) (wi
 
 	// One transparent redial: a conn that died or drained before this
 	// request was written cannot have executed it, so retrying on a fresh
-	// conn is safe for every message type.
+	// conn is safe for every message type. A declined binary preface
+	// consumes no attempt — the downgrade ladder (HRS3 → HRS2 → one-shot)
+	// grants one extra dial, after which the sticky noBin mark keeps
+	// every later dial to that addr on HRS2 from the start.
 	var lastErr error
+	downgraded := false
 	for attempt := 0; attempt < 2; attempt++ {
 		c, release, err := p.acquire(ctx, addr)
 		if err != nil {
@@ -484,6 +603,14 @@ func (p *PooledTCP) Call(ctx context.Context, addr string, req wire.Message) (wi
 		release()
 		if err == nil {
 			return p.finish(addr, resp)
+		}
+		if errors.Is(err, errPeerNoBinary) {
+			p.markNoBinary(addr)
+			if !downgraded {
+				downgraded = true
+				attempt--
+			}
+			continue
 		}
 		if errors.Is(err, errPeerIsV1) {
 			p.markV1(addr)
@@ -575,14 +702,16 @@ func (p *PooledTCP) Listen(addr string, h Handler) (io.Closer, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	l := &muxListener{
-		ln:          ln,
-		h:           h,
-		io:          p.cfg.IOTimeout,
-		idle:        2 * p.cfg.IdleTimeout,
-		maxInflight: p.cfg.MaxInflightPerConn,
-		batch:       p.batchSettingsFor(p.recordServerFlush),
-		stop:        make(chan struct{}),
-		conns:       make(map[net.Conn]struct{}),
+		ln:           ln,
+		h:            h,
+		io:           p.cfg.IOTimeout,
+		idle:         2 * p.cfg.IdleTimeout,
+		maxInflight:  p.cfg.MaxInflightPerConn,
+		batch:        p.batchSettingsFor(p.recordServerFlush),
+		acceptBinary: p.cfg.Codec != "json",
+		hooks:        p.serverCodecHooks(),
+		stop:         make(chan struct{}),
+		conns:        make(map[net.Conn]struct{}),
 	}
 	l.baseCtx, l.cancel = context.WithCancel(context.Background())
 	l.wg.Add(1)
@@ -622,6 +751,10 @@ type muxListener struct {
 	idle        time.Duration
 	maxInflight int
 	batch       *batchSettings // response coalescing (nil: one write per frame)
+	// acceptBinary acks HRS3 prefaces; false (Codec "json") closes them
+	// unacked, exactly like a pre-binary build, so dialers downgrade.
+	acceptBinary bool
+	hooks        *codecHooks // hours_codec_* observation; may be nil
 
 	wg      sync.WaitGroup
 	once    sync.Once
@@ -735,7 +868,18 @@ func (l *muxListener) serveConn(conn net.Conn) {
 	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 		return
 	}
-	if !wire.IsMuxPreface(hdr) {
+	codec := wire.JSON
+	switch {
+	case wire.IsMuxPreface(hdr):
+	case wire.IsBinaryMuxPreface(hdr):
+		if !l.acceptBinary {
+			// Close without an ack — indistinguishable from a pre-binary
+			// build, which is exactly what a "json"-pinned listener
+			// impersonates; the dialer downgrades to HRS2 and redials.
+			return
+		}
+		codec = wire.Binary
+	default:
 		l.serveOneShot(conn, hdr)
 		return
 	}
@@ -745,10 +889,18 @@ func (l *muxListener) serveConn(conn net.Conn) {
 	if err := conn.SetWriteDeadline(time.Now().Add(l.io)); err != nil {
 		return
 	}
-	if err := wire.WriteHello(conn); err != nil {
+	// Ack with the magic that was offered: the dialer checks the echo.
+	magic, version := wire.MuxMagic, wire.MuxVersion
+	if codec == wire.Binary {
+		magic, version = wire.MuxMagicBinary, wire.MuxVersionBinary
+	}
+	if err := wire.WriteHelloMagic(conn, magic, version); err != nil {
 		return
 	}
-	l.serveMux(conn)
+	if l.hooks != nil && l.hooks.negotiated != nil {
+		l.hooks.negotiated(codec)
+	}
+	l.serveMux(conn, codec)
 }
 
 // serveOneShot finishes a v1 exchange whose length prefix was sniffed.
@@ -778,10 +930,22 @@ func (l *muxListener) serveOneShot(conn net.Conn, hdr [4]byte) {
 // handled in its own goroutine and answered with a same-ID response
 // frame; a bounded semaphore enforces the per-conn in-flight cap by
 // pausing the read loop (backpressure) when the peer over-pipelines.
-func (l *muxListener) serveMux(conn net.Conn) {
+func (l *muxListener) serveMux(conn net.Conn, codec wire.Codec) {
 	wmu := l.track(conn)
 	defer l.untrack(conn)
 	sem := make(chan struct{}, l.maxInflight)
+
+	// Wrap the socket for hours_codec_* byte counting when observed.
+	var cw io.Writer = conn
+	var cr io.Reader = conn
+	if l.hooks != nil {
+		if l.hooks.wroteBytes != nil {
+			cw = &countingWriter{w: conn, codec: codec, f: l.hooks.wroteBytes}
+		}
+		if l.hooks.readBytes != nil {
+			cr = &countingReader{r: conn, codec: codec, f: l.hooks.readBytes}
+		}
+	}
 
 	// Response coalescing: handler goroutines enqueue response frames and
 	// a per-connection flusher batches them onto the socket, so a node
@@ -797,7 +961,7 @@ func (l *muxListener) serveMux(conn net.Conn) {
 				if err := conn.SetWriteDeadline(time.Now().Add(l.io)); err != nil {
 					return err
 				}
-				_, err := conn.Write(b)
+				_, err := cw.Write(b)
 				return err
 			},
 			MaxBytes:  l.batch.maxBytes,
@@ -807,6 +971,7 @@ func (l *muxListener) serveMux(conn net.Conn) {
 			// A failed flush kills the socket, which breaks the read loop;
 			// Shutdown semantics are implicit (the flusher exits itself).
 			OnError: func(error) { conn.Close() },
+			Codec:   codec,
 		})
 		l.wg.Add(1)
 		go func() {
@@ -829,7 +994,7 @@ func (l *muxListener) serveMux(conn net.Conn) {
 		var id uint64
 		var req wire.Message
 		var err error
-		kind, id, req, scratch, err = wire.ReadMuxFrameBuffer(conn, scratch)
+		kind, id, req, scratch, err = wire.ReadMuxFrameBufferCodec(cr, scratch, codec)
 		if err != nil {
 			return
 		}
@@ -871,7 +1036,7 @@ func (l *muxListener) serveMux(conn net.Conn) {
 			if err := conn.SetWriteDeadline(time.Now().Add(l.io)); err != nil {
 				return
 			}
-			_ = wire.WriteMuxFrame(conn, wire.FrameResponse, id, resp)
+			_ = wire.WriteMuxFrameCodec(cw, wire.FrameResponse, id, resp, codec)
 		}(id, req)
 	}
 }

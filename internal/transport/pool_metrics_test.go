@@ -107,7 +107,11 @@ func TestPoolMetricsBrokenConnRetire(t *testing.T) {
 	}()
 
 	reg := obs.NewRegistry()
-	p := NewPooledTCP(PoolConfig{IOTimeout: 2 * time.Second})
+	// Codec pinned to json: the hand-rolled server above speaks HRS2 only,
+	// and this test counts retires from abrupt breaks — the extra
+	// dial-and-retire of an HRS3 downgrade is covered by the codec
+	// negotiation tests.
+	p := NewPooledTCP(PoolConfig{IOTimeout: 2 * time.Second, Codec: "json"})
 	p.SetMetrics(reg)
 	defer p.Close()
 	addr := ln.Addr().String()

@@ -118,6 +118,14 @@ func WithoutBatching() StackOption {
 	return func(c *StackConfig) { c.Pool.NoBatching = true }
 }
 
+// WithCodec selects the pooled base's preferred frame-body encoding:
+// "binary" (or empty, the default) negotiates the HRS3 binary codec per
+// peer with sticky per-addr JSON fallback; "json" pins HRS2/JSON on both
+// the dialing and listening side. Only meaningful without WithBase.
+func WithCodec(name string) StackOption {
+	return func(c *StackConfig) { c.Pool.Codec = name }
+}
+
 // NewStack assembles the canonical decorator chain from options:
 //
 //	Retry → Breaker → Traced → Faulty → Instrument → base (pooled TCP

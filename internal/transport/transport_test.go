@@ -264,9 +264,12 @@ func BenchmarkMemCall(b *testing.B) {
 // pooled, multiplexed client — batched (default) and unbatched — at 1
 // and 64 concurrent callers. Each client variant runs against a server
 // with the matching batching config, so the pooled-vs-nobatch delta is
-// the full (client+server) effect of write coalescing. scripts/check.sh
-// smoke-runs these and records the numbers in BENCH_transport.json and
-// BENCH_batch.json.
+// the full (client+server) effect of write coalescing, and the
+// pooled-vs-json delta is the full effect of the negotiated HRS3 binary
+// codec (pooled/* negotiate binary by default; json/* pin both ends to
+// the HRS2 JSON encoding). scripts/check.sh smoke-runs these and records
+// the numbers in BENCH_transport.json, BENCH_batch.json, and
+// BENCH_codec.json.
 func BenchmarkTCPCall(b *testing.B) {
 	listen := func(cfg PoolConfig) string {
 		server := NewPooledTCP(cfg)
@@ -311,12 +314,15 @@ func BenchmarkTCPCall(b *testing.B) {
 
 	batched := listen(PoolConfig{})
 	raw := listen(PoolConfig{NoBatching: true})
+	jsonSrv := listen(PoolConfig{Codec: "json"})
 
 	dial := &TCP{}
 	pooled := NewPooledTCP(PoolConfig{})
 	defer pooled.Close()
 	nobatch := NewPooledTCP(PoolConfig{NoBatching: true})
 	defer nobatch.Close()
+	jsonPool := NewPooledTCP(PoolConfig{Codec: "json"})
+	defer jsonPool.Close()
 
 	b.Run("dial/c1", bench(dial, raw, 1))
 	b.Run("dial/c64", bench(dial, raw, 64))
@@ -324,4 +330,6 @@ func BenchmarkTCPCall(b *testing.B) {
 	b.Run("pooled/c64", bench(pooled, batched, 64))
 	b.Run("nobatch/c1", bench(nobatch, raw, 1))
 	b.Run("nobatch/c64", bench(nobatch, raw, 64))
+	b.Run("json/c1", bench(jsonPool, jsonSrv, 1))
+	b.Run("json/c64", bench(jsonPool, jsonSrv, 64))
 }

@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// declaredTypes parses the package's own source and returns every
+// declared wire.Type constant (name → string value). Walking the source
+// rather than a hand-kept list means a newly added Type cannot dodge the
+// guard by omission.
+func declaredTypes(t *testing.T) map[string]Type {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]Type)
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", e.Name()), nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				ident, ok := vs.Type.(*ast.Ident)
+				if !ok || ident.Name != "Type" {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					v, err := strconv.Unquote(lit.Value)
+					if err != nil {
+						t.Fatal(err)
+					}
+					out[name.Name] = Type(v)
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("found no declared Type constants — parser walk broken?")
+	}
+	return out
+}
+
+// TestBinaryCodecExhaustive is the guard of the binary codec's coverage:
+// every declared wire.Type must have a stable 1-byte wire ID (else its
+// messages cross binary connections with the costlier string-typed
+// envelope), and every type on the hot list must have a registered
+// binary body codec. Adding a Type therefore forces a deliberate
+// hot-or-fallback decision here.
+func TestBinaryCodecExhaustive(t *testing.T) {
+	declared := declaredTypes(t)
+
+	// Every declared type carries a compact ID.
+	for name, typ := range declared {
+		if _, ok := typeIDs[typ]; !ok {
+			t.Errorf("%s (%q) has no binary type ID — assign the next free ID in typeIDs (append-only)", name, typ)
+		}
+	}
+	// No ID maps to an undeclared type, and IDs are collision-free.
+	byVal := make(map[Type]bool, len(declared))
+	for _, typ := range declared {
+		byVal[typ] = true
+	}
+	for typ := range typeIDs {
+		if !byVal[typ] {
+			t.Errorf("typeIDs entry %q does not correspond to a declared Type constant", typ)
+		}
+	}
+	if len(idTypes) != len(typeIDs) {
+		t.Errorf("typeIDs assigns %d types but only %d distinct IDs — two types share an ID", len(typeIDs), len(idTypes))
+	}
+
+	// The hot path of the paper's workload: queries and their results,
+	// liveness probes, and the §4.3 recovery vocabulary. Each must have a
+	// registered binary body codec (possibly the bodyless one).
+	hot := []Type{
+		TypeQuery, TypeQueryResult,
+		TypeProbe, TypeProbeResult,
+		TypeChildSample, TypeChildSampleResult,
+		TypeNotifyCCW, TypeNotifyCCWResult,
+		TypeRepair, TypeRepairResult,
+		TypeError,
+	}
+	for _, typ := range hot {
+		bc, ok := bodyCodecs[typ]
+		if !ok {
+			t.Errorf("hot type %q has no registered binary body codec", typ)
+			continue
+		}
+		// enc and dec come in pairs: both set (typed body) or both nil
+		// (registered bodyless type).
+		if (bc.enc == nil) != (bc.dec == nil) {
+			t.Errorf("hot type %q registers enc=%v dec=%v — must be both or neither", typ, bc.enc != nil, bc.dec != nil)
+		}
+	}
+	// HotTypes mirrors the registration map for external checks.
+	if got := HotTypes(); len(got) != len(bodyCodecs) {
+		t.Errorf("HotTypes() returned %d types, registry has %d", len(got), len(bodyCodecs))
+	}
+}

@@ -34,6 +34,17 @@ const MuxMagic uint32 = 0x48525332
 // MuxVersion is the multiplexed protocol version spoken by this build.
 const MuxVersion byte = 2
 
+// MuxMagicBinary opens a multiplexed connection whose frame bodies use
+// the binary codec ("HRS3" big-endian). Like MuxMagic it exceeds
+// maxFrame, so a v1 peer rejects it instantly; an HRS2-only peer fails
+// its magic check and closes, which the dialer treats as "no binary
+// here" and redials with the HRS2 preface (sticky per addr — see the
+// transport's downgrade ladder).
+const MuxMagicBinary uint32 = 0x48525333
+
+// MuxVersionBinary is the protocol version carried by the HRS3 preface.
+const MuxVersionBinary byte = 3
+
 // FrameKind tags one multiplexed frame.
 type FrameKind byte
 
@@ -115,28 +126,49 @@ func (k FrameKind) String() string {
 // helloLen is the size of the preface/ack: magic plus version.
 const helloLen = 5
 
-// WriteHello writes the mux preface (client side) or ack (server side).
+// WriteHello writes the HRS2 mux preface (client side) or ack (server
+// side).
 func WriteHello(w io.Writer) error {
+	return WriteHelloMagic(w, MuxMagic, MuxVersion)
+}
+
+// WriteHelloMagic writes a preface/ack with an explicit magic — the
+// dialer picks MuxMagicBinary to offer the binary codec, MuxMagic for
+// JSON; the listener acks whichever it accepted.
+func WriteHelloMagic(w io.Writer, magic uint32, version byte) error {
 	var buf [helloLen]byte
-	binary.BigEndian.PutUint32(buf[:4], MuxMagic)
-	buf[4] = MuxVersion
+	binary.BigEndian.PutUint32(buf[:4], magic)
+	buf[4] = version
 	if _, err := w.Write(buf[:]); err != nil {
 		return fmt.Errorf("wire: write mux hello: %w", err)
 	}
 	return nil
 }
 
-// ReadHello reads and validates a mux preface/ack, returning the peer's
-// version.
+// ReadHello reads and validates an HRS2 mux preface/ack, returning the
+// peer's version.
 func ReadHello(r io.Reader) (byte, error) {
+	_, v, err := readHello(r, false)
+	return v, err
+}
+
+// ReadHelloMagic reads a preface/ack accepting either mux magic and
+// returns which one the peer sent along with its version — the dialer
+// uses it to learn which codec the listener acked.
+func ReadHelloMagic(r io.Reader) (uint32, byte, error) {
+	return readHello(r, true)
+}
+
+func readHello(r io.Reader, allowBinary bool) (uint32, byte, error) {
 	var buf [helloLen]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return 0, fmt.Errorf("wire: read mux hello: %w", err)
+		return 0, 0, fmt.Errorf("wire: read mux hello: %w", err)
 	}
-	if binary.BigEndian.Uint32(buf[:4]) != MuxMagic {
-		return 0, fmt.Errorf("wire: bad mux magic %#x", binary.BigEndian.Uint32(buf[:4]))
+	magic := binary.BigEndian.Uint32(buf[:4])
+	if magic != MuxMagic && !(allowBinary && magic == MuxMagicBinary) {
+		return 0, 0, fmt.Errorf("wire: bad mux magic %#x", magic)
 	}
-	return buf[4], nil
+	return magic, buf[4], nil
 }
 
 // FinishHello completes a hello whose first four bytes were already
@@ -150,10 +182,17 @@ func FinishHello(r io.Reader) (byte, error) {
 	return v[0], nil
 }
 
-// IsMuxPreface reports whether a sniffed 4-byte header opens a
-// multiplexed connection (as opposed to being a v1 length prefix).
+// IsMuxPreface reports whether a sniffed 4-byte header opens an HRS2
+// (JSON-codec) multiplexed connection (as opposed to being a v1 length
+// prefix).
 func IsMuxPreface(hdr [4]byte) bool {
 	return binary.BigEndian.Uint32(hdr[:]) == MuxMagic
+}
+
+// IsBinaryMuxPreface reports whether a sniffed 4-byte header opens an
+// HRS3 (binary-codec) multiplexed connection.
+func IsBinaryMuxPreface(hdr [4]byte) bool {
+	return binary.BigEndian.Uint32(hdr[:]) == MuxMagicBinary
 }
 
 // muxHeaderLen is the per-frame header: kind, request ID, body length.
@@ -180,8 +219,20 @@ const maxDeadlineMillis = int64(^uint32(0))
 // and hand them to the kernel in a single write — the primitive under
 // the Coalescer's batched flushes.
 func AppendMuxFrame(dst []byte, kind FrameKind, id uint64, m Message) ([]byte, error) {
+	return AppendMuxFrameCodec(dst, kind, id, m, JSON)
+}
+
+// AppendMuxFrameCodec is AppendMuxFrame with an explicit body codec —
+// the connection's negotiated encoding. The message body is serialized
+// by the codec directly into dst after the (header, prefix) placeholder,
+// so the binary hot path never materializes an intermediate body slice.
+// A nil codec means JSON.
+func AppendMuxFrameCodec(dst []byte, kind FrameKind, id uint64, m Message, c Codec) ([]byte, error) {
 	if !kind.valid() {
 		return dst, fmt.Errorf("wire: write frame of unknown kind %d", byte(kind))
+	}
+	if c == nil {
+		c = JSON
 	}
 	var tc TraceContext
 	var dl int64
@@ -194,14 +245,6 @@ func AppendMuxFrame(dst []byte, kind FrameKind, id uint64, m Message) ([]byte, e
 		}
 		kind = requestKind(!tc.IsZero(), dl > 0)
 	}
-	var body []byte
-	if kind != FrameGoAway {
-		var err error
-		body, err = encodeFrame(m)
-		if err != nil {
-			return dst, err
-		}
-	}
 	prefix := 0
 	if !tc.IsZero() {
 		prefix += TraceContextLen
@@ -210,11 +253,28 @@ func AppendMuxFrame(dst []byte, kind FrameKind, id uint64, m Message) ([]byte, e
 		prefix += deadlineLen
 	}
 	start := len(dst)
-	dst = append(dst, make([]byte, muxHeaderLen+prefix)...)
-	hdr := dst[start:]
+	// Reserve the (header, prefix) placeholder from a stack array rather
+	// than append(dst, make(...)...): the compiler's append-make fusion is
+	// off under race instrumentation, and the zero-alloc pin holds there
+	// too.
+	var zeros [muxHeaderLen + TraceContextLen + deadlineLen]byte
+	dst = append(dst, zeros[:muxHeaderLen+prefix]...)
+	bodyStart := len(dst)
+	if kind != FrameGoAway {
+		var err error
+		dst, err = c.AppendMessage(dst, m)
+		if err != nil {
+			return dst[:start], err
+		}
+	}
+	bodyLen := len(dst) - bodyStart
+	if bodyLen > maxFrame {
+		return dst[:start], fmt.Errorf("wire: frame of %d bytes exceeds limit %d", bodyLen, maxFrame)
+	}
+	hdr := dst[start:bodyStart]
 	hdr[0] = byte(kind)
 	binary.BigEndian.PutUint64(hdr[1:9], id)
-	binary.BigEndian.PutUint32(hdr[9:13], uint32(prefix+len(body)))
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(prefix+bodyLen))
 	off := muxHeaderLen
 	if !tc.IsZero() {
 		tc.AppendBinary(hdr[off : off : off+TraceContextLen])
@@ -223,7 +283,7 @@ func AppendMuxFrame(dst []byte, kind FrameKind, id uint64, m Message) ([]byte, e
 	if dl > 0 {
 		binary.BigEndian.PutUint32(hdr[off:off+deadlineLen], uint32(dl))
 	}
-	return append(dst, body...), nil
+	return dst, nil
 }
 
 // frameBufPool recycles the scratch buffers WriteMuxFrame assembles
@@ -238,8 +298,13 @@ const pooledBufMax = 64 << 10
 // WriteMuxFrame writes one multiplexed frame, assembled in a pooled
 // buffer (see AppendMuxFrame for the encoding).
 func WriteMuxFrame(w io.Writer, kind FrameKind, id uint64, m Message) error {
+	return WriteMuxFrameCodec(w, kind, id, m, JSON)
+}
+
+// WriteMuxFrameCodec is WriteMuxFrame with an explicit body codec.
+func WriteMuxFrameCodec(w io.Writer, kind FrameKind, id uint64, m Message, c Codec) error {
 	bp := frameBufPool.Get().(*[]byte)
-	buf, err := AppendMuxFrame((*bp)[:0], kind, id, m)
+	buf, err := AppendMuxFrameCodec((*bp)[:0], kind, id, m, c)
 	if err == nil {
 		// One Write keeps the frame contiguous under concurrent writers
 		// that serialize on a mutex but must not interleave partial frames.
@@ -271,6 +336,15 @@ func ReadMuxFrame(r io.Reader) (FrameKind, uint64, Message, error) {
 // memory — JSON decoding and the binary-prefix parsers copy out of the
 // scratch — so reusing the buffer immediately is safe.
 func ReadMuxFrameBuffer(r io.Reader, scratch []byte) (FrameKind, uint64, Message, []byte, error) {
+	return ReadMuxFrameBufferCodec(r, scratch, JSON)
+}
+
+// ReadMuxFrameBufferCodec is ReadMuxFrameBuffer with an explicit body
+// codec — the connection's negotiated encoding. A nil codec means JSON.
+func ReadMuxFrameBufferCodec(r io.Reader, scratch []byte, c Codec) (FrameKind, uint64, Message, []byte, error) {
+	if c == nil {
+		c = JSON
+	}
 	var hdr [muxHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, 0, Message{}, scratch, fmt.Errorf("wire: read mux header: %w", err)
@@ -319,7 +393,7 @@ func ReadMuxFrameBuffer(r io.Reader, scratch []byte) (FrameKind, uint64, Message
 	if kind.isRequest() {
 		kind = FrameRequest
 	}
-	m, err := decodeFrame(body)
+	m, err := c.DecodeMessage(body)
 	if err != nil {
 		return 0, 0, Message{}, scratch, err
 	}

@@ -93,9 +93,23 @@ type Message struct {
 	TC      TraceContext    `json:"tc,omitzero"`
 	From    string          `json:"from,omitempty"`
 	DL      int64           `json:"dl,omitzero"`
+
+	// body, when non-nil, is the typed payload of a message built by
+	// Typed (or decoded by the binary codec): encoding is deferred to
+	// write time, where the connection's negotiated codec serializes it
+	// directly into the frame buffer — no intermediate RawMessage.
+	body any
+	// owned marks a body decoded from the wire: nothing else references
+	// it, so Decode may assign it shallowly. Sender-built bodies are not
+	// owned (the in-process Mem transport delivers the same Message value
+	// to the handler) and Decode deep-copies their slices instead.
+	owned bool
 }
 
-// New encodes payload into a Message of the given type.
+// New encodes payload into a Message of the given type, eagerly
+// marshaling it to JSON. Production paths prefer Typed, which defers
+// encoding to the connection's negotiated codec; New remains for callers
+// (and tests) that want the JSON bytes in hand.
 func New(t Type, payload any) (Message, error) {
 	if payload == nil {
 		return Message{Type: t}, nil
@@ -107,8 +121,36 @@ func New(t Type, payload any) (Message, error) {
 	return Message{Type: t, Payload: raw}, nil
 }
 
-// Decode unmarshals the payload into out.
+// Typed wraps a typed payload into a Message without encoding it: the
+// codec of whatever connection the message is written to serializes the
+// body straight into the frame buffer (binary for the hot types on HRS3
+// connections, single-pass JSON otherwise). body should be a pointer to
+// one of this package's payload structs; nil means a bodyless message.
+// Encoding errors, impossible for the package's own payload types,
+// surface at write time.
+func Typed(t Type, body any) Message {
+	return Message{Type: t, body: body}
+}
+
+// Decode unmarshals the payload into out. Typed bodies of hot types
+// assign without a JSON round trip (see assignBody); everything else
+// takes the JSON path.
 func (m Message) Decode(out any) error {
+	if m.body != nil {
+		if assignBody(m.body, out, m.owned) {
+			return nil
+		}
+		// Mismatched or cold-typed body: fall back through JSON, which
+		// also preserves the historical type-coercion semantics.
+		raw, err := json.Marshal(m.body)
+		if err != nil {
+			return fmt.Errorf("wire: decode %s payload: %w", m.Type, err)
+		}
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("wire: decode %s payload: %w", m.Type, err)
+		}
+		return nil
+	}
 	if err := json.Unmarshal(m.Payload, out); err != nil {
 		return fmt.Errorf("wire: decode %s payload: %w", m.Type, err)
 	}
@@ -286,11 +328,14 @@ type Error struct {
 // frame indicates corruption or abuse.
 const maxFrame = 1 << 20
 
-// encodeFrame marshals a message body and enforces the frame limit.
+// encodeFrame marshals a message body and enforces the frame limit. It
+// encodes envelope and payload in a single pass through the pooled JSON
+// encoder (see appendJSONMessage), so even eagerly built messages pay
+// one marshal, not two.
 func encodeFrame(m Message) ([]byte, error) {
-	body, err := json.Marshal(m)
+	body, err := appendJSONMessage(nil, m)
 	if err != nil {
-		return nil, fmt.Errorf("wire: marshal frame: %w", err)
+		return nil, err
 	}
 	if len(body) > maxFrame {
 		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(body), maxFrame)

@@ -74,6 +74,58 @@ echo "$bench_out" | awk '
 ' > BENCH_batch.json
 echo "    wrote BENCH_batch.json"
 
+# Wire-codec acceptance (DESIGN.md §13): pooled/* negotiates the HRS3
+# binary codec end to end while json/* pins both ends to the HRS2 JSON
+# encoding, so the pooled-vs-json delta is the codec's full effect. This
+# comparison gets its own longer run — at 0.2s the two sides land within
+# scheduler noise of each other. The numbers land in BENCH_codec.json
+# next to the frozen pre-codec baseline; the hard gate holds the binary
+# hot path at <= 22 allocs/op and <= 1229 bytes/op on pooled/c64 (ns/op
+# is checked against json but only warns — wall-clock is too noisy on
+# shared runners to fail the build).
+echo "==> codec bench smoke (HRS3 binary vs HRS2 json, pooled)"
+codec_out=$(go test -run '^$' -bench 'BenchmarkTCPCall/(pooled|json)/' -benchmem -benchtime 1s ./internal/transport/)
+echo "$codec_out" | grep 'BenchmarkTCPCall'
+echo "$codec_out" | awk '
+    BEGIN {
+        print "{" > "BENCH_codec.json"
+        print "  \"baseline_pre_pr\": {" > "BENCH_codec.json"
+        print "    \"_comment\": \"pooled/c64 before the HRS3 binary codec (frozen from BenchmarkTCPCall at b843976 with -benchmem)\"," > "BENCH_codec.json"
+        print "    \"pooled/c64\": {\"ns_per_op\": 10289, \"bytes_per_op\": 1900, \"allocs_per_op\": 30}" > "BENCH_codec.json"
+        print "  }," > "BENCH_codec.json"
+        printf "  \"current\": {" > "BENCH_codec.json"
+    }
+    /^BenchmarkTCPCall\/(pooled|json)\// {
+        split($1, parts, "/")
+        name = parts[2] "/" parts[3]
+        sub(/-[0-9]+$/, "", name)
+        if (n++) printf "," > "BENCH_codec.json"
+        printf "\n    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7 > "BENCH_codec.json"
+        ns[name] = $3; bytes[name] = $5; allocs[name] = $7
+    }
+    END {
+        print "\n  }\n}" > "BENCH_codec.json"
+        if (allocs["pooled/c64"] > 22 || bytes["pooled/c64"] > 1229) {
+            printf "FAIL: binary pooled/c64 at %s allocs/op, %s B/op (gate: <= 22 allocs, <= 1229 B)\n", allocs["pooled/c64"], bytes["pooled/c64"] > "/dev/stderr"
+            exit 1
+        }
+        if (ns["pooled/c64"] + 0 > ns["json/c64"] + 0)
+            printf "WARN: binary pooled/c64 (%s ns/op) slower than json/c64 (%s ns/op) this run\n", ns["pooled/c64"], ns["json/c64"] > "/dev/stderr"
+    }
+'
+echo "    wrote BENCH_codec.json"
+
+# Codec correctness gates, kept visible: the mixed-codec interop e2e
+# (v1 one-shot + HRS2/json + HRS3/binary peers in one hierarchy, same
+# answers, sim-equivalent routes, one connected trace tree) under the
+# race detector, plus the zero-alloc pins and the exhaustiveness guard
+# that forces a hot-or-fallback decision for every declared wire.Type.
+echo "==> mixed-codec interop e2e (-race, v1 + HRS2/json + HRS3/binary)"
+go test -race -run 'TestMixedCodecHierarchyE2E' -v ./internal/node/ | grep -E 'MixedCodecHierarchy|^ok|FAIL'
+
+echo "==> codec zero-alloc pins + exhaustiveness guard"
+go test -run 'ZeroAllocs|BinaryCodecExhaustive' -v ./internal/wire/ | grep -E 'ZeroAllocs|Exhaustive|^ok|FAIL'
+
 # Query-coalescing acceptance: the singleflight contract (N identical
 # concurrent lookups -> 1 upstream RPC, N admission charges, N spans;
 # drained followers shed) under the race detector. Runs in the suite
