@@ -76,9 +76,10 @@ type Config struct {
 	// aggregate; leave Metrics nil for per-node registries.
 	Metrics *obs.Registry
 	// Tracer, when non-nil, is shared by every node: all spans land in
-	// one store (the cluster is one process), QueryTraced stamps its
-	// query with a sampled trace context, and context-less requests get
-	// the head sampling decision at whichever node they reach first.
+	// one store (the cluster is one process), Query with WithHopTrace
+	// stamps its query with a sampled trace context, and context-less
+	// requests get the head sampling decision at whichever node they
+	// reach first.
 	Tracer *trace.Tracer
 	// Logger receives every node's structured events (each node tags its
 	// records with a "node" attribute). Nil discards them.

@@ -100,7 +100,7 @@ func TestQueryTraced(t *testing.T) {
 	}
 	defer c.Stop()
 
-	qr, err := c.QueryTraced(ctx, "n1-0", "n2-1.n1-5")
+	qr, err := c.Query(ctx, "n2-1.n1-5", WithEntry("n1-0"), WithHopTrace())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -107,7 +107,7 @@ func TestOverloadSoak(t *testing.T) {
 	goodRound := func() {
 		for _, gc := range []string{"gc-0", "gc-1", "gc-2", "gc-3"} {
 			goodAttempts++
-			qr, err := c.QueryAs(ctx, gc, goodEntries[gc], goodTargets[gc])
+			qr, err := c.Query(ctx, goodTargets[gc], As(gc), WithEntry(goodEntries[gc]))
 			if err != nil {
 				continue
 			}
@@ -141,7 +141,7 @@ func TestOverloadSoak(t *testing.T) {
 		clk.tick(round)
 		for i := 0; i < 40; i++ {
 			floodSent++
-			_, err := c.QueryAs(ctx, "aggressor", "n1-0", "nope.n1-0")
+			_, err := c.Query(ctx, "nope.n1-0", As("aggressor"), WithEntry("n1-0"))
 			switch {
 			case err == nil:
 				floodAdmitted++
@@ -200,7 +200,7 @@ func TestOverloadSoak(t *testing.T) {
 	for r := 0; r < 6; r++ {
 		clk.tick(round)
 		for i := 0; i < 30; i++ {
-			_, _ = c.QueryAs(ctx, fmt.Sprintf("syb-%d-%d", r, i), "n1-0", "n1-1")
+			_, _ = c.Query(ctx, "n1-1", As(fmt.Sprintf("syb-%d-%d", r, i)), WithEntry("n1-0"))
 		}
 		goodRound()
 	}
@@ -217,7 +217,7 @@ func TestOverloadSoak(t *testing.T) {
 	var burstDelivered int
 	for i := 0; i < 30; i++ {
 		goodAttempts++
-		qr, err := c.QueryAs(ctx, "gc-1", "n1-1", "n1-2")
+		qr, err := c.Query(ctx, "n1-2", As("gc-1"), WithEntry("n1-1"))
 		if err != nil {
 			continue
 		}
@@ -244,7 +244,7 @@ func TestOverloadSoak(t *testing.T) {
 		clk.tick(round)
 		goodRound()
 	}
-	qr, err := c.QueryAs(ctx, "gc-0", "n1-0", "n1-1")
+	qr, err := c.Query(ctx, "n1-1", As("gc-0"), WithEntry("n1-0"))
 	goodAttempts++
 	if err != nil {
 		t.Fatalf("post-recovery query: %v", err)

@@ -276,32 +276,3 @@ func (c *Cluster) Lookup(ctx context.Context, target string, entries ...string) 
 	}
 	return firstLoss.qr, firstLoss.err
 }
-
-// QueryAs issues a lookup from the named entry node under an explicit
-// client identity.
-//
-// Deprecated: use Query with As and WithEntry.
-func (c *Cluster) QueryAs(ctx context.Context, client, entry, target string) (wire.QueryResult, error) {
-	return c.Query(ctx, target, As(client), WithEntry(entry))
-}
-
-// QueryDefault is a context-free lookup from the named entry node.
-//
-// Deprecated: use Query with WithEntry.
-func (c *Cluster) QueryDefault(entry, target string) (wire.QueryResult, error) {
-	return c.Query(context.Background(), target, WithEntry(entry))
-}
-
-// QueryTraced issues a hop-traced lookup from the named entry node.
-//
-// Deprecated: use Query with WithHopTrace and WithEntry.
-func (c *Cluster) QueryTraced(ctx context.Context, entry, target string) (wire.QueryResult, error) {
-	return c.Query(ctx, target, WithEntry(entry), WithHopTrace())
-}
-
-// LookupDefault is Lookup with a background context.
-//
-// Deprecated: use Lookup.
-func (c *Cluster) LookupDefault(target string, entries ...string) (wire.QueryResult, error) {
-	return c.Lookup(context.Background(), target, entries...)
-}

@@ -43,14 +43,32 @@ func (a ID) Uint64() uint64 {
 }
 
 // Compare returns -1, 0, or +1 ordering identifiers as big-endian integers.
+// Word-wise (4+8+8 bytes) rather than byte-wise: every routing decision is
+// built on distance comparisons, so this sits on the per-hop fast path.
 func (a ID) Compare(b ID) int {
-	for i := 0; i < Size; i++ {
-		switch {
-		case a[i] < b[i]:
+	ah := binary.BigEndian.Uint32(a[0:4])
+	bh := binary.BigEndian.Uint32(b[0:4])
+	if ah != bh {
+		if ah < bh {
 			return -1
-		case a[i] > b[i]:
-			return 1
 		}
+		return 1
+	}
+	am := binary.BigEndian.Uint64(a[4:12])
+	bm := binary.BigEndian.Uint64(b[4:12])
+	if am != bm {
+		if am < bm {
+			return -1
+		}
+		return 1
+	}
+	al := binary.BigEndian.Uint64(a[12:20])
+	bl := binary.BigEndian.Uint64(b[12:20])
+	if al != bl {
+		if al < bl {
+			return -1
+		}
+		return 1
 	}
 	return 0
 }
@@ -79,15 +97,30 @@ func Parse(s string) (ID, error) {
 }
 
 // Distance returns the clockwise distance from a to b on the circle, i.e.
-// (b - a) mod 2^160.
+// (b - a) mod 2^160. Computed as a three-limb big-endian subtraction
+// (4+8+8 bytes) with borrow propagation — like Compare, it is a per-hop
+// fast-path operation.
 func Distance(a, b ID) ID {
 	var d ID
-	var borrow uint16
-	for i := Size - 1; i >= 0; i-- {
-		v := uint16(b[i]) - uint16(a[i]) - borrow
-		d[i] = byte(v)
-		borrow = (v >> 8) & 1
+	bl := binary.BigEndian.Uint64(b[12:20])
+	al := binary.BigEndian.Uint64(a[12:20])
+	low := bl - al
+	borrow := uint32(0)
+	if bl < al {
+		borrow = 1
 	}
+	bm := binary.BigEndian.Uint64(b[4:12])
+	am := binary.BigEndian.Uint64(a[4:12])
+	mid := bm - am - uint64(borrow)
+	if bm < am || (bm == am && borrow != 0) {
+		borrow = 1
+	} else {
+		borrow = 0
+	}
+	high := binary.BigEndian.Uint32(b[0:4]) - binary.BigEndian.Uint32(a[0:4]) - borrow
+	binary.BigEndian.PutUint32(d[0:4], high)
+	binary.BigEndian.PutUint64(d[4:12], mid)
+	binary.BigEndian.PutUint64(d[12:20], low)
 	return d
 }
 

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/idspace"
 	"repro/internal/obs/trace"
+	"repro/internal/routing"
 	"repro/internal/transport"
 	"repro/internal/wire"
 	"repro/internal/xrand"
@@ -207,6 +209,7 @@ func (n *Node) handleNotifyCCW(req wire.Message) (wire.Message, error) {
 			// any suspicion accumulated against the old pointer is moot.
 			n.ccwSuspicion = 0
 			adopted = prev != candidate.name
+			n.publishViewLocked()
 		}
 	}
 	n.mu.Unlock()
@@ -244,19 +247,14 @@ func (n *Node) handleQuery(ctx context.Context, req wire.Message) (wire.Message,
 		sp.SetAttrInt("q_hops", q.Hops)
 	}
 	if q.Trace {
-		n.mu.Lock()
-		idx := n.index
-		n.mu.Unlock()
 		q.HopTrace = append(q.HopTrace, wire.HopRecord{
-			Node: n.Name(), Index: idx, Mode: q.Mode,
+			Node: n.Name(), Index: n.routingView().SelfIndex, Mode: q.Mode,
 		})
 	}
 
-	// Answer from local data.
+	// Answer from local data (immutable after New — no lock).
 	if q.Target == n.name || (q.Target == "." && n.name == "") {
-		n.mu.Lock()
 		answer := n.data
-		n.mu.Unlock()
 		n.m.queriesAnswered.Inc()
 		finishTrace(q.HopTrace, start)
 		return wire.Typed(wire.TypeQueryResult, &wire.QueryResult{
@@ -335,7 +333,7 @@ func (n *Node) descend(ctx context.Context, q wire.Query, start time.Time) (wire
 	fwd := q
 	fwd.Mode = wire.ModeHierarchical
 	fwd.Hops++
-	if resp, err := n.forwardQuery(ctx, odAddr, fwd, start); err == nil {
+	if resp, err := n.forwardQuery(ctx, odAddr, n.suspicionOf(odAddr), fwd, start); err == nil {
 		return resp, nil
 	}
 
@@ -354,7 +352,7 @@ func (n *Node) descend(ctx context.Context, q wire.Query, start time.Time) (wire
 		fwd.Mode = wire.ModeForward
 		fwd.Hops++
 		attempt++
-		if resp, err := n.forwardQuery(transport.WithAttempt(ctx, attempt), kids[i].addr, fwd, start); err == nil {
+		if resp, err := n.forwardQuery(transport.WithAttempt(ctx, attempt), kids[i].addr, n.suspicionOf(kids[i].addr), fwd, start); err == nil {
 			return resp, nil
 		}
 	}
@@ -387,136 +385,107 @@ func (n *Node) odNameFor(target string) (string, bool) {
 	return strings.Join(labels[len(labels)-levels:], "."), true
 }
 
+// planPool recycles routing plans across forwarding decisions and repair
+// executions: with the published view, one forwarding decision is a
+// lock-free pointer load plus an allocation-free kernel call.
+var planPool = sync.Pool{New: func() any { return new(routing.Plan) }}
+
+// stepMode maps a kernel step to the wire-level forwarding mode it
+// represents.
+func stepMode(k routing.StepKind) wire.QueryMode {
+	switch k {
+	case routing.StepOD:
+		return wire.ModeHierarchical
+	case routing.StepGreedy:
+		return wire.ModeForward
+	case routing.StepBackward:
+		return wire.ModeBackward
+	default:
+		return wire.ModeNephew
+	}
+}
+
 // overlayForward routes a query among siblings toward the OD node per
 // Algorithm 3, using identifier-space distances computed from public
-// names.
+// names. The decision is the shared kernel's (internal/routing): load the
+// published view, build the ranked plan, execute the planned RPCs in
+// order — no locks, no table copy, and a suspicion snapshot that is
+// consistent across the whole ranking.
 func (n *Node) overlayForward(ctx context.Context, q wire.Query, start time.Time) (wire.Message, error) {
-	n.mu.Lock()
-	selfID := n.id
-	hasOverlay := n.overlayN > 0 && n.index >= 0
-	table := make([]tableEntry, len(n.table))
-	copy(table, n.table)
-	ccw := n.ccw
-	n.mu.Unlock()
-
+	v := n.routingView()
 	odName, ok := n.odNameFor(q.Target)
-	if !ok || !hasOverlay {
+	if !ok || !v.Ready() {
 		return n.failQuery(q, fmt.Sprintf("%s cannot overlay-route toward %q", n.Name(), q.Target), start)
 	}
 	odID := idspace.FromName(odName)
-	dist := idspace.Distance(selfID, odID)
+
+	pl := planPool.Get().(*routing.Plan)
+	defer planPool.Put(pl)
+	routing.NextHops(v, odID, q.Mode == wire.ModeBackward, pl)
 
 	// attempt numbers every forwarding try this handler makes, so traces
 	// show which alternates the node walked before one answered.
 	attempt := 0
-	tryForward := func(addr string, fwd wire.Query) (wire.Message, error) {
+	tryForward := func(addr string, susp int, fwd wire.Query) (wire.Message, error) {
 		attempt++
 		cctx := ctx
 		if attempt > 1 {
 			cctx = transport.WithAttempt(ctx, attempt)
 		}
-		return n.forwardQuery(cctx, addr, fwd, start)
+		return n.forwardQuery(cctx, addr, susp, fwd, start)
 	}
 
-	// Algorithm 3, lines 1-7: the OD node is in the routing table.
-	for _, e := range table {
-		if e.name != odName {
-			continue
-		}
-		// Try the OD node itself (sibling pointer).
-		fwd := q
-		fwd.Mode = wire.ModeHierarchical
-		fwd.Hops++
-		if resp, err := tryForward(e.addr, fwd); err == nil {
-			return resp, nil
-		}
-		// The OD node is down: use its nephew pointers to descend into
-		// the next-level overlay directly (this node is the exit).
-		if len(e.nephews) > 0 {
-			for _, nep := range e.nephews {
+	for _, st := range pl.Steps {
+		if st.Kind == routing.StepNephew {
+			// The OD node is down: use its nephew pointers to descend
+			// into the next-level overlay directly (this node is the
+			// exit). The plan ends here — an exit node never routes past
+			// the OD it holds.
+			for _, nep := range v.Entries[st.Entry].Nephews {
 				fwd := q
 				fwd.Mode = wire.ModeNephew
 				fwd.Hops++
-				if resp, err := tryForward(nep.addr, fwd); err == nil {
+				if resp, err := tryForward(nep.Addr, nep.Suspicion, fwd); err == nil {
 					return resp, nil
 				}
 			}
 			return n.failQuery(q, "exit node found no alive nephew", start)
 		}
-		// A nephew-less entry (e.g. created by repair while the OD was
-		// already down) cannot serve as an exit: keep routing.
-		break
+		target := v.Target(st)
+		fwd := q
+		fwd.Mode = stepMode(st.Kind)
+		fwd.Hops++
+		if resp, err := tryForward(target.Addr, target.Suspicion, fwd); err == nil {
+			return resp, nil
+		}
 	}
 
-	if q.Mode != wire.ModeBackward {
-		// Greedy clockwise: the table entry closest to the OD node
-		// without overshooting (Algorithm 3, line 11). Suspects — peers
-		// with recent failed calls — are deprioritized, not skipped:
-		// among equal suspicion levels closest-to-OD still wins, so a
-		// degraded peer is only consulted after every clean candidate
-		// failed (graceful degradation instead of eviction).
-		type cand struct {
-			addr string
-			d    idspace.ID
-			susp int
-		}
-		var cands []cand
-		for _, e := range table {
-			d := idspace.Distance(selfID, e.id)
-			if d.Compare(dist) < 0 {
-				cands = append(cands, cand{addr: e.addr, d: d, susp: n.suspicionOf(e.addr)})
-			}
-		}
-		// Try lowest-suspicion, closest-to-OD first.
-		for len(cands) > 0 {
-			best := 0
-			for i := range cands {
-				if cands[i].susp < cands[best].susp ||
-					(cands[i].susp == cands[best].susp && cands[i].d.Compare(cands[best].d) > 0) {
-					best = i
-				}
-			}
-			fwd := q
-			fwd.Mode = wire.ModeForward
-			fwd.Hops++
-			if resp, err := tryForward(cands[best].addr, fwd); err == nil {
-				return resp, nil
-			}
-			cands = append(cands[:best], cands[best+1:]...)
-		}
-		// Greedy exhausted: switch to backward mode (Algorithm 3,
-		// lines 12-16).
-	}
-
-	// Backward step via the counter-clockwise pointer.
-	if ccw.addr == "" || ccw.name == n.name {
+	// Plan exhausted without an answer: name the reason routing stopped.
+	switch pl.Blocked {
+	case routing.BlockedNoCCW, routing.BlockedNoBackwardMode:
 		return n.failQuery(q, "no counter-clockwise pointer", start)
-	}
-	if idspace.Distance(ccw.id, odID).Compare(dist) <= 0 {
+	case routing.BlockedWrapped:
 		return n.failQuery(q, "backward walk wrapped past the OD node", start)
-	}
-	fwd := q
-	fwd.Mode = wire.ModeBackward
-	fwd.Hops++
-	if resp, err := tryForward(ccw.addr, fwd); err == nil {
-		return resp, nil
 	}
 	return n.failQuery(q, "counter-clockwise neighbor unreachable", start)
 }
 
 // forwardQuery sends the query to the next hop and relays its result.
 // Transport errors surface as errors so callers can try alternatives;
-// application-level "not found" results are returned as-is. Successful
-// sends count toward the per-mode forwarding metrics; on traced queries
-// this node's hop record is stamped with the elapsed time just before
-// the frame is encoded, so the recorded duration covers local handling
-// plus any dead-peer attempts that preceded this one.
-func (n *Node) forwardQuery(ctx context.Context, addr string, q wire.Query, start time.Time) (wire.Message, error) {
+// application-level "not found" results are returned as-is. susp is the
+// peer's suspicion level as known to the caller — overlay forwarding
+// passes the published view's snapshot so the hot path never touches the
+// suspicion lock. Successful sends count toward the per-mode forwarding
+// metrics; on traced queries this node's hop record is stamped with the
+// elapsed time just before the frame is encoded, so the recorded duration
+// covers local handling plus any dead-peer attempts that preceded this
+// one.
+func (n *Node) forwardQuery(ctx context.Context, addr string, susp int, q wire.Query, start time.Time) (wire.Message, error) {
 	if q.Trace {
 		finishTrace(q.HopTrace, start)
 	}
 	req := wire.Typed(wire.TypeQuery, &q)
-	if susp := n.suspicionOf(addr); susp > 0 {
+	if susp > 0 {
 		// Surface on the call's span that forwarding knowingly consulted
 		// a degraded peer.
 		ctx = transport.WithPeerSuspicion(ctx, susp)

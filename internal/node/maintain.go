@@ -2,10 +2,10 @@ package node
 
 import (
 	"context"
-	"sort"
 	"time"
 
 	"repro/internal/idspace"
+	"repro/internal/routing"
 	"repro/internal/wire"
 )
 
@@ -45,8 +45,11 @@ func (n *Node) maintainLoop() {
 //     contacted us since the last period, infer a massive failure and
 //     originate a Repair message destined to ourselves.
 //
-// Tests and examples call it directly for deterministic scheduling; the
-// background loop calls it every ProbePeriod.
+// All forwarding decisions run on the published routing view: suspicion
+// decay republishes first, so the notify and launch orders rank on one
+// consistent suspicion snapshot instead of re-reading the map per
+// candidate. Tests and examples call it directly for deterministic
+// scheduling; the background loop calls it every ProbePeriod.
 func (n *Node) MaintainOnce(ctx context.Context) {
 	if n.isSuppressed() {
 		// A node under DoS can neither probe nor repair; anything it
@@ -55,34 +58,29 @@ func (n *Node) MaintainOnce(ctx context.Context) {
 		return
 	}
 	n.decaySuspicion()
+	v := n.routingView()
 	n.mu.Lock()
-	selfIndex := n.index
-	selfID := n.id
-	overlayN := n.overlayN
 	ccw := n.ccw
 	contacts := n.contacts
 	n.contacts = 0
-	table := make([]tableEntry, len(n.table))
-	copy(table, n.table)
 	n.mu.Unlock()
-	if overlayN <= 1 || selfIndex < 0 {
+	if v.N <= 1 || v.SelfIndex < 0 {
 		return
 	}
 
 	// Step 1: tell the nearest alive clockwise neighbor (within the k
 	// guaranteed entries) that we are its counter-clockwise neighbor.
+	// View entries are sorted ascending by distance, so the k nearest
+	// clockwise neighbors are the first k entries.
 	notify := wire.Typed(wire.TypeNotifyCCW, &wire.NotifyCCW{
-		Index: selfIndex, Name: n.Name(), Addr: n.cfg.Addr,
-	})
-	sort.Slice(table, func(i, j int) bool {
-		return idspace.Distance(selfID, table[i].id).Less(idspace.Distance(selfID, table[j].id))
+		Index: v.SelfIndex, Name: n.Name(), Addr: n.cfg.Addr,
 	})
 	limit := n.cfg.K
-	if limit > len(table) {
-		limit = len(table)
+	if limit > len(v.Entries) {
+		limit = len(v.Entries)
 	}
 	for i := 0; i < limit; i++ {
-		if _, err := n.callPeer(ctx, table[i].addr, notify); err == nil {
+		if _, err := n.callPeer(ctx, v.Entries[i].Addr, notify); err == nil {
 			break // first alive clockwise neighbor contacted
 		}
 	}
@@ -91,7 +89,7 @@ func (n *Node) MaintainOnce(ctx context.Context) {
 	// raises suspicion; the pointer is declared dead — and recovery
 	// engaged — after SuspicionK consecutive failures, so a single lost
 	// probe under load does not evict a live peer.
-	if ccw.addr != "" && ccw.index != selfIndex {
+	if ccw.addr != "" && ccw.index != v.SelfIndex {
 		n.m.probesSent.Inc()
 		if _, err := n.call(ctx, ccw.addr, wire.Message{Type: wire.TypeProbe}); err == nil {
 			n.log.Debug("probe ok", "ccw", ccw.name)
@@ -144,48 +142,35 @@ func (n *Node) MaintainOnce(ctx context.Context) {
 	}
 
 	// Massive failure (gap >= k): originate a Repair message destined to
-	// ourselves (§4.3), launched to our farthest-reaching alive entry.
+	// ourselves (§4.3), launched clockwise around the full circle. The
+	// kernel ranks the launch candidates: farthest-reaching first within
+	// each suspicion level, so the launch does not burn its first
+	// attempts on peers that just failed.
 	n.m.repairsOrig.Inc()
-	n.log.Info("repair originated", "index", selfIndex, "ttl", overlayN)
+	n.log.Info("repair originated", "index", v.SelfIndex, "ttl", v.N)
 	repair := wire.Repair{
-		OriginIndex: selfIndex, OriginName: n.Name(), OriginAddr: n.cfg.Addr,
-		TTL: overlayN,
+		OriginIndex: v.SelfIndex, OriginName: n.Name(), OriginAddr: n.cfg.Addr,
+		TTL: v.N,
 	}
 	msg := wire.Typed(wire.TypeRepair, &repair)
-	// Launch clockwise around the full circle: try entries from the
-	// largest distance down, deprioritizing suspects so the launch does
-	// not burn its first attempts on peers that just failed.
-	type launch struct {
-		addr string
-		d    idspace.ID
-		susp int
-	}
-	cands := make([]launch, 0, len(table))
-	for _, e := range table {
-		cands = append(cands, launch{
-			addr: e.addr,
-			d:    idspace.Distance(selfID, e.id),
-			susp: n.suspicionOf(e.addr),
-		})
-	}
-	for len(cands) > 0 {
-		best := 0
-		for i := range cands {
-			if cands[i].susp < cands[best].susp ||
-				(cands[i].susp == cands[best].susp && cands[i].d.Compare(cands[best].d) > 0) {
-				best = i
-			}
-		}
-		if _, err := n.callPeer(ctx, cands[best].addr, msg); err == nil {
+	pl := planPool.Get().(*routing.Plan)
+	defer planPool.Put(pl)
+	routing.RepairLaunchOrder(v, pl)
+	for _, st := range pl.Steps {
+		if _, err := n.callPeer(ctx, v.Entries[st.Entry].Addr, msg); err == nil {
 			return
 		}
-		cands = append(cands[:best], cands[best+1:]...)
 	}
 }
 
 // handleRepair forwards a §4.3 Repair message per the paper's two rules,
 // or bridges the gap when neither applies: create a routing entry for the
 // origin and tell the origin we are its counter-clockwise neighbor.
+//
+// The forwarding candidates — every entry strictly closer to the origin
+// than this node, suspects last — come from the kernel's RepairForwardOrder
+// over the published view; the origin's own entry sits exactly at the
+// origin distance and is excluded by the strict bound.
 func (n *Node) handleRepair(ctx context.Context, req wire.Message) (wire.Message, error) {
 	var r wire.Repair
 	if err := req.Decode(&r); err != nil {
@@ -198,60 +183,19 @@ func (n *Node) handleRepair(ctx context.Context, req wire.Message) (wire.Message
 	r.TTL--
 	r.Hops++
 
-	n.mu.Lock()
-	selfIndex := n.index
-	selfID := n.id
-	overlayN := n.overlayN
-	table := make([]tableEntry, len(n.table))
-	copy(table, n.table)
-	n.mu.Unlock()
-	if overlayN <= 0 || selfIndex < 0 {
+	v := n.routingView()
+	if !v.Ready() {
 		return wire.Message{Type: wire.TypeRepairResult}, nil
 	}
 
-	originID := idspace.FromName(r.OriginName)
-	dist := idspace.Distance(selfID, originID)
-	hasOrigin := false
-	for _, e := range table {
-		if e.name == r.OriginName {
-			hasOrigin = true
-			break
-		}
-	}
 	fwd := wire.Typed(wire.TypeRepair, &r)
-	// Rule: holders of the origin use the second-best choice (strictly
-	// closer than the direct pointer); non-holders forward greedily.
-	// Either way the candidate set is "strictly before the origin going
-	// clockwise, excluding the origin itself". Suspects come last: a
-	// repair races the failure it is fixing, so first attempts go to
-	// peers with a clean record.
-	type cand struct {
-		addr string
-		d    idspace.ID
-		susp int
-	}
-	var cands []cand
-	for _, e := range table {
-		if hasOrigin && e.name == r.OriginName {
-			continue
-		}
-		d := idspace.Distance(selfID, e.id)
-		if d.Compare(dist) < 0 {
-			cands = append(cands, cand{addr: e.addr, d: d, susp: n.suspicionOf(e.addr)})
-		}
-	}
-	for len(cands) > 0 {
-		best := 0
-		for i := range cands {
-			if cands[i].susp < cands[best].susp ||
-				(cands[i].susp == cands[best].susp && cands[i].d.Compare(cands[best].d) > 0) {
-				best = i
-			}
-		}
-		if _, err := n.callPeer(ctx, cands[best].addr, fwd); err == nil {
+	pl := planPool.Get().(*routing.Plan)
+	defer planPool.Put(pl)
+	routing.RepairForwardOrder(v, idspace.FromName(r.OriginName), pl)
+	for _, st := range pl.Steps {
+		if _, err := n.callPeer(ctx, v.Entries[st.Entry].Addr, fwd); err == nil {
 			return wire.Message{Type: wire.TypeRepairResult}, nil
 		}
-		cands = append(cands[:best], cands[best+1:]...)
 	}
 
 	// Neither rule applies: this node bridges the gap. Create a routing
@@ -270,6 +214,7 @@ func (n *Node) handleRepair(ctx context.Context, req wire.Message) (wire.Message
 			Index: r.OriginIndex, Name: r.OriginName, Addr: r.OriginAddr,
 		})})
 		entries = len(n.table)
+		n.publishViewLocked()
 	}
 	n.mu.Unlock()
 	if !already {
@@ -278,7 +223,7 @@ func (n *Node) handleRepair(ctx context.Context, req wire.Message) (wire.Message
 		n.log.Info("repair bridged", "origin", r.OriginName, "hops", r.Hops)
 	}
 	notify := wire.Typed(wire.TypeNotifyCCW, &wire.NotifyCCW{
-		Index: selfIndex, Name: n.Name(), Addr: n.cfg.Addr,
+		Index: v.SelfIndex, Name: n.Name(), Addr: n.cfg.Addr,
 	})
 	// Best effort: the origin is alive (it originated the repair).
 	if _, err := n.call(ctx, r.OriginAddr, notify); err != nil {

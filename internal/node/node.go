@@ -14,6 +14,7 @@ import (
 	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/idspace"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/obs/trace"
 	"repro/internal/overlay"
 	"repro/internal/overload"
+	"repro/internal/routing"
 	"repro/internal/transport"
 	"repro/internal/wire"
 	"repro/internal/xrand"
@@ -133,20 +135,26 @@ type Node struct {
 
 	listener interface{ Close() error }
 
+	// data is the answer served for the node's own name; set once in New
+	// and immutable afterwards, so the query path reads it without a lock.
+	data string
+
 	mu sync.Mutex
 	// epoch counts table regenerations (§7 maintenance); it salts the
 	// table-sampling stream so each refresh draws fresh randomness.
 	epoch uint64
 	// Parent role: admitted children sorted clockwise by ID.
 	children []child
-	// Member role: overlay parameters and routing state.
+	// Member role: overlay parameters and master routing state. These are
+	// the write side only — forwarding decisions run on the immutable
+	// view published in rv (see view.go); every mutation here must
+	// republish via publishViewLocked before releasing mu.
 	overlayN int
 	index    int
-	table    []tableEntry // sorted by clockwise distance
+	table    []tableEntry // build order; the published view sorts by distance
 	ccw      peer         // counter-clockwise neighbor pointer
 	ccwAlive bool         // last probe verdict
 	contacts int          // NotifyCCW messages since the last probe tick
-	data     string
 	// ccwSuspicion counts consecutive failed probes of the CCW pointer;
 	// the pointer is declared dead only at SuspicionK (§4.3 hardening:
 	// one lost probe under load must not trigger eviction and repair).
@@ -157,7 +165,15 @@ type Node struct {
 	// period and clear on any successful call.
 	suspects map[string]int
 
-	suppressed bool
+	// rv is the published copy-on-write routing view: the read side of
+	// the state above, loaded lock-free by the query hot path.
+	rv atomic.Pointer[routing.View]
+	// suspectCount mirrors len(suspects) so the per-RPC success
+	// accounting (notePeerSuccess) skips the mutex entirely in the
+	// steady state where nothing is suspected.
+	suspectCount atomic.Int64
+
+	suppressed atomic.Bool
 
 	// Observability: registry-backed operational metrics (surfaced via
 	// the stats message and /metrics), the structured event logger, and
@@ -313,6 +329,8 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 	if cfg.Overload != nil {
 		n.guard = overload.NewGuard(*cfg.Overload, reg)
 	}
+	// Publish the not-yet-a-member view so routingView never returns nil.
+	n.rv.Store(&routing.View{SelfIndex: -1, Design: routing.Enhanced})
 	return n, nil
 }
 
@@ -413,9 +431,7 @@ func (n *Node) Stop() error {
 // Suppress models a DoS attack on this node: it stops answering requests
 // and pauses its own maintenance (a flooded server does neither).
 func (n *Node) Suppress(down bool) {
-	n.mu.Lock()
-	n.suppressed = down
-	n.mu.Unlock()
+	n.suppressed.Store(down)
 	if down {
 		n.m.suppressed.Set(1)
 	} else {
@@ -428,11 +444,7 @@ func (n *Node) Suppress(down bool) {
 }
 
 // isSuppressed reports the DoS switch.
-func (n *Node) isSuppressed() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.suppressed
-}
+func (n *Node) isSuppressed() bool { return n.suppressed.Load() }
 
 // Join registers this node with its parent (admission, §3.1). The parent
 // must be reachable.
@@ -486,11 +498,16 @@ func (n *Node) callPeer(ctx context.Context, addr string, req wire.Message) (wir
 	return resp, err
 }
 
-// notePeerFailure raises addr's suspicion level by one.
+// notePeerFailure raises addr's suspicion level by one and republishes
+// the routing view with the new snapshot.
 func (n *Node) notePeerFailure(addr string) {
 	n.mu.Lock()
 	n.suspects[addr]++
 	level := n.suspects[addr]
+	if level == 1 {
+		n.suspectCount.Add(1)
+	}
+	n.publishViewLocked()
 	n.mu.Unlock()
 	switch level {
 	case 1:
@@ -501,11 +518,20 @@ func (n *Node) notePeerFailure(addr string) {
 	}
 }
 
-// notePeerSuccess clears addr's suspicion.
+// notePeerSuccess clears addr's suspicion. In the steady state nothing is
+// suspected and this is a single atomic load — the per-RPC accounting on
+// the forwarding hot path takes no lock.
 func (n *Node) notePeerSuccess(addr string) {
+	if n.suspectCount.Load() == 0 {
+		return
+	}
 	n.mu.Lock()
 	prev := n.suspects[addr]
-	delete(n.suspects, addr)
+	if prev > 0 {
+		delete(n.suspects, addr)
+		n.suspectCount.Add(-1)
+		n.publishViewLocked()
+	}
 	n.mu.Unlock()
 	if prev > 0 {
 		n.m.aliveTrans.Inc()
@@ -525,13 +551,18 @@ func (n *Node) suspicionOf(addr string) int {
 func (n *Node) decaySuspicion() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if len(n.suspects) == 0 {
+		return
+	}
 	for addr, level := range n.suspects {
 		if level <= 1 {
 			delete(n.suspects, addr)
+			n.suspectCount.Add(-1)
 			continue
 		}
 		n.suspects[addr] = level - 1
 	}
+	n.publishViewLocked()
 }
 
 // CCWSuspicion returns the count of consecutive failed probes of the
@@ -563,6 +594,7 @@ func (n *Node) BuildTable(ctx context.Context) error {
 	if info.N == 1 {
 		n.mu.Lock()
 		n.overlayN, n.index, n.table = 1, 0, nil
+		n.publishViewLocked()
 		n.mu.Unlock()
 		return nil
 	}
@@ -620,6 +652,7 @@ func (n *Node) BuildTable(ctx context.Context) error {
 	n.ccw = mkPeer(ccwPeer)
 	n.ccwAlive = true
 	n.ccwSuspicion = 0
+	n.publishViewLocked()
 	n.mu.Unlock()
 	n.m.ccwSuspicion.Set(0)
 	n.m.tableEntries.Set(int64(len(table)))
@@ -657,6 +690,7 @@ func (n *Node) refreshNephews(ctx context.Context) {
 		n.mu.Lock()
 		if i < len(n.table) && n.table[i].index == entries[i].index {
 			n.table[i].nephews = nephews
+			n.publishViewLocked()
 		}
 		n.mu.Unlock()
 	}

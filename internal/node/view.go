@@ -1,0 +1,85 @@
+package node
+
+import (
+	"sort"
+
+	"repro/internal/idspace"
+	"repro/internal/routing"
+)
+
+// The node's forwarding decisions run on an immutable routing.View behind
+// an atomic pointer: the master state (table, CCW pointer, suspicion map)
+// lives under n.mu and every writer republishes a fresh snapshot, so the
+// query hot path — handleQuery, overlayForward, the repair executors —
+// loads one pointer and asks the kernel, acquiring no locks and ranking
+// on a consistent suspicion snapshot instead of re-reading it per
+// candidate mid-decision.
+
+// routingView returns the node's current published view. Never nil: New
+// publishes a non-member placeholder (SelfIndex -1) before the node
+// serves anything.
+func (n *Node) routingView() *routing.View { return n.rv.Load() }
+
+// publishViewLocked rebuilds the immutable view from the master routing
+// state and publishes it. Callers must hold n.mu. Every mutation of view
+// inputs — table regeneration, nephew refresh, CCW adoption, repair
+// bridging, any suspicion transition — must republish before releasing
+// the lock; readers of a stale view race those transitions exactly as
+// widely as the pre-snapshot code raced its table copies.
+func (n *Node) publishViewLocked() {
+	v := &routing.View{
+		N:         n.overlayN,
+		SelfIndex: n.index,
+		SelfID:    n.id,
+		// The live node always runs the paper's enhanced design (K
+		// guaranteed neighbors, nephews, CCW pointer).
+		Design: routing.Enhanced,
+	}
+	if len(n.table) > 0 {
+		v.Entries = make([]routing.Entry, 0, len(n.table))
+		for _, e := range n.table {
+			re := routing.Entry{
+				Peer: routing.Peer{
+					Index:     e.index,
+					Name:      e.name,
+					Addr:      e.addr,
+					Suspicion: n.suspects[e.addr],
+				},
+				ID:         e.id,
+				Dist:       idspace.Distance(n.id, e.id),
+				HasNephews: len(e.nephews) > 0,
+			}
+			if len(e.nephews) > 0 {
+				re.Nephews = make([]routing.Peer, 0, len(e.nephews))
+				for _, nep := range e.nephews {
+					re.Nephews = append(re.Nephews, routing.Peer{
+						Index:     nep.index,
+						Name:      nep.name,
+						Addr:      nep.addr,
+						Suspicion: n.suspects[nep.addr],
+					})
+				}
+			}
+			v.Entries = append(v.Entries, re)
+		}
+		// The master table keeps build order (repair-bridged entries are
+		// appended); the kernel requires ascending distance.
+		sort.Slice(v.Entries, func(i, j int) bool {
+			return v.Entries[i].Dist.Less(v.Entries[j].Dist)
+		})
+	}
+	if n.ccw.addr != "" && n.ccw.name != n.name {
+		v.CCW = routing.Entry{
+			Peer: routing.Peer{
+				Index:     n.ccw.index,
+				Name:      n.ccw.name,
+				Addr:      n.ccw.addr,
+				Suspicion: n.suspects[n.ccw.addr],
+			},
+			ID:   n.ccw.id,
+			Dist: idspace.Distance(n.id, n.ccw.id),
+		}
+		v.HasCCW = true
+	}
+	n.rv.Store(v)
+}

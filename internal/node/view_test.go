@@ -1,0 +1,100 @@
+package node
+
+import (
+	"testing"
+
+	"repro/internal/idspace"
+	"repro/internal/routing"
+)
+
+// TestPublishedViewShape checks the invariants the kernel requires of a
+// published view: correct membership fields and entries sorted ascending
+// by distance.
+func TestPublishedViewShape(t *testing.T) {
+	f := newFixture(t, 8, 2, 2, 7)
+	for _, c := range f.children {
+		v := c.routingView()
+		if !v.Ready() {
+			t.Fatalf("%s: view not ready after BuildTable", c.Name())
+		}
+		if v.N != 8 {
+			t.Fatalf("%s: view N = %d, want 8", c.Name(), v.N)
+		}
+		if len(v.Entries) == 0 {
+			t.Fatalf("%s: view has no entries", c.Name())
+		}
+		for i := 1; i < len(v.Entries); i++ {
+			if !v.Entries[i-1].Dist.Less(v.Entries[i].Dist) {
+				t.Fatalf("%s: entries not strictly ascending at %d", c.Name(), i)
+			}
+		}
+		for _, e := range v.Entries {
+			if e.Name == c.Name() {
+				t.Fatalf("%s: view contains a self entry", c.Name())
+			}
+			if want := idspace.Distance(c.id, e.ID); e.Dist != want {
+				t.Fatalf("%s: entry %s Dist mismatch", c.Name(), e.Name)
+			}
+		}
+	}
+}
+
+// TestPublishedViewTracksSuspicion checks that suspicion transitions
+// republish the view: the hot path ranks on the snapshot, so a stale
+// snapshot would defeat §5.2 suspicion-aware ordering.
+func TestPublishedViewTracksSuspicion(t *testing.T) {
+	f := newFixture(t, 6, 2, 2, 11)
+	c := f.children[0]
+	addr := c.routingView().Entries[0].Addr
+
+	find := func() int {
+		v := c.routingView()
+		for _, e := range v.Entries {
+			if e.Addr == addr {
+				return e.Suspicion
+			}
+		}
+		t.Fatalf("entry %s disappeared from view", addr)
+		return -1
+	}
+
+	if got := find(); got != 0 {
+		t.Fatalf("initial suspicion = %d, want 0", got)
+	}
+	c.notePeerFailure(addr)
+	c.notePeerFailure(addr)
+	if got := find(); got != 2 {
+		t.Fatalf("suspicion after two failures = %d, want 2", got)
+	}
+	c.notePeerSuccess(addr)
+	if got := find(); got != 0 {
+		t.Fatalf("suspicion after success = %d, want 0", got)
+	}
+	c.notePeerFailure(addr)
+	c.decaySuspicion()
+	if got := find(); got != 0 {
+		t.Fatalf("suspicion after decay = %d, want 0", got)
+	}
+}
+
+// TestLiveDecisionZeroAllocs pins the forwarded-query decision path —
+// load the published view, build the ranked plan — at zero heap
+// allocations and zero lock acquisitions (the path only does an atomic
+// load), matching the BENCH_routing gate in check.sh.
+func TestLiveDecisionZeroAllocs(t *testing.T) {
+	f := newFixture(t, 16, 3, 2, 3)
+	c := f.children[0]
+	od := idspace.FromName(f.children[9].Name())
+
+	pl := &routing.Plan{Steps: make([]routing.Step, 0, 32)}
+	allocs := testing.AllocsPerRun(200, func() {
+		v := c.routingView()
+		routing.NextHops(v, od, false, pl)
+	})
+	if allocs != 0 {
+		t.Fatalf("view load + plan build allocates %.1f times per run, want 0", allocs)
+	}
+	if len(pl.Steps) == 0 {
+		t.Fatal("plan is empty — the benchmarked decision did no work")
+	}
+}

@@ -12,6 +12,9 @@ import (
 // these routes, so a single stray allocation per hop shows up as GC time in
 // whole-sweep profiles.
 func TestRouteHealthyZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop Puts; pin runs in the non-race suite")
+	}
 	o := mustNew(t, Config{N: 4096, K: 5, Seed: 9})
 	rng := xrand.New(10)
 	// One warm-up pass so lazy bits (none here) and pools settle.
@@ -34,6 +37,9 @@ func TestRouteHealthyZeroAllocs(t *testing.T) {
 // also allocation-free once the touched tables exist: the atomic load that
 // replaced the generation check costs no allocation.
 func TestRouteLazyZeroAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop Puts; pin runs in the non-race suite")
+	}
 	o := mustNew(t, Config{N: 4096, K: 5, Seed: 9, Lazy: true})
 	rng := xrand.New(10)
 	// Warm every table the measured routes can touch.

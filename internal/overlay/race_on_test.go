@@ -1,0 +1,9 @@
+//go:build race
+
+package overlay
+
+// raceEnabled reports whether the race detector is compiled in. Under it
+// sync.Pool randomly drops Puts to widen race coverage, so pooled-scratch
+// paths are not allocation-free by design and allocs-per-run pins must
+// skip.
+const raceEnabled = true

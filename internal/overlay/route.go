@@ -2,9 +2,11 @@ package overlay
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/idspace"
 	"repro/internal/metrics"
+	"repro/internal/routing"
 )
 
 // Outcome classifies how an intra-overlay forwarding attempt ended.
@@ -72,12 +74,26 @@ type Result struct {
 	Path []int32
 }
 
+// routeScratch is the per-route working set: one reusable view and plan,
+// pooled so concurrent Route calls on a shared overlay stay allocation-free
+// (alloc_test.go pins AllocsPerRun == 0 on the healthy path).
+type routeScratch struct {
+	view routing.View
+	plan routing.Plan
+}
+
+var routePool = sync.Pool{New: func() any { return new(routeScratch) }}
+
 // Route forwards a query from entrance node src toward the
 // overlay-destination node od, per Algorithm 2 (base design) or
 // Algorithm 3 (enhanced design). src must be alive; od may be dead, in
 // which case the walk looks for an exit node.
 //
-// Backward mode follows each node's counter-clockwise pointer. If a
+// The decision at each visited node is made by the shared routing kernel
+// (internal/routing): Route assembles the node's local view, asks
+// NextHops for the ranked plan, and "attempts" each planned hop by
+// checking the target's liveness — the sim's stand-in for the live node's
+// RPC. Backward mode follows each node's counter-clockwise pointer. If a
 // pointer targets a dead node (a gap that active recovery has not yet
 // bridged — §4.3), the route fails; run Repair or BridgeGapsIdeal after
 // failures to model a recovered overlay.
@@ -96,12 +112,12 @@ func (o *Overlay) Route(src, od int, opts RouteOptions) (Result, error) {
 		maxHops = 3 * o.n
 	}
 
+	sc := routePool.Get().(*routeScratch)
+	defer routePool.Put(sc)
+
 	res := Result{Exit: src}
 	u := src
 	backward := false
-	// Recording is inlined at each forwarding site (rather than a shared
-	// closure) so that the healthy fast path — no trace, no load counter —
-	// allocates nothing; alloc_test.go pins AllocsPerRun == 0.
 	if opts.TracePath {
 		res.Path = append(opts.PathBuf[:0], int32(src))
 	}
@@ -120,132 +136,146 @@ func (o *Overlay) Route(src, od int, opts RouteOptions) (Result, error) {
 			return res, nil
 		}
 
-		// Algorithm 3, lines 1-7 / Algorithm 2, lines 9-13: the OD node
-		// is in u's routing table.
-		if o.hasUsableODEntry(u, od) {
-			if o.alive[od] {
-				if opts.Load != nil {
-					opts.Load.Inc(u)
-				}
-				u = od
-				res.Hops++
-				if opts.TracePath {
-					res.Path = append(res.Path, int32(od))
-				}
-				continue // loop top reports Delivered
-			}
-			// OD is down: u holds its entry and hence nephew pointers
-			// to OD's children. u is the exit node.
-			res.Outcome = Exited
-			res.Exit = u
-			return res, nil
-		}
+		odID := o.fillView(&sc.view, u, od)
+		routing.NextHops(&sc.view, odID, backward, &sc.plan)
 
-		if !backward {
-			next, ok := o.bestGreedyHop(u, od)
-			if ok {
-				if opts.Load != nil {
-					opts.Load.Inc(u)
+		next := -1
+		for _, st := range sc.plan.Steps {
+			switch st.Kind {
+			case routing.StepOD:
+				if o.alive[od] {
+					next = od
 				}
-				u = next
-				res.Hops++
-				if opts.TracePath {
-					res.Path = append(res.Path, int32(next))
-				}
-				continue
-			}
-			// Greedy forwarding cannot make progress: every table entry
-			// between u and od is out of service.
-			if o.design == Base {
-				// The base design has no backward mode (§3.4): the
-				// query is stuck.
-				res.Outcome = Failed
+			case routing.StepNephew:
+				// The OD is down and u holds a usable entry for it: u is
+				// the exit node; the core layer descends via nephews.
+				res.Outcome = Exited
 				res.Exit = u
 				return res, nil
+			case routing.StepGreedy:
+				if c := sc.view.Entries[st.Entry].Index; o.alive[c] {
+					next = c
+				}
+			case routing.StepBackward:
+				c := sc.view.CCW.Index
+				if !o.alive[c] {
+					// Unbridged gap: backward forwarding cannot proceed
+					// until recovery runs.
+					res.Outcome = Failed
+					res.Exit = u
+					return res, nil
+				}
+				next = c
+				backward = true
+				res.BackwardHops++
 			}
-			backward = true
-			// Fall through to take the first backward step.
+			if next >= 0 {
+				break
+			}
+		}
+		if next < 0 {
+			// Plan exhausted (greedy dead-ends in the base design, no CCW
+			// pointer, or a backward step that would wrap past the OD).
+			res.Outcome = Failed
+			res.Exit = u
+			return res, nil
 		}
 
-		// Backward mode (Algorithm 3, lines 17-19): follow the
-		// counter-clockwise pointer.
-		next := int(o.ccw[u])
-		if next == u || !o.alive[next] {
-			// Unbridged gap (or single-node ring): backward forwarding
-			// cannot proceed until recovery runs.
-			res.Outcome = Failed
-			res.Exit = u
-			return res, nil
-		}
-		if idspace.IndexDist(next, od, o.n) <= idspace.IndexDist(u, od, o.n) {
-			// Wrapped past the OD node going backward: the full ring
-			// holds no exit entry for od.
-			res.Outcome = Failed
-			res.Exit = u
-			return res, nil
-		}
 		if opts.Load != nil {
 			opts.Load.Inc(u)
 		}
 		u = next
 		res.Hops++
 		if opts.TracePath {
-			res.Path = append(res.Path, int32(next))
+			res.Path = append(res.Path, int32(u))
 		}
-		res.BackwardHops++
 	}
 }
 
-// hasUsableODEntry reports whether node u holds a routing entry for od that
-// carries nephew pointers, making u a potential exit node. In the enhanced
-// design every table entry carries q nephews (§4.1), so any entry
-// qualifies. In the base design only the clockwise-neighbor entry (distance
-// 1) does (§3.1), but a direct sibling pointer to an alive od is still
-// usable for delivery.
-func (o *Overlay) hasUsableODEntry(u, od int) bool {
-	if !o.HasEntry(u, od) {
-		return false
+// fillView assembles node u's local view for the kernel in self-origin
+// coordinates: u sits at identifier zero and every other node is embedded
+// at FromUint64 of its clockwise index distance from u. The embedding is
+// monotone on [0, N), so every circular comparison the kernel makes —
+// greedy bound, OD-entry equality, the CCW wrap check — agrees exactly
+// with the IndexDist arithmetic the sim is defined in. Entries beyond the
+// OD distance are omitted: the kernel never ranks a candidate past the OD
+// node, and the healthy walk's view shrinks every hop. Returns the OD's
+// embedded identifier.
+func (o *Overlay) fillView(v *routing.View, u, od int) idspace.ID {
+	odd := int32(idspace.IndexDist(u, od, o.n))
+	v.N = o.n
+	v.SelfIndex = u
+	v.SelfID = idspace.ID{}
+	if o.design == Base {
+		v.Design = routing.Base
+	} else {
+		v.Design = routing.Enhanced
 	}
-	if o.design == Enhanced || o.alive[od] {
-		return true
-	}
-	return idspace.IndexDist(u, od, o.n) == 1
-}
 
-// bestGreedyHop returns the alive routing-table target of u that is closest
-// to od in the identifier space without overshooting it — the greedy rule
-// of Algorithm 2 line 10 — or ok=false when no alive entry makes progress.
-func (o *Overlay) bestGreedyHop(u, od int) (next int, ok bool) {
-	dist := int32(idspace.IndexDist(u, od, o.n))
+	ents := v.Entries[:0]
 	t := o.table(u)
-	// Largest entry distance <= dist, trying alive targets from closest
-	// to od outward.
-	idx := upperBound(t, dist)
-	for i := idx - 1; i >= 0; i-- {
-		cand := idspace.IndexAdd(u, int(t[i]), o.n)
-		if o.alive[cand] {
-			return cand, true
-		}
-	}
-	// Repair-created entries participate in greedy forwarding too. The
-	// no-repair steady state skips the map lookup entirely.
+	t = t[:upperBound(t, odd)]
 	if o.extrasN == 0 {
-		return 0, false
-	}
-	var best int32 = -1
-	for _, d := range o.extras[int32(u)] {
-		if d <= dist && d > best {
-			cand := idspace.IndexAdd(u, int(d), o.n)
-			if o.alive[cand] {
-				best = d
-				next = cand
+		for _, d := range t {
+			ents = appendSimEntry(ents, u, d, o.n)
+		}
+	} else {
+		// Merge the sorted table prefix with the (sorted) repair-created
+		// extras; addExtraEntry guarantees the runs are disjoint.
+		ex := o.extras[int32(u)]
+		i, j := 0, 0
+		for i < len(t) && j < len(ex) && ex[j] <= odd {
+			if t[i] < ex[j] {
+				ents = appendSimEntry(ents, u, t[i], o.n)
+				i++
+			} else {
+				ents = appendSimEntry(ents, u, ex[j], o.n)
+				j++
 			}
 		}
+		for ; i < len(t); i++ {
+			ents = appendSimEntry(ents, u, t[i], o.n)
+		}
+		for ; j < len(ex) && ex[j] <= odd; j++ {
+			ents = appendSimEntry(ents, u, ex[j], o.n)
+		}
 	}
-	if best >= 0 {
-		return next, true
+	v.Entries = ents
+
+	ccw := int(o.ccw[u])
+	v.HasCCW = ccw != u
+	if v.HasCCW {
+		id := idspace.FromUint64(uint64(idspace.IndexDist(u, ccw, o.n)))
+		v.CCW = routing.Entry{Peer: routing.Peer{Index: ccw}, ID: id, Dist: id}
+	} else {
+		v.CCW = routing.Entry{}
 	}
-	return 0, false
+	return idspace.FromUint64(uint64(odd))
+}
+
+// appendSimEntry appends the entry at clockwise distance d from u. The sim
+// models the steady state of §4.1 — every entry's nephews were fetched
+// when the table was built — so each entry is a usable exit; per-peer
+// suspicion is a live-node concern and stays zero here.
+//
+// Fields are written in place rather than appending a composite literal:
+// the scratch entries are only ever written by this function, so the
+// name/addr/nephew/suspicion fields are zero already and skipping their
+// ~56 bytes of copy per entry per hop is a measurable win on the sim's
+// query hot path (this loop is the per-hop cost of sharing the kernel).
+func appendSimEntry(ents []routing.Entry, u int, d int32, n int) []routing.Entry {
+	if len(ents) < cap(ents) {
+		ents = ents[:len(ents)+1]
+	} else {
+		ents = append(ents, routing.Entry{})
+	}
+	e := &ents[len(ents)-1]
+	id := idspace.FromUint64(uint64(d))
+	e.Index = idspace.IndexAdd(u, int(d), n)
+	e.ID = id
+	e.Dist = id
+	e.HasNephews = true
+	return ents
 }
 
 // upperBound returns the number of elements in sorted ascending s that are

@@ -1,0 +1,261 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/idspace"
+)
+
+// This file differential-tests the kernel-driven Route against a verbatim
+// copy of the pre-kernel Algorithm 2/3 walk (referenceRoute below): seeded
+// random overlays, fault patterns, and repair states must produce
+// identical outcomes, exits, hop counts, and paths. check.sh runs it under
+// -race; together with the kernel's own unit tests it is the structural
+// guarantee that internal/routing implements exactly the discipline the
+// sim (and therefore Figures 6-9) was validated on.
+
+// referenceRoute is the pre-kernel Route implementation, kept as a
+// test-local oracle.
+func referenceRoute(o *Overlay, src, od int, opts RouteOptions) (Result, error) {
+	if src < 0 || src >= o.n {
+		return Result{}, errOutOfRange
+	}
+	if od < 0 || od >= o.n {
+		return Result{}, errOutOfRange
+	}
+	if !o.alive[src] {
+		return Result{}, errOutOfRange
+	}
+	maxHops := opts.MaxHops
+	if maxHops <= 0 {
+		maxHops = 3 * o.n
+	}
+
+	res := Result{Exit: src}
+	u := src
+	backward := false
+	if opts.TracePath {
+		res.Path = append(opts.PathBuf[:0], int32(src))
+	}
+
+	for {
+		if u == od {
+			res.Outcome = Delivered
+			res.Exit = u
+			return res, nil
+		}
+		if res.Hops >= maxHops {
+			res.Outcome = Failed
+			res.Exit = u
+			return res, nil
+		}
+
+		if refHasUsableODEntry(o, u, od) {
+			if o.alive[od] {
+				if opts.Load != nil {
+					opts.Load.Inc(u)
+				}
+				u = od
+				res.Hops++
+				if opts.TracePath {
+					res.Path = append(res.Path, int32(od))
+				}
+				continue
+			}
+			res.Outcome = Exited
+			res.Exit = u
+			return res, nil
+		}
+
+		if !backward {
+			next, ok := refBestGreedyHop(o, u, od)
+			if ok {
+				if opts.Load != nil {
+					opts.Load.Inc(u)
+				}
+				u = next
+				res.Hops++
+				if opts.TracePath {
+					res.Path = append(res.Path, int32(next))
+				}
+				continue
+			}
+			if o.design == Base {
+				res.Outcome = Failed
+				res.Exit = u
+				return res, nil
+			}
+			backward = true
+		}
+
+		next := int(o.ccw[u])
+		if next == u || !o.alive[next] {
+			res.Outcome = Failed
+			res.Exit = u
+			return res, nil
+		}
+		if idspace.IndexDist(next, od, o.n) <= idspace.IndexDist(u, od, o.n) {
+			res.Outcome = Failed
+			res.Exit = u
+			return res, nil
+		}
+		if opts.Load != nil {
+			opts.Load.Inc(u)
+		}
+		u = next
+		res.Hops++
+		if opts.TracePath {
+			res.Path = append(res.Path, int32(next))
+		}
+		res.BackwardHops++
+	}
+}
+
+var errOutOfRange = &rangeErr{}
+
+type rangeErr struct{}
+
+func (*rangeErr) Error() string { return "reference: argument out of range" }
+
+func refHasUsableODEntry(o *Overlay, u, od int) bool {
+	if !o.HasEntry(u, od) {
+		return false
+	}
+	if o.design == Enhanced || o.alive[od] {
+		return true
+	}
+	return idspace.IndexDist(u, od, o.n) == 1
+}
+
+func refBestGreedyHop(o *Overlay, u, od int) (next int, ok bool) {
+	dist := int32(idspace.IndexDist(u, od, o.n))
+	t := o.table(u)
+	idx := upperBound(t, dist)
+	for i := idx - 1; i >= 0; i-- {
+		cand := idspace.IndexAdd(u, int(t[i]), o.n)
+		if o.alive[cand] {
+			return cand, true
+		}
+	}
+	if o.extrasN == 0 {
+		return 0, false
+	}
+	var best int32 = -1
+	for _, d := range o.extras[int32(u)] {
+		if d <= dist && d > best {
+			cand := idspace.IndexAdd(u, int(d), o.n)
+			if o.alive[cand] {
+				best = d
+				next = cand
+			}
+		}
+	}
+	if best >= 0 {
+		return next, true
+	}
+	return 0, false
+}
+
+// diffCompare routes src->od through both implementations and fails on any
+// observable divergence.
+func diffCompare(t *testing.T, o *Overlay, src, od int, label string) {
+	t.Helper()
+	got, gotErr := o.Route(src, od, RouteOptions{TracePath: true})
+	want, wantErr := referenceRoute(o, src, od, RouteOptions{TracePath: true})
+	if (gotErr == nil) != (wantErr == nil) {
+		t.Fatalf("%s: route(%d,%d) err = %v, reference err = %v", label, src, od, gotErr, wantErr)
+	}
+	if gotErr != nil {
+		return
+	}
+	if got.Outcome != want.Outcome || got.Exit != want.Exit ||
+		got.Hops != want.Hops || got.BackwardHops != want.BackwardHops {
+		t.Fatalf("%s: route(%d,%d) = %+v, reference = %+v", label, src, od, got, want)
+	}
+	if len(got.Path) != len(want.Path) {
+		t.Fatalf("%s: route(%d,%d) path = %v, reference = %v", label, src, od, got.Path, want.Path)
+	}
+	for i := range got.Path {
+		if got.Path[i] != want.Path[i] {
+			t.Fatalf("%s: route(%d,%d) path = %v, reference = %v", label, src, od, got.Path, want.Path)
+		}
+	}
+}
+
+// TestRouteKernelDifferential sweeps overlay sizes, designs, fault
+// patterns, and repair states, asserting the kernel walk is byte-for-byte
+// the algorithm the oracle implements.
+func TestRouteKernelDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	sizes := []int{2, 3, 5, 17, 64, 257}
+	if testing.Short() {
+		sizes = []int{2, 5, 64}
+	}
+	for _, design := range []Design{Base, Enhanced} {
+		for _, n := range sizes {
+			for _, k := range []int{1, 3} {
+				if design == Base && k != 1 {
+					continue
+				}
+				o, err := New(Config{N: n, Design: design, K: k, Seed: rng.Uint64()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Phase 1: healthy ring.
+				diffSweep(t, rng, o, "healthy")
+
+				// Phase 2: random failures at increasing rates.
+				for _, rate := range []float64{0.1, 0.3, 0.6} {
+					for i := 0; i < n; i++ {
+						o.SetAlive(i, rng.Float64() >= rate)
+					}
+					diffSweep(t, rng, o, "faulty")
+				}
+
+				// Phase 3: a contiguous dead block (> k, the massive-failure
+				// shape §4.3 exists for), then repair, then more routing —
+				// extras and rewritten CCW pointers must stay equivalent.
+				for i := 0; i < n; i++ {
+					o.SetAlive(i, true)
+				}
+				start := rng.Intn(n)
+				for d := 0; d < k+2 && d < n-1; d++ {
+					o.SetAlive(idspace.IndexAdd(start, d, n), false)
+				}
+				diffSweep(t, rng, o, "gap")
+				if design == Enhanced {
+					o.Repair()
+					diffSweep(t, rng, o, "repaired")
+				}
+			}
+		}
+	}
+}
+
+// diffSweep compares a batch of random (src, od) pairs plus every pair on
+// small rings.
+func diffSweep(t *testing.T, rng *rand.Rand, o *Overlay, label string) {
+	t.Helper()
+	n := o.Size()
+	if n <= 8 {
+		for src := 0; src < n; src++ {
+			if !o.Alive(src) {
+				continue
+			}
+			for od := 0; od < n; od++ {
+				diffCompare(t, o, src, od, label)
+			}
+		}
+		return
+	}
+	tried := 0
+	for attempts := 0; tried < 60 && attempts < 600; attempts++ {
+		src := rng.Intn(n)
+		if !o.Alive(src) {
+			continue
+		}
+		diffCompare(t, o, src, rng.Intn(n), label)
+		tried++
+	}
+}

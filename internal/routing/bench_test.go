@@ -1,0 +1,66 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/idspace"
+)
+
+// benchView models a live node's published view: ~32 entries (a K=3 table
+// at overlay size 50k), CCW pointer, enhanced design.
+func benchView(suspects int) *View {
+	dists := make([]int, 0, 32)
+	d := 1
+	for len(dists) < 32 {
+		dists = append(dists, d)
+		d += 1 + d/2
+	}
+	v := testView(1<<16, dists, true)
+	for i := 0; i < suspects && i < len(v.Entries); i++ {
+		// Spread suspicion over the far half: the ranking must displace
+		// them past every clean candidate.
+		v.Entries[len(v.Entries)-1-i].Suspicion = 1 + i%3
+	}
+	return v
+}
+
+// BenchmarkNextHops measures one forwarding decision — view to ranked
+// plan — on the shapes check.sh gates: a healthy view, one dead/suspect
+// peer, and a suspect-heavy view mid-attack. The benchmem allocs/op of
+// every variant must stay 0 (BENCH_routing.json).
+func BenchmarkNextHops(b *testing.B) {
+	od := idspace.FromUint64(40000)
+	cases := []struct {
+		name     string
+		suspects int
+	}{
+		{"healthy", 0},
+		{"1-dead", 1},
+		{"suspect-heavy", 16},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			v := benchView(c.suspects)
+			var p Plan
+			NextHops(v, od, false, &p)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				NextHops(v, od, false, &p)
+			}
+		})
+	}
+}
+
+// BenchmarkRepairLaunchOrder measures the recovery launch ranking over a
+// full table.
+func BenchmarkRepairLaunchOrder(b *testing.B) {
+	v := benchView(4)
+	var p Plan
+	RepairLaunchOrder(v, &p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RepairLaunchOrder(v, &p)
+	}
+}

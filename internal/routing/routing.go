@@ -1,0 +1,263 @@
+// Package routing is the transport-agnostic HOURS routing kernel: the
+// forwarding discipline of Algorithms 2 and 3 (paper §3.3, §4.2) and the
+// candidate ranking of the §4.3 active-recovery protocol, expressed as
+// pure functions over an immutable View.
+//
+// Both the simulator (internal/overlay) and the live node (internal/node)
+// consume this package, so the tree holds exactly one implementation of
+// the greedy/nephew/backward decision and one implementation of the
+// suspicion-aware candidate ranking. A View is a value snapshot of one
+// node's local routing state — self identity, sorted table entries,
+// counter-clockwise pointer, per-peer suspicion — and the kernel never
+// mutates it, performs I/O, or consults clocks: callers decide liveness
+// by attempting the planned hops in order.
+//
+// All functions are allocation-free when the caller reuses a Plan: the
+// hot query path loads a published view and builds its plan with zero
+// locks and zero heap traffic (pinned by tests and the BENCH_routing
+// gate in check.sh).
+package routing
+
+import "repro/internal/idspace"
+
+// Design selects between the paper's two pointer-placement schemes. The
+// values mirror internal/overlay.Design.
+type Design uint8
+
+const (
+	// Base is the §3 design: no backward mode, and only the immediate
+	// clockwise-neighbor entry (index distance 1) carries nephews.
+	Base Design = iota + 1
+	// Enhanced is the §4 design: every table entry carries nephews and a
+	// counter-clockwise pointer enables backward forwarding.
+	Enhanced
+)
+
+// Peer identifies a remote node a plan step may forward to. Suspicion is
+// the consecutive-failure count snapshotted into the view when it was
+// published, so ranking and trace attributes need no lock at decision
+// time.
+type Peer struct {
+	Index     int
+	Name      string
+	Addr      string
+	Suspicion int
+}
+
+// Entry is one routing-table row of the view: a sibling pointer plus its
+// nephew pointers (§4.1). Dist is the clockwise identifier-space distance
+// from the view's self to the entry, the quantity every Algorithm 2/3
+// comparison is defined on.
+type Entry struct {
+	Peer
+	ID   idspace.ID
+	Dist idspace.ID
+	// HasNephews marks the entry as a usable exit in the enhanced design:
+	// a nephew-less entry (e.g. created by repair while its target was
+	// already down) cannot bridge into the next-level overlay.
+	HasNephews bool
+	Nephews    []Peer
+}
+
+// View is one node's immutable local routing state. Producers build a
+// fresh View for every state transition and publish it whole (the live
+// node uses an atomic.Pointer); consumers treat it as read-only. Entries
+// must be sorted ascending by Dist and hold no duplicates.
+type View struct {
+	// N is the overlay size; SelfIndex the node's ring index. N <= 0 or
+	// SelfIndex < 0 means the node is not an overlay member yet.
+	N         int
+	SelfIndex int
+	SelfID    idspace.ID
+	Design    Design
+	Entries   []Entry
+	// CCW is the counter-clockwise pointer (§4.2); meaningful only when
+	// HasCCW is set.
+	CCW    Entry
+	HasCCW bool
+}
+
+// Ready reports whether the view describes an overlay member that can
+// make forwarding decisions.
+func (v *View) Ready() bool { return v.N > 0 && v.SelfIndex >= 0 }
+
+// StepKind classifies one planned forwarding attempt.
+type StepKind uint8
+
+const (
+	// StepOD forwards to the overlay-destination node itself via its
+	// direct table entry (Algorithm 3 lines 1-3).
+	StepOD StepKind = iota + 1
+	// StepNephew marks the self node as the exit: the OD entry is usable
+	// and the OD node did not answer, so forwarding descends through the
+	// entry's nephews (Algorithm 3 lines 4-7). A plan never continues
+	// past this step.
+	StepNephew
+	// StepGreedy forwards to a table entry strictly closer to the OD
+	// node, best candidates first (Algorithm 2 line 10 / Algorithm 3
+	// line 11, suspicion-ranked).
+	StepGreedy
+	// StepBackward follows the counter-clockwise pointer (Algorithm 3
+	// lines 12-19).
+	StepBackward
+)
+
+// Step is one planned hop attempt. Entry indexes View.Entries for
+// StepOD/StepNephew/StepGreedy and is -1 for StepBackward (the target is
+// View.CCW).
+type Step struct {
+	Kind  StepKind
+	Entry int32
+}
+
+// BlockReason explains why a plan ends without a backward step.
+type BlockReason uint8
+
+const (
+	// BlockedNone: the plan ends in a backward step, or in a nephew exit
+	// that makes the question moot.
+	BlockedNone BlockReason = iota
+	// BlockedNoBackwardMode: the base design has no backward mode (§3.4);
+	// a query whose greedy candidates are exhausted is stuck.
+	BlockedNoBackwardMode
+	// BlockedNoCCW: no usable counter-clockwise pointer.
+	BlockedNoCCW
+	// BlockedWrapped: the counter-clockwise pointer is not strictly
+	// farther from the OD node than self — a backward step would wrap
+	// past the OD, proving the ring holds no exit entry.
+	BlockedWrapped
+)
+
+// Plan is a ranked list of forwarding attempts. Executors try steps in
+// order, taking the first one whose target answers; a plan exhausted
+// without an answer is a routing failure whose cause Blocked names.
+// Reusing one Plan across calls keeps the kernel allocation-free.
+type Plan struct {
+	Steps   []Step
+	Blocked BlockReason
+}
+
+// Target returns the entry a step forwards to.
+func (v *View) Target(s Step) *Entry {
+	if s.Kind == StepBackward {
+		return &v.CCW
+	}
+	return &v.Entries[s.Entry]
+}
+
+// lowerBound returns the index of the first entry with Dist >= bound.
+func (v *View) lowerBound(bound idspace.ID) int {
+	lo, hi := 0, len(v.Entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v.Entries[mid].Dist.Compare(bound) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// usableExit reports whether entry i qualifies the self node as an exit
+// node for a dead target: in the enhanced design any entry with nephews
+// does (§4.1); in the base design only the immediate clockwise-neighbor
+// entry (§3.1).
+func (v *View) usableExit(i int) bool {
+	if v.Design == Base {
+		return idspace.IndexDist(v.SelfIndex, v.Entries[i].Index, v.N) == 1
+	}
+	return v.Entries[i].HasNephews
+}
+
+// NextHops builds the ranked forwarding plan for a query whose
+// overlay destination sits at identifier od: the direct OD entry first,
+// then — if that entry is a usable exit — the nephew descent that ends
+// the walk, otherwise the greedy candidates (skipped once the query is
+// in backward mode) and finally the backward step. The plan is written
+// into p, whose storage is reused.
+func NextHops(v *View, od idspace.ID, backward bool, p *Plan) {
+	p.Steps = p.Steps[:0]
+	p.Blocked = BlockedNone
+	odDist := idspace.Distance(v.SelfID, od)
+
+	// One binary search serves both decisions: lb is the greedy bound
+	// (entries strictly closer than the OD) and, when the entry at lb
+	// sits exactly at odDist, the OD's own table entry.
+	lb := v.lowerBound(odDist)
+
+	// Algorithm 3 lines 1-7: the OD node is in the routing table. If the
+	// entry is a usable exit, the plan ends here — a dead OD makes self
+	// the exit node, and there is nothing to route past it.
+	if lb < len(v.Entries) && v.Entries[lb].Dist == odDist {
+		p.Steps = append(p.Steps, Step{Kind: StepOD, Entry: int32(lb)})
+		if v.usableExit(lb) {
+			p.Steps = append(p.Steps, Step{Kind: StepNephew, Entry: int32(lb)})
+			return
+		}
+	}
+
+	// Greedy clockwise (Algorithm 2 line 10 / Algorithm 3 line 11):
+	// entries strictly closer to the OD, suspicion-ranked. A query
+	// already walking backward never resumes greedy forwarding.
+	if !backward {
+		rankTo(v, lb, p)
+	}
+
+	if v.Design == Base {
+		p.Blocked = BlockedNoBackwardMode
+		return
+	}
+	if !v.HasCCW {
+		p.Blocked = BlockedNoCCW
+		return
+	}
+	if idspace.Distance(v.CCW.ID, od).Compare(odDist) <= 0 {
+		p.Blocked = BlockedWrapped
+		return
+	}
+	p.Steps = append(p.Steps, Step{Kind: StepBackward, Entry: -1})
+}
+
+// RepairForwardOrder ranks the candidates for forwarding a §4.3 Repair
+// message originated at identifier origin: every entry strictly closer
+// to the origin than self (the origin's own entry excluded), suspicion
+// first, farthest-reaching next — a repair races the very failure it is
+// fixing, so first attempts go to peers with a clean record.
+func RepairForwardOrder(v *View, origin idspace.ID, p *Plan) {
+	p.Steps = p.Steps[:0]
+	p.Blocked = BlockedNone
+	rankTo(v, v.lowerBound(idspace.Distance(v.SelfID, origin)), p)
+}
+
+// RepairLaunchOrder ranks every table entry for launching a self-originated
+// §4.3 Repair clockwise around the full circle: farthest-reaching first
+// within each suspicion level.
+func RepairLaunchOrder(v *View, p *Plan) {
+	p.Steps = p.Steps[:0]
+	p.Blocked = BlockedNone
+	rankTo(v, len(v.Entries), p)
+}
+
+// rankTo appends one StepGreedy per entry in Entries[:n] — the candidate
+// prefix the caller bounded — ordered by (suspicion ascending, distance
+// descending). This is the tree's one implementation of the Algorithm 2/3
+// candidate-ranking loop.
+//
+// Entries arrive sorted ascending by distance, so inserting from the far
+// end keeps the all-clean case O(n) (ties never shift) and equal-suspicion
+// runs in descending-distance order; only entries with strictly higher
+// suspicion are displaced toward the back of the plan.
+func rankTo(v *View, n int, p *Plan) {
+	start := len(p.Steps)
+	for i := n - 1; i >= 0; i-- {
+		susp := v.Entries[i].Suspicion
+		p.Steps = append(p.Steps, Step{})
+		j := len(p.Steps) - 1
+		for j > start && v.Entries[p.Steps[j-1].Entry].Suspicion > susp {
+			p.Steps[j] = p.Steps[j-1]
+			j--
+		}
+		p.Steps[j] = Step{Kind: StepGreedy, Entry: int32(i)}
+	}
+}

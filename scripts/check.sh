@@ -17,7 +17,7 @@ if [ -n "$unformatted" ]; then
 fi
 
 echo "==> go vet -structtag -copylocks (robustness packages)"
-go vet -structtag -copylocks ./internal/transport/ ./internal/node/ ./internal/cluster/
+go vet -structtag -copylocks ./internal/transport/ ./internal/node/ ./internal/cluster/ ./internal/routing/
 
 echo "==> go test -race"
 go test -race ./...
@@ -165,6 +165,39 @@ printf '%s\n%s\n%s\n' "$sim_core" "$sim_overlay" "$sim_fig9" | awk '
     END { print "\n  }\n}" }
 ' > BENCH_sim.json
 echo "    wrote BENCH_sim.json"
+
+# Routing-kernel acceptance (DESIGN.md §14): the sim and the live node
+# share one Algorithm 2/3 decision engine, so the kernel gets its own
+# gates. The differential property test replays seeded random overlays
+# and fault patterns through the kernel-backed Route and the pre-kernel
+# reference implementation hop by hop, under the race detector; the
+# bench smoke pins the decision path — view load + ranked-plan build —
+# at zero allocations across table shapes (hard gate: any allocs/op > 0
+# fails the build). Numbers land in BENCH_routing.json.
+echo "==> routing kernel differential (-race, kernel vs pre-kernel reference)"
+go test -race -short -run 'TestRouteKernelDifferential' -v ./internal/overlay/ | grep -E 'KernelDifferential|^ok|FAIL'
+
+echo "==> routing kernel bench smoke (zero-alloc plan build)"
+rt_out=$(go test -run '^$' -bench 'BenchmarkNextHops|BenchmarkRepairLaunchOrder' -benchmem -benchtime 0.2s ./internal/routing/)
+echo "$rt_out" | grep '^Benchmark'
+echo "$rt_out" | awk '
+    BEGIN { print "{" > "BENCH_routing.json" }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        if (n++) printf ",\n" > "BENCH_routing.json"
+        printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7 > "BENCH_routing.json"
+        if ($7 + 0 != 0) bad = bad name " "
+    }
+    END {
+        print "\n}" > "BENCH_routing.json"
+        if (bad != "") {
+            printf "FAIL: routing kernel allocates on the decision path: %s(gate: 0 allocs/op)\n", bad > "/dev/stderr"
+            exit 1
+        }
+    }
+'
+echo "    wrote BENCH_routing.json"
 
 # Overload-control acceptance: the deterministic soak (aggressor at 20x
 # fair share, Sybil flood, breaker trip/half-open/recover, cached
